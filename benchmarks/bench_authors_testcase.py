@@ -1,0 +1,31 @@
+"""Section 4.2, second test case — {Douglas Adams, Terry Pratchett}, |C|=30.
+
+Paper claims asserted:
+* ``influences`` is notable: both authors influenced the same writer, who
+  has only a handful of influencers in the whole graph ("this result is
+  definitely unexpected");
+* ``created`` is *not* notable: "the query nodes also only created their
+  own works ... this is an expected result and thus not notable".
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import authors_testcase
+
+
+def test_authors_testcase(benchmark, setting):
+    table = run_once(benchmark, authors_testcase, setting)
+    print()
+    print(table.render())
+
+    rows = {label: (p, notable) for label, p, notable in table.rows}
+
+    influences_p, influences_notable = rows["influences"]
+    assert influences_notable and influences_p <= 0.05, (
+        f"influences must be notable (p={influences_p:.4f})"
+    )
+
+    created_p, created_notable = rows["created"]
+    assert not created_notable and created_p > 0.05, (
+        f"created must not be notable (p={created_p:.4f})"
+    )

@@ -1,0 +1,46 @@
+"""Future-work extensions (Section 6) on the actors scenario.
+
+The paper closes with: "we plan to expand the notion of notable
+characteristics to incorporate more complex patterns [and] explore
+correlations between attributes". This bench exercises both extension
+finders end-to-end and sanity-checks their outputs.
+"""
+
+from conftest import run_once
+
+from repro.core.context import ContextRW
+from repro.core.extensions import CompositeCharacteristicFinder, CorrelationFinder
+from repro.datasets.seeds import ACTORS_DOMAIN
+from repro.eval.experiments import resolve_domain_queries
+from repro.util.tables import Table
+
+
+def _extensions_table(setting):
+    graph = setting.graph()
+    query = resolve_domain_queries(graph, ACTORS_DOMAIN)[3]  # |Q| = 5
+    context = ContextRW(graph, rng=setting.algorithm_seed).select(query, 100)
+
+    table = Table(["kind", "characteristic", "p_or_score"], float_format=".4f")
+    composite = CompositeCharacteristicFinder(
+        graph, max_patterns=25, rng=setting.algorithm_seed
+    )
+    for result in composite.run(query, context.nodes)[:8]:
+        p = result.min_p_value if result.min_p_value is not None else 1.0
+        table.add_row(["composite", result.label, p])
+    correlations = CorrelationFinder(graph, max_pairs=30, rng=setting.algorithm_seed)
+    for result in correlations.run(query, context.nodes)[:8]:
+        table.add_row(["correlation", result.label, result.p_value])
+    return table
+
+
+def test_extensions(benchmark, setting):
+    table = run_once(benchmark, _extensions_table, setting)
+    print()
+    print(table.render())
+
+    kinds = set(table.column("kind"))
+    assert kinds == {"composite", "correlation"}
+    assert all(0.0 <= p <= 1.0 for p in table.column("p_or_score"))
+    # The 2-hop pattern space must yield real candidates on this graph.
+    composites = [r for r in table.rows if r[0] == "composite"]
+    assert len(composites) >= 4

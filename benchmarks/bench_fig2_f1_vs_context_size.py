@@ -1,0 +1,40 @@
+"""Figure 2 — F1 vs context size |C| per actors query, both algorithms.
+
+Paper claims asserted:
+* "In all cases, ContextRW performs 2 times better than the baseline"
+  (we assert a >= 1.5x mean advantage in the paper's |C| sweet spot).
+* Quality rises with |C| then flattens/falls — the best F1 is not at the
+  smallest cutoff.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import context_size_sweep
+from repro.eval.metrics import mean
+
+
+def test_fig2_f1_vs_context_size(benchmark, setting):
+    table = run_once(benchmark, context_size_sweep, setting)
+    print()
+    print(table.render())
+
+    def series(algorithm, size):
+        return [
+            f1
+            for algo, _q, c, f1 in table.rows
+            if algo == algorithm and c == size
+        ]
+
+    crw_mid = mean(series("ContextRW", 100)) + mean(series("ContextRW", 150))
+    rw_mid = mean(series("RandomWalk", 100)) + mean(series("RandomWalk", 150))
+    assert crw_mid > 0, "ContextRW must retrieve part of the ground truth"
+    assert crw_mid >= 1.5 * rw_mid, (
+        f"ContextRW should dominate the baseline around |C|=100-150 "
+        f"(got {crw_mid:.3f} vs {rw_mid:.3f})"
+    )
+
+    # The F1 curve should not peak at the smallest cutoff (Figure 2 rises
+    # before it flattens).
+    crw_small = mean(series("ContextRW", 10))
+    crw_best = max(mean(series("ContextRW", c)) for c in (50, 100, 150, 200))
+    assert crw_best > crw_small

@@ -1,0 +1,29 @@
+"""Figure 3 — average F1 vs |C|, ContextRW vs RandomWalk.
+
+Paper claims asserted: ContextRW is better on average, "performing up to
+four times better for context size |C| = 100"; we assert >= 1.5x at 100
+and that ContextRW wins at every cutoff >= 50.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import average_f1_by_context_size, context_size_sweep
+
+
+def _figure3(setting):
+    return average_f1_by_context_size(context_size_sweep(setting))
+
+
+def test_fig3_average_f1(benchmark, setting):
+    table = run_once(benchmark, _figure3, setting)
+    print()
+    print(table.render())
+
+    averages = {
+        (algorithm, size): value for algorithm, size, value in table.rows
+    }
+    assert averages[("ContextRW", 100)] >= 1.5 * averages[("RandomWalk", 100)]
+    for size in (50, 100, 150, 200):
+        assert averages[("ContextRW", size)] >= averages[("RandomWalk", size)], (
+            f"ContextRW should win on average at |C|={size}"
+        )

@@ -1,0 +1,40 @@
+"""Figure 4 — average F1 vs query size |Q| at |C| in {50, 100}.
+
+Paper claims asserted:
+* ContextRW beats RandomWalk at every query size for |C| = 100;
+* ContextRW benefits from larger queries (the average F1 over |Q| in
+  {4, 5, 6} is not worse than over |Q| in {2, 3} at |C| = 50 — "our method
+  can capture semantic relationships between the nodes");
+* the baseline does not improve with |Q| at |C| = 50.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import query_size_sweep
+from repro.eval.metrics import mean
+
+
+def test_fig4_f1_vs_query_size(benchmark, setting):
+    table = run_once(benchmark, query_size_sweep, setting)
+    print()
+    print(table.render())
+
+    values = {
+        (algo, c, q): f1 for algo, c, q, f1 in table.rows
+    }
+    for q in (2, 3, 4, 5, 6):
+        assert values[("ContextRW", 100, q)] >= values[("RandomWalk", 100, q)], (
+            f"ContextRW should win at |C|=100, |Q|={q}"
+        )
+
+    crw_small = mean(values[("ContextRW", 50, q)] for q in (2, 3))
+    crw_large = mean(values[("ContextRW", 50, q)] for q in (4, 5, 6))
+    assert crw_large >= 0.9 * crw_small, (
+        "ContextRW must not degrade with more query nodes"
+    )
+
+    rw_small = mean(values[("RandomWalk", 50, q)] for q in (2, 3))
+    rw_large = mean(values[("RandomWalk", 50, q)] for q in (4, 5, 6))
+    assert rw_large <= rw_small + 0.05, (
+        "the baseline should not benefit from larger queries"
+    )

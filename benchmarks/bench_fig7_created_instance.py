@@ -1,0 +1,44 @@
+"""Figure 7 — instance distribution of ``created`` for the actors query.
+
+Paper claims asserted:
+* the context misses the edge in a large fraction of cases (paper: 43%;
+  we assert the None bucket carries 30-70% of the context mass);
+* the query deviates (most of its members created their own distinct
+  company) and the multinomial test marks the characteristic notable.
+"""
+
+from conftest import run_once
+
+from repro.core.findnc import FindNC
+from repro.eval.experiments import distribution_figure, resolve_domain_queries
+from repro.datasets.seeds import ACTORS_DOMAIN
+
+
+def test_fig7_created_instance_distribution(benchmark, setting):
+    table = run_once(benchmark, distribution_figure, setting, label="created")
+    print()
+    print(table.render())
+
+    by_value = {value: (q, c) for value, q, c in table.rows}
+    assert "None" in by_value, "the None bucket must be part of the support"
+    none_query, none_context = by_value["None"]
+    assert 0.30 <= none_context <= 0.70, (
+        f"context None share should be large (paper: 43%), got {none_context:.2f}"
+    )
+    assert none_query < none_context, "the query creates more than its context"
+    # All non-None context values are (near-)singletons: production
+    # companies are personal.
+    non_none = [c for value, (q, c) in by_value.items() if value != "None" and c > 0]
+    assert max(non_none) <= 2.5 / sum(
+        1 for _ in non_none
+    ), "non-None context values are spread thin"
+
+    # End-to-end verdict: notable.
+    graph = setting.graph()
+    query = resolve_domain_queries(graph, ACTORS_DOMAIN)[3]
+    assert len(query) == 5
+    finder = FindNC(graph, context_size=100, rng=setting.algorithm_seed)
+    result = finder.run(query)
+    created = result.result_for("created")
+    assert created.notable, f"'created' must be notable (p={created.min_p_value})"
+    assert created.min_p_value <= 0.05

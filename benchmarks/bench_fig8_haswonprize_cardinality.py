@@ -1,0 +1,43 @@
+"""Figure 8 — cardinality distribution of ``hasWonPrize``, actors query.
+
+Paper claims asserted: the query and context distributions "are quite
+similar" — the multinomial test cannot reject equality, so the
+characteristic is *not* notable under FindNC.
+"""
+
+from conftest import run_once
+
+from repro.core.findnc import FindNC
+from repro.datasets.seeds import ACTORS_DOMAIN
+from repro.eval.experiments import distribution_figure, resolve_domain_queries
+
+
+def test_fig8_haswonprize_cardinality_distribution(benchmark, setting):
+    table = run_once(
+        benchmark,
+        distribution_figure,
+        setting,
+        label="hasWonPrize",
+        channel="cardinality",
+    )
+    print()
+    print(table.render())
+
+    # The support covers small prize counts (0..4-ish), like the figure.
+    cardinalities = [int(v) for v in table.column("value")]
+    assert cardinalities[0] == 0
+    assert max(cardinalities) <= 6
+
+    # Both distributions put most mass on 0-3 prizes.
+    for _value, query_p, context_p in table.rows[:4]:
+        assert 0.0 <= query_p <= 1.0 and 0.0 <= context_p <= 1.0
+
+    graph = setting.graph()
+    query = resolve_domain_queries(graph, ACTORS_DOMAIN)[3]
+    finder = FindNC(graph, context_size=100, rng=setting.algorithm_seed)
+    result = finder.run(query)
+    prize = result.result_for("hasWonPrize")
+    assert not prize.notable, (
+        f"'hasWonPrize' must not be notable under FindNC (p={prize.min_p_value})"
+    )
+    assert prize.min_p_value > 0.05

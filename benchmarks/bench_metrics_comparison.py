@@ -1,0 +1,31 @@
+"""Section 4.2 "Metrics comparison" — ranking switches vs expert ranking.
+
+Paper claims asserted: ordering. "We found that FindNC required 2 changes,
+while KL-divergence and EMD required 4 and 5" — the multinomial test's
+ranking needs the fewest switches to match the aggregated expert ranking,
+EMD the most (we assert FindNC <= KL <= EMD with a tolerance of one
+switch between KL and EMD).
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import metrics_comparison
+
+
+def test_metrics_comparison_switches(benchmark, setting):
+    table = run_once(benchmark, metrics_comparison, setting)
+    print()
+    print(table.render())
+
+    switches = dict(table.rows)
+    assert switches["FindNC"] <= switches["KL"], (
+        f"the multinomial ranking must be closest to the experts "
+        f"(FindNC {switches['FindNC']} vs KL {switches['KL']})"
+    )
+    assert switches["FindNC"] <= switches["EMD"], (
+        f"the multinomial ranking must beat EMD "
+        f"(FindNC {switches['FindNC']} vs EMD {switches['EMD']})"
+    )
+    assert switches["KL"] <= switches["EMD"] + 1, (
+        "KL should not be clearly worse than EMD (paper: 4 vs 5)"
+    )

@@ -1,0 +1,115 @@
+"""Micro-benchmarks of the substrate kernels.
+
+Not paper artifacts — these measure the operations everything else is
+built from, so performance regressions in the store, the walker, PageRank
+or the multinomial test show up here first (multi-round, statistically
+timed, unlike the single-shot experiment benches).
+"""
+
+import pytest
+
+from repro.core.distributions import build_distributions
+from repro.datasets.loader import load_dataset
+from repro.stats.multinomial import exact_multinomial_test, montecarlo_multinomial_test
+from repro.store.terms import IRI
+from repro.store.triples import Triple
+from repro.store.triplestore import TripleStore
+from repro.walk.pagerank import PersonalizedPageRank
+from repro.walk.walker import RandomWalker
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("yago", scale=1.0)
+
+
+@pytest.fixture(scope="module")
+def loaded_store():
+    store = TripleStore()
+    for i in range(5_000):
+        store.add(Triple.of(f"s{i % 500}", f"p{i % 20}", f"o{i % 800}"))
+    return store
+
+
+class TestStoreKernels:
+    def test_bulk_insert_speed(self, benchmark):
+        triples = [
+            Triple.of(f"s{i % 500}", f"p{i % 20}", f"o{i % 800}")
+            for i in range(2_000)
+        ]
+
+        def insert():
+            TripleStore(triples)
+
+        benchmark(insert)
+
+    def test_predicate_scan_speed(self, benchmark, loaded_store):
+        predicate = IRI("p3")
+
+        def scan():
+            return sum(1 for _ in loaded_store.match(predicate=predicate))
+
+        count = benchmark(scan)
+        assert count > 0
+
+    def test_point_lookup_speed(self, benchmark, loaded_store):
+        triple = Triple.of("s1", "p1", "o1")
+
+        def lookup():
+            return triple in loaded_store
+
+        benchmark(lookup)
+
+
+class TestWalkKernels:
+    def test_walk_steps_per_second(self, benchmark, graph):
+        walker = RandomWalker(graph, rng=1)
+
+        def do_walks():
+            for start in range(0, 200):
+                walker.walk(start % graph.node_count, 5)
+
+        benchmark(do_walks)
+
+    def test_pagerank_iteration_speed(self, benchmark, graph):
+        ppr = PersonalizedPageRank(graph, iterations=10)
+        ppr.transition()  # warm the cache; measure the iteration only
+
+        def run():
+            return ppr.scores([0])
+
+        scores = benchmark(run)
+        assert abs(scores.sum() - 1.0) < 1e-9
+
+
+class TestStatsKernels:
+    def test_exact_multinomial_speed(self, benchmark):
+        pi = [0.4, 0.3, 0.2, 0.1]
+        x = [3, 2, 1, 0]
+
+        result = benchmark(lambda: exact_multinomial_test(pi, x))
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_montecarlo_multinomial_speed(self, benchmark):
+        pi = [1 / 30] * 30
+        x = [0] * 30
+        x[0], x[1], x[2] = 3, 1, 1
+
+        result = benchmark(
+            lambda: montecarlo_multinomial_test(pi, x, samples=20_000, rng=3)
+        )
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestPipelineKernels:
+    def test_distribution_build_speed(self, benchmark, graph):
+        from repro.datasets.seeds import ACTORS_DOMAIN
+
+        query = [graph.node_id(n) for n in ACTORS_DOMAIN.entities[:5]]
+        context = [n for n in range(200) if n not in query][:100]
+
+        def build():
+            return build_distributions(graph, query, context, "hasWonPrize")
+
+        dists = benchmark(build)
+        assert dists.query_size == 5

@@ -1,0 +1,22 @@
+"""Table 1 — the query entities of the three evaluation domains.
+
+Regenerates the table and asserts that all 18 entities resolve to nodes in
+the synthetic YAGO graph (entity resolution is the input assumption of
+Section 2).
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import domains_table
+
+
+def test_table1_domains(benchmark, setting):
+    table = run_once(benchmark, domains_table, setting)
+    print()
+    print(table.render())
+
+    assert len(table) == 18, "three domains x six entities"
+    assert all(table.column("resolved")), "every Table-1 entity must resolve"
+    assert all(degree > 0 for degree in table.column("out_degree"))
+    domains = set(table.column("domain"))
+    assert domains == {"politicians", "actors", "movie contributors"}

@@ -1,0 +1,32 @@
+"""Table 3 — F1 as a function of the number of kept metapaths |M| and |C|.
+
+Paper claims asserted:
+* "The number of paths does not affect the score" — at each |C| >= 100 the
+  spread of F1 across |M| in {5, 10, 15, 20} stays small;
+* quality at |C| >= 100 is not worse than at |C| = 50 (the paper's table
+  grows from 0.15-ish at 50 to 0.22-0.23 at 100+).
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import path_count_sweep
+from repro.eval.metrics import mean
+
+
+def test_table3_f1_vs_num_paths(benchmark, setting):
+    table = run_once(benchmark, path_count_sweep, setting)
+    print()
+    print(table.render())
+
+    by_context: dict[int, list[float]] = {}
+    for context_size, _num_paths, f1 in table.rows:
+        by_context.setdefault(context_size, []).append(f1)
+
+    for context_size, values in by_context.items():
+        if context_size >= 100:
+            spread = max(values) - min(values)
+            assert spread <= 0.15, (
+                f"|M| should barely matter at |C|={context_size} "
+                f"(spread {spread:.3f})"
+            )
+    assert mean(by_context[100]) >= mean(by_context[50]) - 0.02

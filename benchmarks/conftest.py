@@ -1,0 +1,35 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper via
+:mod:`repro.eval.experiments` and asserts its qualitative claims (who
+wins, which labels are notable). Benchmarks run single-shot
+(``benchmark.pedantic(rounds=1)``): the measured quantity is the full
+experiment, not a micro-kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import ExperimentSetting
+
+#: The evaluation-scale setting shared by every benchmark. Scale 2 gives a
+#: ~4k-node / ~30k-edge synthetic YAGO — large enough for stable metapath
+#: statistics, small enough for minutes-long total runtime.
+BENCH_SETTING = ExperimentSetting(scale=2.0)
+
+
+@pytest.fixture(scope="session")
+def setting() -> ExperimentSetting:
+    return BENCH_SETTING
+
+
+@pytest.fixture(scope="session")
+def yago_graph(setting):
+    """Pre-built synthetic YAGO (memoized by the dataset loader)."""
+    return setting.graph()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

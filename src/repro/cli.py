@@ -1,0 +1,100 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands
+-----------
+
+``search``
+    Run notable-characteristics search for a query on a built-in dataset::
+
+        repro search --dataset yago --query Angela_Merkel Barack_Obama
+
+``experiment``
+    Regenerate one of the paper's tables/figures::
+
+        repro experiment fig9
+        repro experiment table2 --scale 1.5
+
+``datasets``
+    List the registered datasets with their statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.findnc import FindNC, rw_mult
+from repro.datasets.loader import dataset_names, load_dataset
+from repro.eval.experiments import ExperimentSetting
+from repro.eval.report import experiment_ids, get_experiment
+from repro.graph.statistics import GraphStatistics
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Notable Characteristics Search through Knowledge Graphs "
+        "(EDBT 2018) - reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    search = sub.add_parser("search", help="run FindNC for a query")
+    search.add_argument("--dataset", default="yago", choices=dataset_names())
+    search.add_argument("--scale", type=float, default=2.0)
+    search.add_argument("--context-size", type=int, default=100)
+    search.add_argument("--seed", type=int, default=11)
+    search.add_argument(
+        "--baseline", action="store_true", help="use RWMult instead of FindNC"
+    )
+    search.add_argument("--query", nargs="+", required=True, metavar="ENTITY")
+
+    experiment = sub.add_parser("experiment", help="regenerate a table/figure")
+    experiment.add_argument("experiment_id", choices=experiment_ids())
+    experiment.add_argument("--dataset", default="yago", choices=dataset_names())
+    experiment.add_argument("--scale", type=float, default=2.0)
+    experiment.add_argument("--markdown", action="store_true")
+
+    sub.add_parser("datasets", help="list datasets with statistics")
+    return parser
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    if args.baseline:
+        finder = rw_mult(graph, context_size=args.context_size, rng=args.seed)
+    else:
+        finder = FindNC(graph, context_size=args.context_size, rng=args.seed)
+    result = finder.run(args.query)
+    print(result.summary(graph))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment_id)
+    setting = ExperimentSetting(dataset=args.dataset, scale=args.scale)
+    table = spec.runner(setting)
+    print(table.render(markdown=args.markdown))
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    for name in dataset_names():
+        graph = load_dataset(name)
+        stats = GraphStatistics(graph)
+        print(f"{name}: {stats.describe()}")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "search": _cmd_search,
+        "experiment": _cmd_experiment,
+        "datasets": _cmd_datasets,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

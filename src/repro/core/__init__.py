@@ -1,0 +1,70 @@
+"""The paper's primary contribution: notable characteristics search.
+
+Pipeline (Problem 1): a query set ``Q`` is expanded into a context set
+``C`` by a similarity function sigma (:mod:`repro.core.context`), then every
+edge label touching ``Q ∪ C`` is scored by a discrimination function delta
+(:mod:`repro.core.discrimination`) over its instance and cardinality
+distributions (:mod:`repro.core.distributions`). The reference pipeline —
+``ContextRW`` + multinomial test — is **FindNC**; the baseline — PPR context
++ multinomial test — is **RWMult** (:mod:`repro.core.findnc`).
+"""
+
+from repro.core.context import (
+    ContextResult,
+    ContextRW,
+    ContextSelector,
+    RandomWalkContext,
+)
+from repro.core.discrimination import (
+    ChiSquareDiscriminator,
+    DiscriminationResult,
+    Discriminator,
+    EMDDiscriminator,
+    KLDiscriminator,
+    MultinomialDiscriminator,
+)
+from repro.core.distributions import (
+    NONE_INSTANCE,
+    CharacteristicDistributions,
+    build_distributions,
+    cardinality_counts,
+    instance_counts,
+)
+from repro.core.extensions import (
+    CompositeCharacteristicFinder,
+    CompositeLabel,
+    CorrelationFinder,
+    CorrelationResult,
+    build_composite_distributions,
+)
+from repro.core.findnc import FindNC, FindNCResult, NotableCharacteristic, rw_mult
+from repro.core.similarity import jaccard_neighbors, shared_neighbor_count
+
+__all__ = [
+    "ChiSquareDiscriminator",
+    "CharacteristicDistributions",
+    "CompositeCharacteristicFinder",
+    "CompositeLabel",
+    "ContextResult",
+    "ContextRW",
+    "ContextSelector",
+    "CorrelationFinder",
+    "CorrelationResult",
+    "DiscriminationResult",
+    "Discriminator",
+    "EMDDiscriminator",
+    "FindNC",
+    "FindNCResult",
+    "KLDiscriminator",
+    "MultinomialDiscriminator",
+    "NONE_INSTANCE",
+    "NotableCharacteristic",
+    "RandomWalkContext",
+    "build_composite_distributions",
+    "build_distributions",
+    "cardinality_counts",
+    "instance_counts",
+    "jaccard_neighbors",
+    "rw_mult",
+    "shared_neighbor_count",
+]

@@ -1,0 +1,168 @@
+"""Instance and cardinality distributions (Section 3.2).
+
+For an edge label ``l`` and node sets ``Q`` (query) and ``C`` (context):
+
+* the **instance** distributions ``Inst_q / Inst_c`` count, for each value
+  node ``i``, how many ``l``-labelled edges from the set end in ``i``. A
+  ``None`` bucket counts set members with *no* ``l``-edge — Figure 7 shows
+  it explicitly ("The first label is None, indicating no matching edge
+  found").
+* the **cardinality** distributions ``Card_q / Card_c`` count, for each
+  ``i = 0, 1, 2, ...``, how many set members have exactly ``i``
+  ``l``-labelled edges. This captures existence/cardinality facts that
+  instance counts cannot ("Angela Merkel has no child while all other
+  leaders have at least one").
+
+Query and context vectors are aligned over the same support, "so x_i is
+zero if i appears only in the context".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.model import KnowledgeGraph, NodeRef
+from repro.stats.histograms import align_count_maps
+
+
+class _NoneInstance:
+    """Sentinel for the "no matching edge" bucket of instance distributions.
+
+    A dedicated singleton (rather than the string ``"None"``) cannot collide
+    with a graph node that happens to be named ``None``.
+    """
+
+    _instance: "_NoneInstance | None" = None
+
+    def __new__(cls) -> "_NoneInstance":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "None"
+
+    def __str__(self) -> str:
+        return "None"
+
+
+#: The "no matching edge" instance value.
+NONE_INSTANCE = _NoneInstance()
+
+
+def instance_counts(
+    graph: KnowledgeGraph,
+    nodes: Iterable[NodeRef],
+    label: str,
+    *,
+    none_bucket: bool = True,
+) -> dict[object, int]:
+    """``{value: occurrences}`` of ``label``-edge endpoints from ``nodes``.
+
+    Values are the *names* of the target nodes (phi of Definition 1).
+    With ``none_bucket`` (default) every member without any ``label`` edge
+    contributes one count to :data:`NONE_INSTANCE`.
+    """
+    counts: dict[object, int] = {}
+    for node in nodes:
+        targets = list(graph.neighbors(node, label))
+        if not targets and none_bucket:
+            counts[NONE_INSTANCE] = counts.get(NONE_INSTANCE, 0) + 1
+            continue
+        for target in targets:
+            value = graph.node_name(target)
+            counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+def cardinality_counts(
+    graph: KnowledgeGraph, nodes: Iterable[NodeRef], label: str
+) -> dict[int, int]:
+    """``{i: number of members with exactly i label-edges}``."""
+    counts: dict[int, int] = {}
+    for node in nodes:
+        degree = graph.out_degree(node, label)
+        counts[degree] = counts.get(degree, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True)
+class CharacteristicDistributions:
+    """The four aligned distributions of one candidate characteristic."""
+
+    label: str
+    instance_support: tuple[object, ...]
+    inst_query: np.ndarray
+    inst_context: np.ndarray
+    cardinality_support: tuple[int, ...]
+    card_query: np.ndarray
+    card_context: np.ndarray
+
+    @property
+    def query_size(self) -> int:
+        """|Q| recovered from the cardinality histogram."""
+        return int(self.card_query.sum())
+
+    @property
+    def context_size(self) -> int:
+        """|C| recovered from the cardinality histogram."""
+        return int(self.card_context.sum())
+
+    def instance_rows(self) -> list[tuple[str, int, int]]:
+        """``(value, query count, context count)`` rows for reporting."""
+        return [
+            (str(value), int(q), int(c))
+            for value, q, c in zip(
+                self.instance_support, self.inst_query, self.inst_context
+            )
+        ]
+
+    def cardinality_rows(self) -> list[tuple[int, int, int]]:
+        """``(cardinality, query count, context count)`` rows for reporting."""
+        return [
+            (int(value), int(q), int(c))
+            for value, q, c in zip(
+                self.cardinality_support, self.card_query, self.card_context
+            )
+        ]
+
+
+def build_distributions(
+    graph: KnowledgeGraph,
+    query: Sequence[NodeRef],
+    context: Sequence[NodeRef],
+    label: str,
+    *,
+    none_bucket: bool = True,
+) -> CharacteristicDistributions:
+    """Build the aligned Inst/Card distribution pairs for ``label``.
+
+    The cardinality support is the contiguous range ``0..max`` observed in
+    either set, so the histograms read like Figure 8 (zeros included).
+    """
+    inst_q = instance_counts(graph, query, label, none_bucket=none_bucket)
+    inst_c = instance_counts(graph, context, label, none_bucket=none_bucket)
+    instance_support, x_inst, y_inst = align_count_maps(inst_q, inst_c)
+
+    card_q = cardinality_counts(graph, query, label)
+    card_c = cardinality_counts(graph, context, label)
+    max_cardinality = max(
+        max(card_q, default=0),
+        max(card_c, default=0),
+    )
+    card_support = list(range(max_cardinality + 1))
+    x_card = np.array([card_q.get(i, 0) for i in card_support], dtype=np.int64)
+    y_card = np.array([card_c.get(i, 0) for i in card_support], dtype=np.int64)
+
+    return CharacteristicDistributions(
+        label=label,
+        instance_support=tuple(instance_support),
+        inst_query=x_inst,
+        inst_context=y_inst,
+        cardinality_support=tuple(card_support),
+        card_query=x_card,
+        card_context=y_card,
+    )

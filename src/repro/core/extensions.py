@@ -1,0 +1,300 @@
+"""Extensions sketched in the paper's future work (Section 6).
+
+"As future work we plan to expand the notion of notable characteristics to
+incorporate more complex patterns. We also intend to explore correlations
+between attributes as well as graph structures and incorporate results
+into the model."
+
+Two such extensions, built on the same distribution/test machinery:
+
+* **Composite characteristics** (:class:`CompositeCharacteristicFinder`):
+  a characteristic is a two-label *path pattern* ``l1 -> l2`` (e.g.
+  ``graduatedFrom -> isLocatedIn``: the country of one's university). The
+  instance distribution counts the 2-hop endpoints, the cardinality
+  distribution the number of matching paths per node, and the same
+  multinomial test applies.
+* **Attribute correlations** (:class:`CorrelationFinder`): for a pair of
+  labels, the 2x2 *existence* contingency (has both / only first / only
+  second / neither) of the query is tested against the context's — "query
+  members who win prizes also own companies" becomes testable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.discrimination import (
+    DiscriminationResult,
+    Discriminator,
+    MultinomialDiscriminator,
+)
+from repro.core.distributions import NONE_INSTANCE, CharacteristicDistributions
+from repro.graph.labels import is_inverse_label
+from repro.graph.model import KnowledgeGraph, NodeRef
+from repro.stats.histograms import align_count_maps
+from repro.stats.multinomial import MultinomialTestResult, multinomial_test
+from repro.util.rng import RandomSource
+
+
+# -- composite (path) characteristics -------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompositeLabel:
+    """A two-hop path pattern acting as one characteristic."""
+
+    first: str
+    second: str
+
+    def __str__(self) -> str:
+        return f"{self.first}->{self.second}"
+
+
+def composite_instance_counts(
+    graph: KnowledgeGraph,
+    nodes: Iterable[NodeRef],
+    pattern: CompositeLabel,
+    *,
+    none_bucket: bool = True,
+) -> dict[object, int]:
+    """Endpoint counts of 2-hop paths ``node -first-> . -second-> value``."""
+    counts: dict[object, int] = {}
+    for node in nodes:
+        endpoints: list[int] = []
+        for middle in graph.neighbors(node, pattern.first):
+            endpoints.extend(graph.neighbors(middle, pattern.second))
+        if not endpoints and none_bucket:
+            counts[NONE_INSTANCE] = counts.get(NONE_INSTANCE, 0) + 1
+            continue
+        for endpoint in endpoints:
+            value = graph.node_name(endpoint)
+            counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+def composite_cardinality_counts(
+    graph: KnowledgeGraph, nodes: Iterable[NodeRef], pattern: CompositeLabel
+) -> dict[int, int]:
+    """``{i: members with exactly i matching 2-hop paths}``."""
+    counts: dict[int, int] = {}
+    for node in nodes:
+        paths = sum(
+            graph.out_degree(middle, pattern.second)
+            for middle in graph.neighbors(node, pattern.first)
+        )
+        counts[paths] = counts.get(paths, 0) + 1
+    return counts
+
+
+def build_composite_distributions(
+    graph: KnowledgeGraph,
+    query: Sequence[NodeRef],
+    context: Sequence[NodeRef],
+    pattern: CompositeLabel,
+    *,
+    none_bucket: bool = True,
+) -> CharacteristicDistributions:
+    """The Inst/Card pairs of a composite characteristic."""
+    inst_q = composite_instance_counts(graph, query, pattern, none_bucket=none_bucket)
+    inst_c = composite_instance_counts(
+        graph, context, pattern, none_bucket=none_bucket
+    )
+    support, x_inst, y_inst = align_count_maps(inst_q, inst_c)
+    card_q = composite_cardinality_counts(graph, query, pattern)
+    card_c = composite_cardinality_counts(graph, context, pattern)
+    max_card = max(max(card_q, default=0), max(card_c, default=0))
+    card_support = tuple(range(max_card + 1))
+    x_card = np.array([card_q.get(i, 0) for i in card_support], dtype=np.int64)
+    y_card = np.array([card_c.get(i, 0) for i in card_support], dtype=np.int64)
+    return CharacteristicDistributions(
+        label=str(pattern),
+        instance_support=tuple(support),
+        inst_query=x_inst,
+        inst_context=y_inst,
+        cardinality_support=card_support,
+        card_query=x_card,
+        card_context=y_card,
+    )
+
+
+class CompositeCharacteristicFinder:
+    """Scores two-hop path patterns as candidate notable characteristics.
+
+    Candidate patterns pair a label leaving the query with a label leaving
+    its value nodes, capped at ``max_patterns`` (2-hop pattern space grows
+    quadratically; the cap keeps runs interactive).
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        *,
+        discriminator: Discriminator | None = None,
+        max_patterns: int = 40,
+        include_inverse: bool = False,
+        rng: RandomSource = None,
+    ) -> None:
+        self._graph = graph
+        self._discriminator = discriminator or MultinomialDiscriminator(rng=rng)
+        self.max_patterns = max_patterns
+        self.include_inverse = include_inverse
+
+    def candidate_patterns(
+        self, query: Sequence[NodeRef]
+    ) -> list[CompositeLabel]:
+        """Label pairs actually instantiated from the query's 2-hop region."""
+        graph = self._graph
+        first_labels: set[str] = set()
+        second_by_first: dict[str, set[str]] = {}
+        for node in query:
+            for label in graph.out_labels(node):
+                if not self.include_inverse and is_inverse_label(label):
+                    continue
+                first_labels.add(label)
+                seconds = second_by_first.setdefault(label, set())
+                for middle in graph.neighbors(node, label):
+                    for second in graph.out_labels(middle):
+                        if is_inverse_label(second) and not self.include_inverse:
+                            continue
+                        seconds.add(second)
+        patterns = [
+            CompositeLabel(first, second)
+            for first in sorted(first_labels)
+            for second in sorted(second_by_first.get(first, ()))
+            # the trivial bounce-back first -> first_inv is never notable
+            if second not in (first, f"{first}_inv")
+        ]
+        return patterns[: self.max_patterns]
+
+    def run(
+        self, query: Sequence[NodeRef], context: Sequence[NodeRef]
+    ) -> list[DiscriminationResult]:
+        """Score every candidate composite pattern; sorted by score."""
+        results = []
+        for pattern in self.candidate_patterns(query):
+            distributions = build_composite_distributions(
+                self._graph, query, context, pattern
+            )
+            results.append(self._discriminator.score(distributions))
+        results.sort(key=lambda r: (-r.score, r.label))
+        return results
+
+
+# -- attribute correlations ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """Existence-correlation test for one label pair."""
+
+    first: str
+    second: str
+    p_value: float
+    query_cells: tuple[int, int, int, int]  # both, only first, only second, neither
+    context_cells: tuple[int, int, int, int]
+
+    @property
+    def notable(self) -> bool:
+        return self.p_value <= 0.05
+
+    @property
+    def label(self) -> str:
+        return f"{self.first} & {self.second}"
+
+    def query_joint_rate(self) -> float:
+        total = sum(self.query_cells)
+        return self.query_cells[0] / total if total else 0.0
+
+    def context_joint_rate(self) -> float:
+        total = sum(self.context_cells)
+        return self.context_cells[0] / total if total else 0.0
+
+
+def existence_cells(
+    graph: KnowledgeGraph, nodes: Iterable[NodeRef], first: str, second: str
+) -> tuple[int, int, int, int]:
+    """The 2x2 existence contingency ``(both, only first, only second, neither)``."""
+    both = only_first = only_second = neither = 0
+    for node in nodes:
+        has_first = graph.out_degree(node, first) > 0
+        has_second = graph.out_degree(node, second) > 0
+        if has_first and has_second:
+            both += 1
+        elif has_first:
+            only_first += 1
+        elif has_second:
+            only_second += 1
+        else:
+            neither += 1
+    return (both, only_first, only_second, neither)
+
+
+class CorrelationFinder:
+    """Tests pairwise attribute correlations, query vs context.
+
+    The context's 2x2 existence histogram for each label pair is the
+    multinomial hypothesis; the query's cells are the observation — the
+    same machinery as the per-label test, one level up.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        *,
+        alpha: float = 0.05,
+        smoothing: float = 0.5,
+        max_pairs: int = 60,
+        rng: RandomSource = None,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self._graph = graph
+        self.alpha = alpha
+        self.smoothing = smoothing
+        self.max_pairs = max_pairs
+        self._rng = rng
+
+    def candidate_pairs(self, query: Sequence[NodeRef]) -> list[tuple[str, str]]:
+        labels = sorted(
+            label
+            for label in self._graph.incident_labels(query)
+            if not is_inverse_label(label)
+        )
+        return list(combinations(labels, 2))[: self.max_pairs]
+
+    def test_pair(
+        self,
+        query: Sequence[NodeRef],
+        context: Sequence[NodeRef],
+        first: str,
+        second: str,
+    ) -> CorrelationResult:
+        query_cells = existence_cells(self._graph, query, first, second)
+        context_cells = existence_cells(self._graph, context, first, second)
+        context_arr = np.array(context_cells, dtype=float) + self.smoothing
+        pi = context_arr / context_arr.sum()
+        outcome: MultinomialTestResult = multinomial_test(
+            pi, np.array(query_cells), alpha=self.alpha, rng=self._rng
+        )
+        return CorrelationResult(
+            first=first,
+            second=second,
+            p_value=outcome.p_value,
+            query_cells=query_cells,
+            context_cells=context_cells,
+        )
+
+    def run(
+        self, query: Sequence[NodeRef], context: Sequence[NodeRef]
+    ) -> list[CorrelationResult]:
+        """Test every candidate pair; sorted by ascending p-value."""
+        results = [
+            self.test_pair(query, context, first, second)
+            for first, second in self.candidate_pairs(query)
+        ]
+        results.sort(key=lambda r: (r.p_value, r.label))
+        return results

@@ -1,0 +1,296 @@
+"""FindNC — the end-to-end notable characteristics search (Problem 1).
+
+``FindNC`` wires a context selector (default :class:`ContextRW`) to a
+discriminator (default the multinomial test) and evaluates every candidate
+edge label ``L | Q ∪ C`` (Definition 3). The paper's baseline **RWMult**
+— PPR context + multinomial test — is the :func:`rw_mult` factory.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.context import ContextResult, ContextRW, ContextSelector, RandomWalkContext
+from repro.core.discrimination import (
+    DiscriminationResult,
+    Discriminator,
+    MultinomialDiscriminator,
+)
+from repro.core.distributions import build_distributions
+from repro.errors import QueryError
+from repro.graph.labels import SUBCLASS_OF_LABEL, TYPE_LABEL, inverse_label, is_inverse_label
+from repro.graph.model import KnowledgeGraph, NodeRef
+from repro.graph.search import EntityIndex
+from repro.util.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class NotableCharacteristic:
+    """One notable characteristic, ready for presentation."""
+
+    label: str
+    score: float
+    channel: str
+    p_value: float | None
+    detail: DiscriminationResult
+
+    def explanation(self, graph: KnowledgeGraph) -> str:
+        """A one-paragraph, human-readable account of the finding."""
+        dists = self.detail.distributions
+        lines = [
+            f"'{self.label}' is notable (score {self.score:.3f}, "
+            f"driven by the {self.channel} distribution"
+        ]
+        if self.p_value is not None:
+            lines[-1] += f", significance probability {self.p_value:.4f}"
+        lines[-1] += ")."
+        if dists is None:
+            return lines[0]
+        if self.channel == "instance":
+            top_context = [
+                f"{value} ({c}x)"
+                for value, _, c in sorted(
+                    dists.instance_rows(), key=lambda row: -row[2]
+                )[:3]
+                if c
+            ]
+            top_query = [
+                f"{value} ({q}x)"
+                for value, q, _ in sorted(
+                    dists.instance_rows(), key=lambda row: -row[1]
+                )[:3]
+                if q
+            ]
+            lines.append(f"Context values: {', '.join(top_context) or 'none'}.")
+            lines.append(f"Query values: {', '.join(top_query) or 'none'}.")
+        else:
+            card_rows = dists.cardinality_rows()
+            query_mode = max(card_rows, key=lambda row: row[1])[0] if card_rows else 0
+            context_mode = max(card_rows, key=lambda row: row[2])[0] if card_rows else 0
+            lines.append(
+                f"Typical count in the query: {query_mode}; in the context: "
+                f"{context_mode}."
+            )
+        return " ".join(lines)
+
+
+@dataclass
+class FindNCResult:
+    """Everything produced by one FindNC run."""
+
+    query: tuple[int, ...]
+    context: ContextResult
+    results: list[DiscriminationResult]
+    elapsed_context: float
+    elapsed_discrimination: float
+    notable: list[NotableCharacteristic] = field(default_factory=list)
+
+    @property
+    def elapsed_total(self) -> float:
+        return self.elapsed_context + self.elapsed_discrimination
+
+    def result_for(self, label: str) -> DiscriminationResult:
+        for result in self.results:
+            if result.label == label:
+                return result
+        raise KeyError(f"label {label!r} was not evaluated")
+
+    def notable_labels(self) -> list[str]:
+        return [n.label for n in self.notable]
+
+    def significance_probabilities(self) -> dict[str, float]:
+        """``{label: min channel p-value}`` — the series Figure 9 plots."""
+        out: dict[str, float] = {}
+        for result in self.results:
+            p = result.min_p_value
+            if p is not None:
+                out[result.label] = p
+        return out
+
+    def summary(self, graph: KnowledgeGraph, *, limit: int = 10) -> str:
+        lines = [
+            f"query: {[graph.node_name(n) for n in self.query]}",
+            f"context: {len(self.context)} nodes "
+            f"({self.context.algorithm}, {self.elapsed_context:.2f}s)",
+            f"candidates evaluated: {len(self.results)} "
+            f"({self.elapsed_discrimination:.2f}s)",
+            f"notable characteristics: {len(self.notable)}",
+        ]
+        for item in self.notable[:limit]:
+            lines.append(f"  - {item.explanation(graph)}")
+        return "\n".join(lines)
+
+
+def default_excluded_labels() -> frozenset[str]:
+    """Labels excluded from candidacy by default: the type system.
+
+    ``type`` / ``subclassOf`` edges encode the ontology, not facts about
+    the entities; reporting "the query has unusual types" is usually
+    uninformative (and YAGO's 366K types would flood the Inst support).
+    Both directions are excluded. Pass ``excluded_labels=frozenset()`` to
+    re-include them.
+    """
+    return frozenset(
+        {
+            TYPE_LABEL,
+            SUBCLASS_OF_LABEL,
+            inverse_label(TYPE_LABEL),
+            inverse_label(SUBCLASS_OF_LABEL),
+        }
+    )
+
+
+class FindNC:
+    """Notable characteristics search over a knowledge graph.
+
+    >>> # doctest-style sketch (see examples/quickstart.py for a real run)
+    >>> # finder = FindNC(graph)
+    >>> # result = finder.run(["Angela_Merkel", "Barack_Obama"], context_size=100)
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        *,
+        context_selector: ContextSelector | None = None,
+        discriminator: Discriminator | None = None,
+        context_size: int = 100,
+        excluded_labels: Iterable[str] | None = None,
+        include_inverse_labels: bool = False,
+        none_bucket: bool = True,
+        rng: RandomSource = None,
+    ) -> None:
+        self._graph = graph
+        self._selector = context_selector or ContextRW(graph, rng=rng)
+        self._discriminator = discriminator or MultinomialDiscriminator(rng=rng)
+        if context_size < 1:
+            raise ValueError(f"context_size must be >= 1, got {context_size}")
+        self.context_size = context_size
+        self.excluded_labels = (
+            frozenset(excluded_labels)
+            if excluded_labels is not None
+            else default_excluded_labels()
+        )
+        self.include_inverse_labels = include_inverse_labels
+        self.none_bucket = none_bucket
+        self._entity_index = EntityIndex(graph)
+
+    @property
+    def graph(self) -> KnowledgeGraph:
+        return self._graph
+
+    @property
+    def selector(self) -> ContextSelector:
+        return self._selector
+
+    @property
+    def discriminator(self) -> Discriminator:
+        return self._discriminator
+
+    # -- query plumbing ----------------------------------------------------
+
+    def resolve_query(self, query: Sequence[NodeRef]) -> tuple[int, ...]:
+        """Accept node ids, exact names, or fuzzy names (Section 2 input)."""
+        if len(query) == 0:
+            raise QueryError("the query set must not be empty")
+        resolved: list[int] = []
+        for item in query:
+            if isinstance(item, str) and not self._graph.has_node(item):
+                resolved.append(self._entity_index.resolve(item))
+            else:
+                resolved.append(self._graph.node_id(item))
+        return tuple(dict.fromkeys(resolved))  # dedupe, keep order
+
+    # -- the pipeline --------------------------------------------------------
+
+    def candidate_labels(self, nodes: Iterable[int]) -> list[str]:
+        """``L | Q ∪ C`` minus exclusions (Definition 3's restriction)."""
+        labels = self._graph.incident_labels(nodes)
+        out = []
+        for label in sorted(labels):
+            if label in self.excluded_labels:
+                continue
+            if not self.include_inverse_labels and is_inverse_label(label):
+                continue
+            out.append(label)
+        return out
+
+    def run(
+        self,
+        query: Sequence[NodeRef],
+        *,
+        context_size: int | None = None,
+        context: ContextResult | None = None,
+    ) -> FindNCResult:
+        """Execute the full pipeline for ``query``.
+
+        A pre-computed ``context`` can be injected (the benchmarks reuse
+        one context across distribution sweeps); otherwise the configured
+        selector runs with ``context_size``.
+        """
+        query_ids = self.resolve_query(query)
+        k = context_size if context_size is not None else self.context_size
+
+        started = time.perf_counter()
+        if context is None:
+            context = self._selector.select(query_ids, k)
+        elapsed_context = time.perf_counter() - started
+
+        started = time.perf_counter()
+        members = list(query_ids) + context.nodes
+        results: list[DiscriminationResult] = []
+        for label in self.candidate_labels(members):
+            distributions = build_distributions(
+                self._graph,
+                query_ids,
+                context.nodes,
+                label,
+                none_bucket=self.none_bucket,
+            )
+            results.append(self._discriminator.score(distributions))
+        elapsed_discrimination = time.perf_counter() - started
+
+        results.sort(key=lambda r: (-r.score, r.label))
+        notable = [
+            NotableCharacteristic(
+                label=result.label,
+                score=result.score,
+                channel=result.channel,
+                p_value=result.min_p_value,
+                detail=result,
+            )
+            for result in results
+            if result.notable
+        ]
+        return FindNCResult(
+            query=query_ids,
+            context=context,
+            results=results,
+            elapsed_context=elapsed_context,
+            elapsed_discrimination=elapsed_discrimination,
+            notable=notable,
+        )
+
+
+def rw_mult(
+    graph: KnowledgeGraph,
+    *,
+    context_size: int = 100,
+    damping: float = 0.8,
+    iterations: int = 10,
+    alpha: float = 0.05,
+    rng: RandomSource = None,
+    **kwargs,
+) -> FindNC:
+    """The paper's RWMult baseline: RandomWalk context + multinomial test."""
+    return FindNC(
+        graph,
+        context_selector=RandomWalkContext(
+            graph, damping=damping, iterations=iterations
+        ),
+        discriminator=MultinomialDiscriminator(alpha=alpha, rng=rng),
+        context_size=context_size,
+        **kwargs,
+    )

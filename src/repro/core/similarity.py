@@ -1,0 +1,52 @@
+"""Structural node-similarity helpers.
+
+These are *not* the paper's sigma (that is the metapath score inside
+:class:`repro.core.context.ContextRW`); they are the simple structural
+measures (shared neighbours, Jaccard) that Section 5 surveys, used by the
+ground-truth simulator to derive latent relevance and by tests as sanity
+oracles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.model import KnowledgeGraph, NodeRef
+
+
+def _neighbor_set(graph: KnowledgeGraph, node: NodeRef) -> set[int]:
+    return set(graph.neighbors(node, direction="out"))
+
+
+def shared_neighbor_count(
+    graph: KnowledgeGraph, node_a: NodeRef, node_b: NodeRef
+) -> int:
+    """Number of common (out-)neighbours — structural-equivalence flavour."""
+    return len(_neighbor_set(graph, node_a) & _neighbor_set(graph, node_b))
+
+
+def jaccard_neighbors(
+    graph: KnowledgeGraph, node_a: NodeRef, node_b: NodeRef
+) -> float:
+    """Jaccard similarity of the neighbour sets (0 when both isolated)."""
+    a = _neighbor_set(graph, node_a)
+    b = _neighbor_set(graph, node_b)
+    union = a | b
+    if not union:
+        return 0.0
+    return len(a & b) / len(union)
+
+
+def mean_query_similarity(
+    graph: KnowledgeGraph, node: NodeRef, query: Iterable[NodeRef]
+) -> float:
+    """Average Jaccard similarity between ``node`` and the query nodes.
+
+    A cheap instance of the paper's generic ``sigma : V x 2^V -> R``
+    signature; the ground-truth simulator mixes it with type overlap.
+    """
+    query_list = list(query)
+    if not query_list:
+        raise ValueError("query must not be empty")
+    total = sum(jaccard_neighbors(graph, node, q) for q in query_list)
+    return total / len(query_list)

@@ -1,0 +1,49 @@
+"""Datasets: synthetic YAGO / LinkedMDB, the Figure-1 example, Table-1
+query domains, and the simulated crowdsourced ground truth.
+
+See DESIGN.md section 2 for the substitution rationale (the real dumps and
+the CrowdFlower platform are unavailable offline; these generators
+reproduce the distributional facts the evaluation relies on).
+"""
+
+from repro.datasets.figure1 import FIGURE1_CONTEXT, FIGURE1_QUERY, figure1_graph
+from repro.datasets.groundtruth import CrowdConfig, CrowdSimulator, GroundTruth
+from repro.datasets.linkedmdb import SyntheticLinkedMdb, synthetic_linkedmdb
+from repro.datasets.loader import clear_dataset_cache, dataset_names, load_dataset
+from repro.datasets.seeds import (
+    ACTORS_DOMAIN,
+    AUTHORS_QUERY,
+    MOVIE_CONTRIBUTORS_DOMAIN,
+    POLITICIANS_DOMAIN,
+    TABLE1_DOMAINS,
+    QueryDomain,
+    SeedPerson,
+    domain_by_name,
+    seed_person,
+)
+from repro.datasets.yago import SyntheticYago, synthetic_yago
+
+__all__ = [
+    "ACTORS_DOMAIN",
+    "AUTHORS_QUERY",
+    "CrowdConfig",
+    "CrowdSimulator",
+    "FIGURE1_CONTEXT",
+    "FIGURE1_QUERY",
+    "GroundTruth",
+    "MOVIE_CONTRIBUTORS_DOMAIN",
+    "POLITICIANS_DOMAIN",
+    "QueryDomain",
+    "SeedPerson",
+    "SyntheticLinkedMdb",
+    "SyntheticYago",
+    "TABLE1_DOMAINS",
+    "clear_dataset_cache",
+    "dataset_names",
+    "domain_by_name",
+    "figure1_graph",
+    "load_dataset",
+    "seed_person",
+    "synthetic_linkedmdb",
+    "synthetic_yago",
+]

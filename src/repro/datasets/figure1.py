@@ -1,0 +1,87 @@
+"""The running example of Figure 1, as an executable graph.
+
+Query: {Angela_Merkel, Barack_Obama}; discovered context: {Vladimir_Putin,
+Matteo_Renzi, Francois_Hollande}. The notable characteristics the figure
+illustrates: Merkel has no child (cardinality) and studied Physics while
+the context studied Law (instance).
+"""
+
+from __future__ import annotations
+
+from repro.datasets import schema as s
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import KnowledgeGraph
+
+
+def figure1_graph() -> KnowledgeGraph:
+    """Build the Figure-1 example graph (deterministic, no randomness)."""
+    builder = GraphBuilder("figure1")
+
+    leaders = {
+        "Angela_Merkel": {
+            "country": "Germany",
+            "studied": "Physics",
+            "children": (),
+            "gender": s.FEMALE,
+        },
+        "Barack_Obama": {
+            "country": "United_States",
+            "studied": "Law",
+            "children": ("Malia", "Natasha"),
+            "gender": s.MALE,
+        },
+        "Vladimir_Putin": {
+            "country": "Russia",
+            "studied": "Law",
+            "children": ("Mariya", "Yecaterina"),
+            "gender": s.MALE,
+        },
+        "Matteo_Renzi": {
+            "country": "Italy",
+            "studied": "Law",
+            "children": ("Francesca", "Emanuele", "Ester"),
+            "gender": s.MALE,
+        },
+        "Francois_Hollande": {
+            "country": "France",
+            "studied": "Law",
+            "children": ("Thomas", "Clemence", "Julien", "Flora"),
+            "gender": s.MALE,
+        },
+    }
+
+    builder.subclass(s.POLITICIAN, s.PERSON)
+    builder.subclass(s.PERSON, s.ENTITY)
+    for name, facts in leaders.items():
+        builder.typed(name, s.POLITICIAN)
+        builder.fact(name, s.IS_LEADER_OF, str(facts["country"]))
+        builder.fact(name, s.STUDIED, str(facts["studied"]))
+        builder.fact(name, s.GENDER, str(facts["gender"]))
+        for child in facts["children"]:
+            builder.typed(child, s.PERSON)
+            builder.fact(name, s.HAS_CHILD, child)
+    for country in ("Germany", "United_States", "Russia", "Italy", "France"):
+        builder.typed(country, s.COUNTRY)
+    for field in ("Physics", "Law"):
+        builder.typed(field, s.ACADEMIC_FIELD)
+
+    # A handful of off-domain entities so context selection has negatives.
+    builder.typed("Brad_Pitt", s.ACTOR)
+    builder.typed("George_Clooney", s.ACTOR)
+    builder.fact("Brad_Pitt", s.ACTED_IN, "Oceans_Eleven")
+    builder.fact("George_Clooney", s.ACTED_IN, "Oceans_Eleven")
+    builder.typed("Oceans_Eleven", s.MOVIE)
+    builder.subclass(s.ACTOR, s.PERSON)
+
+    return builder.build()
+
+
+#: The query of Figure 1.
+FIGURE1_QUERY: tuple[str, ...] = ("Angela_Merkel", "Barack_Obama")
+
+#: The context nodes Figure 1 shows as discovered.
+FIGURE1_CONTEXT: tuple[str, ...] = (
+    "Vladimir_Putin",
+    "Matteo_Renzi",
+    "Francois_Hollande",
+)

@@ -1,0 +1,229 @@
+"""Simulated crowdsourced ground truth (the paper's CrowdFlower study).
+
+The paper "generated the first ground for evaluation by crowdsourc[ing]
+contexts for given query nodes": 34 workers per query set each provided a
+ranked list of 15 related entities; entities mentioned only once were
+dropped, leaving 36-76 entities per query.
+
+Offline, this module simulates that protocol:
+
+1. A **latent relevance** score is derived from the graph for every
+   candidate person: type overlap with the query, neighbourhood overlap,
+   and a popularity prior (degree). This is the "what a human would call
+   related" signal.
+2. **Workers** are Plackett-Luce samplers over the relevance scores with
+   per-worker temperature, plus a distraction rate (humans occasionally
+   name popular but off-topic entities).
+3. **Aggregation** keeps entities mentioned at least ``min_mentions``
+   times, ranked by mention count.
+
+The simulation is deterministic under a fixed seed, so F1 curves are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.graph.hierarchy import TypeHierarchy
+from repro.graph.labels import TYPE_LABEL
+from repro.graph.model import KnowledgeGraph, NodeRef
+from repro.util.rng import RandomSource, derive_rng, ensure_rng
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """The aggregated crowd answer for one query."""
+
+    query: tuple[int, ...]
+    entities: frozenset[int]
+    ranked: tuple[int, ...]
+    mention_counts: dict[int, int]
+    workers: int
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    def names(self, graph: KnowledgeGraph) -> list[str]:
+        return [graph.node_name(n) for n in self.ranked]
+
+
+@dataclass(frozen=True)
+class CrowdConfig:
+    """The study protocol parameters.
+
+    ``workers`` / ``entities_per_worker`` / ``min_mentions`` follow the
+    paper's protocol (34 workers x 15 entities, singleton mentions
+    dropped). The relevance weights encode how humans pick "related
+    entities": predominantly same-profession (type) and famous
+    (popularity); *graph adjacency* plays a minor role — crowd workers
+    name celebrities of the same domain, not the query's co-stars'
+    spouses. Keeping the neighbour weight low is what makes the ground
+    truth an independent target rather than an echo of either algorithm.
+    """
+
+    workers: int = 34
+    entities_per_worker: int = 15
+    min_mentions: int = 2
+    temperature_range: tuple[float, float] = (0.6, 1.6)
+    distraction_rate: float = 0.22
+    type_weight: float = 3.0
+    neighbor_weight: float = 0.4
+    popularity_weight: float = 0.6
+
+
+class CrowdSimulator:
+    """Simulates the crowdsourcing study over a knowledge graph."""
+
+    #: Person-type fallbacks tried in order: the YAGO-style ``person``
+    #: super-type, then the LinkedMDB role types.
+    DEFAULT_PERSON_TYPES: tuple[str, ...] = (
+        "person",
+        "film_actor",
+        "film_director",
+        "film_producer",
+        "film_writer",
+        "film_editor",
+        "film_music_contributor",
+    )
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        *,
+        config: CrowdConfig | None = None,
+        rng: RandomSource = None,
+        person_types: Sequence[str] | None = None,
+    ) -> None:
+        self._graph = graph
+        self.config = config or CrowdConfig()
+        self._rng = ensure_rng(rng)
+        self._hierarchy = TypeHierarchy(graph)
+        self._person_types = tuple(
+            person_types if person_types is not None else self.DEFAULT_PERSON_TYPES
+        )
+
+    # -- candidate pool -------------------------------------------------------
+
+    def candidate_pool(self, query: Sequence[int]) -> list[int]:
+        """People (nodes under any configured person type) minus the query.
+
+        Crowd workers name *people* related to the query people; films,
+        genres or attribute values never appear in their lists. If none of
+        the person types exists in the graph, every typed node qualifies
+        (custom-domain graphs, e.g. the product-catalog example).
+        """
+        graph = self._graph
+        query_set = set(query)
+        pool: set[int] = set()
+        for type_name in self._person_types:
+            if graph.has_node(type_name):
+                pool |= self._hierarchy.instances(type_name, transitive=True)
+        if not pool:
+            pool = {
+                node
+                for node in graph.nodes()
+                if any(True for _ in graph.neighbors(node, TYPE_LABEL))
+            }
+        return sorted(pool - query_set)
+
+    # -- latent relevance -------------------------------------------------------
+
+    def relevance_scores(self, query: Sequence[int]) -> dict[int, float]:
+        """Latent human-relevance score for every candidate."""
+        graph = self._graph
+        config = self.config
+        query_list = [graph.node_id(q) for q in query]
+        query_types = Counter()
+        for q in query_list:
+            for type_name in self._hierarchy.types_of(q, transitive=False):
+                query_types[type_name] += 1
+        query_neighbors: list[set[int]] = [
+            set(graph.neighbors(q, direction="out")) for q in query_list
+        ]
+        scores: dict[int, float] = {}
+        for node in self.candidate_pool(query_list):
+            node_types = self._hierarchy.types_of(node, transitive=False)
+            # Type overlap: how many query members share each of my types.
+            type_score = sum(query_types[t] for t in node_types) / max(
+                len(query_list), 1
+            )
+            neighbors = set(graph.neighbors(node, direction="out"))
+            neighbor_score = sum(
+                1.0 for q_nb in query_neighbors if neighbors & q_nb
+            ) / max(len(query_list), 1)
+            popularity = math.log1p(graph.out_degree(node))
+            score = (
+                config.type_weight * type_score
+                + config.neighbor_weight * neighbor_score
+                + config.popularity_weight * popularity
+            )
+            if score > 0:
+                scores[node] = score
+        return scores
+
+    # -- workers ------------------------------------------------------------------
+
+    def _worker_list(
+        self, rng, scores: dict[int, float], pool: list[int]
+    ) -> list[int]:
+        """One worker's ranked list (Plackett-Luce without replacement)."""
+        config = self.config
+        temperature = rng.uniform(*config.temperature_range)
+        remaining = dict(scores)
+        picks: list[int] = []
+        max_score = max(remaining.values(), default=1.0)
+        picked_set: set[int] = set()
+        while len(picks) < config.entities_per_worker and (remaining or pool):
+            if not remaining and picked_set.issuperset(pool):
+                break  # nothing left to mention
+            if pool and (not remaining or rng.random() < config.distraction_rate):
+                candidate = pool[rng.randrange(len(pool))]
+                if candidate not in picked_set:
+                    picks.append(candidate)
+                    picked_set.add(candidate)
+                    remaining.pop(candidate, None)
+                continue
+            nodes = list(remaining.keys())
+            weights = [
+                math.exp((remaining[n] - max_score) / temperature) for n in nodes
+            ]
+            chosen = rng.choices(nodes, weights=weights, k=1)[0]
+            picks.append(chosen)
+            picked_set.add(chosen)
+            del remaining[chosen]
+        return picks
+
+    def simulate(self, query: Sequence[NodeRef]) -> GroundTruth:
+        """Run the full study for ``query`` and aggregate the ground truth."""
+        graph = self._graph
+        query_ids = tuple(graph.node_id(q) for q in query)
+        scores = self.relevance_scores(query_ids)
+        pool = self.candidate_pool(query_ids)
+        if not scores:
+            return GroundTruth(query_ids, frozenset(), (), {}, self.config.workers)
+        mentions: Counter[int] = Counter()
+        for worker_index in range(self.config.workers):
+            worker_rng = derive_rng(
+                self._rng, f"worker-{worker_index}-{hash(query_ids)}"
+            )
+            for node in self._worker_list(worker_rng, scores, pool):
+                mentions[node] += 1
+        kept = {
+            node: count
+            for node, count in mentions.items()
+            if count >= self.config.min_mentions
+        }
+        ranked = tuple(
+            sorted(kept, key=lambda n: (-kept[n], graph.node_name(n)))
+        )
+        return GroundTruth(
+            query=query_ids,
+            entities=frozenset(kept),
+            ranked=ranked,
+            mention_counts=dict(kept),
+            workers=self.config.workers,
+        )

@@ -1,0 +1,52 @@
+"""Dataset registry with memoized construction.
+
+Experiments and benchmarks request graphs through :func:`load_dataset` so
+that repeated runs within one process reuse the same built graph (the
+generators are deterministic, so sharing is safe as long as callers do not
+mutate the graph — experiment code never does).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from functools import lru_cache
+
+from repro.datasets.figure1 import figure1_graph
+from repro.datasets.linkedmdb import synthetic_linkedmdb
+from repro.datasets.yago import synthetic_yago
+from repro.graph.model import KnowledgeGraph
+
+_BUILDERS: dict[str, Callable[..., KnowledgeGraph]] = {
+    "yago": lambda scale, seed: synthetic_yago(scale=scale, seed=seed),
+    "linkedmdb": lambda scale, seed: synthetic_linkedmdb(scale=scale, seed=seed),
+    "figure1": lambda scale, seed: figure1_graph(),
+}
+
+
+def dataset_names() -> list[str]:
+    """The registered dataset identifiers."""
+    return sorted(_BUILDERS)
+
+
+@lru_cache(maxsize=16)
+def load_dataset(
+    name: str, *, scale: float = 1.0, seed: int | None = None
+) -> KnowledgeGraph:
+    """Build (or fetch the memoized) dataset ``name``.
+
+    ``seed`` defaults to each generator's own default so that
+    ``load_dataset("yago")`` always names the same graph.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(dataset_names())}"
+        ) from None
+    default_seed = {"yago": 7, "linkedmdb": 13, "figure1": 0}[name]
+    return builder(scale, seed if seed is not None else default_seed)
+
+
+def clear_dataset_cache() -> None:
+    """Drop memoized graphs (tests use this to guarantee isolation)."""
+    load_dataset.cache_clear()

@@ -1,0 +1,255 @@
+"""Name pools for the synthetic knowledge-graph generators.
+
+The generators draw person, place and work names from these pools; pools
+are large enough that the default dataset scales never exhaust them (the
+generator falls back to numbered suffixes if they do). Real-world country,
+city, prize and genre names are used so generated graphs read naturally in
+examples and reports.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import RandomSource, ensure_rng
+
+FIRST_NAMES: tuple[str, ...] = (
+    "Aaron", "Ada", "Adrian", "Agnes", "Alan", "Albert", "Alice", "Amara",
+    "Amelia", "Andre", "Anita", "Anton", "Ariel", "Arthur", "Astrid", "Aurora",
+    "Beatrice", "Benjamin", "Bianca", "Boris", "Bruno", "Camille", "Carl",
+    "Carmen", "Cecilia", "Cedric", "Chloe", "Clara", "Claude", "Clemens",
+    "Dalia", "Damian", "Daniela", "Dario", "Dexter", "Diana", "Dimitri",
+    "Dora", "Edgar", "Edith", "Eduardo", "Elena", "Elias", "Elisa", "Emil",
+    "Emma", "Enzo", "Erik", "Esther", "Eva", "Fabian", "Felicia", "Felix",
+    "Fiona", "Florian", "Frances", "Frida", "Gabriel", "Gemma", "Georg",
+    "Gina", "Giulia", "Greta", "Gustav", "Hanna", "Harold", "Hazel", "Hector",
+    "Helena", "Henrik", "Hugo", "Ida", "Igor", "Ines", "Ingrid", "Irene",
+    "Isaac", "Isabella", "Ivan", "Jasmine", "Jonas", "Jorge", "Josef",
+    "Julia", "Kai", "Karin", "Kasper", "Katarina", "Klara", "Lars", "Laura",
+    "Leander", "Leonie", "Lea", "Liam", "Lila", "Linus", "Lorenzo", "Lucia",
+    "Ludwig", "Magda", "Marcel", "Margot", "Marius", "Marta", "Matthias",
+    "Maya", "Mikhail", "Milan", "Mira", "Moritz", "Nadia", "Nathan", "Nico",
+    "Nina", "Noah", "Nora", "Oskar", "Otto", "Paula", "Pavel", "Petra",
+    "Philipp", "Quentin", "Rafael", "Rebecca", "Renata", "Ricardo", "Rita",
+    "Robert", "Rosa", "Ruben", "Ruth", "Sabine", "Samuel", "Sandra", "Sara",
+    "Sebastian", "Selma", "Sergei", "Silas", "Simone", "Sofia", "Stefan",
+    "Stella", "Sven", "Tamara", "Teresa", "Theo", "Tobias", "Tristan", "Ulrik",
+    "Uma", "Valentin", "Vera", "Viktor", "Viola", "Walter", "Wanda", "Wilhelm",
+    "Xenia", "Yara", "Yuri", "Zelda", "Zoran",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "Abel", "Acker", "Adler", "Albrecht", "Almeida", "Andersen", "Arnold",
+    "Baker", "Baranov", "Barnes", "Bauer", "Becker", "Bellini", "Berger",
+    "Bianchi", "Bishop", "Blanc", "Bloom", "Bonnet", "Borg", "Brandt",
+    "Bridges", "Castellano", "Chevalier", "Clarke", "Conti", "Costa", "Craft",
+    "Cruz", "Dahl", "Dalton", "Davenport", "Delacroix", "Dietrich", "Draper",
+    "Dubois", "Duran", "Eberhart", "Egorov", "Ellison", "Engel", "Falk",
+    "Farrell", "Feld", "Ferrari", "Fischer", "Fleming", "Fontaine", "Forster",
+    "Frank", "Frost", "Gallo", "Garnier", "Gerber", "Giordano", "Glass",
+    "Graf", "Greco", "Grimm", "Gruber", "Haas", "Hale", "Hansen", "Hartman",
+    "Hayes", "Heller", "Hoffman", "Holm", "Horvat", "Hunter", "Ivanov",
+    "Jansen", "Jensen", "Kaiser", "Kane", "Keller", "Kessler", "Klein",
+    "Koch", "Kovacs", "Krause", "Kron", "Lang", "Larsen", "Laurent",
+    "Lehmann", "Lindgren", "Lombardi", "Lorenz", "Lund", "Maier", "Marchetti",
+    "Marin", "Martel", "Mercer", "Meyer", "Moreau", "Moretti", "Nagel",
+    "Navarro", "Nielsen", "Novak", "Nowak", "Olsen", "Orlov", "Pape",
+    "Pereira", "Petrov", "Pfeiffer", "Poole", "Popov", "Porter", "Quinn",
+    "Rader", "Ramos", "Rask", "Reed", "Reinhardt", "Ricci", "Richter",
+    "Rivera", "Romano", "Rossi", "Roth", "Russo", "Sanders", "Santoro",
+    "Sauer", "Schmidt", "Schneider", "Schreiber", "Schultz", "Seidel",
+    "Serrano", "Silva", "Simons", "Sokolov", "Sorensen", "Stein", "Stern",
+    "Strand", "Sturm", "Tanaka", "Thaler", "Thorne", "Torres", "Unger",
+    "Vance", "Varga", "Vasquez", "Vidal", "Vogel", "Volkov", "Wagner",
+    "Weber", "Weiss", "Wells", "Werner", "West", "Winter", "Wolf", "Wright",
+    "Zeller", "Ziegler", "Zimmermann", "Zuniga",
+)
+
+COUNTRIES: tuple[str, ...] = (
+    "Germany", "United_States", "Russia", "United_Kingdom", "France", "China",
+    "Italy", "Spain", "Brazil", "Canada", "Australia", "Japan", "India",
+    "Mexico", "Sweden", "Norway", "Denmark", "Poland", "Austria",
+    "Switzerland", "Netherlands", "Belgium", "Portugal", "Greece", "Turkey",
+    "Argentina", "South_Africa", "Egypt", "South_Korea", "Ireland",
+)
+
+CITIES: tuple[str, ...] = (
+    "Berlin", "Hamburg", "Munich", "Washington", "Honolulu", "Chicago",
+    "New_York", "Los_Angeles", "Moscow", "Saint_Petersburg", "London",
+    "Manchester", "Paris", "Rouen", "Lyon", "Beijing", "Shanghai", "Rome",
+    "Milan", "Madrid", "Barcelona", "Rio_de_Janeiro", "Toronto", "Sydney",
+    "Tokyo", "Mumbai", "Mexico_City", "Stockholm", "Oslo", "Copenhagen",
+    "Warsaw", "Vienna", "Zurich", "Amsterdam", "Brussels", "Lisbon",
+    "Athens", "Istanbul", "Buenos_Aires", "Cape_Town", "Cairo", "Seoul",
+    "Dublin", "Springfield", "Shawnee", "Edinburgh", "Naples", "Turin",
+    "Frankfurt", "Leipzig", "Dresden", "Marseille", "Bordeaux", "Valencia",
+    "Porto", "Krakow", "Geneva", "Rotterdam", "Antwerp", "Gothenburg",
+)
+
+PARTIES: tuple[str, ...] = (
+    "Civic_Union", "Progress_Party", "Liberty_Alliance", "Green_Front",
+    "Social_Forum", "National_Assembly_Party", "Workers_League",
+    "Reform_Movement", "Heritage_Party", "Unity_Coalition",
+)
+
+UNIVERSITIES: tuple[str, ...] = (
+    "University_of_Leipzig", "Harvard_University", "Columbia_University",
+    "Leningrad_State_University", "Oxford_University", "Tsinghua_University",
+    "Sorbonne", "Humboldt_University", "University_of_Bologna", "ETH_Zurich",
+    "University_of_Vienna", "Uppsala_University", "Jagiellonian_University",
+    "University_of_Copenhagen", "Trinity_College_Dublin", "Kyoto_University",
+)
+
+FIELDS_OF_STUDY: tuple[str, ...] = (
+    "Law", "Physics", "Political_Science", "Economics", "History",
+    "Philosophy", "Chemical_Engineering", "Drama", "Literature", "Medicine",
+    "Mathematics", "Sociology", "Film_Studies", "Music_Theory",
+    "Computer_Science", "Biology",
+)
+
+PRIZES: tuple[str, ...] = (
+    "Academy_Award", "Golden_Globe", "BAFTA_Award", "Screen_Actors_Guild_Award",
+    "Palme_dOr", "Nobel_Peace_Prize", "Charlemagne_Prize", "Grammy_Award",
+    "Emmy_Award", "Hugo_Award", "Nebula_Award", "Booker_Prize",
+    "Cesar_Award", "Goya_Award", "Saturn_Award", "Critics_Choice_Award",
+    "Ballon_dOr", "Olympic_Gold_Medal", "Nobel_Prize_in_Physics",
+    "Fields_Medal", "Turing_Award",
+)
+
+#: Prizes plausible per profession — people win domain prizes, which keeps
+#: the query's prize values inside the context's support (Figure 8 relies
+#: on query and context sharing the film-award vocabulary).
+FILM_PRIZES: tuple[str, ...] = (
+    "Academy_Award", "Golden_Globe", "BAFTA_Award",
+    "Screen_Actors_Guild_Award", "Palme_dOr", "Cesar_Award", "Goya_Award",
+    "Saturn_Award", "Critics_Choice_Award",
+)
+MUSIC_PRIZES: tuple[str, ...] = ("Grammy_Award", "Emmy_Award", "Critics_Choice_Award")
+LITERATURE_PRIZES: tuple[str, ...] = ("Hugo_Award", "Nebula_Award", "Booker_Prize")
+SCIENCE_PRIZES: tuple[str, ...] = (
+    "Nobel_Prize_in_Physics", "Fields_Medal", "Turing_Award",
+)
+POLITICS_PRIZES: tuple[str, ...] = ("Nobel_Peace_Prize", "Charlemagne_Prize")
+SPORTS_PRIZES: tuple[str, ...] = ("Ballon_dOr", "Olympic_Gold_Medal")
+
+MOVIE_GENRES: tuple[str, ...] = (
+    "Drama", "Comedy", "Thriller", "Action", "Romance", "Science_Fiction",
+    "Crime", "Horror", "Documentary", "Animation", "Western", "Fantasy",
+    "Mystery", "Adventure", "Biography", "Musical",
+)
+
+MOVIE_TITLE_HEADS: tuple[str, ...] = (
+    "Midnight", "Silent", "Broken", "Golden", "Crimson", "Hidden", "Last",
+    "Distant", "Burning", "Frozen", "Electric", "Silver", "Savage", "Gentle",
+    "Hollow", "Endless", "Falling", "Rising", "Forgotten", "Restless",
+    "Velvet", "Scarlet", "Paper", "Iron", "Glass", "Neon", "Wild", "Quiet",
+)
+
+MOVIE_TITLE_TAILS: tuple[str, ...] = (
+    "Horizon", "River", "Empire", "Letters", "Harvest", "Station", "Garden",
+    "Symphony", "Protocol", "Summer", "Winter", "Crossing", "Voyage",
+    "Shadows", "Lights", "Streets", "Promise", "Reckoning", "Kingdom",
+    "Monument", "Passage", "Mirage", "Carnival", "Frontier", "Harbor",
+    "Orchard", "Labyrinth", "Meridian",
+)
+
+BOOK_TITLE_HEADS: tuple[str, ...] = (
+    "The_Atlas_of", "A_History_of", "The_Book_of", "Chronicles_of",
+    "The_Garden_of", "Letters_from", "The_Silence_of", "Tales_of",
+    "The_Weight_of", "Songs_of", "The_Colour_of", "Maps_of", "The_Theory_of",
+    "Shadows_over", "The_Library_of", "Notes_on",
+)
+
+BOOK_TITLE_TAILS: tuple[str, ...] = (
+    "Yesterday", "the_North", "Small_Things", "Glass_Cities", "the_Deep",
+    "Lost_Rivers", "the_Moon", "Forgotten_Roads", "Amber", "the_Harbor",
+    "Winter_Light", "the_Machine", "Falling_Stars", "the_Old_World",
+    "Paper_Birds", "Distant_Shores",
+)
+
+BAND_AND_ALBUM_WORDS: tuple[str, ...] = (
+    "Echo", "Aurora", "Monolith", "Cascade", "Ember", "Mosaic", "Drift",
+    "Pulse", "Lantern", "Meridian", "Solstice", "Tides", "Prism", "Quartz",
+    "Nomad", "Vega", "Harbor", "Atlas", "Cinder", "Willow",
+)
+
+COMPANY_SUFFIXES: tuple[str, ...] = (
+    "Entertainment", "Pictures", "Productions", "Studios", "Films", "Media",
+    "Works", "Collective",
+)
+
+SPORTS_TEAMS: tuple[str, ...] = (
+    "Harbor_City_FC", "Northern_Wolves", "Riverside_United", "Iron_Eagles",
+    "Coastal_Storm", "Mountain_Lions", "Capital_Rangers", "Valley_Hawks",
+    "Old_Town_Athletic", "Southern_Comets", "Lakeside_Rovers", "Union_Bears",
+)
+
+
+class NamePool:
+    """Draws unique names from a base pool, suffixing when exhausted.
+
+    >>> pool = NamePool(("A", "B"), rng=0)
+    >>> drawn = {pool.draw(), pool.draw(), pool.draw()}
+    >>> len(drawn)
+    3
+    """
+
+    def __init__(self, base: tuple[str, ...], rng: RandomSource = None) -> None:
+        if not base:
+            raise ValueError("base pool must not be empty")
+        self._rng = ensure_rng(rng)
+        self._remaining = list(base)
+        self._rng.shuffle(self._remaining)
+        self._base = base
+        self._suffix = 1
+        self._used: set[str] = set()
+
+    def draw(self) -> str:
+        while True:
+            if self._remaining:
+                candidate = self._remaining.pop()
+            else:
+                candidate = (
+                    f"{self._base[self._rng.randrange(len(self._base))]}"
+                    f"_{self._suffix}"
+                )
+                self._suffix += 1
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return candidate
+
+    def reserve(self, name: str) -> None:
+        """Mark ``name`` as used (seed entities claim their names)."""
+        self._used.add(name)
+
+    def draw_many(self, count: int) -> list[str]:
+        return [self.draw() for _ in range(count)]
+
+
+class PersonNamePool:
+    """Generates unique ``First_Last`` person names."""
+
+    def __init__(self, rng: RandomSource = None) -> None:
+        self._rng = ensure_rng(rng)
+        self._used: set[str] = set()
+
+    def draw(self) -> str:
+        while True:
+            first = FIRST_NAMES[self._rng.randrange(len(FIRST_NAMES))]
+            last = LAST_NAMES[self._rng.randrange(len(LAST_NAMES))]
+            candidate = f"{first}_{last}"
+            if candidate in self._used:
+                candidate = f"{candidate}_{self._rng.randrange(10, 99)}"
+                if candidate in self._used:
+                    continue
+            self._used.add(candidate)
+            return candidate
+
+    def reserve(self, name: str) -> None:
+        self._used.add(name)
+
+    def draw_many(self, count: int) -> list[str]:
+        return [self.draw() for _ in range(count)]
+
+
+def compound_name(rng, heads: tuple[str, ...], tails: tuple[str, ...]) -> str:
+    """Draw a two-part name such as ``Midnight_Horizon``."""
+    return f"{heads[rng.randrange(len(heads))]}_{tails[rng.randrange(len(tails))]}"

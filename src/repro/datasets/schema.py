@@ -1,0 +1,322 @@
+"""Relation vocabulary and type schema of the synthetic knowledge graphs.
+
+The synthetic YAGO mirrors the fragment of YAGO 2.5's 38 relations that the
+paper's evaluation actually touches (Figures 7-9 discuss ``created``,
+``hasWonPrize``, ``actedIn``, ``owns``, ``influences``; the motivating
+examples use ``hasChild``, ``studied``, ``isLeaderOf``) plus enough others
+to give random walks realistic branching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.names import (
+    FILM_PRIZES,
+    LITERATURE_PRIZES,
+    MUSIC_PRIZES,
+    POLITICS_PRIZES,
+    SCIENCE_PRIZES,
+    SPORTS_PRIZES,
+)
+from repro.graph.labels import SUBCLASS_OF_LABEL, TYPE_LABEL
+
+# -- edge labels (forward forms; inverses are added by the graph closure) --
+
+ACTED_IN = "actedIn"
+BORN_IN = "bornIn"
+CREATED = "created"
+DIED_IN = "diedIn"
+DIRECTED = "directed"
+GENDER = "hasGender"
+GRADUATED_FROM = "graduatedFrom"
+HAS_ACADEMIC_DEGREE = "hasAcademicDegree"
+HAS_CHILD = "hasChild"
+HAS_GENRE = "hasGenre"
+HAS_WON_PRIZE = "hasWonPrize"
+INFLUENCES = "influences"
+IS_CITIZEN_OF = "isCitizenOf"
+IS_LEADER_OF = "isLeaderOf"
+IS_LOCATED_IN = "isLocatedIn"
+IS_MARRIED_TO = "isMarriedTo"
+LIVES_IN = "livesIn"
+MEMBER_OF_PARTY = "isAffiliatedTo"
+OWNS = "owns"
+PLAYS_FOR = "playsFor"
+PRODUCED = "produced"
+RELEASED_IN = "releasedIn"
+STUDIED = "studied"
+WROTE_MUSIC_FOR = "wroteMusicFor"
+
+#: Every forward relation the synthetic YAGO can emit.
+YAGO_RELATIONS: tuple[str, ...] = (
+    ACTED_IN,
+    BORN_IN,
+    CREATED,
+    DIED_IN,
+    DIRECTED,
+    GENDER,
+    GRADUATED_FROM,
+    HAS_ACADEMIC_DEGREE,
+    HAS_CHILD,
+    HAS_GENRE,
+    HAS_WON_PRIZE,
+    INFLUENCES,
+    IS_CITIZEN_OF,
+    IS_LEADER_OF,
+    IS_LOCATED_IN,
+    IS_MARRIED_TO,
+    LIVES_IN,
+    MEMBER_OF_PARTY,
+    OWNS,
+    PLAYS_FOR,
+    PRODUCED,
+    RELEASED_IN,
+    STUDIED,
+    SUBCLASS_OF_LABEL,
+    TYPE_LABEL,
+    WROTE_MUSIC_FOR,
+)
+
+# -- node types ---------------------------------------------------------------
+
+PERSON = "person"
+POLITICIAN = "politician"
+ACTOR = "actor"
+DIRECTOR = "film_director"
+MUSICIAN = "musician"
+WRITER = "writer"
+SCIENTIST = "scientist"
+ATHLETE = "athlete"
+
+LOCATION = "location"
+COUNTRY = "country"
+CITY = "city"
+
+ORGANIZATION = "organization"
+PARTY = "political_party"
+COMPANY = "company"
+UNIVERSITY = "university"
+SPORTS_TEAM = "sports_team"
+
+CREATIVE_WORK = "creative_work"
+MOVIE = "movie"
+BOOK = "book"
+ALBUM = "album"
+
+AWARD = "award"
+ACADEMIC_FIELD = "academic_field"
+GENDER_VALUE = "gender_value"
+YEAR = "year"
+ENTITY = "entity"
+
+#: ``child type -> parent type`` — the synthetic subclassOf forest.
+TYPE_HIERARCHY: dict[str, str] = {
+    PERSON: ENTITY,
+    POLITICIAN: PERSON,
+    ACTOR: PERSON,
+    DIRECTOR: PERSON,
+    MUSICIAN: PERSON,
+    WRITER: PERSON,
+    SCIENTIST: PERSON,
+    ATHLETE: PERSON,
+    LOCATION: ENTITY,
+    COUNTRY: LOCATION,
+    CITY: LOCATION,
+    ORGANIZATION: ENTITY,
+    PARTY: ORGANIZATION,
+    COMPANY: ORGANIZATION,
+    UNIVERSITY: ORGANIZATION,
+    SPORTS_TEAM: ORGANIZATION,
+    CREATIVE_WORK: ENTITY,
+    MOVIE: CREATIVE_WORK,
+    BOOK: CREATIVE_WORK,
+    ALBUM: CREATIVE_WORK,
+    AWARD: ENTITY,
+    ACADEMIC_FIELD: ENTITY,
+    GENDER_VALUE: ENTITY,
+    YEAR: ENTITY,
+}
+
+#: The person types the generators can populate.
+PROFESSIONS: tuple[str, ...] = (
+    POLITICIAN,
+    ACTOR,
+    DIRECTOR,
+    MUSICIAN,
+    WRITER,
+    SCIENTIST,
+    ATHLETE,
+)
+
+MALE = "male"
+FEMALE = "female"
+
+
+@dataclass(frozen=True)
+class ProfessionProfile:
+    """Attribute probabilities for one synthetic profession.
+
+    Each field is the probability (or count range) with which a generated
+    person of this profession carries the attribute. The numbers encode the
+    distributional facts the paper's test cases rely on — e.g. most
+    politicians have children (Merkel's zero is notable) and roughly half
+    of the actors ``created`` a production company (Figure 7's 43% ``None``
+    bucket).
+    """
+
+    type_name: str
+    share: float  # fraction of the person population
+    female_rate: float
+    married_rate: float
+    children_range: tuple[int, int]  # inclusive bounds; (0, 0) = none
+    childless_rate: float  # probability of zero children despite the range
+    studied_rate: float
+    study_fields: tuple[tuple[str, float], ...]  # field -> relative weight
+    degree_rate: float  # probability of hasAcademicDegree -> Doctorate
+    prize_rate: float
+    prize_count_range: tuple[int, int]
+    prize_pool: tuple[str, ...] = ()  # empty = any prize
+    # Profession-specific relation rates, interpreted by the generator:
+    acted_in_range: tuple[int, int] = (0, 0)
+    directed_range: tuple[int, int] = (0, 0)
+    produced_rate: float = 0.0
+    created_company_rate: float = 0.0
+    owns_company_rate: float = 0.0
+    created_books_range: tuple[int, int] = (0, 0)
+    created_albums_range: tuple[int, int] = (0, 0)
+    wrote_music_rate: float = 0.0
+    influences_rate: float = 0.0
+    leads_country_rate: float = 0.0
+    party_rate: float = 0.0
+    plays_for_rate: float = 0.0
+
+
+PROFESSION_PROFILES: dict[str, ProfessionProfile] = {
+    POLITICIAN: ProfessionProfile(
+        type_name=POLITICIAN,
+        share=0.16,
+        female_rate=0.15,
+        married_rate=0.85,
+        children_range=(1, 4),
+        childless_rate=0.02,
+        studied_rate=0.95,
+        study_fields=(
+            ("Law", 0.45),
+            ("Political_Science", 0.2),
+            ("Economics", 0.15),
+            ("History", 0.12),
+            ("Philosophy", 0.05),
+            ("Physics", 0.03),
+        ),
+        degree_rate=0.10,
+        prize_rate=0.20,
+        prize_count_range=(1, 1),
+        prize_pool=POLITICS_PRIZES,
+        leads_country_rate=0.25,
+        party_rate=0.95,
+    ),
+    ACTOR: ProfessionProfile(
+        type_name=ACTOR,
+        share=0.22,
+        female_rate=0.45,
+        married_rate=0.60,
+        children_range=(0, 3),
+        childless_rate=0.35,
+        studied_rate=0.55,
+        study_fields=(("Drama", 0.8), ("Film_Studies", 0.15), ("Literature", 0.05)),
+        degree_rate=0.02,
+        prize_rate=0.75,
+        prize_count_range=(1, 3),
+        prize_pool=FILM_PRIZES,
+        acted_in_range=(2, 8),
+        created_company_rate=0.42,
+        owns_company_rate=0.06,
+    ),
+    DIRECTOR: ProfessionProfile(
+        type_name=DIRECTOR,
+        share=0.10,
+        female_rate=0.25,
+        married_rate=0.65,
+        children_range=(0, 3),
+        childless_rate=0.30,
+        studied_rate=0.60,
+        study_fields=(("Film_Studies", 0.7), ("Drama", 0.2), ("Literature", 0.1)),
+        degree_rate=0.05,
+        prize_rate=0.60,
+        prize_count_range=(1, 3),
+        prize_pool=FILM_PRIZES,
+        directed_range=(1, 6),
+        produced_rate=0.40,
+        created_company_rate=0.35,
+        owns_company_rate=0.15,
+    ),
+    MUSICIAN: ProfessionProfile(
+        type_name=MUSICIAN,
+        share=0.12,
+        female_rate=0.40,
+        married_rate=0.55,
+        children_range=(0, 3),
+        childless_rate=0.35,
+        studied_rate=0.40,
+        study_fields=(("Music_Theory", 0.9), ("Literature", 0.1)),
+        degree_rate=0.03,
+        prize_rate=0.50,
+        prize_count_range=(1, 4),
+        prize_pool=MUSIC_PRIZES,
+        created_albums_range=(1, 5),
+        wrote_music_rate=0.30,
+    ),
+    WRITER: ProfessionProfile(
+        type_name=WRITER,
+        share=0.14,
+        female_rate=0.45,
+        married_rate=0.65,
+        children_range=(0, 3),
+        childless_rate=0.30,
+        studied_rate=0.70,
+        study_fields=(("Literature", 0.7), ("History", 0.2), ("Philosophy", 0.1)),
+        degree_rate=0.10,
+        prize_rate=0.40,
+        prize_count_range=(1, 2),
+        prize_pool=LITERATURE_PRIZES,
+        created_books_range=(1, 10),
+        influences_rate=0.15,
+    ),
+    SCIENTIST: ProfessionProfile(
+        type_name=SCIENTIST,
+        share=0.12,
+        female_rate=0.35,
+        married_rate=0.70,
+        children_range=(0, 3),
+        childless_rate=0.25,
+        studied_rate=1.0,
+        study_fields=(
+            ("Physics", 0.25),
+            ("Biology", 0.2),
+            ("Mathematics", 0.2),
+            ("Computer_Science", 0.2),
+            ("Medicine", 0.15),
+        ),
+        degree_rate=0.85,
+        prize_rate=0.30,
+        prize_count_range=(1, 2),
+        prize_pool=SCIENCE_PRIZES,
+        influences_rate=0.08,
+    ),
+    ATHLETE: ProfessionProfile(
+        type_name=ATHLETE,
+        share=0.14,
+        female_rate=0.40,
+        married_rate=0.50,
+        children_range=(0, 2),
+        childless_rate=0.45,
+        studied_rate=0.20,
+        study_fields=(("Sociology", 0.5), ("Economics", 0.5)),
+        degree_rate=0.01,
+        prize_rate=0.45,
+        prize_count_range=(1, 3),
+        prize_pool=SPORTS_PRIZES,
+        plays_for_rate=0.98,
+    ),
+}

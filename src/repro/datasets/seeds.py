@@ -1,0 +1,480 @@
+"""Curated seed entities — Table 1 of the paper, plus the Section-4.2 cases.
+
+The evaluation queries name real people (Angela Merkel, Brad Pitt, ...).
+The synthetic YAGO embeds these entities with their *actual* public facts
+relevant to the paper's findings:
+
+* Merkel: PhD in physics, no children — the motivating notable
+  characteristics of the introduction;
+* the five query actors: four founded their own production company
+  (``created``), Johansson did not — Figure 7's instance distribution;
+  Pitt additionally *owns* Plan B Entertainment — Figure 9's ``owns``
+  borderline case;
+* Douglas Adams and Terry Pratchett both influenced Neil Gaiman — the
+  second Section-4.2 test case (``influences`` notable, ``created`` not).
+
+Everything here is encoded as data so tests can assert the facts exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets import schema as s
+
+
+@dataclass(frozen=True)
+class SeedPerson:
+    """A curated person with explicit facts (no randomness)."""
+
+    name: str
+    profession: str
+    gender: str
+    born_in: str | None = None
+    citizen_of: str | None = None
+    studied: str | None = None
+    graduated_from: str | None = None
+    academic_degree: str | None = None
+    spouse: str | None = None
+    children: tuple[str, ...] = ()
+    leads: str | None = None
+    party: str | None = None
+    prizes: tuple[str, ...] = ()
+    acted_in: tuple[str, ...] = ()
+    directed: tuple[str, ...] = ()
+    produced: tuple[str, ...] = ()
+    created: tuple[str, ...] = ()
+    owns: tuple[str, ...] = ()
+    wrote_music_for: tuple[str, ...] = ()
+    influences: tuple[str, ...] = ()
+    extra_types: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class QueryDomain:
+    """One column of Table 1: a named domain and its six query entities."""
+
+    name: str
+    entities: tuple[str, ...]
+
+    def nested_queries(self, *, minimum: int = 2) -> list[tuple[str, ...]]:
+        """The paper's nested query sets: first 2 entities, first 3, ... 6."""
+        return [
+            tuple(self.entities[:size])
+            for size in range(minimum, len(self.entities) + 1)
+        ]
+
+
+# -- Table 1 ------------------------------------------------------------------
+
+POLITICIANS_DOMAIN = QueryDomain(
+    "politicians",
+    (
+        "Angela_Merkel",
+        "Barack_Obama",
+        "Vladimir_Putin",
+        "David_Cameron",
+        "Francois_Hollande",
+        "Xi_Jinping",
+    ),
+)
+
+ACTORS_DOMAIN = QueryDomain(
+    "actors",
+    (
+        "Brad_Pitt",
+        "George_Clooney",
+        "Leonardo_DiCaprio",
+        "Scarlett_Johansson",
+        "Johnny_Depp",
+        "Angelina_Jolie",
+    ),
+)
+
+MOVIE_CONTRIBUTORS_DOMAIN = QueryDomain(
+    "movie contributors",
+    (
+        "Steven_Spielberg",
+        "Robert_Downey_Jr",
+        "Hans_Zimmer",
+        "Quentin_Tarantino",
+        "Ellen_Page",
+        "Celine_Dion",
+    ),
+)
+
+TABLE1_DOMAINS: tuple[QueryDomain, ...] = (
+    POLITICIANS_DOMAIN,
+    ACTORS_DOMAIN,
+    MOVIE_CONTRIBUTORS_DOMAIN,
+)
+
+#: The second Section-4.2 test case.
+AUTHORS_QUERY: tuple[str, ...] = ("Douglas_Adams", "Terry_Pratchett")
+
+# -- shared supporting entities -------------------------------------------------
+
+SEED_MOVIES: tuple[str, ...] = (
+    "Oceans_Eleven",
+    "Fight_Club",
+    "Seven",
+    "Troy",
+    "Moneyball",
+    "Syriana",
+    "Up_in_the_Air",
+    "The_Descendants",
+    "Titanic",
+    "The_Departed",
+    "Inception",
+    "The_Revenant",
+    "Lost_in_Translation",
+    "The_Avengers",
+    "Lucy",
+    "Pirates_of_the_Caribbean",
+    "Edward_Scissorhands",
+    "Sweeney_Todd",
+    "Mr_and_Mrs_Smith",
+    "Maleficent",
+    "Jaws",
+    "Jurassic_Park",
+    "Schindlers_List",
+    "Saving_Private_Ryan",
+    "Iron_Man",
+    "Sherlock_Holmes",
+    "Pulp_Fiction",
+    "Kill_Bill",
+    "Django_Unchained",
+    "Juno",
+    "X_Men_Days_of_Future_Past",
+    "Interstellar",
+    "Gladiator",
+    "The_Dark_Knight",
+    "Dunkirk",
+)
+
+#: Prizes, companies and people referenced by seed facts.
+SEED_COMPANIES: tuple[str, ...] = (
+    "Plan_B_Entertainment",
+    "Smokehouse_Pictures",
+    "Appian_Way_Productions",
+    "Infinitum_Nihil",
+    "Amblin_Entertainment",
+    "A_Band_Apart",
+    "Remote_Control_Productions",
+)
+
+SEED_ALBUMS: tuple[str, ...] = (
+    "Falling_Into_You",
+    "Lets_Talk_About_Love",
+)
+
+SEED_BOOKS: tuple[str, ...] = (
+    "Hitchhikers_Guide_to_the_Galaxy",
+    "The_Restaurant_at_the_End_of_the_Universe",
+    "Life_the_Universe_and_Everything",
+    "So_Long_and_Thanks_for_All_the_Fish",
+    "Mostly_Harmless",
+    "Dirk_Gentlys_Holistic_Detective_Agency",
+    "The_Long_Dark_Tea_Time_of_the_Soul",
+    "The_Colour_of_Magic",
+    "Mort",
+    "Guards_Guards",
+    "Small_Gods",
+    "Night_Watch",
+    "Going_Postal",
+    "Wyrd_Sisters",
+    "Hogfather",
+    "Good_Omens",
+    "American_Gods",
+    "Dreams_from_My_Father",
+)
+
+
+def _actor(name: str, **kwargs) -> SeedPerson:
+    return SeedPerson(name=name, profession=s.ACTOR, **kwargs)
+
+
+def _politician(name: str, **kwargs) -> SeedPerson:
+    return SeedPerson(name=name, profession=s.POLITICIAN, **kwargs)
+
+
+SEED_PEOPLE: tuple[SeedPerson, ...] = (
+    # -- politicians ----------------------------------------------------------
+    _politician(
+        "Angela_Merkel",
+        gender=s.FEMALE,
+        born_in="Hamburg",
+        citizen_of="Germany",
+        studied="Physics",
+        graduated_from="University_of_Leipzig",
+        academic_degree="Doctorate",
+        spouse="Joachim_Sauer",
+        children=(),  # the paper's flagship notable characteristic
+        leads="Germany",
+        party="Civic_Union",
+        prizes=("Charlemagne_Prize",),
+        extra_types=(s.SCIENTIST,),
+    ),
+    _politician(
+        "Barack_Obama",
+        gender=s.MALE,
+        born_in="Honolulu",
+        citizen_of="United_States",
+        studied="Law",
+        graduated_from="Harvard_University",
+        spouse="Michelle_Obama",
+        children=("Malia_Obama", "Natasha_Obama"),
+        leads="United_States",
+        party="Progress_Party",
+        prizes=("Nobel_Peace_Prize",),
+        created=("Dreams_from_My_Father",),
+    ),
+    _politician(
+        "Vladimir_Putin",
+        gender=s.MALE,
+        born_in="Saint_Petersburg",
+        citizen_of="Russia",
+        studied="Law",
+        graduated_from="Leningrad_State_University",
+        children=("Mariya_Putina", "Yekaterina_Putina"),
+        leads="Russia",
+        party="Unity_Coalition",
+    ),
+    _politician(
+        "David_Cameron",
+        gender=s.MALE,
+        born_in="London",
+        citizen_of="United_Kingdom",
+        studied="Political_Science",
+        graduated_from="Oxford_University",
+        spouse="Samantha_Cameron",
+        children=("Nancy_Cameron", "Arthur_Cameron", "Florence_Cameron"),
+        leads="United_Kingdom",
+        party="Heritage_Party",
+    ),
+    _politician(
+        "Francois_Hollande",
+        gender=s.MALE,
+        born_in="Rouen",
+        citizen_of="France",
+        studied="Law",
+        graduated_from="Sorbonne",
+        children=(
+            "Thomas_Hollande",
+            "Clemence_Hollande",
+            "Julien_Hollande",
+            "Flora_Hollande",
+        ),
+        leads="France",
+        party="Social_Forum",
+    ),
+    _politician(
+        "Xi_Jinping",
+        gender=s.MALE,
+        born_in="Beijing",
+        citizen_of="China",
+        studied="Chemical_Engineering",
+        graduated_from="Tsinghua_University",
+        spouse="Peng_Liyuan",
+        children=("Xi_Mingze",),
+        leads="China",
+        party="Workers_League",
+    ),
+    # -- actors (Figure 7/8/9 facts) -------------------------------------------
+    _actor(
+        "Brad_Pitt",
+        gender=s.MALE,
+        born_in="Shawnee",
+        citizen_of="United_States",
+        spouse="Angelina_Jolie",
+        children=("Maddox_Jolie_Pitt", "Shiloh_Jolie_Pitt"),
+        prizes=("Academy_Award", "Golden_Globe"),
+        acted_in=("Oceans_Eleven", "Fight_Club", "Seven", "Troy", "Moneyball",
+                  "Mr_and_Mrs_Smith"),
+        created=("Plan_B_Entertainment",),
+        owns=("Plan_B_Entertainment",),  # Figure 9's borderline 'owns' case
+    ),
+    _actor(
+        "George_Clooney",
+        gender=s.MALE,
+        born_in="Lexington",
+        citizen_of="United_States",
+        spouse="Amal_Clooney",
+        prizes=("Academy_Award", "Golden_Globe", "BAFTA_Award"),
+        acted_in=("Oceans_Eleven", "Syriana", "Up_in_the_Air", "The_Descendants"),
+        created=("Smokehouse_Pictures",),
+    ),
+    _actor(
+        "Leonardo_DiCaprio",
+        gender=s.MALE,
+        born_in="Los_Angeles",
+        citizen_of="United_States",
+        prizes=("Academy_Award", "Golden_Globe"),
+        acted_in=("Titanic", "The_Departed", "Inception", "The_Revenant"),
+        created=("Appian_Way_Productions",),
+    ),
+    _actor(
+        "Scarlett_Johansson",
+        gender=s.FEMALE,
+        born_in="New_York",
+        citizen_of="United_States",
+        prizes=("BAFTA_Award",),
+        acted_in=("Lost_in_Translation", "The_Avengers", "Lucy"),
+        created=(),  # Figure 7: the one query actor with no 'created' edge
+    ),
+    _actor(
+        "Johnny_Depp",
+        gender=s.MALE,
+        born_in="Owensboro",
+        citizen_of="United_States",
+        children=("Lily_Rose_Depp", "Jack_Depp"),
+        prizes=("Golden_Globe",),
+        acted_in=("Pirates_of_the_Caribbean", "Edward_Scissorhands", "Sweeney_Todd"),
+        created=("Infinitum_Nihil",),
+    ),
+    _actor(
+        "Angelina_Jolie",
+        gender=s.FEMALE,
+        born_in="Los_Angeles",
+        citizen_of="United_States",
+        spouse="Brad_Pitt",
+        children=("Maddox_Jolie_Pitt", "Shiloh_Jolie_Pitt", "Zahara_Jolie_Pitt"),
+        prizes=("Academy_Award", "Golden_Globe", "Screen_Actors_Guild_Award"),
+        acted_in=("Mr_and_Mrs_Smith", "Maleficent"),
+        directed=("First_They_Killed_My_Father",),
+    ),
+    # -- movie contributors -----------------------------------------------------
+    SeedPerson(
+        name="Steven_Spielberg",
+        profession=s.DIRECTOR,
+        gender=s.MALE,
+        born_in="Cincinnati",
+        citizen_of="United_States",
+        spouse="Kate_Capshaw",
+        children=("Max_Spielberg", "Sasha_Spielberg"),
+        prizes=("Academy_Award", "Golden_Globe"),
+        directed=("Jaws", "Jurassic_Park", "Schindlers_List", "Saving_Private_Ryan"),
+        produced=("Jurassic_Park",),
+        created=("Amblin_Entertainment",),
+        owns=("Amblin_Entertainment",),
+    ),
+    _actor(
+        "Robert_Downey_Jr",
+        gender=s.MALE,
+        born_in="New_York",
+        citizen_of="United_States",
+        spouse="Susan_Downey",
+        children=("Exton_Downey",),
+        prizes=("Golden_Globe",),
+        acted_in=("Iron_Man", "Sherlock_Holmes", "The_Avengers"),
+    ),
+    SeedPerson(
+        name="Hans_Zimmer",
+        profession=s.MUSICIAN,
+        gender=s.MALE,
+        born_in="Frankfurt",
+        citizen_of="Germany",
+        prizes=("Academy_Award", "Grammy_Award"),
+        wrote_music_for=("Inception", "Interstellar", "Gladiator",
+                         "The_Dark_Knight", "Dunkirk"),
+        created=("Remote_Control_Productions",),
+    ),
+    SeedPerson(
+        name="Quentin_Tarantino",
+        profession=s.DIRECTOR,
+        gender=s.MALE,
+        born_in="Knoxville",
+        citizen_of="United_States",
+        prizes=("Academy_Award", "Palme_dOr"),
+        directed=("Pulp_Fiction", "Kill_Bill", "Django_Unchained"),
+        produced=("Kill_Bill",),
+        created=("A_Band_Apart",),
+    ),
+    _actor(
+        "Ellen_Page",
+        gender=s.FEMALE,
+        born_in="Halifax",
+        citizen_of="Canada",
+        acted_in=("Juno", "Inception", "X_Men_Days_of_Future_Past"),
+        prizes=(),
+    ),
+    SeedPerson(
+        name="Celine_Dion",
+        profession=s.MUSICIAN,
+        gender=s.FEMALE,
+        born_in="Charlemagne_Quebec",
+        citizen_of="Canada",
+        spouse="Rene_Angelil",
+        children=("Rene_Charles_Angelil",),
+        prizes=("Grammy_Award",),
+        created=("Falling_Into_You", "Lets_Talk_About_Love"),
+        wrote_music_for=("Titanic",),
+    ),
+    # -- authors (Section 4.2, second test case) ---------------------------------
+    SeedPerson(
+        name="Douglas_Adams",
+        profession=s.WRITER,
+        gender=s.MALE,
+        born_in="Cambridge",
+        citizen_of="United_Kingdom",
+        studied="Literature",
+        prizes=("Hugo_Award",),
+        created=(
+            "Hitchhikers_Guide_to_the_Galaxy",
+            "The_Restaurant_at_the_End_of_the_Universe",
+            "Life_the_Universe_and_Everything",
+            "So_Long_and_Thanks_for_All_the_Fish",
+            "Mostly_Harmless",
+            "Dirk_Gentlys_Holistic_Detective_Agency",
+            "The_Long_Dark_Tea_Time_of_the_Soul",
+        ),
+        influences=("Neil_Gaiman",),
+    ),
+    SeedPerson(
+        name="Terry_Pratchett",
+        profession=s.WRITER,
+        gender=s.MALE,
+        born_in="Beaconsfield",
+        citizen_of="United_Kingdom",
+        studied="Literature",
+        children=("Rhianna_Pratchett",),
+        prizes=("Nebula_Award",),
+        created=(
+            "The_Colour_of_Magic",
+            "Mort",
+            "Guards_Guards",
+            "Small_Gods",
+            "Night_Watch",
+            "Going_Postal",
+            "Wyrd_Sisters",
+            "Hogfather",
+        ),
+        influences=("Neil_Gaiman",),
+    ),
+    SeedPerson(
+        name="Neil_Gaiman",
+        profession=s.WRITER,
+        gender=s.MALE,
+        born_in="Portchester",
+        citizen_of="United_Kingdom",
+        studied="Literature",
+        prizes=("Hugo_Award", "Nebula_Award"),
+        created=("Good_Omens", "American_Gods"),
+    ),
+)
+
+
+def seed_person(name: str) -> SeedPerson:
+    """Look up one curated person by name."""
+    for person in SEED_PEOPLE:
+        if person.name == name:
+            return person
+    raise KeyError(f"no seed person named {name!r}")
+
+
+def domain_by_name(name: str) -> QueryDomain:
+    """Look up one Table-1 domain by its name."""
+    for domain in TABLE1_DOMAINS:
+        if domain.name == name:
+            return domain
+    raise KeyError(f"no domain named {name!r}")

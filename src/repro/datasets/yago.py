@@ -1,0 +1,465 @@
+"""Synthetic YAGO — the stand-in for the YAGO 2.5 core-facts dump.
+
+The real evaluation graph (3.3M nodes / 27M edges) is not available
+offline; this generator produces a structurally faithful, laptop-scale
+graph:
+
+* the same relation vocabulary fragment (``actedIn``, ``created``,
+  ``hasWonPrize``, ``hasChild``, ``studied``, ``owns``, ``influences``,
+  ...) with a type hierarchy;
+* a heterogeneous person population across seven professions, each with
+  distinct attribute distributions (:mod:`repro.datasets.schema`);
+* the curated Table-1 entities with their real-world facts
+  (:mod:`repro.datasets.seeds`), so the paper's test cases reproduce;
+* hub structure: popular movies / cities / prizes attract many edges,
+  mimicking YAGO's degree skew.
+
+Determinism: a given ``(scale, seed)`` always yields the identical graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets import names as pools
+from repro.datasets import schema as s
+from repro.datasets.seeds import (
+    SEED_ALBUMS,
+    SEED_BOOKS,
+    SEED_COMPANIES,
+    SEED_MOVIES,
+    SEED_PEOPLE,
+    SeedPerson,
+)
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import KnowledgeGraph
+from repro.util.rng import derive_rng, ensure_rng
+
+
+def _weighted_prize_sample(rng, prize_pool: tuple[str, ...], count: int) -> list[str]:
+    """Sample ``count`` distinct prizes, rank-weighted toward the pool front.
+
+    Prize pools list the famous awards first (Academy Award before Saturn
+    Award); real people overwhelmingly win the famous ones, and Figure 8's
+    "not notable" verdict relies on query and context sharing that skew.
+    """
+    weights = [1.0 / (rank + 1) ** 1.2 for rank in range(len(prize_pool))]
+    chosen: list[str] = []
+    candidates = list(prize_pool)
+    current = list(weights)
+    for _ in range(min(count, len(candidates))):
+        pick = rng.choices(range(len(candidates)), weights=current, k=1)[0]
+        chosen.append(candidates.pop(pick))
+        current.pop(pick)
+    return chosen
+
+
+@dataclass(frozen=True)
+class YagoConfig:
+    """Size knobs of the synthetic YAGO (all scaled by ``scale``)."""
+
+    scale: float = 1.0
+    people: int = 450
+    movies: int = 90
+    seed: int = 7
+    include_seed_entities: bool = True
+
+    def scaled(self, base: int) -> int:
+        return max(1, int(base * self.scale))
+
+
+class SyntheticYago:
+    """Builder for the synthetic YAGO knowledge graph."""
+
+    def __init__(
+        self,
+        *,
+        scale: float = 1.0,
+        seed: int = 7,
+        include_seed_entities: bool = True,
+    ) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.config = YagoConfig(
+            scale=scale, seed=seed, include_seed_entities=include_seed_entities
+        )
+        self._rng = ensure_rng(seed)
+        self._seen_titles: set[str] = set()
+
+    # -- public entry -------------------------------------------------------
+
+    def build(self) -> KnowledgeGraph:
+        builder = GraphBuilder(f"synthetic-yago(scale={self.config.scale})")
+        rng = self._rng
+
+        self._build_hierarchy(builder)
+        city_country = self._build_places(builder)
+        self._build_values(builder)
+        movies = self._build_movies(builder, derive_rng(rng, "movies"))
+
+        person_pool = pools.PersonNamePool(derive_rng(rng, "person-names"))
+        company_pool = pools.NamePool(
+            pools.BAND_AND_ALBUM_WORDS, derive_rng(rng, "companies")
+        )
+        title_rng = derive_rng(rng, "titles")
+
+        for person in SEED_PEOPLE if self.config.include_seed_entities else ():
+            person_pool.reserve(person.name)
+
+        people_by_profession = self._build_population(
+            builder,
+            derive_rng(rng, "population"),
+            person_pool,
+            company_pool,
+            title_rng,
+            movies,
+            city_country,
+        )
+
+        if self.config.include_seed_entities:
+            self._apply_seed_people(builder, city_country)
+
+        self._assign_country_leaders(
+            builder, people_by_profession.get(s.POLITICIAN, []), derive_rng(rng, "leaders")
+        )
+        return builder.build()
+
+    # -- schema -------------------------------------------------------------
+
+    def _build_hierarchy(self, builder: GraphBuilder) -> None:
+        for child, parent in s.TYPE_HIERARCHY.items():
+            builder.subclass(child, parent)
+
+    def _build_places(self, builder: GraphBuilder) -> dict[str, str]:
+        """Create countries and cities; return ``{city: country}``."""
+        for country in pools.COUNTRIES:
+            builder.typed(country, s.COUNTRY)
+        city_country: dict[str, str] = {}
+        for index, city in enumerate(pools.CITIES):
+            country = pools.COUNTRIES[index % len(pools.COUNTRIES)]
+            builder.typed(city, s.CITY)
+            builder.fact(city, s.IS_LOCATED_IN, country)
+            city_country[city] = country
+        return city_country
+
+    def _build_values(self, builder: GraphBuilder) -> None:
+        for gender in (s.MALE, s.FEMALE):
+            builder.typed(gender, s.GENDER_VALUE)
+        for field in pools.FIELDS_OF_STUDY:
+            builder.typed(field, s.ACADEMIC_FIELD)
+        for prize in pools.PRIZES:
+            builder.typed(prize, s.AWARD)
+        for party in pools.PARTIES:
+            builder.typed(party, s.PARTY)
+        for university in pools.UNIVERSITIES:
+            builder.typed(university, s.UNIVERSITY)
+        for team in pools.SPORTS_TEAMS:
+            builder.typed(team, s.SPORTS_TEAM)
+        for genre in pools.MOVIE_GENRES:
+            builder.typed(genre, "movie_genre")
+        builder.typed("Doctorate", "academic_degree")
+        for year in range(1950, 2021, 5):
+            builder.typed(str(year), s.YEAR)
+
+    def _build_movies(self, builder: GraphBuilder, rng) -> list[str]:
+        """Create the movie pool (seed movies first: they become the hubs)."""
+        movies: list[str] = []
+        if self.config.include_seed_entities:
+            movies.extend(SEED_MOVIES)
+        pool = pools.NamePool(
+            tuple(
+                f"{head}_{tail}"
+                for head in pools.MOVIE_TITLE_HEADS
+                for tail in pools.MOVIE_TITLE_TAILS
+            ),
+            rng,
+        )
+        for name in movies:
+            pool.reserve(name)
+        target = self.config.scaled(self.config.movies)
+        while len(movies) < target + len(SEED_MOVIES):
+            movies.append(pool.draw())
+        years = [str(year) for year in range(1950, 2021, 5)]
+        for movie in movies:
+            builder.typed(movie, s.MOVIE)
+            builder.fact(movie, s.HAS_GENRE, rng.choice(pools.MOVIE_GENRES))
+            if rng.random() < 0.3:
+                builder.fact(movie, s.HAS_GENRE, rng.choice(pools.MOVIE_GENRES))
+            builder.fact(movie, s.RELEASED_IN, rng.choice(years))
+        return movies
+
+    # -- population -----------------------------------------------------------
+
+    def _pick_movie(self, rng, movies: list[str], fame: float = 0.5) -> str:
+        """Rank-skewed movie choice: early (seed) movies are the popular hubs.
+
+        The skew exponent grows with the person's fame — famous people
+        appear in the blockbuster hubs, obscure people in the long tail.
+        """
+        exponent = 1.5 + 2.5 * fame
+        index = int(len(movies) * rng.random() ** exponent)
+        return movies[min(index, len(movies) - 1)]
+
+    def _build_population(
+        self,
+        builder: GraphBuilder,
+        rng,
+        person_pool: pools.PersonNamePool,
+        company_pool: pools.NamePool,
+        title_rng,
+        movies: list[str],
+        city_country: dict[str, str],
+    ) -> dict[str, list[str]]:
+        total_people = self.config.scaled(self.config.people)
+        by_profession: dict[str, list[str]] = {p: [] for p in s.PROFESSIONS}
+        writers_so_far: list[str] = []
+
+        for profession in s.PROFESSIONS:
+            profile = s.PROFESSION_PROFILES[profession]
+            count = max(2, int(total_people * profile.share))
+            for _ in range(count):
+                name = person_pool.draw()
+                by_profession[profession].append(name)
+                self._emit_person(
+                    builder,
+                    rng,
+                    name,
+                    profile,
+                    person_pool,
+                    company_pool,
+                    title_rng,
+                    movies,
+                    city_country,
+                    writers_so_far,
+                )
+                if profession == s.WRITER:
+                    writers_so_far.append(name)
+        return by_profession
+
+    def _emit_person(
+        self,
+        builder: GraphBuilder,
+        rng,
+        name: str,
+        profile: s.ProfessionProfile,
+        person_pool: pools.PersonNamePool,
+        company_pool: pools.NamePool,
+        title_rng,
+        movies: list[str],
+        city_country: dict[str, str],
+        writers_so_far: list[str],
+    ) -> None:
+        builder.typed(name, profile.type_name)
+        # Fame: a right-skewed popularity in (0, 1]; famous people carry
+        # more relation edges (more films, more prizes) and concentrate on
+        # the hub movies — mirroring YAGO's degree skew, and giving the
+        # crowd simulator a meaningful popularity signal.
+        fame = rng.random() ** 2
+        gender = s.FEMALE if rng.random() < profile.female_rate else s.MALE
+        builder.fact(name, s.GENDER, gender)
+
+        city = rng.choice(pools.CITIES)
+        builder.fact(name, s.BORN_IN, city)
+        country = (
+            city_country[city] if rng.random() < 0.8 else rng.choice(pools.COUNTRIES)
+        )
+        builder.fact(name, s.IS_CITIZEN_OF, country)
+        if rng.random() < 0.35:
+            builder.fact(name, s.LIVES_IN, rng.choice(pools.CITIES))
+
+        if rng.random() < profile.married_rate:
+            spouse = person_pool.draw()
+            builder.typed(spouse, s.PERSON)
+            builder.fact(
+                spouse, s.GENDER, s.MALE if gender == s.FEMALE else s.FEMALE
+            )
+            builder.fact(name, s.IS_MARRIED_TO, spouse)
+
+        if rng.random() >= profile.childless_rate:
+            low, high = profile.children_range
+            for _ in range(rng.randint(low, high)):
+                child = person_pool.draw()
+                builder.typed(child, s.PERSON)
+                builder.fact(name, s.HAS_CHILD, child)
+
+        if rng.random() < profile.studied_rate:
+            fields, weights = zip(*profile.study_fields)
+            field = rng.choices(fields, weights=weights, k=1)[0]
+            builder.fact(name, s.STUDIED, field)
+            if rng.random() < 0.8:
+                builder.fact(name, s.GRADUATED_FROM, rng.choice(pools.UNIVERSITIES))
+        if rng.random() < profile.degree_rate:
+            builder.fact(name, s.HAS_ACADEMIC_DEGREE, "Doctorate")
+
+        if rng.random() < profile.prize_rate * (0.6 + 0.8 * fame):
+            low, high = profile.prize_count_range
+            count = min(high, max(low, round(low + (high - low) * fame)))
+            prize_pool = profile.prize_pool or pools.PRIZES
+            count = min(count, len(prize_pool))
+            for prize in _weighted_prize_sample(rng, prize_pool, count):
+                builder.fact(name, s.HAS_WON_PRIZE, prize)
+
+        # Profession-specific relations (famous people get more of them
+        # and concentrate on the front — hub — movies).
+        def movie_count(bounds: tuple[int, int]) -> int:
+            low, high = bounds
+            return min(high, max(low, 1, round(low + (high - low) * fame)))
+
+        low, high = profile.acted_in_range
+        if high > 0:
+            for _ in range(movie_count((low, high))):
+                builder.fact(name, s.ACTED_IN, self._pick_movie(rng, movies, fame))
+        low, high = profile.directed_range
+        if high > 0:
+            for _ in range(movie_count((low, high))):
+                builder.fact(name, s.DIRECTED, self._pick_movie(rng, movies, fame))
+        if rng.random() < profile.produced_rate:
+            builder.fact(name, s.PRODUCED, self._pick_movie(rng, movies))
+        if rng.random() < profile.created_company_rate:
+            company = self._fresh_company(rng, company_pool)
+            builder.typed(company, s.COMPANY)
+            builder.fact(name, s.CREATED, company)
+            if rng.random() < profile.owns_company_rate / max(
+                profile.created_company_rate, 1e-9
+            ):
+                builder.fact(name, s.OWNS, company)
+        low, high = profile.created_books_range
+        if high > 0:
+            for _ in range(rng.randint(max(low, 1), high)):
+                book = self._fresh_title(
+                    title_rng, pools.BOOK_TITLE_HEADS, pools.BOOK_TITLE_TAILS
+                )
+                builder.typed(book, s.BOOK)
+                builder.fact(name, s.CREATED, book)
+        low, high = profile.created_albums_range
+        if high > 0:
+            for _ in range(rng.randint(max(low, 1), high)):
+                album = self._fresh_title(
+                    title_rng,
+                    pools.BAND_AND_ALBUM_WORDS,
+                    pools.BAND_AND_ALBUM_WORDS,
+                )
+                builder.typed(album, s.ALBUM)
+                builder.fact(name, s.CREATED, album)
+        if rng.random() < profile.wrote_music_rate:
+            builder.fact(name, s.WROTE_MUSIC_FOR, self._pick_movie(rng, movies))
+        if profile.influences_rate > 0 and writers_so_far:
+            if rng.random() < profile.influences_rate:
+                builder.fact(name, s.INFLUENCES, rng.choice(writers_so_far))
+        if rng.random() < profile.party_rate:
+            builder.fact(name, s.MEMBER_OF_PARTY, rng.choice(pools.PARTIES))
+        if rng.random() < profile.plays_for_rate:
+            builder.fact(name, s.PLAYS_FOR, rng.choice(pools.SPORTS_TEAMS))
+
+    def _fresh_company(self, rng, company_pool: pools.NamePool) -> str:
+        word = company_pool.draw()
+        suffix = rng.choice(pools.COMPANY_SUFFIXES)
+        return f"{word}_{suffix}"
+
+    def _fresh_title(self, rng, heads, tails) -> str:
+        base = pools.compound_name(rng, heads, tails)
+        candidate = base
+        attempt = 2
+        while candidate in self._seen_titles:
+            candidate = f"{base}_{attempt}"
+            attempt += 1
+        self._seen_titles.add(candidate)
+        return candidate
+
+    # -- seeds ----------------------------------------------------------------
+
+    def _apply_seed_people(
+        self, builder: GraphBuilder, city_country: dict[str, str]
+    ) -> None:
+        for book in SEED_BOOKS:
+            builder.typed(book, s.BOOK)
+        for company in SEED_COMPANIES:
+            builder.typed(company, s.COMPANY)
+        for album in SEED_ALBUMS:
+            builder.typed(album, s.ALBUM)
+        for person in SEED_PEOPLE:
+            self._emit_seed_person(builder, person, city_country)
+
+    def _emit_seed_person(
+        self, builder: GraphBuilder, person: SeedPerson, city_country: dict[str, str]
+    ) -> None:
+        builder.typed(person.name, person.profession)
+        for extra in person.extra_types:
+            builder.typed(person.name, extra)
+        builder.fact(person.name, s.GENDER, person.gender)
+        if person.born_in:
+            builder.typed(person.born_in, s.CITY)
+            builder.fact(person.name, s.BORN_IN, person.born_in)
+        if person.citizen_of:
+            builder.fact(person.name, s.IS_CITIZEN_OF, person.citizen_of)
+        if person.studied:
+            builder.fact(person.name, s.STUDIED, person.studied)
+        if person.graduated_from:
+            builder.fact(person.name, s.GRADUATED_FROM, person.graduated_from)
+        if person.academic_degree:
+            builder.fact(person.name, s.HAS_ACADEMIC_DEGREE, person.academic_degree)
+        if person.spouse:
+            builder.typed(person.spouse, s.PERSON)
+            builder.fact(person.name, s.IS_MARRIED_TO, person.spouse)
+        for child in person.children:
+            builder.typed(child, s.PERSON)
+            builder.fact(person.name, s.HAS_CHILD, child)
+        if person.leads:
+            builder.fact(person.name, s.IS_LEADER_OF, person.leads)
+        if person.party:
+            builder.fact(person.name, s.MEMBER_OF_PARTY, person.party)
+        for prize in person.prizes:
+            builder.fact(person.name, s.HAS_WON_PRIZE, prize)
+        for movie in person.acted_in:
+            builder.typed(movie, s.MOVIE)
+            builder.fact(person.name, s.ACTED_IN, movie)
+        for movie in person.directed:
+            builder.typed(movie, s.MOVIE)
+            builder.fact(person.name, s.DIRECTED, movie)
+        for movie in person.produced:
+            builder.typed(movie, s.MOVIE)
+            builder.fact(person.name, s.PRODUCED, movie)
+        for work in person.created:
+            builder.fact(person.name, s.CREATED, work)
+        for company in person.owns:
+            builder.typed(company, s.COMPANY)
+            builder.fact(person.name, s.OWNS, company)
+        for movie in person.wrote_music_for:
+            builder.typed(movie, s.MOVIE)
+            builder.fact(person.name, s.WROTE_MUSIC_FOR, movie)
+        for influenced in person.influences:
+            builder.typed(influenced, s.WRITER)
+            builder.fact(person.name, s.INFLUENCES, influenced)
+
+    # -- post-pass ---------------------------------------------------------------
+
+    def _assign_country_leaders(
+        self, builder: GraphBuilder, politicians: list[str], rng
+    ) -> None:
+        """Give leaderless countries a leader from the generated politicians.
+
+        Seed politicians claimed their real countries during seeding; the
+        remaining countries draw from the synthetic population so that
+        ``isLeaderOf`` behaves like the real relation (at most one holder
+        per country, most politicians *not* leaders).
+        """
+        graph = builder.build()
+        led = {
+            graph.node_name(edge.target)
+            for edge in graph.edges(s.IS_LEADER_OF)
+        }
+        available = [c for c in pools.COUNTRIES if c not in led]
+        candidates = [p for p in politicians if rng.random() < 0.6]
+        rng.shuffle(candidates)
+        for country, politician in zip(available, candidates):
+            builder.fact(politician, s.IS_LEADER_OF, country)
+
+
+def synthetic_yago(
+    *, scale: float = 1.0, seed: int = 7, include_seed_entities: bool = True
+) -> KnowledgeGraph:
+    """Build a synthetic YAGO graph (see :class:`SyntheticYago`)."""
+    generator = SyntheticYago(
+        scale=scale, seed=seed, include_seed_entities=include_seed_entities
+    )
+    return generator.build()

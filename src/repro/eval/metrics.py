@@ -1,0 +1,134 @@
+"""Evaluation metrics.
+
+* Set-retrieval quality: precision / recall / F1 at a context-size cutoff
+  (Figures 2-4, Tables 2-3 report F1 against the crowdsourced context).
+* Ranking agreement: the "minimum number of switches needed to transform
+  one ranking to the other" (Section 4.2's metrics comparison) — the
+  bubble-sort a.k.a. Kendall-tau distance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def precision_at(predicted: Sequence[T], relevant: "set[T] | frozenset[T]", k: int) -> float:
+    """Precision of the top-``k`` predictions (0 when ``k`` = 0)."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    top = list(predicted[:k])
+    if not top:
+        return 0.0
+    hits = sum(1 for item in top if item in relevant)
+    return hits / len(top)
+
+
+def recall_at(predicted: Sequence[T], relevant: "set[T] | frozenset[T]", k: int) -> float:
+    """Recall of the top-``k`` predictions (0 when there are no relevants)."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if not relevant:
+        return 0.0
+    top = list(predicted[:k])
+    hits = sum(1 for item in top if item in relevant)
+    return hits / len(relevant)
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean; 0 when both components are 0."""
+    if precision < 0 or recall < 0:
+        raise ValueError("precision/recall must be non-negative")
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def f1_at(predicted: Sequence[T], relevant: "set[T] | frozenset[T]", k: int) -> float:
+    """F1 of the top-``k`` predictions against the relevant set."""
+    return f1_score(
+        precision_at(predicted, relevant, k), recall_at(predicted, relevant, k)
+    )
+
+
+def f1_curve(
+    predicted: Sequence[T],
+    relevant: "set[T] | frozenset[T]",
+    cutoffs: Iterable[int],
+) -> list[tuple[int, float]]:
+    """``(k, F1@k)`` for each cutoff — one line of Figure 2."""
+    return [(k, f1_at(predicted, relevant, k)) for k in cutoffs]
+
+
+def best_f1(
+    predicted: Sequence[T],
+    relevant: "set[T] | frozenset[T]",
+    *,
+    max_k: int | None = None,
+) -> tuple[float, int]:
+    """``(max F1, argmax k)`` over all cutoffs — one cell of Table 2."""
+    limit = len(predicted) if max_k is None else min(max_k, len(predicted))
+    best_value = 0.0
+    best_k = 0
+    hits = 0
+    relevant_size = len(relevant)
+    if relevant_size == 0:
+        return (0.0, 0)
+    for k in range(1, limit + 1):
+        if predicted[k - 1] in relevant:
+            hits += 1
+        precision = hits / k
+        recall = hits / relevant_size
+        value = f1_score(precision, recall)
+        if value > best_value:
+            best_value = value
+            best_k = k
+    return (best_value, best_k)
+
+
+def kendall_switches(ranking_a: Sequence[T], ranking_b: Sequence[T]) -> int:
+    """Minimum adjacent swaps turning ``ranking_a`` into ``ranking_b``.
+
+    Both rankings must be permutations of the same items. Counted as the
+    number of inversions (merge-sort style, O(n log n)).
+    """
+    if len(ranking_a) != len(ranking_b) or set(ranking_a) != set(ranking_b):
+        raise ValueError("rankings must be permutations of the same items")
+    if len(set(ranking_a)) != len(ranking_a):
+        raise ValueError("rankings must not contain duplicates")
+    position_in_b = {item: index for index, item in enumerate(ranking_b)}
+    sequence = [position_in_b[item] for item in ranking_a]
+    return _count_inversions(sequence)
+
+
+def _count_inversions(sequence: list[int]) -> int:
+    if len(sequence) < 2:
+        return 0
+    middle = len(sequence) // 2
+    left = sequence[:middle]
+    right = sequence[middle:]
+    count = _count_inversions(left) + _count_inversions(right)
+    merged = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+            count += len(left) - i
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    sequence[:] = merged
+    return count
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0 for an empty iterable (experiment-friendly)."""
+    items = list(values)
+    if not items:
+        return 0.0
+    return sum(items) / len(items)

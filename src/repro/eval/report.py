@@ -1,0 +1,87 @@
+"""Rendering and persisting experiment results.
+
+`run_all` executes every registered experiment with the given setting and
+returns the rendered report; the CLI and the EXPERIMENTS.md refresh script
+both go through here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.eval import experiments as exp
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: id, description, runner."""
+
+    experiment_id: str
+    description: str
+    runner: Callable[..., Table]
+
+
+def _fig3(setting=None, **kwargs) -> Table:
+    return exp.average_f1_by_context_size(exp.context_size_sweep(setting, **kwargs))
+
+
+REGISTRY: tuple[ExperimentSpec, ...] = (
+    ExperimentSpec("table1", "Query entities per domain", exp.domains_table),
+    ExperimentSpec("fig2", "F1 vs context size per query set", exp.context_size_sweep),
+    ExperimentSpec("fig3", "Average F1 vs context size", _fig3),
+    ExperimentSpec("fig4", "Average F1 vs query size", exp.query_size_sweep),
+    ExperimentSpec("fig5", "Time vs query size", exp.time_vs_query_size),
+    ExperimentSpec("fig6", "Time vs max metapath length", exp.time_vs_path_length),
+    ExperimentSpec("table2", "ContextRW on YAGO vs LinkedMDB", exp.dataset_comparison),
+    ExperimentSpec("table3", "F1 vs number of paths and context size", exp.path_count_sweep),
+    ExperimentSpec("fig7", "Instance distribution of 'created'", exp.distribution_figure),
+    ExperimentSpec(
+        "fig8",
+        "Cardinality distribution of 'hasWonPrize'",
+        lambda setting=None, **kw: exp.distribution_figure(
+            setting, label="hasWonPrize", channel="cardinality", **kw
+        ),
+    ),
+    ExperimentSpec("fig9", "FindNC vs RWMult significance", exp.significance_comparison),
+    ExperimentSpec("metrics", "Ranking switches vs expert ranking", exp.metrics_comparison),
+    ExperimentSpec("authors", "Adams/Pratchett test case", exp.authors_testcase),
+)
+
+
+def experiment_ids() -> list[str]:
+    return [spec.experiment_id for spec in REGISTRY]
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    for spec in REGISTRY:
+        if spec.experiment_id == experiment_id:
+            return spec
+    raise KeyError(
+        f"unknown experiment {experiment_id!r}; available: {', '.join(experiment_ids())}"
+    )
+
+
+def run_experiment(
+    experiment_id: str, setting: "exp.ExperimentSetting | None" = None, **kwargs
+) -> Table:
+    """Run one experiment by id and return its table."""
+    return get_experiment(experiment_id).runner(setting, **kwargs)
+
+
+def render_report(
+    experiment_ids_to_run: Sequence[str],
+    setting: "exp.ExperimentSetting | None" = None,
+    *,
+    markdown: bool = False,
+) -> str:
+    """Run several experiments and concatenate their rendered tables."""
+    sections: list[str] = []
+    for experiment_id in experiment_ids_to_run:
+        spec = get_experiment(experiment_id)
+        table = spec.runner(setting)
+        sections.append(f"## {spec.experiment_id} — {spec.description}")
+        sections.append(table.render(markdown=markdown))
+        sections.append("")
+    return "\n".join(sections)

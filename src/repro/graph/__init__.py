@@ -1,0 +1,47 @@
+"""Knowledge-graph model (Definition 1 of the paper).
+
+A knowledge graph is a quadruple ``G = (V, E, phi, psi)`` with node labels
+``A`` and edge labels ``L``. Following Section 2 of the paper:
+
+* attributes are modelled as edges to value nodes (a birth date is a node
+  connected through a ``birthdate`` edge);
+* every edge ``e`` with label ``l`` has a reverse edge with label ``l^-1``
+  (:func:`repro.graph.labels.inverse_label` implements the naming).
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.hierarchy import TypeHierarchy
+from repro.graph.io import load_graph, save_graph
+from repro.graph.labels import (
+    SUBCLASS_OF_LABEL,
+    TYPE_LABEL,
+    base_label,
+    inverse_label,
+    is_inverse_label,
+)
+from repro.graph.matrix import transition_matrix, weighted_adjacency
+from repro.graph.model import Edge, KnowledgeGraph
+from repro.graph.search import EntityIndex
+from repro.graph.statistics import GraphStatistics
+from repro.graph.traversal import bfs_distances, ego_nodes, follow_label
+
+__all__ = [
+    "Edge",
+    "EntityIndex",
+    "GraphBuilder",
+    "GraphStatistics",
+    "KnowledgeGraph",
+    "SUBCLASS_OF_LABEL",
+    "TYPE_LABEL",
+    "TypeHierarchy",
+    "base_label",
+    "bfs_distances",
+    "ego_nodes",
+    "follow_label",
+    "inverse_label",
+    "is_inverse_label",
+    "load_graph",
+    "save_graph",
+    "transition_matrix",
+    "weighted_adjacency",
+]

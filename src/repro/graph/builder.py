@@ -1,0 +1,122 @@
+"""Fluent construction of knowledge graphs, and store <-> graph bridges."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.labels import SUBCLASS_OF_LABEL, TYPE_LABEL
+from repro.graph.model import KnowledgeGraph
+from repro.store.terms import IRI, Literal
+from repro.store.triples import Triple
+from repro.store.triplestore import TripleStore
+
+
+class GraphBuilder:
+    """Accumulates facts and produces a :class:`KnowledgeGraph`.
+
+    The builder speaks entity *names*; nodes are created on first mention.
+
+    >>> g = (GraphBuilder()
+    ...      .fact("Angela_Merkel", "leaderOf", "Germany")
+    ...      .typed("Angela_Merkel", "politician")
+    ...      .build())
+    >>> sorted(g.types_of("Angela_Merkel"))
+    ['politician']
+    """
+
+    def __init__(self, name: str = "knowledge-graph", *, add_inverse: bool = True) -> None:
+        self._graph = KnowledgeGraph(name)
+        self._add_inverse = add_inverse
+
+    def node(self, name: str) -> "GraphBuilder":
+        """Ensure a node exists (useful for isolated nodes)."""
+        self._graph.add_node(name)
+        return self
+
+    def fact(self, subject: str, label: str, obj: str) -> "GraphBuilder":
+        """Add ``subject -label-> obj`` (plus inverse unless disabled)."""
+        self._graph.add_edge(subject, label, obj, add_inverse=self._add_inverse)
+        return self
+
+    def facts(self, triples: Iterable[tuple[str, str, str]]) -> "GraphBuilder":
+        for subject, label, obj in triples:
+            self.fact(subject, label, obj)
+        return self
+
+    def typed(self, subject: str, type_name: str) -> "GraphBuilder":
+        """Declare ``subject`` an instance of ``type_name``."""
+        return self.fact(subject, TYPE_LABEL, type_name)
+
+    def subclass(self, child_type: str, parent_type: str) -> "GraphBuilder":
+        """Declare ``child_type`` a subclass of ``parent_type``."""
+        return self.fact(child_type, SUBCLASS_OF_LABEL, parent_type)
+
+    def attribute(self, subject: str, label: str, value: object) -> "GraphBuilder":
+        """Add an attribute, modelling the value as a node (Section 2)."""
+        return self.fact(subject, label, str(value))
+
+    def build(self) -> KnowledgeGraph:
+        return self._graph
+
+
+def graph_from_triples(
+    triples: Iterable[tuple[str, str, str]],
+    *,
+    name: str = "knowledge-graph",
+    add_inverse: bool = True,
+) -> KnowledgeGraph:
+    """Build a graph from ``(subject, label, object)`` string triples."""
+    builder = GraphBuilder(name, add_inverse=add_inverse)
+    builder.facts(triples)
+    return builder.build()
+
+
+def graph_from_store(
+    store: TripleStore, *, name: str = "knowledge-graph", add_inverse: bool = True
+) -> KnowledgeGraph:
+    """Materialize a :class:`KnowledgeGraph` from a triple store.
+
+    IRIs and literals both become named nodes (Definition 1 treats attribute
+    values as nodes); the predicate's string form becomes the edge label.
+    """
+    graph = KnowledgeGraph(name)
+    for triple in store:
+        graph.add_edge(
+            str(triple.subject),
+            str(triple.predicate),
+            str(triple.object),
+            add_inverse=add_inverse,
+        )
+    return graph
+
+
+def store_from_graph(
+    graph: KnowledgeGraph, *, include_inverse: bool = False
+) -> TripleStore:
+    """Serialize a graph back into a triple store.
+
+    Reverse edges are redundant under the closure assumption and skipped by
+    default; pass ``include_inverse=True`` to keep them.
+    """
+    from repro.graph.labels import is_inverse_label
+
+    store = TripleStore()
+    for edge in graph.edges():
+        if not include_inverse and is_inverse_label(edge.label):
+            continue
+        store.add(
+            Triple(
+                IRI(graph.node_name(edge.source)),
+                IRI(edge.label),
+                _object_term(graph.node_name(edge.target)),
+            )
+        )
+    return store
+
+
+def _object_term(name: str) -> "IRI | Literal":
+    """Heuristic: values that are not valid IRIs become literals."""
+    try:
+        return IRI(name)
+    except Exception:
+        return Literal(name)

@@ -1,0 +1,131 @@
+"""Type hierarchy (YAGO's ``subclassOf`` lattice).
+
+YAGO carries 366K node types organized in a hierarchy. The experiments use
+it to pick domain populations ("politicians", "actors") including instances
+of subtypes. The hierarchy is extracted from the graph's ``subclassOf``
+edges and supports transitive queries with memoisation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.graph.labels import SUBCLASS_OF_LABEL, TYPE_LABEL
+from repro.graph.model import KnowledgeGraph, NodeRef
+
+
+class TypeHierarchy:
+    """Transitive-closure queries over the ``subclassOf`` relation."""
+
+    def __init__(self, graph: KnowledgeGraph) -> None:
+        self._graph = graph
+        self._version = graph.version
+        self._ancestors_cache: dict[int, frozenset[int]] = {}
+        self._descendants_cache: dict[int, frozenset[int]] = {}
+
+    def _check_version(self) -> None:
+        if self._graph.version != self._version:
+            self._ancestors_cache.clear()
+            self._descendants_cache.clear()
+            self._version = self._graph.version
+
+    # -- structure ----------------------------------------------------------
+
+    def supertypes(self, type_node: NodeRef) -> set[str]:
+        """Direct supertypes of ``type_node`` (names)."""
+        graph = self._graph
+        return {
+            graph.node_name(t)
+            for t in graph.neighbors(type_node, SUBCLASS_OF_LABEL)
+        }
+
+    def subtypes(self, type_node: NodeRef) -> set[str]:
+        """Direct subtypes of ``type_node`` (names)."""
+        graph = self._graph
+        return {
+            graph.node_name(t)
+            for t in graph.neighbors(type_node, SUBCLASS_OF_LABEL, direction="in")
+        }
+
+    def ancestors(self, type_node: NodeRef) -> set[str]:
+        """All transitive supertypes (excluding the type itself)."""
+        node_id = self._graph.node_id(type_node)
+        return {self._graph.node_name(t) for t in self._ancestor_ids(node_id)}
+
+    def descendants(self, type_node: NodeRef) -> set[str]:
+        """All transitive subtypes (excluding the type itself)."""
+        node_id = self._graph.node_id(type_node)
+        return {self._graph.node_name(t) for t in self._descendant_ids(node_id)}
+
+    def _ancestor_ids(self, node_id: int) -> frozenset[int]:
+        self._check_version()
+        cached = self._ancestors_cache.get(node_id)
+        if cached is not None:
+            return cached
+        result = frozenset(self._closure(node_id, direction="out"))
+        self._ancestors_cache[node_id] = result
+        return result
+
+    def _descendant_ids(self, node_id: int) -> frozenset[int]:
+        self._check_version()
+        cached = self._descendants_cache.get(node_id)
+        if cached is not None:
+            return cached
+        result = frozenset(self._closure(node_id, direction="in"))
+        self._descendants_cache[node_id] = result
+        return result
+
+    def _closure(self, start: int, *, direction: str) -> Iterator[int]:
+        """BFS over subclassOf edges; robust to cycles."""
+        graph = self._graph
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for nxt in graph.neighbors(node, SUBCLASS_OF_LABEL, direction=direction):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+                    yield nxt
+
+    # -- instance queries ----------------------------------------------------
+
+    def is_subtype(self, child: NodeRef, parent: NodeRef) -> bool:
+        """Whether ``child`` is (transitively) a subclass of ``parent``."""
+        child_id = self._graph.node_id(child)
+        parent_id = self._graph.node_id(parent)
+        if child_id == parent_id:
+            return True
+        return parent_id in self._ancestor_ids(child_id)
+
+    def instances(self, type_node: NodeRef, *, transitive: bool = True) -> set[int]:
+        """Node ids typed with ``type_node`` or (optionally) any subtype."""
+        graph = self._graph
+        root = graph.node_id(type_node)
+        type_ids = {root}
+        if transitive:
+            type_ids |= set(self._descendant_ids(root))
+        out: set[int] = set()
+        for type_id in type_ids:
+            out.update(graph.neighbors(type_id, TYPE_LABEL, direction="in"))
+        return out
+
+    def types_of(self, node: NodeRef, *, transitive: bool = False) -> set[str]:
+        """Type names of ``node``, optionally with all supertypes."""
+        graph = self._graph
+        direct = {graph.node_id(t) for t in graph.neighbors(node, TYPE_LABEL)}
+        all_ids = set(direct)
+        if transitive:
+            for type_id in direct:
+                all_ids |= set(self._ancestor_ids(type_id))
+        return {graph.node_name(t) for t in all_ids}
+
+    def shared_types(self, nodes: Iterable[NodeRef], *, transitive: bool = True) -> set[str]:
+        """Type names common to every node in ``nodes``."""
+        shared: set[str] | None = None
+        for node in nodes:
+            types = self.types_of(node, transitive=transitive)
+            shared = types if shared is None else shared & types
+            if not shared:
+                return set()
+        return shared or set()

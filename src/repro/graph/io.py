@@ -1,0 +1,37 @@
+"""Knowledge-graph persistence.
+
+Graphs round-trip through the N-Triples substrate: forward edges only are
+written (the inverse closure is re-derived on load), node names that are
+not IRI-safe are written as literals. This is the same convention the
+store bridges in :mod:`repro.graph.builder` use.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import graph_from_store, store_from_graph
+from repro.graph.model import KnowledgeGraph
+from repro.store.ntriples import load_ntriples_file, save_ntriples_file
+from repro.store.triplestore import TripleStore
+
+
+def save_graph(graph: KnowledgeGraph, path: str) -> int:
+    """Write ``graph`` to ``path`` as N-Triples; return the triple count.
+
+    Only forward (non-inverse) edges are serialized; the closure is an
+    invariant of the model and restored by :func:`load_graph`.
+    """
+    store = store_from_graph(graph, include_inverse=False)
+    return save_ntriples_file(path, sorted(store.match()))
+
+
+def load_graph(
+    path: str, *, name: str | None = None, add_inverse: bool = True
+) -> KnowledgeGraph:
+    """Load a graph previously written by :func:`save_graph`.
+
+    ``add_inverse`` re-applies the Section-2 closure (default); disable it
+    only for files that already contain both directions.
+    """
+    store = TripleStore(load_ntriples_file(path))
+    graph = graph_from_store(store, name=name or path, add_inverse=add_inverse)
+    return graph

@@ -1,0 +1,94 @@
+"""Weighted adjacency and transition matrices (Equations 1 and 2).
+
+Equation 1 defines the weighted adjacency ``A`` as::
+
+    A_ij = 1 - |E_l| / |E|    if (i, j) in E with label l, else 0
+
+The matrix is |V| x |V|; for parallel edges with different labels between
+the same pair we *sum* the weights (documented design choice — the paper
+leaves multi-edges unspecified; summing preserves "more relations => more
+flow" and keeps A non-negative).
+
+Equation 2 normalizes columns of the transpose::
+
+    A~_ij = A_ji / sum_k A_jk
+
+so ``A~`` is column-stochastic over nodes with out-edges. Columns of
+dangling nodes (no out-edges) stay zero; the PageRank iteration compensates
+via the (1 - c) teleport term and renormalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.graph.model import KnowledgeGraph
+from repro.graph.statistics import GraphStatistics
+
+
+def weighted_adjacency(
+    graph: KnowledgeGraph, *, statistics: GraphStatistics | None = None
+) -> sparse.csr_matrix:
+    """Build Equation 1's weighted adjacency matrix ``A`` (CSR, float64)."""
+    stats = statistics or GraphStatistics(graph)
+    weights_by_label = stats.label_weights()
+    n = graph.node_count
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    for edge in graph.edges():
+        rows.append(edge.source)
+        cols.append(edge.target)
+        data.append(weights_by_label[edge.label])
+    matrix = sparse.coo_matrix(
+        (data, (rows, cols)), shape=(n, n), dtype=np.float64
+    )
+    # Duplicate (i, j) entries from parallel edges are summed by conversion.
+    return matrix.tocsr()
+
+
+def transition_matrix(
+    graph: KnowledgeGraph,
+    *,
+    adjacency: sparse.csr_matrix | None = None,
+) -> sparse.csr_matrix:
+    """Build Equation 2's column-stochastic matrix ``A~``.
+
+    ``A~[i, j] = A[j, i] / sum_k A[j, k]`` — the probability of stepping
+    from node ``j`` to node ``i``.
+    """
+    a = adjacency if adjacency is not None else weighted_adjacency(graph)
+    out_weight = np.asarray(a.sum(axis=1)).ravel()  # row sums of A = out-weights
+    with np.errstate(divide="ignore"):
+        inverse = np.where(out_weight > 0, 1.0 / out_weight, 0.0)
+    # Scale row j of A by 1/out_weight[j], then transpose: columns sum to 1.
+    scaled = sparse.diags(inverse) @ a
+    return scaled.transpose().tocsr()
+
+
+def dangling_nodes(graph: KnowledgeGraph) -> np.ndarray:
+    """Boolean mask of nodes without out-edges (zero columns of ``A~``)."""
+    mask = np.zeros(graph.node_count, dtype=bool)
+    for node in graph.nodes():
+        if graph.out_degree(node) == 0:
+            mask[node] = True
+    return mask
+
+
+def personalization_vector(
+    graph: KnowledgeGraph, nodes: "list[int] | tuple[int, ...]"
+) -> np.ndarray:
+    """Uniform personalization vector ``v`` over ``nodes`` (Equation 2).
+
+    The paper sets ``v_n = 1`` for each query node individually; for a
+    multi-node restart we normalize to a distribution.
+    """
+    if not nodes:
+        raise ValueError("personalization needs at least one node")
+    v = np.zeros(graph.node_count, dtype=np.float64)
+    for node in nodes:
+        if not 0 <= node < graph.node_count:
+            raise ValueError(f"node id out of range: {node}")
+        v[node] += 1.0
+    return v / v.sum()

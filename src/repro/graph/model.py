@@ -1,0 +1,354 @@
+"""The :class:`KnowledgeGraph` — Definition 1 of the paper.
+
+Nodes carry a label ``phi(v)`` (their name: an entity identifier or an
+attribute value such as ``"1954"``); edges carry a label ``psi(e)`` from the
+edge-label vocabulary ``L``. The graph is a directed multigraph in the sense
+that a node may have many same-labelled edges to *different* targets;
+duplicate ``(src, label, dst)`` statements are idempotent, like triples.
+
+By default :meth:`KnowledgeGraph.add_edge` also inserts the reverse edge
+with the inverse label (the paper's closure assumption); pass
+``add_inverse=False`` to manage reverse edges manually.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import EdgeLabelNotFoundError, NodeNotFoundError
+from repro.graph.labels import TYPE_LABEL, LabelTable, inverse_label
+
+#: A node reference accepted by the public API: dense id or node name.
+NodeRef = "int | str"
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A directed labelled edge, with labels resolved to strings."""
+
+    source: int
+    label: str
+    target: int
+
+
+class KnowledgeGraph:
+    """Directed labelled graph with dense node ids and interned edge labels.
+
+    >>> g = KnowledgeGraph()
+    >>> merkel = g.add_node("Angela_Merkel")
+    >>> germany = g.add_node("Germany")
+    >>> g.add_edge(merkel, "leaderOf", germany)
+    True
+    >>> g.has_edge(germany, "leaderOf_inv", merkel)   # inverse closure
+    True
+    >>> g.edge_count
+    2
+    """
+
+    def __init__(self, name: str = "knowledge-graph") -> None:
+        self.name = name
+        self._names: list[str] = []
+        self._name_to_id: dict[str, int] = {}
+        self._labels = LabelTable()
+        # _out[v][label_id] -> set of target node ids
+        self._out: list[dict[int, set[int]]] = []
+        # _in[v][label_id] -> set of source node ids (label of the *forward* edge)
+        self._in: list[dict[int, set[int]]] = []
+        self._edge_count = 0
+        self._label_edge_counts: dict[int, int] = {}
+        self._version = 0  # bumped on mutation; caches key on this
+
+    # -- nodes ------------------------------------------------------------
+
+    def add_node(self, name: str) -> int:
+        """Insert a node named ``name`` (idempotent); return its id."""
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"node name must be a non-empty string, got {name!r}")
+        existing = self._name_to_id.get(name)
+        if existing is not None:
+            return existing
+        node_id = len(self._names)
+        self._names.append(name)
+        self._name_to_id[name] = node_id
+        self._out.append({})
+        self._in.append({})
+        self._version += 1
+        return node_id
+
+    def node_id(self, ref: NodeRef) -> int:
+        """Resolve a node reference (id or name) to its id."""
+        if isinstance(ref, str):
+            node_id = self._name_to_id.get(ref)
+            if node_id is None:
+                raise NodeNotFoundError(ref)
+            return node_id
+        if not isinstance(ref, int) or isinstance(ref, bool):
+            raise TypeError(f"node reference must be int or str, got {type(ref).__name__}")
+        if not 0 <= ref < len(self._names):
+            raise NodeNotFoundError(ref)
+        return ref
+
+    def node_ids(self, refs: Iterable[NodeRef]) -> list[int]:
+        """Resolve many node references at once."""
+        return [self.node_id(r) for r in refs]
+
+    def node_name(self, node_id: int) -> str:
+        """phi(v): the label of node ``node_id``."""
+        if not 0 <= node_id < len(self._names):
+            raise NodeNotFoundError(node_id)
+        return self._names[node_id]
+
+    def has_node(self, ref: NodeRef) -> bool:
+        if isinstance(ref, str):
+            return ref in self._name_to_id
+        return isinstance(ref, int) and 0 <= ref < len(self._names)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._names)
+
+    def nodes(self) -> range:
+        """All node ids (dense, so a range)."""
+        return range(len(self._names))
+
+    def node_names(self) -> Iterator[str]:
+        return iter(self._names)
+
+    # -- edges ------------------------------------------------------------
+
+    def add_edge(
+        self, source: NodeRef, label: str, target: NodeRef, *, add_inverse: bool = True
+    ) -> bool:
+        """Insert the edge ``source -label-> target``.
+
+        Unknown node *names* are created on the fly; unknown node *ids*
+        raise. Returns ``True`` if the forward edge was new. When
+        ``add_inverse`` (default), the reverse edge with the inverse label is
+        inserted too, fulfilling the closure assumption of Section 2.
+        """
+        src = self.add_node(source) if isinstance(source, str) else self.node_id(source)
+        dst = self.add_node(target) if isinstance(target, str) else self.node_id(target)
+        added = self._insert(src, label, dst)
+        if add_inverse:
+            self._insert(dst, inverse_label(label), src)
+        return added
+
+    def _insert(self, src: int, label: str, dst: int) -> bool:
+        label_id = self._labels.intern(label)
+        targets = self._out[src].setdefault(label_id, set())
+        if dst in targets:
+            return False
+        targets.add(dst)
+        self._in[dst].setdefault(label_id, set()).add(src)
+        self._edge_count += 1
+        self._label_edge_counts[label_id] = self._label_edge_counts.get(label_id, 0) + 1
+        self._version += 1
+        return True
+
+    def remove_edge(
+        self, source: NodeRef, label: str, target: NodeRef, *, remove_inverse: bool = True
+    ) -> bool:
+        """Delete the edge (and, by default, its inverse); ``True`` if present."""
+        src = self.node_id(source)
+        dst = self.node_id(target)
+        removed = self._delete(src, label, dst)
+        if remove_inverse:
+            self._delete(dst, inverse_label(label), src)
+        return removed
+
+    def _delete(self, src: int, label: str, dst: int) -> bool:
+        label_id = self._labels.lookup(label)
+        if label_id is None:
+            return False
+        targets = self._out[src].get(label_id)
+        if targets is None or dst not in targets:
+            return False
+        targets.discard(dst)
+        if not targets:
+            del self._out[src][label_id]
+        sources = self._in[dst].get(label_id)
+        if sources is not None:
+            sources.discard(src)
+            if not sources:
+                del self._in[dst][label_id]
+        self._edge_count -= 1
+        remaining = self._label_edge_counts.get(label_id, 0) - 1
+        if remaining > 0:
+            self._label_edge_counts[label_id] = remaining
+        else:
+            self._label_edge_counts.pop(label_id, None)
+        self._version += 1
+        return True
+
+    def has_edge(self, source: NodeRef, label: str, target: NodeRef) -> bool:
+        try:
+            src = self.node_id(source)
+            dst = self.node_id(target)
+        except NodeNotFoundError:
+            return False
+        label_id = self._labels.lookup(label)
+        if label_id is None:
+            return False
+        return dst in self._out[src].get(label_id, ())
+
+    @property
+    def edge_count(self) -> int:
+        """|E| — counting reverse edges, per the closure assumption."""
+        return self._edge_count
+
+    def edges(self, label: str | None = None) -> Iterator[Edge]:
+        """Iterate edges, optionally restricted to one label."""
+        if label is not None:
+            label_id = self._labels.lookup(label)
+            if label_id is None:
+                return
+            for src in self.nodes():
+                for dst in self._out[src].get(label_id, ()):
+                    yield Edge(src, label, dst)
+            return
+        name = self._labels.name
+        for src in self.nodes():
+            for label_id, targets in self._out[src].items():
+                label_name = name(label_id)
+                for dst in targets:
+                    yield Edge(src, label_name, dst)
+
+    # -- adjacency --------------------------------------------------------
+
+    def neighbors(
+        self, node: NodeRef, label: str | None = None, *, direction: str = "out"
+    ) -> Iterator[int]:
+        """Iterate neighbour ids along ``direction`` ('out' | 'in' | 'both')."""
+        node_id = self.node_id(node)
+        if direction not in ("out", "in", "both"):
+            raise ValueError(f"direction must be out/in/both, got {direction!r}")
+        if label is None:
+            if direction in ("out", "both"):
+                for targets in self._out[node_id].values():
+                    yield from targets
+            if direction in ("in", "both"):
+                for sources in self._in[node_id].values():
+                    yield from sources
+            return
+        label_id = self._labels.lookup(label)
+        if label_id is None:
+            return
+        if direction in ("out", "both"):
+            yield from self._out[node_id].get(label_id, ())
+        if direction in ("in", "both"):
+            yield from self._in[node_id].get(label_id, ())
+
+    def out_edges(self, node: NodeRef) -> Iterator[tuple[str, int]]:
+        """Iterate ``(label, target)`` pairs of out-edges."""
+        node_id = self.node_id(node)
+        name = self._labels.name
+        for label_id, targets in self._out[node_id].items():
+            label_name = name(label_id)
+            for dst in targets:
+                yield (label_name, dst)
+
+    def out_degree(self, node: NodeRef, label: str | None = None) -> int:
+        node_id = self.node_id(node)
+        if label is None:
+            return sum(len(t) for t in self._out[node_id].values())
+        label_id = self._labels.lookup(label)
+        if label_id is None:
+            return 0
+        return len(self._out[node_id].get(label_id, ()))
+
+    def in_degree(self, node: NodeRef, label: str | None = None) -> int:
+        node_id = self.node_id(node)
+        if label is None:
+            return sum(len(s) for s in self._in[node_id].values())
+        label_id = self._labels.lookup(label)
+        if label_id is None:
+            return 0
+        return len(self._in[node_id].get(label_id, ()))
+
+    def out_labels(self, node: NodeRef) -> set[str]:
+        """psi-labels appearing on out-edges of ``node``."""
+        node_id = self.node_id(node)
+        name = self._labels.name
+        return {name(label_id) for label_id in self._out[node_id]}
+
+    def incident_labels(self, nodes: Iterable[NodeRef]) -> set[str]:
+        """``L | nodes`` — labels on edges leaving any of ``nodes``.
+
+        Definition 3 restricts candidate characteristics to this set. Thanks
+        to the inverse closure, out-labels cover incoming relations too.
+        """
+        out: set[str] = set()
+        for node in nodes:
+            out |= self.out_labels(node)
+        return out
+
+    # -- labels -----------------------------------------------------------
+
+    @property
+    def edge_labels(self) -> list[str]:
+        """The vocabulary ``L`` (labels with at least one live edge)."""
+        return [
+            self._labels.name(label_id) for label_id in self._label_edge_counts
+        ]
+
+    def has_edge_label(self, label: str) -> bool:
+        label_id = self._labels.lookup(label)
+        return label_id is not None and label_id in self._label_edge_counts
+
+    def edge_count_by_label(self, label: str) -> int:
+        """|E_l| — the number of edges carrying ``label``."""
+        label_id = self._labels.lookup(label)
+        if label_id is None:
+            return 0
+        return self._label_edge_counts.get(label_id, 0)
+
+    def label_frequency(self, label: str) -> float:
+        """|E_l| / |E| — the frequency used by Equation 1."""
+        label_id = self._labels.lookup(label)
+        if label_id is None or label_id not in self._label_edge_counts:
+            raise EdgeLabelNotFoundError(label)
+        if self._edge_count == 0:  # pragma: no cover - unreachable with live label
+            return 0.0
+        return self._label_edge_counts[label_id] / self._edge_count
+
+    def label_weight(self, label: str) -> float:
+        """``1 - |E_l|/|E|`` — the informativeness weight of Equation 1."""
+        return 1.0 - self.label_frequency(label)
+
+    # -- types --------------------------------------------------------------
+
+    def types_of(self, node: NodeRef) -> set[str]:
+        """Names of the direct type nodes of ``node`` (via ``type`` edges)."""
+        return {self.node_name(t) for t in self.neighbors(node, TYPE_LABEL)}
+
+    def instances_of(self, type_node: NodeRef) -> Iterator[int]:
+        """Nodes whose ``type`` edge points at ``type_node``."""
+        return self.neighbors(type_node, TYPE_LABEL, direction="in")
+
+    # -- misc ---------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; caches keyed on it invalidate automatically."""
+        return self._version
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: |V|={self.node_count}, |E|={self.edge_count}, "
+            f"|L|={len(self._label_edge_counts)}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KnowledgeGraph({self.summary()!r})"
+
+    def __len__(self) -> int:
+        return self.node_count
+
+    # -- internal fast paths (used by repro.walk; ids only, no decoding) ----
+
+    def _out_adjacency(self) -> list[dict[int, set[int]]]:
+        return self._out
+
+    def _label_table(self) -> LabelTable:
+        return self._labels

@@ -1,0 +1,99 @@
+"""Entity search: resolving user-provided names to graph nodes.
+
+The paper assumes "there exists a number of techniques that correctly map
+keywords to nodes in any knowledge graph" [12, 24] and takes node sets as
+input. This module supplies that mapping layer: exact lookup, normalized
+lookup (case / underscore / punctuation folding) and fuzzy fallback, so the
+examples and the CLI can accept names like ``"angela merkel"``.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+import unicodedata
+from collections.abc import Iterable
+
+from repro.errors import EntityResolutionError
+from repro.graph.model import KnowledgeGraph
+
+_PUNCT_RE = re.compile(r"[\s_\-.,:;'\"()]+")
+
+
+def normalize_name(name: str) -> str:
+    """Fold case, accents, punctuation and runs of separators.
+
+    >>> normalize_name("Angela  Merkel") == normalize_name("angela_merkel")
+    True
+    """
+    decomposed = unicodedata.normalize("NFKD", name)
+    stripped = "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+    return _PUNCT_RE.sub(" ", stripped).strip().lower()
+
+
+class EntityIndex:
+    """Name -> node-id resolution over a :class:`KnowledgeGraph`.
+
+    Builds lazily and refreshes when the graph mutates.
+
+    >>> from repro.graph.builder import GraphBuilder
+    >>> g = GraphBuilder().typed("Angela_Merkel", "politician").build()
+    >>> index = EntityIndex(g)
+    >>> index.resolve("angela merkel") == g.node_id("Angela_Merkel")
+    True
+    """
+
+    def __init__(self, graph: KnowledgeGraph) -> None:
+        self._graph = graph
+        self._version = -1
+        self._normalized: dict[str, list[int]] = {}
+
+    def _refresh(self) -> None:
+        graph = self._graph
+        if graph.version == self._version:
+            return
+        self._normalized = {}
+        for node_id in graph.nodes():
+            key = normalize_name(graph.node_name(node_id))
+            self._normalized.setdefault(key, []).append(node_id)
+        self._version = graph.version
+
+    def lookup(self, name: str) -> list[int]:
+        """All nodes whose normalized name equals normalized ``name``."""
+        graph = self._graph
+        if graph.has_node(name):
+            return [graph.node_id(name)]
+        self._refresh()
+        return list(self._normalized.get(normalize_name(name), ()))
+
+    def resolve(self, name: str) -> int:
+        """Resolve ``name`` to exactly one node id.
+
+        Raises :class:`EntityResolutionError` carrying up to five fuzzy
+        candidates when the name is unknown, and when it is ambiguous.
+        """
+        matches = self.lookup(name)
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            names = tuple(sorted(self._graph.node_name(m) for m in matches)[:5])
+            raise EntityResolutionError(name, names)
+        raise EntityResolutionError(name, tuple(self.suggest(name)))
+
+    def resolve_all(self, names: Iterable[str]) -> list[int]:
+        """Resolve several names, preserving order."""
+        return [self.resolve(name) for name in names]
+
+    def suggest(self, name: str, *, limit: int = 5) -> list[str]:
+        """Fuzzy candidates for an unknown name (closest node names)."""
+        self._refresh()
+        key = normalize_name(name)
+        close = difflib.get_close_matches(key, self._normalized.keys(), n=limit, cutoff=0.6)
+        out: list[str] = []
+        for candidate in close:
+            for node_id in self._normalized[candidate]:
+                out.append(self._graph.node_name(node_id))
+        return out[:limit]
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and bool(self.lookup(name))

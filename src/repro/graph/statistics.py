@@ -1,0 +1,129 @@
+"""Graph statistics: label frequencies, informativeness weights, degrees.
+
+These power Equation 1 (the label-frequency weighting of the random walk)
+and the dataset summaries reported alongside the experiments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.graph.labels import TYPE_LABEL, is_inverse_label
+from repro.graph.model import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Five-number-ish summary of a degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+
+    @classmethod
+    def from_values(cls, values: list[int]) -> "DegreeSummary":
+        if not values:
+            return cls(0, 0, 0.0, 0.0)
+        ordered = sorted(values)
+        n = len(ordered)
+        median = (
+            float(ordered[n // 2])
+            if n % 2
+            else (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
+        )
+        return cls(ordered[0], ordered[-1], sum(ordered) / n, median)
+
+
+class GraphStatistics:
+    """Cached, version-aware statistics for a :class:`KnowledgeGraph`."""
+
+    def __init__(self, graph: KnowledgeGraph) -> None:
+        self._graph = graph
+        self._version = -1
+        self._frequencies: dict[str, float] = {}
+        self._weights: dict[str, float] = {}
+
+    def _refresh(self) -> None:
+        graph = self._graph
+        if graph.version == self._version:
+            return
+        total = graph.edge_count
+        self._frequencies = {}
+        self._weights = {}
+        for label in graph.edge_labels:
+            count = graph.edge_count_by_label(label)
+            freq = count / total if total else 0.0
+            self._frequencies[label] = freq
+            self._weights[label] = 1.0 - freq
+        self._version = graph.version
+
+    # -- label statistics ----------------------------------------------------
+
+    def label_frequencies(self) -> dict[str, float]:
+        """``{label: |E_l| / |E|}`` for every live label."""
+        self._refresh()
+        return dict(self._frequencies)
+
+    def label_weights(self) -> dict[str, float]:
+        """``{label: 1 - |E_l|/|E|}`` — Equation 1's informativeness weights."""
+        self._refresh()
+        return dict(self._weights)
+
+    def weight(self, label: str) -> float:
+        self._refresh()
+        try:
+            return self._weights[label]
+        except KeyError:
+            raise KeyError(f"unknown edge label: {label!r}") from None
+
+    def most_frequent_labels(self, limit: int = 10) -> list[tuple[str, float]]:
+        self._refresh()
+        ordered = sorted(self._frequencies.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ordered[:limit]
+
+    def most_informative_labels(self, limit: int = 10) -> list[tuple[str, float]]:
+        """Labels with the highest Equation-1 weight (rarest labels)."""
+        self._refresh()
+        ordered = sorted(self._weights.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ordered[:limit]
+
+    # -- degree statistics -----------------------------------------------------
+
+    def out_degree_summary(self) -> DegreeSummary:
+        graph = self._graph
+        return DegreeSummary.from_values(
+            [graph.out_degree(node) for node in graph.nodes()]
+        )
+
+    def degree_histogram(self) -> Counter:
+        """``Counter{out_degree: node count}``."""
+        graph = self._graph
+        return Counter(graph.out_degree(node) for node in graph.nodes())
+
+    # -- type statistics --------------------------------------------------------
+
+    def type_population(self) -> Counter:
+        """``Counter{type name: number of direct instances}``."""
+        graph = self._graph
+        counts: Counter = Counter()
+        for edge in graph.edges(TYPE_LABEL):
+            counts[graph.node_name(edge.target)] += 1
+        return counts
+
+    # -- dataset summary ---------------------------------------------------------
+
+    def describe(self) -> dict[str, object]:
+        """A dataset card in the shape the paper reports datasets."""
+        graph = self._graph
+        forward_labels = [l for l in graph.edge_labels if not is_inverse_label(l)]
+        forward_edges = sum(graph.edge_count_by_label(l) for l in forward_labels)
+        return {
+            "name": graph.name,
+            "nodes": graph.node_count,
+            "edges_forward": forward_edges,
+            "edges_with_inverse": graph.edge_count,
+            "edge_labels_forward": len(forward_labels),
+            "node_types": len(self.type_population()),
+        }

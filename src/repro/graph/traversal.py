@@ -1,0 +1,98 @@
+"""Traversal helpers: BFS distances, ego networks, label-constrained steps."""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.graph.model import KnowledgeGraph, NodeRef
+
+
+def bfs_distances(
+    graph: KnowledgeGraph,
+    sources: Iterable[NodeRef],
+    *,
+    max_depth: int | None = None,
+    direction: str = "out",
+) -> dict[int, int]:
+    """Hop distances from ``sources`` to every reachable node.
+
+    With the inverse closure in place, ``direction='out'`` already explores
+    the graph as if it were undirected (reverse edges are real edges).
+    """
+    source_ids = [graph.node_id(s) for s in sources]
+    distances: dict[int, int] = {}
+    queue: deque[tuple[int, int]] = deque()
+    for source in source_ids:
+        if source not in distances:
+            distances[source] = 0
+            queue.append((source, 0))
+    while queue:
+        node, depth = queue.popleft()
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for neighbor in graph.neighbors(node, direction=direction):
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                queue.append((neighbor, depth + 1))
+    return distances
+
+
+def ego_nodes(
+    graph: KnowledgeGraph, center: NodeRef, radius: int = 1
+) -> set[int]:
+    """Nodes within ``radius`` hops of ``center`` (including it)."""
+    return set(bfs_distances(graph, [center], max_depth=radius))
+
+
+def follow_label(
+    graph: KnowledgeGraph, nodes: Iterable[NodeRef], label: str
+) -> set[int]:
+    """One label-constrained expansion step: targets of ``label`` edges."""
+    out: set[int] = set()
+    for node in nodes:
+        out.update(graph.neighbors(node, label))
+    return out
+
+
+def follow_label_counted(
+    graph: KnowledgeGraph, node_counts: dict[int, int], label: str
+) -> dict[int, int]:
+    """Path-counting expansion step.
+
+    Given ``{node: number of partial paths ending there}``, push the counts
+    across every ``label`` edge. This is the work-horse of metapath-
+    constrained path counting (the ``|{n ~m~> n'}|`` terms of Section 3.1).
+    """
+    out: dict[int, int] = {}
+    for node, count in node_counts.items():
+        for target in graph.neighbors(node, label):
+            out[target] = out.get(target, 0) + count
+    return out
+
+
+def nodes_with_label(graph: KnowledgeGraph, label: str) -> set[int]:
+    """All nodes having at least one out-edge labelled ``label``."""
+    out: set[int] = set()
+    for edge in graph.edges(label):
+        out.add(edge.source)
+    return out
+
+
+def to_networkx(graph: KnowledgeGraph):
+    """Export to a :class:`networkx.MultiDiGraph` (names as nodes).
+
+    Handy for visualization and for cross-checking invariants in tests.
+    """
+    import networkx as nx
+
+    nx_graph = nx.MultiDiGraph(name=graph.name)
+    for node in graph.nodes():
+        nx_graph.add_node(graph.node_name(node))
+    for edge in graph.edges():
+        nx_graph.add_edge(
+            graph.node_name(edge.source),
+            graph.node_name(edge.target),
+            label=edge.label,
+        )
+    return nx_graph

@@ -1,0 +1,37 @@
+"""Statistical machinery for distribution comparison (Section 3.2).
+
+The centrepiece is the exact multinomial test with Monte-Carlo fallback
+(the paper's footnote 1); KL divergence, Earth Mover's Distance and the
+classical chi-square / z tests are provided as the comparison baselines the
+paper discusses and dismisses.
+"""
+
+from repro.stats.divergence import js_divergence, kl_divergence
+from repro.stats.emd import earth_movers_distance_1d, total_variation_distance
+from repro.stats.histograms import align_count_maps, counts_to_probabilities
+from repro.stats.multinomial import (
+    MultinomialTestResult,
+    exact_multinomial_test,
+    log_multinomial_pmf,
+    montecarlo_multinomial_test,
+    multinomial_test,
+    number_of_compositions,
+)
+from repro.stats.tests import chi_square_test, two_proportion_z_test
+
+__all__ = [
+    "MultinomialTestResult",
+    "align_count_maps",
+    "chi_square_test",
+    "counts_to_probabilities",
+    "earth_movers_distance_1d",
+    "exact_multinomial_test",
+    "js_divergence",
+    "kl_divergence",
+    "log_multinomial_pmf",
+    "montecarlo_multinomial_test",
+    "multinomial_test",
+    "number_of_compositions",
+    "total_variation_distance",
+    "two_proportion_z_test",
+]

@@ -1,0 +1,74 @@
+"""Kullback-Leibler and Jensen-Shannon divergences.
+
+The paper rejects KL for the main method because the query distribution is
+sparse ("this leads to many zero values in the query-distribution" and KL
+is undefined when the reference has zeros the sample does not). For the
+metrics-comparison experiment (Section 4.2) KL is still evaluated as a
+baseline; additive smoothing makes it total, as any practical use must.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StatisticsError
+from repro.util.validation import normalize_counts
+
+
+def _prepare(p, q, smoothing: float) -> tuple[np.ndarray, np.ndarray]:
+    p_arr = np.asarray(p, dtype=np.float64)
+    q_arr = np.asarray(q, dtype=np.float64)
+    if p_arr.shape != q_arr.shape or p_arr.ndim != 1:
+        raise StatisticsError("p and q must be 1-D vectors of equal length")
+    if p_arr.size == 0:
+        raise StatisticsError("empty support")
+    if np.any(p_arr < 0) or np.any(q_arr < 0):
+        raise StatisticsError("probabilities/counts must be non-negative")
+    if smoothing < 0:
+        raise StatisticsError("smoothing must be non-negative")
+    if smoothing > 0:
+        p_arr = p_arr + smoothing
+        q_arr = q_arr + smoothing
+    return (
+        normalize_counts(p_arr, "p"),
+        normalize_counts(q_arr, "q"),
+    )
+
+
+def kl_divergence(
+    p: "np.ndarray | list[float]",
+    q: "np.ndarray | list[float]",
+    *,
+    smoothing: float = 1e-9,
+) -> float:
+    """``KL(P || Q)`` in nats, with additive smoothing (default tiny).
+
+    Raises when ``smoothing == 0`` and ``Q`` has a zero where ``P`` does
+    not (the divergence is infinite) — exactly the failure mode the paper
+    cites for sparse query distributions.
+    """
+    p_arr, q_arr = _prepare(p, q, smoothing)
+    mask = p_arr > 0
+    if np.any(q_arr[mask] == 0):
+        raise StatisticsError(
+            "KL divergence undefined: q has zero mass where p is positive "
+            "(use smoothing > 0)"
+        )
+    return float(np.sum(p_arr[mask] * np.log(p_arr[mask] / q_arr[mask])))
+
+
+def js_divergence(
+    p: "np.ndarray | list[float]",
+    q: "np.ndarray | list[float]",
+    *,
+    smoothing: float = 0.0,
+) -> float:
+    """Jensen-Shannon divergence (symmetric, bounded by ``log 2``)."""
+    p_arr, q_arr = _prepare(p, q, smoothing)
+    mixture = 0.5 * (p_arr + q_arr)
+
+    def _kl(a: np.ndarray, b: np.ndarray) -> float:
+        mask = a > 0
+        return float(np.sum(a[mask] * np.log(a[mask] / b[mask])))
+
+    return 0.5 * _kl(p_arr, mixture) + 0.5 * _kl(q_arr, mixture)

@@ -1,0 +1,81 @@
+"""Support alignment for paired distributions.
+
+``Inst_q`` and ``Inst_c`` "have the same size, so x_i is zero if i appears
+only in the context" (Section 3.2). These helpers align two count maps over
+the union of their supports with a deterministic ordering, producing the
+paired vectors every comparison routine consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+from typing import TypeVar
+
+import numpy as np
+
+from repro.errors import StatisticsError
+
+K = TypeVar("K", bound=Hashable)
+
+
+def align_count_maps(
+    query_counts: Mapping[K, int],
+    context_counts: Mapping[K, int],
+    *,
+    order: "Sequence[K] | None" = None,
+) -> tuple[list[K], np.ndarray, np.ndarray]:
+    """Align two ``{value: count}`` maps over their union support.
+
+    Returns ``(support, x, y)`` where ``x`` holds the query counts and
+    ``y`` the context counts, both over the same ``support``. The default
+    ordering is by decreasing context count, then decreasing query count,
+    then by the string form of the value — deterministic, and it puts the
+    context's dominant values first, matching the figures in the paper.
+    """
+    for name, counts in (("query", query_counts), ("context", context_counts)):
+        for value, count in counts.items():
+            if not isinstance(count, (int, np.integer)):
+                raise StatisticsError(f"{name} count for {value!r} is not an int")
+            if count < 0:
+                raise StatisticsError(f"{name} count for {value!r} is negative")
+    union: set[K] = set(query_counts) | set(context_counts)
+    if order is not None:
+        missing = union.difference(order)
+        if missing:
+            raise StatisticsError(f"explicit order misses values: {sorted(map(str, missing))!r}")
+        support = [value for value in order if value in union]
+    else:
+        support = sorted(
+            union,
+            key=lambda value: (
+                -context_counts.get(value, 0),
+                -query_counts.get(value, 0),
+                str(value),
+            ),
+        )
+    x = np.array([query_counts.get(value, 0) for value in support], dtype=np.int64)
+    y = np.array([context_counts.get(value, 0) for value in support], dtype=np.int64)
+    return support, x, y
+
+
+def counts_to_probabilities(counts: np.ndarray) -> np.ndarray:
+    """``normalize(y)`` of the paper — counts to a probability vector."""
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise StatisticsError("counts must be a non-empty 1-D vector")
+    if np.any(arr < 0):
+        raise StatisticsError("counts must be non-negative")
+    total = arr.sum()
+    if total <= 0:
+        raise StatisticsError("cannot normalize an all-zero count vector")
+    return arr / total
+
+
+def cardinality_histogram(values: "Sequence[int]") -> dict[int, int]:
+    """``{cardinality: how many nodes have it}`` from per-node cardinalities."""
+    out: dict[int, int] = {}
+    for value in values:
+        if value < 0:
+            raise StatisticsError("cardinalities must be non-negative")
+        out[value] = out.get(value, 0) + 1
+    return out

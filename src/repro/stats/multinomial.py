@@ -1,0 +1,222 @@
+"""The exact multinomial test (and its Monte-Carlo approximation).
+
+Given a hypothesised multinomial distribution ``pi`` (the normalized
+context distribution) and an observed count vector ``x`` (the query
+distribution), the significance probability is::
+
+    Pr_s(X ~ Mult(N, pi) = x) = sum over { y : Pr(y) <= Pr(x) } of Pr(y)
+
+i.e. the total probability of outcomes at most as likely as the one
+observed (an exact, two-sided-by-construction test). The paper: "In case of
+large N, the exact test is impractical, a Montecarlo sampling to
+approximate the final result is performed."
+
+The characteristic score is ``MT = 1 - Pr_s`` when ``Pr_s <= alpha`` (the
+hypothesis of equality is rejected) and ``0`` otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StatisticsError
+from repro.util.rng import RandomSource, ensure_numpy_rng
+
+#: Relative tolerance when comparing outcome log-probabilities for the
+#: "equally or less likely" cut. Guards against float noise making the
+#: observed outcome "more likely than itself".
+LOG_TIE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class MultinomialTestResult:
+    """Outcome of a multinomial test.
+
+    ``p_value`` is the significance probability ``Pr_s``; ``score`` is the
+    paper's ``MT`` statistic (0 when not significant, ``1 - Pr_s`` when
+    significant at ``alpha``).
+    """
+
+    p_value: float
+    alpha: float
+    n: int
+    support: int
+    method: str  # "exact" | "montecarlo" | "degenerate"
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value <= self.alpha
+
+    @property
+    def score(self) -> float:
+        return 1.0 - self.p_value if self.significant else 0.0
+
+
+def _validate(pi: np.ndarray, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pi = np.asarray(pi, dtype=np.float64)
+    x = np.asarray(x, dtype=np.int64)
+    if pi.ndim != 1 or x.ndim != 1:
+        raise StatisticsError("pi and x must be 1-D vectors")
+    if pi.size != x.size:
+        raise StatisticsError(
+            f"support mismatch: pi has {pi.size} cells, x has {x.size}"
+        )
+    if pi.size == 0:
+        raise StatisticsError("empty support")
+    if np.any(pi < 0):
+        raise StatisticsError("pi must be non-negative")
+    total = float(pi.sum())
+    if total <= 0:
+        raise StatisticsError("pi must have positive mass")
+    if abs(total - 1.0) > 1e-6:
+        raise StatisticsError(f"pi must sum to 1 (got {total}); normalize first")
+    if np.any(x < 0):
+        raise StatisticsError("observed counts must be non-negative")
+    return pi / total, x
+
+
+def log_multinomial_pmf(pi: np.ndarray, x: np.ndarray) -> float:
+    """``log Pr(X = x)`` for ``X ~ Mult(sum(x), pi)``; ``-inf`` if impossible."""
+    pi = np.asarray(pi, dtype=np.float64)
+    x = np.asarray(x, dtype=np.int64)
+    if np.any((pi == 0) & (x > 0)):
+        return float("-inf")
+    n = int(x.sum())
+    log_p = math.lgamma(n + 1)
+    for count, prob in zip(x.tolist(), pi.tolist()):
+        if count:
+            log_p += count * math.log(prob) - math.lgamma(count + 1)
+    return log_p
+
+
+def number_of_compositions(n: int, k: int) -> int:
+    """Number of ways to write ``n`` as an ordered sum of ``k`` non-negatives.
+
+    ``C(n + k - 1, k - 1)`` — the size of the exact test's outcome space.
+    """
+    if n < 0 or k < 1:
+        raise StatisticsError(f"invalid composition parameters n={n}, k={k}")
+    return math.comb(n + k - 1, k - 1)
+
+
+def _iter_compositions(n: int, k: int):
+    """Yield all count vectors of length ``k`` summing to ``n`` (as lists)."""
+    if k == 1:
+        yield [n]
+        return
+    for first in range(n + 1):
+        for rest in _iter_compositions(n - first, k - 1):
+            yield [first] + rest
+
+
+def exact_multinomial_test(
+    pi: "np.ndarray | list[float]",
+    x: "np.ndarray | list[int]",
+    *,
+    alpha: float = 0.05,
+) -> MultinomialTestResult:
+    """Enumerate the full outcome space and sum probabilities ``<= Pr(x)``.
+
+    Cells with ``pi == 0`` are excluded from enumeration: any outcome
+    placing counts there has probability zero and cannot contribute to
+    ``Pr_s``. If the *observed* vector places counts on a zero cell,
+    ``Pr(x) = 0`` and ``Pr_s = 0`` (maximal significance) — the "query
+    exhibits a value the context never shows" case.
+    """
+    pi_arr, x_arr = _validate(np.asarray(pi), np.asarray(x))
+    n = int(x_arr.sum())
+    if n == 0:
+        # No observations: the test is vacuous, never significant.
+        return MultinomialTestResult(1.0, alpha, 0, pi_arr.size, "degenerate")
+    if np.any((pi_arr == 0) & (x_arr > 0)):
+        return MultinomialTestResult(0.0, alpha, n, pi_arr.size, "exact")
+    support = np.flatnonzero(pi_arr > 0)
+    pi_pos = pi_arr[support]
+    x_pos = x_arr[support]
+    log_px = log_multinomial_pmf(pi_pos, x_pos)
+    threshold = log_px + LOG_TIE_TOLERANCE
+    total = 0.0
+    for outcome in _iter_compositions(n, int(pi_pos.size)):
+        log_py = log_multinomial_pmf(pi_pos, np.asarray(outcome))
+        if log_py <= threshold:
+            total += math.exp(log_py)
+    return MultinomialTestResult(min(total, 1.0), alpha, n, pi_arr.size, "exact")
+
+
+def montecarlo_multinomial_test(
+    pi: "np.ndarray | list[float]",
+    x: "np.ndarray | list[int]",
+    *,
+    alpha: float = 0.05,
+    samples: int = 20_000,
+    rng: RandomSource = None,
+) -> MultinomialTestResult:
+    """Estimate ``Pr_s`` from ``samples`` multinomial draws.
+
+    Uses the add-one estimator ``(hits + 1) / (samples + 1)`` which is never
+    zero — the exact ``Pr_s`` cannot be zero either when ``Pr(x) > 0``
+    (the observed outcome itself is always counted).
+    """
+    if samples < 1:
+        raise StatisticsError(f"samples must be >= 1, got {samples}")
+    pi_arr, x_arr = _validate(np.asarray(pi), np.asarray(x))
+    n = int(x_arr.sum())
+    if n == 0:
+        return MultinomialTestResult(1.0, alpha, 0, pi_arr.size, "degenerate")
+    if np.any((pi_arr == 0) & (x_arr > 0)):
+        return MultinomialTestResult(0.0, alpha, n, pi_arr.size, "montecarlo")
+    generator = ensure_numpy_rng(rng)
+    log_px = log_multinomial_pmf(pi_arr, x_arr)
+    threshold = log_px + LOG_TIE_TOLERANCE
+    draws = generator.multinomial(n, pi_arr, size=samples)
+    # Vectorized log-pmf over all draws.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_pi = np.where(pi_arr > 0, np.log(np.maximum(pi_arr, 1e-300)), 0.0)
+    log_probs = (
+        math.lgamma(n + 1)
+        + draws @ log_pi
+        - _lgamma_rows(draws)
+    )
+    hits = int(np.count_nonzero(log_probs <= threshold))
+    p_value = (hits + 1) / (samples + 1)
+    return MultinomialTestResult(min(p_value, 1.0), alpha, n, pi_arr.size, "montecarlo")
+
+
+def _lgamma_rows(draws: np.ndarray) -> np.ndarray:
+    """Row-wise ``sum(lgamma(count + 1))`` for integer draw matrices."""
+    max_count = int(draws.max(initial=0))
+    table = np.array([math.lgamma(i + 1) for i in range(max_count + 1)])
+    return table[draws].sum(axis=1)
+
+
+def multinomial_test(
+    pi: "np.ndarray | list[float]",
+    x: "np.ndarray | list[int]",
+    *,
+    alpha: float = 0.05,
+    max_exact_outcomes: int = 200_000,
+    samples: int = 20_000,
+    rng: RandomSource = None,
+) -> MultinomialTestResult:
+    """Exact test when the outcome space is tractable, else Monte-Carlo.
+
+    The outcome space has ``C(N + k - 1, k - 1)`` points for ``N``
+    observations over ``k`` positive-probability cells; beyond
+    ``max_exact_outcomes`` the Monte-Carlo estimator takes over (the
+    paper's footnote 1).
+    """
+    pi_arr, x_arr = _validate(np.asarray(pi), np.asarray(x))
+    n = int(x_arr.sum())
+    k = int(np.count_nonzero(pi_arr > 0))
+    if n == 0:
+        return MultinomialTestResult(1.0, alpha, 0, pi_arr.size, "degenerate")
+    if k == 0 or np.any((pi_arr == 0) & (x_arr > 0)):
+        return MultinomialTestResult(0.0, alpha, n, pi_arr.size, "exact")
+    if number_of_compositions(n, k) <= max_exact_outcomes:
+        return exact_multinomial_test(pi_arr, x_arr, alpha=alpha)
+    return montecarlo_multinomial_test(
+        pi_arr, x_arr, alpha=alpha, samples=samples, rng=rng
+    )

@@ -1,0 +1,84 @@
+"""N-Triples parsing and serialization.
+
+A pragmatic subset of the W3C N-Triples grammar covering everything YAGO
+and LinkedMDB dumps use: IRIs, plain literals, language-tagged literals and
+datatyped literals. Blank nodes are intentionally rejected (the datasets do
+not contain them and Definition 1 has no place for unlabeled nodes).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ParseError
+from repro.store.terms import IRI, Literal, Term, unescape_literal
+from repro.store.triples import Triple
+
+_IRI_RE = r"<([^<>\"{}|^`\\\s]*)>"
+_LITERAL_RE = r'"((?:[^"\\]|\\.)*)"(?:@([a-zA-Z][a-zA-Z0-9-]*)|\^\^<([^<>\s]*)>)?'
+_TRIPLE_RE = re.compile(
+    rf"^\s*{_IRI_RE}\s+{_IRI_RE}\s+(?:{_IRI_RE}|{_LITERAL_RE})\s*\.\s*$"
+)
+_COMMENT_RE = re.compile(r"^\s*(#.*)?$")
+
+
+def parse_ntriples_line(line: str, line_number: int | None = None) -> Triple | None:
+    """Parse a single N-Triples line; return ``None`` for blanks/comments."""
+    if _COMMENT_RE.match(line):
+        return None
+    match = _TRIPLE_RE.match(line)
+    if match is None:
+        raise ParseError(f"not a valid N-Triples statement: {line.strip()!r}", line_number)
+    subj_iri, pred_iri, obj_iri, lit_value, lit_lang, lit_dtype = match.groups()
+    subject = IRI(subj_iri)
+    predicate = IRI(pred_iri)
+    obj: Term
+    if obj_iri is not None:
+        obj = IRI(obj_iri)
+    else:
+        obj = Literal(
+            unescape_literal(lit_value),
+            datatype=lit_dtype,
+            language=lit_lang,
+        )
+    return Triple(subject, predicate, obj)
+
+
+def parse_ntriples(text: "str | Iterable[str]") -> Iterator[Triple]:
+    """Parse N-Triples from a string or an iterable of lines.
+
+    >>> list(parse_ntriples('<a> <b> "x" .'))
+    [Triple(subject=IRI(value='a'), predicate=IRI(value='b'), \
+object=Literal(value='x', datatype=None, language=None))]
+    """
+    lines = text.splitlines() if isinstance(text, str) else text
+    for number, line in enumerate(lines, start=1):
+        triple = parse_ntriples_line(line, number)
+        if triple is not None:
+            yield triple
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize triples to N-Triples text (one statement per line)."""
+    return "\n".join(t.n3() for t in triples)
+
+
+def load_ntriples_file(path: str) -> Iterator[Triple]:
+    """Stream-parse an N-Triples file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            triple = parse_ntriples_line(line, number)
+            if triple is not None:
+                yield triple
+
+
+def save_ntriples_file(path: str, triples: Iterable[Triple]) -> int:
+    """Write triples to ``path``; return the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for triple in triples:
+            handle.write(triple.n3())
+            handle.write("\n")
+            count += 1
+    return count

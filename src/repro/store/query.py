@@ -1,0 +1,184 @@
+"""Basic graph pattern (BGP) evaluation over a :class:`TripleStore`.
+
+A tiny conjunctive-query engine in the spirit of SPARQL BGPs: a query is a
+set of triple patterns whose positions may hold variables; evaluation binds
+variables via index nested-loop joins, picking the most selective pattern
+next (a classic greedy join order driven by the store's cardinality
+estimates). This is what "traversals through Jena" amount to in the paper's
+implementation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.store.terms import IRI, Term, coerce_term
+from repro.store.triplestore import TripleStore
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A query variable such as ``?x``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name.startswith("?"):
+            raise ValueError("variable names are written without the '?' prefix")
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A position in a triple pattern: bound term or variable.
+PatternTerm = "Term | Variable"
+
+#: A variable binding produced by query evaluation.
+Binding = dict[str, Term]
+
+
+def _coerce_pattern_term(value: "Term | Variable | str") -> "Term | Variable":
+    if isinstance(value, Variable):
+        return value
+    if isinstance(value, str) and value.startswith("?"):
+        return Variable(value[1:])
+    return coerce_term(value)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """A triple whose positions may be variables.
+
+    >>> p = TriplePattern.of("?x", "leaderOf", "germany")
+    >>> sorted(p.variables())
+    ['x']
+    """
+
+    subject: "Term | Variable"
+    predicate: "Term | Variable"
+    object: "Term | Variable"
+
+    @classmethod
+    def of(
+        cls,
+        subject: "Term | Variable | str",
+        predicate: "Term | Variable | str",
+        obj: "Term | Variable | str",
+    ) -> "TriplePattern":
+        return cls(
+            _coerce_pattern_term(subject),
+            _coerce_pattern_term(predicate),
+            _coerce_pattern_term(obj),
+        )
+
+    def variables(self) -> set[str]:
+        return {
+            t.name
+            for t in (self.subject, self.predicate, self.object)
+            if isinstance(t, Variable)
+        }
+
+    def bind(self, binding: Binding) -> "TriplePattern":
+        """Substitute bound variables with their terms."""
+
+        def sub(term: "Term | Variable") -> "Term | Variable":
+            if isinstance(term, Variable) and term.name in binding:
+                return binding[term.name]
+            return term
+
+        return TriplePattern(sub(self.subject), sub(self.predicate), sub(self.object))
+
+    def _bound_or_none(self, term: "Term | Variable") -> Term | None:
+        return None if isinstance(term, Variable) else term
+
+
+class BGPQuery:
+    """A conjunction of triple patterns.
+
+    >>> store = TripleStore()
+    >>> from repro.store.triples import Triple
+    >>> _ = store.add(Triple.of("merkel", "leaderOf", "germany"))
+    >>> _ = store.add(Triple.of("obama", "leaderOf", "usa"))
+    >>> q = BGPQuery([TriplePattern.of("?who", "leaderOf", "?where")])
+    >>> len(list(q.evaluate(store)))
+    2
+    """
+
+    def __init__(self, patterns: Sequence[TriplePattern]) -> None:
+        if not patterns:
+            raise ValueError("a BGP needs at least one pattern")
+        self.patterns = list(patterns)
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for pattern in self.patterns:
+            out |= pattern.variables()
+        return out
+
+    def evaluate(self, store: TripleStore) -> Iterator[Binding]:
+        """Yield all variable bindings satisfying every pattern."""
+        yield from self._evaluate(store, list(self.patterns), {})
+
+    def _evaluate(
+        self, store: TripleStore, remaining: list[TriplePattern], binding: Binding
+    ) -> Iterator[Binding]:
+        if not remaining:
+            yield dict(binding)
+            return
+        index = self._most_selective(store, remaining, binding)
+        pattern = remaining[index]
+        rest = remaining[:index] + remaining[index + 1 :]
+        bound = pattern.bind(binding)
+        s = bound._bound_or_none(bound.subject)
+        p = bound._bound_or_none(bound.predicate)
+        o = bound._bound_or_none(bound.object)
+        if p is not None and not isinstance(p, IRI):
+            return  # a literal bound into predicate position can never match
+        if s is not None and not isinstance(s, IRI):
+            return
+        for triple in store.match(s, p, o):  # type: ignore[arg-type]
+            extended = dict(binding)
+            consistent = True
+            for var_term, value in (
+                (bound.subject, triple.subject),
+                (bound.predicate, triple.predicate),
+                (bound.object, triple.object),
+            ):
+                if isinstance(var_term, Variable):
+                    existing = extended.get(var_term.name)
+                    if existing is None:
+                        extended[var_term.name] = value
+                    elif existing != value:
+                        consistent = False
+                        break
+            if consistent:
+                yield from self._evaluate(store, rest, extended)
+
+    def _most_selective(
+        self, store: TripleStore, patterns: list[TriplePattern], binding: Binding
+    ) -> int:
+        """Greedy join order: evaluate the lowest-cardinality pattern next."""
+        best_index = 0
+        best_cost: float = float("inf")
+        for i, pattern in enumerate(patterns):
+            bound = pattern.bind(binding)
+            s = bound._bound_or_none(bound.subject)
+            p = bound._bound_or_none(bound.predicate)
+            o = bound._bound_or_none(bound.object)
+            if (s is not None and not isinstance(s, IRI)) or (
+                p is not None and not isinstance(p, IRI)
+            ):
+                return i  # dead pattern: zero results, pick it to prune early
+            # S+O (P free) has no O(1) estimate; approximate with min of sides.
+            if s is not None and o is not None and p is None:
+                cost = min(store.count(subject=s), store.count(obj=o))
+            else:
+                cost = store.count(s, p, o)  # type: ignore[arg-type]
+            if cost < best_cost:
+                best_cost = cost
+                best_index = i
+        return best_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BGPQuery({self.patterns!r})"

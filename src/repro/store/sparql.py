@@ -1,0 +1,148 @@
+"""A minimal SPARQL ``SELECT`` front-end over the BGP evaluator.
+
+The paper's system sits on Apache Jena, whose native query language is
+SPARQL. This module implements the pragmatic subset needed to express the
+traversals the paper performs — single ``SELECT`` queries over one basic
+graph pattern, with ``DISTINCT`` and ``LIMIT``::
+
+    SELECT ?who ?where WHERE {
+        ?who <type> <politician> .
+        ?who <isLeaderOf> ?where .
+    } LIMIT 10
+
+Terms are written as ``<iri>``, ``"literal"`` or ``?variable``. No
+prefixes, filters, optionals or property paths — those are outside the
+paper's usage.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.store.query import BGPQuery, Binding, TriplePattern, Variable
+from repro.store.terms import IRI, Literal, Term
+from repro.store.triplestore import TripleStore
+
+_SELECT_RE = re.compile(
+    r"^\s*SELECT\s+(?P<distinct>DISTINCT\s+)?(?P<projection>\*|(?:\?\w+\s*)+)"
+    r"\s*WHERE\s*\{(?P<body>.*)\}"
+    r"\s*(?:LIMIT\s+(?P<limit>\d+))?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_TERM_RE = re.compile(
+    r"\s*(?:"
+    r"<(?P<iri>[^<>\"{}|^`\\\s]*)>"
+    r"|\"(?P<literal>(?:[^\"\\]|\\.)*)\""
+    r"|\?(?P<variable>\w+)"
+    r")\s*"
+)
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A parsed ``SELECT`` query."""
+
+    variables: tuple[str, ...]  # empty = SELECT *
+    pattern: BGPQuery
+    distinct: bool = False
+    limit: int | None = None
+
+    def execute(self, store: TripleStore) -> Iterator[Binding]:
+        """Yield projected bindings from ``store``."""
+        produced = 0
+        seen: set[tuple] = set()
+        for binding in self.pattern.evaluate(store):
+            projected = self._project(binding)
+            if self.distinct:
+                key = tuple(sorted((k, v) for k, v in projected.items()))
+                if key in seen:
+                    continue
+                seen.add(key)
+            yield projected
+            produced += 1
+            if self.limit is not None and produced >= self.limit:
+                return
+
+    def _project(self, binding: Binding) -> Binding:
+        if not self.variables:
+            return dict(binding)
+        return {name: binding[name] for name in self.variables if name in binding}
+
+
+def _parse_term(token: str, position: str) -> "Term | Variable":
+    match = _TERM_RE.fullmatch(token)
+    if match is None:
+        raise ParseError(f"cannot parse {position} term: {token!r}")
+    if match.group("iri") is not None:
+        return IRI(match.group("iri"))
+    if match.group("literal") is not None:
+        from repro.store.terms import unescape_literal
+
+        return Literal(unescape_literal(match.group("literal")))
+    return Variable(match.group("variable"))
+
+
+def _split_statements(body: str) -> list[str]:
+    """Split the WHERE body on '.' separators that end statements."""
+    statements = []
+    for raw in body.split(" ."):
+        raw = raw.strip().rstrip(".").strip()
+        if raw:
+            statements.append(raw)
+    return statements
+
+
+_TRIPLE_SPLIT_RE = re.compile(
+    r"(<[^<>\s]*>|\"(?:[^\"\\]|\\.)*\"|\?\w+)"
+)
+
+
+def parse_select(text: str) -> SelectQuery:
+    """Parse a ``SELECT`` query string.
+
+    Raises :class:`~repro.errors.ParseError` on anything outside the
+    supported subset.
+    """
+    match = _SELECT_RE.match(text)
+    if match is None:
+        raise ParseError("not a supported SELECT query")
+    projection = match.group("projection").strip()
+    if projection == "*":
+        variables: tuple[str, ...] = ()
+    else:
+        variables = tuple(v.lstrip("?") for v in projection.split())
+    patterns = []
+    for statement in _split_statements(match.group("body")):
+        tokens = [t for t in _TRIPLE_SPLIT_RE.findall(statement)]
+        if len(tokens) != 3:
+            raise ParseError(f"malformed triple pattern: {statement!r}")
+        patterns.append(
+            TriplePattern(
+                _parse_term(tokens[0], "subject"),
+                _parse_term(tokens[1], "predicate"),
+                _parse_term(tokens[2], "object"),
+            )
+        )
+    if not patterns:
+        raise ParseError("empty WHERE clause")
+    known = set()
+    for pattern in patterns:
+        known |= pattern.variables()
+    for name in variables:
+        if name not in known:
+            raise ParseError(f"projected variable ?{name} not bound in WHERE")
+    limit = match.group("limit")
+    return SelectQuery(
+        variables=variables,
+        pattern=BGPQuery(patterns),
+        distinct=match.group("distinct") is not None,
+        limit=int(limit) if limit else None,
+    )
+
+
+def select(store: TripleStore, text: str) -> list[Binding]:
+    """Parse and execute a SELECT query; return all bindings."""
+    return list(parse_select(text).execute(store))

@@ -1,0 +1,85 @@
+"""YAGO-style TSV fact IO.
+
+YAGO 2.5 "core facts" ship as tab-separated ``subject predicate object``
+lines (sometimes with a leading fact id). This module reads and writes that
+shape; values wrapped in double quotes become literals, everything else an
+IRI.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ParseError
+from repro.store.terms import IRI, Literal, Term
+from repro.store.triples import Triple
+
+
+def _parse_term(token: str) -> Term:
+    token = token.strip()
+    if token.startswith("<") and token.endswith(">"):
+        token = token[1:-1]
+        return IRI(token)
+    if len(token) >= 2 and token.startswith('"') and token.endswith('"'):
+        return Literal(token[1:-1])
+    return IRI(token)
+
+
+def parse_tsv_line(line: str, line_number: int | None = None) -> Triple | None:
+    """Parse one TSV fact line; ``None`` for blank lines and comments.
+
+    A ``#``-initial line is a comment only when it contains no tabs —
+    YAGO dumps use ``#``-prefixed fact identifiers in the first column of
+    four-column lines.
+    """
+    stripped = line.rstrip("\n")
+    if not stripped.strip():
+        return None
+    if stripped.lstrip().startswith("#") and "\t" not in stripped:
+        return None
+    fields = stripped.split("\t")
+    if len(fields) == 4:
+        # YAGO dumps carry a fact identifier in the first column.
+        fields = fields[1:]
+    if len(fields) != 3:
+        raise ParseError(
+            f"expected 3 (or 4) tab-separated fields, got {len(fields)}", line_number
+        )
+    subject = _parse_term(fields[0])
+    predicate = _parse_term(fields[1])
+    obj = _parse_term(fields[2])
+    if not isinstance(subject, IRI) or not isinstance(predicate, IRI):
+        raise ParseError("subject and predicate must not be literals", line_number)
+    return Triple(subject, predicate, obj)
+
+
+def parse_tsv_facts(text: "str | Iterable[str]") -> Iterator[Triple]:
+    """Parse YAGO-style TSV facts from a string or iterable of lines."""
+    lines = text.splitlines() if isinstance(text, str) else text
+    for number, line in enumerate(lines, start=1):
+        triple = parse_tsv_line(line, number)
+        if triple is not None:
+            yield triple
+
+
+def serialize_tsv_facts(triples: Iterable[Triple]) -> str:
+    """Serialize triples as TSV (literals double-quoted)."""
+
+    def term_token(term: Term) -> str:
+        if isinstance(term, Literal):
+            return f'"{term.value}"'
+        return str(term)
+
+    return "\n".join(
+        "\t".join((term_token(t.subject), term_token(t.predicate), term_token(t.object)))
+        for t in triples
+    )
+
+
+def load_tsv_file(path: str) -> Iterator[Triple]:
+    """Stream-parse a TSV fact file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            triple = parse_tsv_line(line, number)
+            if triple is not None:
+                yield triple

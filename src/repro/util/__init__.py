@@ -1,0 +1,27 @@
+"""Shared utilities: seeded RNG helpers, timers, table rendering, validation."""
+
+from repro.util.rng import RandomSource, derive_rng, ensure_rng
+from repro.util.tables import Table, format_table
+from repro.util.timer import Stopwatch, timed
+from repro.util.validation import (
+    require,
+    require_non_empty,
+    require_positive,
+    require_probability_vector,
+    require_type,
+)
+
+__all__ = [
+    "RandomSource",
+    "Stopwatch",
+    "Table",
+    "derive_rng",
+    "ensure_rng",
+    "format_table",
+    "require",
+    "require_non_empty",
+    "require_positive",
+    "require_probability_vector",
+    "require_type",
+    "timed",
+]

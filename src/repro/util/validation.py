@@ -1,0 +1,82 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence, Sized
+from typing import Any, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_type(value: Any, expected: type[T], name: str) -> T:
+    """Raise :class:`TypeError` unless ``value`` is an ``expected`` instance."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def require_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that a numeric parameter is positive (or non-negative)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in_unit_interval(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def require_non_empty(value: Sized, name: str) -> Any:
+    """Validate that a container has at least one element."""
+    if len(value) == 0:
+        raise ValueError(f"{name} must not be empty")
+    return value
+
+
+def require_probability_vector(
+    values: Sequence[float] | np.ndarray, name: str, *, tolerance: float = 1e-9
+) -> np.ndarray:
+    """Validate and return ``values`` as a probability vector.
+
+    The vector must be non-empty, contain no negative entries and sum to
+    one within ``tolerance``.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError(f"{name} must be a non-empty 1-D vector")
+    if np.any(array < 0):
+        raise ValueError(f"{name} must not contain negative probabilities")
+    total = float(array.sum())
+    if abs(total - 1.0) > tolerance:
+        raise ValueError(f"{name} must sum to 1 (got {total})")
+    return array
+
+
+def normalize_counts(
+    values: Sequence[float] | np.ndarray, name: str = "counts"
+) -> np.ndarray:
+    """Normalize a non-negative count vector into a probability vector."""
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError(f"{name} must be a non-empty 1-D vector")
+    if np.any(array < 0):
+        raise ValueError(f"{name} must be non-negative")
+    total = float(array.sum())
+    if total <= 0:
+        raise ValueError(f"{name} must have a positive sum")
+    return array / total

@@ -1,0 +1,25 @@
+"""Random-walk machinery: weighted walkers, Personalized PageRank (Eq. 2),
+metapaths (Section 3.1) and the PathMining sampler."""
+
+from repro.walk.metapath import Metapath, count_matching_paths
+from repro.walk.pagerank import (
+    PersonalizedPageRank,
+    personalized_pagerank,
+    power_iteration,
+    power_iteration_python,
+)
+from repro.walk.pathmining import MinedPaths, PathMiner
+from repro.walk.walker import RandomWalker, WalkRecord
+
+__all__ = [
+    "Metapath",
+    "MinedPaths",
+    "PathMiner",
+    "PersonalizedPageRank",
+    "RandomWalker",
+    "WalkRecord",
+    "count_matching_paths",
+    "personalized_pagerank",
+    "power_iteration",
+    "power_iteration_python",
+]

@@ -1,0 +1,54 @@
+"""Shared fixtures for the unit/integration test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.figure1 import figure1_graph
+from repro.datasets.loader import load_dataset
+from repro.graph.builder import GraphBuilder
+
+
+@pytest.fixture()
+def toy_graph():
+    """A small hand-built leaders graph used across unit tests."""
+    return (
+        GraphBuilder("toy")
+        .typed("Merkel", "politician")
+        .typed("Obama", "politician")
+        .typed("Putin", "politician")
+        .typed("Pitt", "actor")
+        .fact("Merkel", "leaderOf", "Germany")
+        .fact("Obama", "leaderOf", "USA")
+        .fact("Putin", "leaderOf", "Russia")
+        .fact("Merkel", "studied", "Physics")
+        .fact("Obama", "studied", "Law")
+        .fact("Putin", "studied", "Law")
+        .fact("Obama", "hasChild", "Malia")
+        .fact("Obama", "hasChild", "Natasha")
+        .fact("Putin", "hasChild", "Mariya")
+        .fact("Pitt", "actedIn", "Troy")
+        .subclass("politician", "person")
+        .subclass("actor", "person")
+        .build()
+    )
+
+
+@pytest.fixture(scope="session")
+def fig1_graph():
+    return figure1_graph()
+
+
+@pytest.fixture(scope="session")
+def yago_small():
+    """Synthetic YAGO at scale 1 (about 2.2k nodes) — session-shared.
+
+    Tests must treat it as read-only; anything mutating builds its own
+    graph.
+    """
+    return load_dataset("yago", scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def linkedmdb_small():
+    return load_dataset("linkedmdb", scale=1.0)

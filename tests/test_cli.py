@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_args(self):
+        args = build_parser().parse_args(
+            ["search", "--query", "Angela_Merkel", "Barack_Obama", "--scale", "0.5"]
+        )
+        assert args.command == "search"
+        assert args.query == ["Angela_Merkel", "Barack_Obama"]
+        assert args.scale == 0.5
+
+    def test_experiment_validates_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "yago" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Angela_Merkel" in out
+
+    def test_search_on_figure1(self, capsys):
+        code = main(
+            [
+                "search",
+                "--dataset",
+                "figure1",
+                "--context-size",
+                "3",
+                "--query",
+                "Angela_Merkel",
+                "Barack_Obama",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query" in out
+        assert "context" in out
+
+    def test_search_baseline_flag(self, capsys):
+        code = main(
+            [
+                "search",
+                "--dataset",
+                "figure1",
+                "--baseline",
+                "--context-size",
+                "3",
+                "--query",
+                "Angela_Merkel",
+            ]
+        )
+        assert code == 0
+        assert "RandomWalk" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Unit tests for context selection (Section 3.1)."""
+
+import pytest
+
+from repro.core.context import ContextResult, ContextRW, RandomWalkContext
+from repro.errors import QueryError
+from repro.graph.builder import GraphBuilder
+
+
+@pytest.fixture()
+def graph():
+    builder = GraphBuilder()
+    for i in range(10):
+        builder.typed(f"actor{i}", "actor")
+        builder.fact(f"actor{i}", "actedIn", "blockbuster")
+    for i in range(5):
+        builder.typed(f"politician{i}", "politician")
+        builder.fact(f"politician{i}", "leaderOf", f"country{i}")
+    builder.fact("actor0", "isMarriedTo", "politician0")
+    return builder.build()
+
+
+class TestContextResult:
+    def test_top_cutoff(self):
+        result = ContextResult(
+            query=(0,),
+            ranked_nodes=[1, 2, 3],
+            scores={1: 3.0, 2: 2.0, 3: 1.0},
+            elapsed_seconds=0.1,
+            algorithm="x",
+        )
+        assert result.top(2) == [1, 2]
+        assert result.top(10) == [1, 2, 3]
+        assert len(result) == 3
+        with pytest.raises(ValueError):
+            result.top(-1)
+
+    def test_names(self, graph):
+        result = ContextResult(
+            query=(graph.node_id("actor0"),),
+            ranked_nodes=[graph.node_id("actor1")],
+            scores={},
+            elapsed_seconds=0.0,
+            algorithm="x",
+        )
+        assert result.names(graph) == ["actor1"]
+
+
+class TestQueryValidation:
+    @pytest.mark.parametrize("selector_cls", [RandomWalkContext, ContextRW])
+    def test_empty_query(self, graph, selector_cls):
+        selector = selector_cls(graph)
+        with pytest.raises(QueryError):
+            selector.select([], 5)
+
+    @pytest.mark.parametrize("selector_cls", [RandomWalkContext, ContextRW])
+    def test_duplicate_query(self, graph, selector_cls):
+        selector = selector_cls(graph)
+        with pytest.raises(QueryError):
+            selector.select([0, 0], 5)
+
+    @pytest.mark.parametrize("selector_cls", [RandomWalkContext, ContextRW])
+    def test_oversized_query(self, graph, selector_cls):
+        selector = selector_cls(graph)
+        with pytest.raises(QueryError):
+            selector.select(list(range(11)), 5)
+
+    @pytest.mark.parametrize("selector_cls", [RandomWalkContext, ContextRW])
+    def test_unknown_node(self, graph, selector_cls):
+        selector = selector_cls(graph)
+        with pytest.raises(QueryError):
+            selector.select([10_000], 5)
+
+    def test_negative_k(self, graph):
+        with pytest.raises(ValueError):
+            RandomWalkContext(graph).select([0], -1)
+        with pytest.raises(ValueError):
+            ContextRW(graph, rng=1).select([0], -1)
+
+
+class TestRandomWalkContext:
+    def test_context_excludes_query(self, graph):
+        query = [graph.node_id("actor0"), graph.node_id("actor1")]
+        result = RandomWalkContext(graph).select(query, 8)
+        assert not set(result.nodes) & set(query)
+
+    def test_context_size_respected(self, graph):
+        result = RandomWalkContext(graph).select([graph.node_id("actor0")], 3)
+        assert len(result) == 3
+
+    def test_scores_descending(self, graph):
+        result = RandomWalkContext(graph).select([graph.node_id("actor0")], 10)
+        scores = [result.scores[n] for n in result.nodes]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_algorithm_name(self, graph):
+        result = RandomWalkContext(graph).select([0], 2)
+        assert result.algorithm == "RandomWalk"
+
+
+class TestContextRW:
+    def test_context_excludes_query(self, graph):
+        query = [graph.node_id("actor0"), graph.node_id("actor1")]
+        result = ContextRW(graph, rng=3, samples=5000).select(query, 8)
+        assert not set(result.nodes) & set(query)
+
+    def test_co_actors_rank_high(self, graph):
+        query = [graph.node_id("actor0"), graph.node_id("actor1")]
+        result = ContextRW(graph, rng=3, samples=8000).select(query, 8)
+        names = result.names(graph)
+        co_actors = [n for n in names if n.startswith("actor")]
+        assert len(co_actors) >= len(names) / 2
+
+    def test_mined_paths_attached(self, graph):
+        result = ContextRW(graph, rng=3, samples=4000).select([0], 5)
+        assert result.mined_paths is not None
+        assert result.algorithm == "ContextRW"
+
+    def test_deterministic_under_seed(self, graph):
+        query = [graph.node_id("actor0")]
+        a = ContextRW(graph, rng=17, samples=4000).select(query, 6)
+        b = ContextRW(graph, rng=17, samples=4000).select(query, 6)
+        assert a.ranked_nodes == b.ranked_nodes
+
+    def test_singleton_fallback_when_all_paths_rare(self, graph):
+        # With a tiny sample budget most paths are singletons; the selector
+        # must fall back rather than return an empty context.
+        result = ContextRW(graph, rng=3, samples=60, min_samples=60).select(
+            [graph.node_id("actor0")], 5
+        )
+        # either some context or genuinely nothing mined — never an error
+        assert isinstance(result.ranked_nodes, list)
+
+    def test_score_skips_non_replayable_paths(self, graph):
+        selector = ContextRW(graph, rng=3, samples=6000)
+        query = [graph.node_id("actor0")]
+        mined = selector.mine(query)
+        scores = selector.score(query, mined)
+        assert all(node not in query for node in scores)
+
+    def test_sample_budget_explicit(self, graph):
+        selector = ContextRW(graph, samples=123)
+        assert selector._sample_budget() == 123
+
+    def test_sample_budget_scales_with_nodes(self, graph):
+        selector = ContextRW(graph, min_samples=10)
+        assert selector._sample_budget() == max(10, graph.node_count * 20)

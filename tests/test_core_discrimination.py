@@ -1,0 +1,177 @@
+"""Unit tests for the discrimination functions delta."""
+
+import numpy as np
+import pytest
+
+from repro.core.discrimination import (
+    ChiSquareDiscriminator,
+    EMDDiscriminator,
+    KLDiscriminator,
+    MultinomialDiscriminator,
+)
+from repro.core.distributions import CharacteristicDistributions
+
+
+def make_dists(
+    label="attr",
+    inst_q=(1, 0),
+    inst_c=(5, 5),
+    support=("v1", "v2"),
+    card_q=(1, 1),
+    card_c=(5, 5),
+):
+    card_support = tuple(range(len(card_q)))
+    return CharacteristicDistributions(
+        label=label,
+        instance_support=tuple(support),
+        inst_query=np.array(inst_q),
+        inst_context=np.array(inst_c),
+        cardinality_support=card_support,
+        card_query=np.array(card_q),
+        card_context=np.array(card_c),
+    )
+
+
+class TestMultinomialDiscriminator:
+    def test_similar_distributions_not_notable(self):
+        dists = make_dists(inst_q=(2, 2), inst_c=(50, 50), card_q=(2, 2), card_c=(50, 50))
+        result = MultinomialDiscriminator(rng=1).score(dists)
+        assert not result.notable
+        assert result.score == 0.0
+
+    def test_deviating_instance_notable(self):
+        dists = make_dists(
+            inst_q=(6, 0), inst_c=(5, 95), card_q=(3, 3), card_c=(50, 50)
+        )
+        result = MultinomialDiscriminator(rng=1).score(dists)
+        assert result.notable
+        assert result.channel == "instance"
+        assert result.inst_p_value <= 0.05
+
+    def test_deviating_cardinality_notable(self):
+        dists = make_dists(
+            inst_q=(3, 3), inst_c=(50, 50), card_q=(6, 0), card_c=(5, 95)
+        )
+        result = MultinomialDiscriminator(rng=1).score(dists)
+        assert result.notable
+        assert result.channel == "cardinality"
+
+    def test_score_is_max_of_channels(self):
+        dists = make_dists(
+            inst_q=(6, 0), inst_c=(5, 95), card_q=(6, 0), card_c=(5, 95)
+        )
+        result = MultinomialDiscriminator(rng=1).score(dists)
+        assert result.score == pytest.approx(
+            max(result.inst_score, result.card_score)
+        )
+
+    def test_min_p_value(self):
+        dists = make_dists()
+        result = MultinomialDiscriminator(rng=1).score(dists)
+        assert result.min_p_value == min(result.inst_p_value, result.card_p_value)
+
+    def test_uninformative_context_skipped(self):
+        # All context instance values are singletons: the query having its
+        # own values is expected (the authors test case of the paper).
+        dists = make_dists(
+            support=("q1", "q2", "c1", "c2", "c3"),
+            inst_q=(1, 1, 0, 0, 0),
+            inst_c=(0, 0, 1, 1, 1),
+            card_q=(0, 2),
+            card_c=(0, 30),
+        )
+        result = MultinomialDiscriminator(rng=1).score(dists)
+        assert result.inst_p_value == 1.0
+        assert not result.notable
+
+    def test_unseen_value_smoothing_avoids_p_zero(self):
+        dists = make_dists(
+            support=("None", "context_co", "query_only"),
+            inst_q=(4, 0, 1),
+            inst_c=(94, 6, 0),
+            card_q=(4, 1),
+            card_c=(94, 6),
+        )
+        result = MultinomialDiscriminator(rng=1).score(dists)
+        assert result.inst_p_value > 0.0
+
+    def test_zero_pseudocount_restores_hard_zero(self):
+        dists = make_dists(
+            support=("None", "query_only"),
+            inst_q=(4, 1),
+            inst_c=(100, 0),
+            card_q=(4, 1),
+            card_c=(94, 6),
+        )
+        result = MultinomialDiscriminator(rng=1, unseen_pseudocount=0.0).score(dists)
+        assert result.inst_p_value == 0.0
+
+    def test_empty_context_channel_degenerate(self):
+        dists = make_dists(inst_q=(1, 1), inst_c=(0, 0))
+        result = MultinomialDiscriminator(rng=1).score(dists)
+        assert result.inst_p_value == 0.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            MultinomialDiscriminator(alpha=0.0)
+        with pytest.raises(ValueError):
+            MultinomialDiscriminator(alpha=1.0)
+        with pytest.raises(ValueError):
+            MultinomialDiscriminator(unseen_pseudocount=-1)
+
+
+class TestKLDiscriminator:
+    def test_zero_for_identical(self):
+        dists = make_dists(inst_q=(5, 5), inst_c=(50, 50), card_q=(5, 5), card_c=(50, 50))
+        result = KLDiscriminator(threshold=0.0).score(dists)
+        assert result.score == pytest.approx(0.0, abs=1e-6)
+
+    def test_positive_for_different(self):
+        dists = make_dists(inst_q=(6, 0), inst_c=(5, 95))
+        result = KLDiscriminator().score(dists)
+        assert result.score > 0
+
+    def test_threshold_zeroes_small_scores(self):
+        dists = make_dists(inst_q=(5, 5), inst_c=(49, 51), card_q=(5, 5), card_c=(49, 51))
+        result = KLDiscriminator(threshold=10.0).score(dists)
+        assert result.score == 0.0
+        assert not result.notable
+
+    def test_requires_smoothing(self):
+        with pytest.raises(ValueError):
+            KLDiscriminator(smoothing=0.0)
+
+
+class TestEMDDiscriminator:
+    def test_zero_for_identical(self):
+        dists = make_dists(inst_q=(5, 5), inst_c=(50, 50), card_q=(5, 5), card_c=(50, 50))
+        assert EMDDiscriminator().score(dists).score == pytest.approx(0.0)
+
+    def test_cardinality_uses_positions(self):
+        near = make_dists(card_q=(0, 10, 0), card_c=(10, 0, 0), inst_q=(1, 1), inst_c=(1, 1))
+        far = make_dists(card_q=(0, 0, 10), card_c=(10, 0, 0), inst_q=(1, 1), inst_c=(1, 1))
+        assert EMDDiscriminator().score(far).card_score > EMDDiscriminator().score(
+            near
+        ).card_score
+
+    def test_empty_channels_zero(self):
+        dists = make_dists(inst_q=(0, 0), inst_c=(0, 0), card_q=(0, 0), card_c=(0, 0))
+        assert EMDDiscriminator().score(dists).score == 0.0
+
+
+class TestChiSquareDiscriminator:
+    def test_similar_not_notable(self):
+        dists = make_dists(
+            inst_q=(20, 20), inst_c=(50, 50), card_q=(20, 20), card_c=(50, 50)
+        )
+        assert not ChiSquareDiscriminator().score(dists).notable
+
+    def test_gross_difference_notable(self):
+        dists = make_dists(
+            inst_q=(100, 0), inst_c=(50, 50), card_q=(1, 1), card_c=(50, 50)
+        )
+        assert ChiSquareDiscriminator().score(dists).notable
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            ChiSquareDiscriminator(alpha=2.0)

@@ -1,0 +1,124 @@
+"""Unit tests for the Inst/Card distributions (Section 3.2)."""
+
+import pytest
+
+from repro.core.distributions import (
+    NONE_INSTANCE,
+    build_distributions,
+    cardinality_counts,
+    instance_counts,
+)
+from repro.graph.builder import GraphBuilder
+
+
+@pytest.fixture()
+def graph():
+    return (
+        GraphBuilder()
+        .fact("merkel", "studied", "physics")
+        .fact("obama", "studied", "law")
+        .fact("putin", "studied", "law")
+        .fact("obama", "hasChild", "malia")
+        .fact("obama", "hasChild", "natasha")
+        .fact("putin", "hasChild", "mariya")
+        .node("renzi")
+        .build()
+    )
+
+
+class TestInstanceCounts:
+    def test_values_counted_by_name(self, graph):
+        counts = instance_counts(
+            graph, [graph.node_id("obama"), graph.node_id("putin")], "studied"
+        )
+        assert counts == {"law": 2}
+
+    def test_none_bucket_for_missing_edge(self, graph):
+        counts = instance_counts(
+            graph, [graph.node_id("merkel"), graph.node_id("renzi")], "studied"
+        )
+        assert counts[NONE_INSTANCE] == 1
+        assert counts["physics"] == 1
+
+    def test_none_bucket_disabled(self, graph):
+        counts = instance_counts(
+            graph, [graph.node_id("renzi")], "studied", none_bucket=False
+        )
+        assert counts == {}
+
+    def test_multi_edges_counted_per_edge(self, graph):
+        counts = instance_counts(graph, [graph.node_id("obama")], "hasChild")
+        assert sum(counts.values()) == 2
+
+    def test_none_sentinel_is_singleton_and_prints_none(self):
+        assert str(NONE_INSTANCE) == "None"
+        from repro.core.distributions import _NoneInstance
+
+        assert _NoneInstance() is NONE_INSTANCE
+
+
+class TestCardinalityCounts:
+    def test_counts_by_degree(self, graph):
+        nodes = [graph.node_id(n) for n in ("merkel", "obama", "putin", "renzi")]
+        counts = cardinality_counts(graph, nodes, "hasChild")
+        assert counts == {0: 2, 1: 1, 2: 1}
+
+    def test_unknown_label_all_zero(self, graph):
+        counts = cardinality_counts(graph, [graph.node_id("obama")], "nope")
+        assert counts == {0: 1}
+
+
+class TestBuildDistributions:
+    def test_aligned_supports(self, graph):
+        dists = build_distributions(
+            graph,
+            [graph.node_id("merkel")],
+            [graph.node_id("obama"), graph.node_id("putin")],
+            "studied",
+        )
+        assert len(dists.instance_support) == len(dists.inst_query)
+        assert len(dists.instance_support) == len(dists.inst_context)
+        assert dists.label == "studied"
+
+    def test_query_counts_zero_on_context_only_values(self, graph):
+        dists = build_distributions(
+            graph,
+            [graph.node_id("merkel")],
+            [graph.node_id("obama"), graph.node_id("putin")],
+            "studied",
+        )
+        law_index = list(dists.instance_support).index("law")
+        assert dists.inst_query[law_index] == 0
+        assert dists.inst_context[law_index] == 2
+
+    def test_cardinality_support_contiguous(self, graph):
+        graph.add_edge("renzi", "hasChild", "francesca")
+        graph.add_edge("hollande", "hasChild", "thomas")
+        graph.add_edge("hollande", "hasChild", "flora")
+        graph.add_edge("hollande", "hasChild", "julien")
+        dists = build_distributions(
+            graph,
+            [graph.node_id("hollande")],
+            [graph.node_id("obama"), graph.node_id("merkel")],
+            "hasChild",
+        )
+        assert dists.cardinality_support == (0, 1, 2, 3)
+
+    def test_sizes_recoverable(self, graph):
+        query = [graph.node_id("merkel")]
+        context = [graph.node_id(n) for n in ("obama", "putin", "renzi")]
+        dists = build_distributions(graph, query, context, "hasChild")
+        assert dists.query_size == 1
+        assert dists.context_size == 3
+
+    def test_rows_for_reporting(self, graph):
+        dists = build_distributions(
+            graph,
+            [graph.node_id("merkel")],
+            [graph.node_id("obama")],
+            "studied",
+        )
+        instance_rows = dists.instance_rows()
+        assert all(len(row) == 3 for row in instance_rows)
+        card_rows = dists.cardinality_rows()
+        assert card_rows[0][0] == 0

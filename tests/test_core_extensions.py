@@ -1,0 +1,151 @@
+"""Unit tests for the future-work extensions (composite patterns,
+attribute correlations)."""
+
+import pytest
+
+from repro.core.extensions import (
+    CompositeCharacteristicFinder,
+    CompositeLabel,
+    CorrelationFinder,
+    build_composite_distributions,
+    composite_cardinality_counts,
+    composite_instance_counts,
+    existence_cells,
+)
+from repro.core.distributions import NONE_INSTANCE
+from repro.graph.builder import GraphBuilder
+
+
+@pytest.fixture()
+def graph():
+    builder = GraphBuilder()
+    # 10 scientists who graduated from universities located in two countries;
+    # the two query scientists both studied in Ruritania (rare).
+    for i in range(10):
+        name = f"sci{i}"
+        builder.typed(name, "scientist")
+        uni = f"uni{i % 5}"
+        builder.fact(name, "graduatedFrom", uni)
+        builder.fact(uni, "isLocatedIn", "Freedonia")
+        builder.fact(name, "hasWonPrize", "Medal")
+        if i % 2 == 0:
+            builder.fact(name, "owns", f"lab{i}")
+    for name in ("alpha", "beta"):
+        builder.typed(name, "scientist")
+        builder.fact(name, "graduatedFrom", "uni_r")
+        builder.fact("uni_r", "isLocatedIn", "Ruritania")
+        builder.fact(name, "hasWonPrize", "Medal")
+        builder.fact(name, "owns", f"lab_{name}")
+    return builder.build()
+
+
+class TestCompositeCounts:
+    def test_two_hop_instances(self, graph):
+        pattern = CompositeLabel("graduatedFrom", "isLocatedIn")
+        counts = composite_instance_counts(graph, [graph.node_id("alpha")], pattern)
+        assert counts == {"Ruritania": 1}
+
+    def test_none_bucket(self, graph):
+        pattern = CompositeLabel("owns", "isLocatedIn")
+        counts = composite_instance_counts(graph, [graph.node_id("alpha")], pattern)
+        assert counts == {NONE_INSTANCE: 1}
+
+    def test_cardinalities_count_paths(self, graph):
+        pattern = CompositeLabel("graduatedFrom", "isLocatedIn")
+        counts = composite_cardinality_counts(
+            graph, [graph.node_id("alpha"), graph.node_id("sci0")], pattern
+        )
+        assert counts == {1: 2}
+
+    def test_build_distributions_aligned(self, graph):
+        pattern = CompositeLabel("graduatedFrom", "isLocatedIn")
+        dists = build_composite_distributions(
+            graph,
+            [graph.node_id("alpha"), graph.node_id("beta")],
+            [graph.node_id(f"sci{i}") for i in range(10)],
+            pattern,
+        )
+        assert dists.label == "graduatedFrom->isLocatedIn"
+        assert len(dists.inst_query) == len(dists.inst_context)
+        assert dists.query_size == 2
+
+
+class TestCompositeFinder:
+    def test_candidate_patterns_exclude_bounce_back(self, graph):
+        finder = CompositeCharacteristicFinder(graph, rng=1)
+        patterns = finder.candidate_patterns(
+            [graph.node_id("alpha"), graph.node_id("beta")]
+        )
+        assert patterns
+        for pattern in patterns:
+            assert pattern.second != f"{pattern.first}_inv"
+
+    def test_max_patterns_cap(self, graph):
+        finder = CompositeCharacteristicFinder(graph, max_patterns=2, rng=1)
+        assert len(finder.candidate_patterns([graph.node_id("alpha")])) <= 2
+
+    def test_finds_foreign_university_country(self, graph):
+        finder = CompositeCharacteristicFinder(graph, rng=1)
+        query = [graph.node_id("alpha"), graph.node_id("beta")]
+        context = [graph.node_id(f"sci{i}") for i in range(10)]
+        results = finder.run(query, context)
+        by_label = {r.label: r for r in results}
+        grad_country = by_label["graduatedFrom->isLocatedIn"]
+        assert grad_country.notable, grad_country
+        assert results == sorted(results, key=lambda r: (-r.score, r.label))
+
+
+class TestExistenceCells:
+    def test_cells_sum_to_population(self, graph):
+        cells = existence_cells(
+            graph,
+            [graph.node_id(f"sci{i}") for i in range(10)],
+            "hasWonPrize",
+            "owns",
+        )
+        assert sum(cells) == 10
+        both, only_first, only_second, neither = cells
+        assert both == 5  # even-indexed scientists own labs, all win medals
+        assert only_first == 5
+        assert only_second == 0 and neither == 0
+
+
+class TestCorrelationFinder:
+    def test_pairs_exclude_inverses(self, graph):
+        finder = CorrelationFinder(graph, rng=1)
+        pairs = finder.candidate_pairs([graph.node_id("alpha")])
+        for first, second in pairs:
+            assert not first.endswith("_inv")
+            assert not second.endswith("_inv")
+
+    def test_correlated_query_flagged(self, graph):
+        # Query: both members win AND own (joint rate 1.0) vs context 0.5.
+        finder = CorrelationFinder(graph, rng=1)
+        query = [graph.node_id("alpha"), graph.node_id("beta")]
+        context = [graph.node_id(f"sci{i}") for i in range(10)]
+        result = finder.test_pair(query, context, "hasWonPrize", "owns")
+        assert result.query_joint_rate() == 1.0
+        assert result.context_joint_rate() == pytest.approx(0.5)
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_run_sorted_by_p(self, graph):
+        finder = CorrelationFinder(graph, rng=1)
+        query = [graph.node_id("alpha"), graph.node_id("beta")]
+        context = [graph.node_id(f"sci{i}") for i in range(10)]
+        results = finder.run(query, context)
+        ps = [r.p_value for r in results]
+        assert ps == sorted(ps)
+
+    def test_alpha_validation(self, graph):
+        with pytest.raises(ValueError):
+            CorrelationFinder(graph, alpha=0.0)
+
+    def test_labels_render(self, graph):
+        finder = CorrelationFinder(graph, rng=1)
+        result = finder.test_pair(
+            [graph.node_id("alpha")],
+            [graph.node_id("sci0")],
+            "hasWonPrize",
+            "owns",
+        )
+        assert result.label == "hasWonPrize & owns"

@@ -1,0 +1,166 @@
+"""Unit tests for the FindNC pipeline."""
+
+import pytest
+
+from repro.core.context import RandomWalkContext
+from repro.core.discrimination import KLDiscriminator
+from repro.core.findnc import FindNC, default_excluded_labels, rw_mult
+from repro.errors import QueryError
+from repro.graph.builder import GraphBuilder
+
+
+@pytest.fixture()
+def graph():
+    builder = GraphBuilder()
+    # 12 politicians, all with children and law degrees; two "query-like"
+    # ones without children and studying physics.
+    for i in range(12):
+        name = f"pol{i}"
+        builder.typed(name, "politician")
+        builder.fact(name, "studied", "Law")
+        builder.fact(name, "hasChild", f"child{i}")
+        builder.fact(name, "leaderOf", f"country{i}")
+    builder.typed("alpha", "politician")
+    builder.fact("alpha", "studied", "Physics")
+    builder.fact("alpha", "leaderOf", "countryA")
+    builder.typed("beta", "politician")
+    builder.fact("beta", "studied", "Physics")
+    builder.fact("beta", "leaderOf", "countryB")
+    return builder.build()
+
+
+class TestResolveQuery:
+    def test_accepts_names_and_ids(self, graph):
+        finder = FindNC(graph, rng=1)
+        resolved = finder.resolve_query(["alpha", graph.node_id("beta")])
+        assert resolved == (graph.node_id("alpha"), graph.node_id("beta"))
+
+    def test_fuzzy_name(self, graph):
+        finder = FindNC(graph, rng=1)
+        assert finder.resolve_query(["ALPHA"]) == (graph.node_id("alpha"),)
+
+    def test_deduplicates_preserving_order(self, graph):
+        finder = FindNC(graph, rng=1)
+        resolved = finder.resolve_query(["beta", "alpha", "beta"])
+        assert resolved == (graph.node_id("beta"), graph.node_id("alpha"))
+
+    def test_empty_rejected(self, graph):
+        with pytest.raises(QueryError):
+            FindNC(graph, rng=1).resolve_query([])
+
+
+class TestCandidateLabels:
+    def test_type_labels_excluded_by_default(self, graph):
+        finder = FindNC(graph, rng=1)
+        labels = finder.candidate_labels(list(graph.nodes()))
+        assert "type" not in labels
+        assert "subclassOf" not in labels
+
+    def test_inverse_labels_excluded_by_default(self, graph):
+        finder = FindNC(graph, rng=1)
+        labels = finder.candidate_labels(list(graph.nodes()))
+        assert not any(label.endswith("_inv") for label in labels)
+
+    def test_inverse_labels_opt_in(self, graph):
+        finder = FindNC(graph, rng=1, include_inverse_labels=True)
+        labels = finder.candidate_labels(list(graph.nodes()))
+        assert any(label.endswith("_inv") for label in labels)
+
+    def test_custom_exclusions(self, graph):
+        finder = FindNC(graph, rng=1, excluded_labels={"studied"})
+        labels = finder.candidate_labels(list(graph.nodes()))
+        assert "studied" not in labels
+        assert "type" in labels  # default exclusions replaced
+
+    def test_default_exclusions_cover_both_directions(self):
+        excluded = default_excluded_labels()
+        assert {"type", "type_inv", "subclassOf", "subclassOf_inv"} <= excluded
+
+
+class TestRun:
+    def test_end_to_end_finds_physics_and_childlessness(self, graph):
+        finder = FindNC(graph, context_size=10, rng=5)
+        result = finder.run(["alpha", "beta"])
+        assert result.context.nodes
+        studied = result.result_for("studied")
+        assert studied.notable, studied
+        child = result.result_for("hasChild")
+        assert child.notable, child
+
+    def test_common_labels_not_notable(self, graph):
+        finder = FindNC(graph, context_size=10, rng=5)
+        result = finder.run(["alpha", "beta"])
+        leader = result.result_for("leaderOf")
+        # every politician leads a country: the existence pattern matches.
+        assert leader.card_p_value > 0.05
+
+    def test_results_sorted_by_score(self, graph):
+        result = FindNC(graph, context_size=10, rng=5).run(["alpha", "beta"])
+        scores = [r.score for r in result.results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_notable_subset_of_results(self, graph):
+        result = FindNC(graph, context_size=10, rng=5).run(["alpha", "beta"])
+        assert {n.label for n in result.notable} <= {
+            r.label for r in result.results
+        }
+        assert all(n.score > 0 for n in result.notable)
+
+    def test_injected_context_reused(self, graph):
+        finder = FindNC(graph, context_size=10, rng=5)
+        context = RandomWalkContext(graph).select(
+            [graph.node_id("alpha"), graph.node_id("beta")], 6
+        )
+        result = finder.run(["alpha", "beta"], context=context)
+        assert result.context is context
+
+    def test_unknown_label_lookup_raises(self, graph):
+        result = FindNC(graph, context_size=5, rng=5).run(["alpha"])
+        with pytest.raises(KeyError):
+            result.result_for("nope")
+
+    def test_significance_probabilities_shape(self, graph):
+        result = FindNC(graph, context_size=10, rng=5).run(["alpha", "beta"])
+        probs = result.significance_probabilities()
+        assert set(probs) == {r.label for r in result.results}
+        assert all(0.0 <= p <= 1.0 for p in probs.values())
+
+    def test_summary_mentions_query(self, graph):
+        result = FindNC(graph, context_size=5, rng=5).run(["alpha"])
+        summary = result.summary(graph)
+        assert "alpha" in summary
+        assert "notable" in summary
+
+    def test_explanations_render(self, graph):
+        result = FindNC(graph, context_size=10, rng=5).run(["alpha", "beta"])
+        for notable in result.notable:
+            text = notable.explanation(graph)
+            assert notable.label in text
+
+    def test_custom_discriminator(self, graph):
+        finder = FindNC(
+            graph,
+            context_size=10,
+            discriminator=KLDiscriminator(threshold=0.0),
+            rng=5,
+        )
+        result = finder.run(["alpha", "beta"])
+        assert result.results
+
+    def test_context_size_validation(self, graph):
+        with pytest.raises(ValueError):
+            FindNC(graph, context_size=0)
+
+
+class TestRwMult:
+    def test_uses_randomwalk_selector(self, graph):
+        finder = rw_mult(graph, context_size=8, rng=2)
+        assert isinstance(finder.selector, RandomWalkContext)
+        result = finder.run(["alpha", "beta"])
+        assert result.context.algorithm == "RandomWalk"
+
+    def test_elapsed_accounting(self, graph):
+        result = rw_mult(graph, context_size=8, rng=2).run(["alpha"])
+        assert result.elapsed_total == pytest.approx(
+            result.elapsed_context + result.elapsed_discrimination
+        )

@@ -1,0 +1,94 @@
+"""Edge-case coverage for the FindNC pipeline."""
+
+import pytest
+
+from repro.core.context import ContextResult
+from repro.core.findnc import FindNC
+from repro.errors import EntityResolutionError, QueryError
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import KnowledgeGraph
+
+
+class TestDegenerateGraphs:
+    def test_isolated_query_node(self):
+        graph = (
+            GraphBuilder().node("hermit").fact("a", "r", "b").typed("a", "t").build()
+        )
+        finder = FindNC(graph, context_size=3, rng=1)
+        result = finder.run(["hermit"])
+        # An isolated node has no incident labels and reaches nothing:
+        # empty context, no candidates, no notables — but no crash.
+        assert result.results == []
+        assert result.notable == []
+
+    def test_two_node_graph(self):
+        graph = GraphBuilder().fact("a", "r", "b").build()
+        finder = FindNC(graph, context_size=2, rng=1)
+        result = finder.run(["a"])
+        assert isinstance(result.context, ContextResult)
+
+    def test_empty_context_makes_everything_degenerate(self):
+        graph = (
+            GraphBuilder()
+            .fact("a", "r", "b")
+            .node("far_away")
+            .build()
+        )
+        finder = FindNC(graph, context_size=5, rng=1)
+        result = finder.run(["a"])
+        # Whatever the verdicts, scores stay in range.
+        for item in result.results:
+            assert 0.0 <= item.score <= 1.0
+
+
+class TestQueryHandling:
+    @pytest.fixture()
+    def graph(self):
+        builder = GraphBuilder()
+        for i in range(5):
+            builder.typed(f"node{i}", "thing")
+            builder.fact(f"node{i}", "linksTo", f"node{(i + 1) % 5}")
+        return builder.build()
+
+    def test_unknown_entity_raises_resolution_error(self, graph):
+        finder = FindNC(graph, context_size=2, rng=1)
+        with pytest.raises(EntityResolutionError):
+            finder.run(["does_not_exist"])
+
+    def test_empty_query_raises(self, graph):
+        finder = FindNC(graph, context_size=2, rng=1)
+        with pytest.raises(QueryError):
+            finder.run([])
+
+    def test_whole_population_query_rejected_by_miner(self, graph):
+        # 11-node query violates the <= 10 rule from Section 2.
+        big_graph = KnowledgeGraph()
+        for i in range(12):
+            big_graph.add_edge(f"n{i}", "r", f"n{(i + 1) % 12}")
+        finder = FindNC(big_graph, context_size=2, rng=1)
+        with pytest.raises(QueryError):
+            finder.run([f"n{i}" for i in range(11)])
+
+    def test_context_smaller_than_requested(self, graph):
+        # Only 4 non-query nodes exist; asking for 50 returns what exists.
+        finder = FindNC(graph, context_size=50, rng=1)
+        result = finder.run(["node0"])
+        assert len(result.context) <= graph.node_count - 1
+
+
+class TestNoneBucketToggle:
+    def test_none_bucket_disabled_changes_distributions(self):
+        builder = GraphBuilder()
+        for i in range(6):
+            builder.typed(f"p{i}", "person")
+            if i % 2 == 0:
+                builder.fact(f"p{i}", "owns", f"thing{i}")
+        graph = builder.build()
+        with_bucket = FindNC(graph, context_size=3, none_bucket=True, rng=1)
+        without = FindNC(graph, context_size=3, none_bucket=False, rng=1)
+        a = with_bucket.run(["p0"])
+        b = without.run(["p0"])
+        if a.results and b.results:
+            dist_a = a.results[0].distributions
+            dist_b = b.results[0].distributions
+            assert dist_a is not None and dist_b is not None

@@ -1,0 +1,63 @@
+"""Unit tests for structural similarity helpers."""
+
+import pytest
+
+from repro.core.similarity import (
+    jaccard_neighbors,
+    mean_query_similarity,
+    shared_neighbor_count,
+)
+from repro.graph.builder import GraphBuilder
+
+
+@pytest.fixture()
+def graph():
+    return (
+        GraphBuilder()
+        .fact("a", "r", "x")
+        .fact("a", "r", "y")
+        .fact("b", "r", "x")
+        .fact("b", "r", "y")
+        .fact("c", "r", "x")
+        .fact("d", "r", "z")
+        .build()
+    )
+
+
+class TestSharedNeighbors:
+    def test_full_overlap(self, graph):
+        assert shared_neighbor_count(graph, "a", "b") == 2
+
+    def test_partial_overlap(self, graph):
+        assert shared_neighbor_count(graph, "a", "c") == 1
+
+    def test_no_overlap(self, graph):
+        assert shared_neighbor_count(graph, "a", "d") == 0
+
+
+class TestJaccard:
+    def test_identical_neighborhoods(self, graph):
+        assert jaccard_neighbors(graph, "a", "b") == pytest.approx(1.0)
+
+    def test_partial(self, graph):
+        assert jaccard_neighbors(graph, "a", "c") == pytest.approx(0.5)
+
+    def test_disjoint(self, graph):
+        assert jaccard_neighbors(graph, "a", "d") == pytest.approx(0.0)
+
+    def test_isolated_nodes(self):
+        graph = GraphBuilder().node("lonely").node("alone").build()
+        assert jaccard_neighbors(graph, "lonely", "alone") == 0.0
+
+    def test_symmetry(self, graph):
+        assert jaccard_neighbors(graph, "a", "c") == jaccard_neighbors(graph, "c", "a")
+
+
+class TestMeanQuerySimilarity:
+    def test_averages_over_query(self, graph):
+        value = mean_query_similarity(graph, "c", ["a", "b"])
+        assert value == pytest.approx(0.5)
+
+    def test_empty_query_rejected(self, graph):
+        with pytest.raises(ValueError):
+            mean_query_similarity(graph, "a", [])

@@ -1,0 +1,34 @@
+"""Unit tests for the Figure-1 example graph."""
+
+from repro.datasets.figure1 import FIGURE1_CONTEXT, FIGURE1_QUERY, figure1_graph
+
+
+class TestFigure1:
+    def test_query_and_context_nodes_exist(self, fig1_graph):
+        for name in FIGURE1_QUERY + FIGURE1_CONTEXT:
+            assert fig1_graph.has_node(name)
+
+    def test_merkel_childless_and_physics(self, fig1_graph):
+        assert fig1_graph.out_degree("Angela_Merkel", "hasChild") == 0
+        assert fig1_graph.has_edge("Angela_Merkel", "studied", "Physics")
+
+    def test_context_studied_law(self, fig1_graph):
+        for name in FIGURE1_CONTEXT:
+            assert fig1_graph.has_edge(name, "studied", "Law")
+
+    def test_children_as_in_figure(self, fig1_graph):
+        children = {
+            fig1_graph.node_name(c)
+            for c in fig1_graph.neighbors("Francois_Hollande", "hasChild")
+        }
+        assert children == {"Thomas", "Clemence", "Julien", "Flora"}
+
+    def test_deterministic(self):
+        a = figure1_graph()
+        b = figure1_graph()
+        assert a.node_count == b.node_count
+        assert a.edge_count == b.edge_count
+
+    def test_all_leaders_typed_politician(self, fig1_graph):
+        for name in FIGURE1_QUERY + FIGURE1_CONTEXT:
+            assert "politician" in fig1_graph.types_of(name)

@@ -1,0 +1,104 @@
+"""Unit tests for the crowd-study simulator."""
+
+import pytest
+
+from repro.datasets.groundtruth import CrowdConfig, CrowdSimulator
+from repro.datasets.seeds import ACTORS_DOMAIN
+
+
+@pytest.fixture()
+def simulator(yago_small):
+    return CrowdSimulator(yago_small, rng=3)
+
+
+@pytest.fixture()
+def actors_query(yago_small):
+    return [yago_small.node_id(n) for n in ACTORS_DOMAIN.entities[:3]]
+
+
+class TestCandidatePool:
+    def test_pool_is_people_only(self, yago_small, simulator, actors_query):
+        pool = simulator.candidate_pool(actors_query)
+        for node in pool[:200]:
+            types = yago_small.types_of(node)
+            assert types, yago_small.node_name(node)
+
+    def test_pool_excludes_query(self, simulator, actors_query):
+        pool = simulator.candidate_pool(actors_query)
+        assert not set(actors_query) & set(pool)
+
+    def test_fallback_for_custom_graphs(self):
+        from repro.graph.builder import GraphBuilder
+
+        graph = (
+            GraphBuilder()
+            .typed("cam1", "camera")
+            .typed("cam2", "camera")
+            .typed("cam3", "camera")
+            .build()
+        )
+        sim = CrowdSimulator(graph, rng=1)
+        pool = sim.candidate_pool([graph.node_id("cam1")])
+        names = {graph.node_name(n) for n in pool}
+        assert names == {"cam2", "cam3"}
+
+
+class TestRelevance:
+    def test_same_profession_scores_higher(self, yago_small, simulator, actors_query):
+        scores = simulator.relevance_scores(actors_query)
+        from repro.graph.hierarchy import TypeHierarchy
+
+        hierarchy = TypeHierarchy(yago_small)
+        actors = hierarchy.instances("actor", transitive=False) - set(actors_query)
+        politicians = hierarchy.instances("politician", transitive=False)
+        actor_scores = [scores.get(a, 0) for a in actors]
+        politician_scores = [scores.get(p, 0) for p in politicians]
+        assert sum(actor_scores) / len(actor_scores) > sum(politician_scores) / len(
+            politician_scores
+        )
+
+
+class TestSimulate:
+    def test_ground_truth_size_band(self, simulator, actors_query):
+        truth = simulator.simulate(actors_query)
+        # The paper's study produced 36-76 entities; the simulator stays in
+        # a comparable band.
+        assert 20 <= len(truth) <= 140
+
+    def test_min_mentions_enforced(self, simulator, actors_query):
+        truth = simulator.simulate(actors_query)
+        assert all(count >= 2 for count in truth.mention_counts.values())
+
+    def test_ranked_by_mentions(self, simulator, actors_query):
+        truth = simulator.simulate(actors_query)
+        counts = [truth.mention_counts[n] for n in truth.ranked]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_deterministic_per_seed(self, yago_small, actors_query):
+        a = CrowdSimulator(yago_small, rng=9).simulate(actors_query)
+        b = CrowdSimulator(yago_small, rng=9).simulate(actors_query)
+        assert a.entities == b.entities
+        assert a.ranked == b.ranked
+
+    def test_query_not_in_ground_truth(self, simulator, actors_query):
+        truth = simulator.simulate(actors_query)
+        assert not set(actors_query) & truth.entities
+
+    def test_names_helper(self, yago_small, simulator, actors_query):
+        truth = simulator.simulate(actors_query)
+        names = truth.names(yago_small)
+        assert len(names) == len(truth.ranked)
+
+    def test_custom_config(self, yago_small, actors_query):
+        config = CrowdConfig(workers=5, entities_per_worker=5, min_mentions=1)
+        truth = CrowdSimulator(yago_small, config=config, rng=1).simulate(actors_query)
+        assert truth.workers == 5
+        assert len(truth) <= 25
+
+    def test_empty_pool_graph(self):
+        from repro.graph.builder import GraphBuilder
+
+        graph = GraphBuilder().node("a").node("b").build()
+        sim = CrowdSimulator(graph, rng=1)
+        truth = sim.simulate([graph.node_id("a")])
+        assert len(truth) == 0

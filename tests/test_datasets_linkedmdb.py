@@ -1,0 +1,65 @@
+"""Unit tests for the synthetic LinkedMDB generator."""
+
+import pytest
+
+from repro.datasets.linkedmdb import (
+    FILM_ACTOR,
+    FILM_DIRECTOR,
+    FILM_TYPE,
+    PERSON_TYPES,
+    SyntheticLinkedMdb,
+    synthetic_linkedmdb,
+)
+from repro.datasets.seeds import ACTORS_DOMAIN
+from repro.graph.hierarchy import TypeHierarchy
+
+
+class TestShape:
+    def test_deterministic(self):
+        a = synthetic_linkedmdb(scale=0.3, seed=4)
+        b = synthetic_linkedmdb(scale=0.3, seed=4)
+        assert a.node_count == b.node_count
+        assert a.edge_count == b.edge_count
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            SyntheticLinkedMdb(scale=-1)
+
+    def test_film_subject_orientation(self, linkedmdb_small):
+        # actor edges run film -> person.
+        g = linkedmdb_small
+        for edge in g.edges(FILM_ACTOR):
+            assert FILM_TYPE in g.types_of(edge.source)
+            break
+        else:
+            pytest.fail("no actor edges generated")
+
+    def test_all_roles_populated(self, linkedmdb_small):
+        hierarchy = TypeHierarchy(linkedmdb_small)
+        for type_name in PERSON_TYPES.values():
+            assert len(hierarchy.instances(type_name, transitive=False)) >= 1, type_name
+
+    def test_films_have_metadata(self, linkedmdb_small):
+        g = linkedmdb_small
+        films = list(TypeHierarchy(g).instances(FILM_TYPE, transitive=False))
+        assert films
+        with_genre = sum(1 for f in films if g.out_degree(f, "genre") > 0)
+        assert with_genre == len(films)
+
+
+class TestSeedEmbedding:
+    def test_query_actors_present_with_credits(self, linkedmdb_small):
+        g = linkedmdb_small
+        for name in ACTORS_DOMAIN.entities:
+            assert g.has_node(name), name
+            credits = g.in_degree(g.node_id(name))  # film -> person edges
+            assert credits >= 3, name
+
+    def test_pitt_in_oceans_eleven(self, linkedmdb_small):
+        assert linkedmdb_small.has_edge("Oceans_Eleven", FILM_ACTOR, "Brad_Pitt")
+
+    def test_spielberg_directs(self, linkedmdb_small):
+        assert linkedmdb_small.has_edge("Jaws", FILM_DIRECTOR, "Steven_Spielberg")
+
+    def test_politicians_absent(self, linkedmdb_small):
+        assert not linkedmdb_small.has_node("Angela_Merkel")

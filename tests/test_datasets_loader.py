@@ -1,0 +1,36 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.loader import clear_dataset_cache, dataset_names, load_dataset
+
+
+class TestLoader:
+    def test_dataset_names(self):
+        assert set(dataset_names()) == {"yago", "linkedmdb", "figure1"}
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("wikidata")
+
+    def test_memoization(self):
+        a = load_dataset("figure1")
+        b = load_dataset("figure1")
+        assert a is b
+
+    def test_cache_clear(self):
+        a = load_dataset("figure1")
+        clear_dataset_cache()
+        b = load_dataset("figure1")
+        assert a is not b
+
+    def test_scale_is_part_of_key(self):
+        a = load_dataset("yago", scale=0.3)
+        b = load_dataset("yago", scale=0.4)
+        assert a is not b
+        assert b.node_count > a.node_count
+
+    def test_explicit_seed(self):
+        a = load_dataset("yago", scale=0.3, seed=1)
+        b = load_dataset("yago", scale=0.3, seed=2)
+        assert a is not b

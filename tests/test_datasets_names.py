@@ -1,0 +1,83 @@
+"""Unit tests for the name pools."""
+
+import pytest
+
+from repro.datasets import names
+
+
+class TestPools:
+    def test_pools_non_trivial(self):
+        assert len(names.FIRST_NAMES) >= 100
+        assert len(names.LAST_NAMES) >= 100
+        assert len(names.COUNTRIES) >= 20
+        assert len(names.CITIES) >= 40
+
+    def test_pools_unique(self):
+        for pool in (
+            names.FIRST_NAMES,
+            names.LAST_NAMES,
+            names.COUNTRIES,
+            names.CITIES,
+            names.PRIZES,
+        ):
+            assert len(pool) == len(set(pool))
+
+    def test_profession_prize_pools_subset_of_prizes(self):
+        for pool in (
+            names.FILM_PRIZES,
+            names.MUSIC_PRIZES,
+            names.LITERATURE_PRIZES,
+            names.SCIENCE_PRIZES,
+            names.POLITICS_PRIZES,
+            names.SPORTS_PRIZES,
+        ):
+            assert set(pool) <= set(names.PRIZES)
+
+    def test_no_whitespace_in_entity_names(self):
+        for pool in (names.COUNTRIES, names.CITIES, names.PRIZES, names.PARTIES):
+            for name in pool:
+                assert " " not in name, name
+
+
+class TestNamePool:
+    def test_draws_unique(self):
+        pool = names.NamePool(("a", "b"), rng=1)
+        drawn = {pool.draw() for _ in range(10)}
+        assert len(drawn) == 10  # falls back to suffixed names
+
+    def test_reserved_names_skipped(self):
+        pool = names.NamePool(("a", "b"), rng=1)
+        pool.reserve("a")
+        pool.reserve("b")
+        drawn = pool.draw()
+        assert drawn not in ("a", "b")
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            names.NamePool((), rng=1)
+
+    def test_draw_many(self):
+        pool = names.NamePool(tuple("abcdef"), rng=1)
+        assert len(pool.draw_many(4)) == 4
+
+
+class TestPersonNamePool:
+    def test_unique_and_well_formed(self):
+        pool = names.PersonNamePool(rng=3)
+        drawn = pool.draw_many(500)
+        assert len(set(drawn)) == 500
+        for name in drawn[:20]:
+            assert "_" in name
+
+    def test_reserve(self):
+        pool = names.PersonNamePool(rng=3)
+        pool.reserve("Aaron_Abel")
+        assert "Aaron_Abel" not in pool.draw_many(2000)
+
+
+class TestCompoundName:
+    def test_from_pools(self):
+        import random
+
+        name = names.compound_name(random.Random(1), ("A",), ("B",))
+        assert name == "A_B"

@@ -1,0 +1,74 @@
+"""Unit tests for the synthetic-graph schema."""
+
+from repro.datasets import schema as s
+
+
+class TestRelations:
+    def test_relations_unique(self):
+        assert len(s.YAGO_RELATIONS) == len(set(s.YAGO_RELATIONS))
+
+    def test_relation_count_comparable_to_yago(self):
+        # YAGO 2.5 has 38 relations; the synthetic fragment stays in a
+        # realistic band (two dozen forward labels).
+        assert 20 <= len(s.YAGO_RELATIONS) <= 40
+
+    def test_paper_relations_present(self):
+        for label in ("created", "hasWonPrize", "actedIn", "owns", "influences",
+                      "hasChild", "studied", "isLeaderOf"):
+            assert label in s.YAGO_RELATIONS, label
+
+
+class TestTypeHierarchy:
+    def test_professions_under_person(self):
+        for profession in s.PROFESSIONS:
+            assert s.TYPE_HIERARCHY[profession] == s.PERSON
+
+    def test_hierarchy_is_a_forest_rooted_at_entity(self):
+        for child, parent in s.TYPE_HIERARCHY.items():
+            seen = {child}
+            current = parent
+            while current in s.TYPE_HIERARCHY:
+                assert current not in seen, f"cycle through {current}"
+                seen.add(current)
+                current = s.TYPE_HIERARCHY[current]
+            assert current == s.ENTITY
+
+
+class TestProfiles:
+    def test_every_profession_has_profile(self):
+        assert set(s.PROFESSION_PROFILES) == set(s.PROFESSIONS)
+
+    def test_shares_sum_below_one(self):
+        total = sum(p.share for p in s.PROFESSION_PROFILES.values())
+        assert 0.8 <= total <= 1.05
+
+    def test_probabilities_in_range(self):
+        for profile in s.PROFESSION_PROFILES.values():
+            for rate in (
+                profile.female_rate,
+                profile.married_rate,
+                profile.childless_rate,
+                profile.studied_rate,
+                profile.degree_rate,
+                profile.prize_rate,
+            ):
+                assert 0.0 <= rate <= 1.0
+
+    def test_study_field_weights_positive(self):
+        for profile in s.PROFESSION_PROFILES.values():
+            assert profile.study_fields
+            assert all(w > 0 for _f, w in profile.study_fields)
+
+    def test_figure7_created_rate_band(self):
+        # Figure 7's None bucket needs a large childless... rather,
+        # company-less share among actors.
+        actor = s.PROFESSION_PROFILES[s.ACTOR]
+        assert 0.3 <= actor.created_company_rate <= 0.6
+
+    def test_politicians_rarely_childless(self):
+        politician = s.PROFESSION_PROFILES[s.POLITICIAN]
+        assert politician.childless_rate <= 0.05
+
+    def test_owner_rate_small(self):
+        actor = s.PROFESSION_PROFILES[s.ACTOR]
+        assert actor.owns_company_rate < actor.created_company_rate

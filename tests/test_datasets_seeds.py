@@ -1,0 +1,68 @@
+"""Unit tests for the curated seed data."""
+
+import pytest
+
+from repro.datasets import schema as s
+from repro.datasets.seeds import (
+    ACTORS_DOMAIN,
+    SEED_PEOPLE,
+    TABLE1_DOMAINS,
+    domain_by_name,
+    seed_person,
+)
+
+
+class TestDomains:
+    def test_three_domains_of_six(self):
+        assert len(TABLE1_DOMAINS) == 3
+        for domain in TABLE1_DOMAINS:
+            assert len(domain.entities) == 6
+
+    def test_nested_queries(self):
+        nested = ACTORS_DOMAIN.nested_queries()
+        assert [len(q) for q in nested] == [2, 3, 4, 5, 6]
+        assert nested[0] == ("Brad_Pitt", "George_Clooney")
+        # prefixes are nested
+        for smaller, larger in zip(nested, nested[1:]):
+            assert larger[: len(smaller)] == smaller
+
+    def test_domain_lookup(self):
+        assert domain_by_name("actors") is ACTORS_DOMAIN
+        with pytest.raises(KeyError):
+            domain_by_name("astronauts")
+
+
+class TestSeedPeople:
+    def test_lookup(self):
+        merkel = seed_person("Angela_Merkel")
+        assert merkel.profession == s.POLITICIAN
+        assert merkel.children == ()
+        with pytest.raises(KeyError):
+            seed_person("Nobody")
+
+    def test_unique_names(self):
+        names = [p.name for p in SEED_PEOPLE]
+        assert len(names) == len(set(names))
+
+    def test_every_table1_entity_has_a_seed_record(self):
+        seed_names = {p.name for p in SEED_PEOPLE}
+        for domain in TABLE1_DOMAINS:
+            for entity in domain.entities:
+                assert entity in seed_names, entity
+
+    def test_figure7_created_pattern(self):
+        # four of the five query actors created exactly one work; the fifth
+        # (Johansson) none.
+        created_counts = [
+            len(seed_person(name).created) for name in ACTORS_DOMAIN.entities[:5]
+        ]
+        assert created_counts.count(0) == 1
+        assert created_counts.count(1) == 4
+
+    def test_genders_valid(self):
+        for person in SEED_PEOPLE:
+            assert person.gender in (s.MALE, s.FEMALE)
+
+    def test_professions_valid(self):
+        for person in SEED_PEOPLE:
+            assert person.profession in s.PROFESSIONS

@@ -1,0 +1,148 @@
+"""Unit tests for the synthetic YAGO generator."""
+
+import pytest
+
+from repro.datasets import schema as s
+from repro.datasets.seeds import (
+    ACTORS_DOMAIN,
+    AUTHORS_QUERY,
+    MOVIE_CONTRIBUTORS_DOMAIN,
+    POLITICIANS_DOMAIN,
+    SEED_PEOPLE,
+)
+from repro.datasets.yago import SyntheticYago, synthetic_yago
+from repro.graph.hierarchy import TypeHierarchy
+from repro.graph.statistics import GraphStatistics
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = synthetic_yago(scale=0.3, seed=5)
+        b = synthetic_yago(scale=0.3, seed=5)
+        assert a.node_count == b.node_count
+        assert a.edge_count == b.edge_count
+        edges_a = {(a.node_name(e.source), e.label, a.node_name(e.target)) for e in a.edges()}
+        edges_b = {(b.node_name(e.source), e.label, b.node_name(e.target)) for e in b.edges()}
+        assert edges_a == edges_b
+
+    def test_different_seed_different_graph(self):
+        a = synthetic_yago(scale=0.3, seed=5)
+        b = synthetic_yago(scale=0.3, seed=6)
+        edges_a = {(a.node_name(e.source), e.label, a.node_name(e.target)) for e in a.edges()}
+        edges_b = {(b.node_name(e.source), e.label, b.node_name(e.target)) for e in b.edges()}
+        assert edges_a != edges_b
+
+    def test_scale_grows_graph(self):
+        small = synthetic_yago(scale=0.3, seed=5)
+        large = synthetic_yago(scale=1.0, seed=5)
+        assert large.node_count > small.node_count
+        assert large.edge_count > small.edge_count
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            SyntheticYago(scale=0)
+
+
+class TestSeedEntities:
+    def test_all_domain_entities_present(self, yago_small):
+        for domain in (POLITICIANS_DOMAIN, ACTORS_DOMAIN, MOVIE_CONTRIBUTORS_DOMAIN):
+            for name in domain.entities:
+                assert yago_small.has_node(name), name
+        for name in AUTHORS_QUERY:
+            assert yago_small.has_node(name)
+
+    def test_merkel_facts(self, yago_small):
+        g = yago_small
+        assert g.out_degree("Angela_Merkel", s.HAS_CHILD) == 0
+        assert g.has_edge("Angela_Merkel", s.STUDIED, "Physics")
+        assert g.has_edge("Angela_Merkel", s.HAS_ACADEMIC_DEGREE, "Doctorate")
+        assert g.has_edge("Angela_Merkel", s.IS_LEADER_OF, "Germany")
+        assert g.has_edge("Angela_Merkel", s.GENDER, s.FEMALE)
+
+    def test_pitt_owns_plan_b(self, yago_small):
+        assert yago_small.has_edge("Brad_Pitt", s.OWNS, "Plan_B_Entertainment")
+        assert yago_small.has_edge("Brad_Pitt", s.CREATED, "Plan_B_Entertainment")
+
+    def test_johansson_created_nothing(self, yago_small):
+        assert yago_small.out_degree("Scarlett_Johansson", s.CREATED) == 0
+
+    def test_other_query_actors_created_one_company(self, yago_small):
+        for name in ("Brad_Pitt", "George_Clooney", "Leonardo_DiCaprio", "Johnny_Depp"):
+            assert yago_small.out_degree(name, s.CREATED) == 1, name
+
+    def test_authors_influence_gaiman(self, yago_small):
+        g = yago_small
+        assert g.has_edge("Douglas_Adams", s.INFLUENCES, "Neil_Gaiman")
+        assert g.has_edge("Terry_Pratchett", s.INFLUENCES, "Neil_Gaiman")
+
+    def test_authors_are_prolific(self, yago_small):
+        assert yago_small.out_degree("Douglas_Adams", s.CREATED) >= 5
+        assert yago_small.out_degree("Terry_Pratchett", s.CREATED) >= 6
+
+    def test_seeds_can_be_disabled(self):
+        graph = synthetic_yago(scale=0.3, seed=5, include_seed_entities=False)
+        assert not graph.has_node("Angela_Merkel")
+
+
+class TestPopulationShape:
+    def test_all_professions_populated(self, yago_small):
+        hierarchy = TypeHierarchy(yago_small)
+        for profession in s.PROFESSIONS:
+            assert len(hierarchy.instances(profession, transitive=False)) >= 2
+
+    def test_type_hierarchy_wired(self, yago_small):
+        hierarchy = TypeHierarchy(yago_small)
+        assert hierarchy.is_subtype(s.POLITICIAN, s.PERSON)
+        assert hierarchy.is_subtype(s.MOVIE, s.CREATIVE_WORK)
+
+    def test_politicians_mostly_have_children(self, yago_small):
+        hierarchy = TypeHierarchy(yago_small)
+        politicians = hierarchy.instances(s.POLITICIAN, transitive=False)
+        with_children = sum(
+            1 for p in politicians if yago_small.out_degree(p, s.HAS_CHILD) > 0
+        )
+        assert with_children / len(politicians) > 0.6
+
+    def test_actors_created_rate_near_figure7(self, yago_small):
+        hierarchy = TypeHierarchy(yago_small)
+        actors = hierarchy.instances(s.ACTOR, transitive=False)
+        without_created = sum(
+            1 for a in actors if yago_small.out_degree(a, s.CREATED) == 0
+        )
+        # Figure 7: the created edge is absent for a large minority.
+        assert 0.35 <= without_created / len(actors) <= 0.80
+
+    def test_actors_win_film_prizes(self, yago_small):
+        from repro.datasets.names import FILM_PRIZES
+
+        hierarchy = TypeHierarchy(yago_small)
+        actors = hierarchy.instances(s.ACTOR, transitive=False)
+        prize_values = set()
+        for actor in actors:
+            for prize in yago_small.neighbors(actor, s.HAS_WON_PRIZE):
+                prize_values.add(yago_small.node_name(prize))
+        assert prize_values <= set(FILM_PRIZES)
+
+    def test_at_most_one_leader_per_country(self, yago_small):
+        leaders_of = {}
+        for edge in yago_small.edges(s.IS_LEADER_OF):
+            country = yago_small.node_name(edge.target)
+            leaders_of.setdefault(country, []).append(edge.source)
+        for country, leaders in leaders_of.items():
+            assert len(leaders) == 1, country
+
+    def test_degree_skew_exists(self, yago_small):
+        summary = GraphStatistics(yago_small).out_degree_summary()
+        assert summary.maximum > 5 * summary.median
+
+    def test_every_node_typed_or_type(self, yago_small):
+        # Every generated node is reachable from the type system: it either
+        # has a type edge or receives one / subclassOf (being a type).
+        untyped = [
+            yago_small.node_name(n)
+            for n in yago_small.nodes()
+            if not yago_small.types_of(n)
+            and yago_small.in_degree(n, "type") == 0
+            and yago_small.out_degree(n, "subclassOf") == 0
+        ]
+        assert untyped in ([], ["entity"])  # only the hierarchy root may remain

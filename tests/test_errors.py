@@ -1,0 +1,62 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_cls",
+        [
+            errors.StoreError,
+            errors.ParseError,
+            errors.TermError,
+            errors.GraphError,
+            errors.NodeNotFoundError,
+            errors.EdgeLabelNotFoundError,
+            errors.EntityResolutionError,
+            errors.QueryError,
+            errors.StatisticsError,
+            errors.ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_cls):
+        assert issubclass(exc_cls, errors.ReproError)
+
+    def test_node_not_found_is_keyerror(self):
+        assert issubclass(errors.NodeNotFoundError, KeyError)
+
+    def test_parse_error_line_numbers(self):
+        err = errors.ParseError("bad syntax", line_number=7)
+        assert "line 7" in str(err)
+        assert err.line_number == 7
+
+    def test_parse_error_without_line(self):
+        err = errors.ParseError("bad syntax")
+        assert err.line_number is None
+        assert "bad syntax" in str(err)
+
+    def test_entity_resolution_hint(self):
+        err = errors.EntityResolutionError("merkle", ("Angela_Merkel",))
+        assert "Angela_Merkel" in str(err)
+        assert err.candidates == ("Angela_Merkel",)
+
+    def test_node_not_found_payload(self):
+        err = errors.NodeNotFoundError("ghost")
+        assert err.node == "ghost"
+
+
+class TestCatchability:
+    def test_single_except_clause_catches_library_errors(self):
+        caught = []
+        for exc in (
+            errors.QueryError("q"),
+            errors.StatisticsError("s"),
+            errors.TermError("t"),
+        ):
+            try:
+                raise exc
+            except errors.ReproError as e:
+                caught.append(e)
+        assert len(caught) == 3

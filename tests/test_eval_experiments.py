@@ -1,0 +1,123 @@
+"""Tests for the experiment runners (small-scale settings).
+
+These run the same code paths as the benchmarks on a scale-0.6 graph so
+the unit suite stays fast while covering configuration and table shapes.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.eval.experiments import (
+    ExperimentSetting,
+    authors_testcase,
+    average_f1_by_context_size,
+    context_size_sweep,
+    distribution_figure,
+    domains_table,
+    ground_truth_for,
+    resolve_domain_queries,
+    significance_comparison,
+    time_vs_path_length,
+    time_vs_query_size,
+)
+from repro.datasets.seeds import ACTORS_DOMAIN
+
+
+@pytest.fixture(scope="module")
+def setting():
+    return ExperimentSetting(scale=0.6)
+
+
+class TestPlumbing:
+    def test_graph_memoized(self, setting):
+        assert setting.graph() is setting.graph()
+
+    def test_with_dataset(self, setting):
+        other = setting.with_dataset("linkedmdb")
+        assert other.dataset == "linkedmdb"
+        assert other.scale == setting.scale
+
+    def test_resolve_domain_queries_nested(self, setting):
+        graph = setting.graph()
+        queries = resolve_domain_queries(graph, ACTORS_DOMAIN)
+        assert [len(q) for q in queries] == [2, 3, 4, 5, 6]
+
+    def test_resolve_missing_domain_raises(self, setting):
+        graph = setting.with_dataset("linkedmdb").graph()
+        from repro.datasets.seeds import POLITICIANS_DOMAIN
+
+        with pytest.raises(ExperimentError):
+            resolve_domain_queries(graph, POLITICIANS_DOMAIN)
+
+    def test_ground_truth_memoized(self, setting):
+        graph = setting.graph()
+        query = resolve_domain_queries(graph, ACTORS_DOMAIN)[0]
+        a = ground_truth_for(setting, graph, query)
+        b = ground_truth_for(setting, graph, query)
+        assert a is b
+
+
+class TestRunners:
+    def test_domains_table_shape(self, setting):
+        table = domains_table(setting)
+        assert table.columns == ["domain", "entity", "resolved", "out_degree"]
+        assert len(table) == 18
+
+    def test_context_size_sweep_rows(self, setting):
+        table = context_size_sweep(setting, context_sizes=(10, 25))
+        # 5 queries x 2 algorithms x 2 sizes
+        assert len(table) == 20
+        assert set(table.column("algorithm")) == {"ContextRW", "RandomWalk"}
+        assert all(0.0 <= f1 <= 1.0 for f1 in table.column("f1"))
+
+    def test_average_aggregation(self, setting):
+        sweep = context_size_sweep(setting, context_sizes=(10, 25))
+        averaged = average_f1_by_context_size(sweep)
+        assert len(averaged) == 4  # 2 algorithms x 2 sizes
+
+    def test_time_vs_query_size_rows(self, setting):
+        table = time_vs_query_size(
+            setting, query_sizes=(1, 2), context_size=20
+        )
+        assert len(table) == 4
+        assert all(t >= 0 for t in table.column("seconds"))
+
+    def test_time_vs_query_size_too_large_query(self, setting):
+        with pytest.raises(ExperimentError):
+            time_vs_query_size(setting, query_sizes=(7,))
+
+    def test_time_vs_path_length_rows(self, setting):
+        table = time_vs_path_length(
+            setting, max_lengths=(3, 5), query_sizes=(2,), samples=2000
+        )
+        assert len(table) == 2
+
+    def test_distribution_figure_instance(self, setting):
+        table = distribution_figure(setting, label="created", channel="instance")
+        assert table.columns == ["value", "query_probability", "context_probability"]
+        total = sum(table.column("context_probability"))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_distribution_figure_cardinality(self, setting):
+        table = distribution_figure(
+            setting, label="hasWonPrize", channel="cardinality"
+        )
+        values = [int(v) for v in table.column("value")]
+        assert values == sorted(values)
+
+    def test_distribution_figure_bad_channel(self, setting):
+        with pytest.raises(ExperimentError):
+            distribution_figure(setting, channel="histogram")
+
+    def test_significance_comparison_bounds(self, setting):
+        table = significance_comparison(setting, context_size=40)
+        for _label, find_p, rw_p, alpha in table.rows:
+            assert 0.0 <= find_p <= 1.0
+            assert 0.0 <= rw_p <= 1.0
+            assert alpha == 0.05
+
+    def test_authors_testcase_labels(self, setting):
+        table = authors_testcase(setting, context_size=15, samples=60_000)
+        labels = set(table.column("label"))
+        assert "influences" in labels
+        assert "created" in labels

@@ -1,0 +1,123 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.eval.metrics import (
+    best_f1,
+    f1_at,
+    f1_curve,
+    f1_score,
+    kendall_switches,
+    mean,
+    precision_at,
+    recall_at,
+)
+
+
+class TestPrecisionRecall:
+    def test_precision_at(self):
+        assert precision_at(["a", "b", "c"], {"a", "c"}, 2) == pytest.approx(0.5)
+        assert precision_at(["a", "b"], {"a"}, 1) == 1.0
+
+    def test_precision_k_zero(self):
+        assert precision_at(["a"], {"a"}, 0) == 0.0
+
+    def test_precision_k_beyond_list(self):
+        assert precision_at(["a"], {"a"}, 10) == 1.0
+
+    def test_recall_at(self):
+        assert recall_at(["a", "b"], {"a", "x", "y"}, 2) == pytest.approx(1 / 3)
+
+    def test_recall_empty_relevant(self):
+        assert recall_at(["a"], set(), 1) == 0.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            precision_at([], set(), -1)
+        with pytest.raises(ValueError):
+            recall_at([], set(), -1)
+
+
+class TestF1:
+    def test_harmonic_mean(self):
+        assert f1_score(1.0, 0.5) == pytest.approx(2 / 3)
+
+    def test_zero_components(self):
+        assert f1_score(0.0, 0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            f1_score(-0.1, 0.5)
+
+    def test_f1_at(self):
+        predicted = ["a", "b", "c", "d"]
+        relevant = {"a", "b", "x", "y"}
+        p, r = 0.5, 0.5
+        assert f1_at(predicted, relevant, 4) == pytest.approx(
+            2 * p * r / (p + r)
+        )
+
+    def test_f1_curve(self):
+        curve = f1_curve(["a", "b"], {"a"}, [1, 2])
+        assert curve[0] == (1, 1.0)
+        assert curve[1][1] < 1.0
+
+    def test_best_f1(self):
+        predicted = ["a", "x", "b"]
+        relevant = {"a", "b"}
+        value, argmax = best_f1(predicted, relevant)
+        assert argmax == 3  # both relevants found at cutoff 3
+        assert value == pytest.approx(f1_at(predicted, relevant, 3))
+
+    def test_best_f1_prefers_earlier_peak(self):
+        predicted = ["a", "x", "y", "z"]
+        relevant = {"a"}
+        value, argmax = best_f1(predicted, relevant)
+        assert argmax == 1
+        assert value == 1.0
+
+    def test_best_f1_empty_relevant(self):
+        assert best_f1(["a"], set()) == (0.0, 0)
+
+    def test_best_f1_max_k(self):
+        predicted = ["x", "a"]
+        value, argmax = best_f1(predicted, {"a"}, max_k=1)
+        assert value == 0.0
+
+
+class TestKendallSwitches:
+    def test_identical(self):
+        assert kendall_switches(["a", "b", "c"], ["a", "b", "c"]) == 0
+
+    def test_single_swap(self):
+        assert kendall_switches(["a", "b", "c"], ["b", "a", "c"]) == 1
+
+    def test_full_reversal(self):
+        n = 5
+        items = list("abcde")
+        assert kendall_switches(items, items[::-1]) == n * (n - 1) // 2
+
+    def test_symmetry(self):
+        a = ["a", "b", "c", "d"]
+        b = ["c", "a", "d", "b"]
+        assert kendall_switches(a, b) == kendall_switches(b, a)
+
+    def test_different_items_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_switches(["a"], ["b"])
+
+    def test_different_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_switches(["a", "b"], ["a"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_switches(["a", "a"], ["a", "a"])
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_empty(self):
+        assert mean([]) == 0.0

@@ -1,0 +1,66 @@
+"""Unit tests for the experiment registry / report rendering."""
+
+import pytest
+
+from repro.eval.experiments import ExperimentSetting
+from repro.eval.report import (
+    REGISTRY,
+    experiment_ids,
+    get_experiment,
+    render_report,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = set(experiment_ids())
+        expected = {
+            "table1",
+            "table2",
+            "table3",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "metrics",
+            "authors",
+        }
+        assert expected <= ids
+
+    def test_ids_unique(self):
+        ids = experiment_ids()
+        assert len(ids) == len(set(ids))
+
+    def test_get_experiment(self):
+        spec = get_experiment("fig7")
+        assert spec.experiment_id == "fig7"
+        assert callable(spec.runner)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_descriptions_non_empty(self):
+        assert all(spec.description for spec in REGISTRY)
+
+
+class TestRunning:
+    def test_run_experiment_table1(self):
+        table = run_experiment("table1", ExperimentSetting(scale=0.5))
+        assert len(table) == 18
+
+    def test_render_report(self):
+        report = render_report(["table1"], ExperimentSetting(scale=0.5))
+        assert "## table1" in report
+        assert "Angela_Merkel" in report
+
+    def test_render_report_markdown(self):
+        report = render_report(
+            ["table1"], ExperimentSetting(scale=0.5), markdown=True
+        )
+        assert "| domain" in report

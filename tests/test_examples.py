@@ -1,0 +1,84 @@
+"""Smoke tests for the runnable examples (the cheap ones run fully)."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestProductCatalog:
+    def test_builds_and_finds_weather_sealing(self, capsys):
+        module = runpy.run_path(str(EXAMPLES / "product_catalog.py"))
+        module["main"]()
+        out = capsys.readouterr().out
+        assert "weather_sealing" in out
+        assert "NOTABLE" in out
+
+    def test_catalog_is_deterministic(self):
+        module = runpy.run_path(str(EXAMPLES / "product_catalog.py"))
+        a = module["build_catalog"]()
+        b = module["build_catalog"]()
+        assert a.node_count == b.node_count
+        assert a.edge_count == b.edge_count
+
+
+class TestQuickstartPart1:
+    def test_figure1_context(self, capsys):
+        module = runpy.run_path(str(EXAMPLES / "quickstart.py"))
+        module["part1_context_on_figure1"]()
+        out = capsys.readouterr().out
+        assert "Vladimir_Putin" in out
+        assert "Matteo_Renzi" in out
+        assert "Francois_Hollande" in out
+
+
+class TestExampleFilesPresent:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "actors_comparison.py",
+            "authors_influences.py",
+            "product_catalog.py",
+            "complex_patterns.py",
+        ],
+    )
+    def test_example_exists_and_compiles(self, name):
+        path = EXAMPLES / name
+        assert path.exists()
+        # compile without executing (the heavy ones build scale-2 graphs)
+        source = path.read_text(encoding="utf-8")
+        compile(source, str(path), "exec")
+        assert '"""' in source  # every example is documented
+
+
+class TestCrossProcessDeterminism:
+    """Regression: namespace-derived RNGs must not depend on PYTHONHASHSEED."""
+
+    CODE = (
+        "from repro.datasets import synthetic_yago\n"
+        "import hashlib\n"
+        "g = synthetic_yago(scale=0.3, seed=5)\n"
+        "edges = sorted((g.node_name(e.source), e.label, g.node_name(e.target))"
+        " for e in g.edges())\n"
+        "print(hashlib.sha256(str(edges).encode()).hexdigest())\n"
+    )
+
+    def test_same_graph_across_processes(self):
+        digests = set()
+        for seed in ("1", "2"):  # different hash salts
+            result = subprocess.run(
+                [sys.executable, "-c", self.CODE],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                check=False,
+            )
+            if result.returncode != 0:  # pragma: no cover - env-dependent
+                pytest.skip(f"subprocess unavailable: {result.stderr[:200]}")
+            digests.add(result.stdout.strip())
+        assert len(digests) == 1, "graph generation depends on the hash salt"

@@ -1,0 +1,100 @@
+"""Unit tests for the type hierarchy."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.hierarchy import TypeHierarchy
+
+
+@pytest.fixture()
+def graph():
+    return (
+        GraphBuilder()
+        .subclass("politician", "person")
+        .subclass("actor", "person")
+        .subclass("person", "entity")
+        .subclass("country", "location")
+        .subclass("location", "entity")
+        .typed("merkel", "politician")
+        .typed("pitt", "actor")
+        .typed("someone", "person")
+        .typed("germany", "country")
+        .build()
+    )
+
+
+@pytest.fixture()
+def hierarchy(graph):
+    return TypeHierarchy(graph)
+
+
+class TestStructure:
+    def test_supertypes_direct(self, hierarchy):
+        assert hierarchy.supertypes("politician") == {"person"}
+
+    def test_subtypes_direct(self, hierarchy):
+        assert hierarchy.subtypes("person") == {"politician", "actor"}
+
+    def test_ancestors_transitive(self, hierarchy):
+        assert hierarchy.ancestors("politician") == {"person", "entity"}
+
+    def test_descendants_transitive(self, hierarchy):
+        assert hierarchy.descendants("entity") == {
+            "person",
+            "politician",
+            "actor",
+            "location",
+            "country",
+        }
+
+    def test_is_subtype(self, hierarchy):
+        assert hierarchy.is_subtype("politician", "person")
+        assert hierarchy.is_subtype("politician", "entity")
+        assert hierarchy.is_subtype("person", "person")
+        assert not hierarchy.is_subtype("person", "politician")
+        assert not hierarchy.is_subtype("country", "person")
+
+    def test_cycle_safety(self):
+        graph = (
+            GraphBuilder()
+            .subclass("a", "b")
+            .subclass("b", "a")  # a cycle must not hang the closure
+            .build()
+        )
+        hierarchy = TypeHierarchy(graph)
+        assert "b" in hierarchy.ancestors("a")
+        assert "a" in hierarchy.ancestors("b")
+
+
+class TestInstances:
+    def test_instances_direct(self, graph, hierarchy):
+        instances = hierarchy.instances("politician", transitive=False)
+        assert {graph.node_name(i) for i in instances} == {"merkel"}
+
+    def test_instances_transitive(self, graph, hierarchy):
+        instances = hierarchy.instances("person", transitive=True)
+        assert {graph.node_name(i) for i in instances} == {
+            "merkel",
+            "pitt",
+            "someone",
+        }
+
+    def test_types_of_with_supertypes(self, hierarchy):
+        assert hierarchy.types_of("merkel", transitive=True) == {
+            "politician",
+            "person",
+            "entity",
+        }
+
+    def test_shared_types(self, graph, hierarchy):
+        shared = hierarchy.shared_types(["merkel", "pitt"])
+        assert shared == {"person", "entity"}
+
+    def test_shared_types_empty_on_disjoint(self, graph, hierarchy):
+        assert hierarchy.shared_types(["merkel", "germany"]) == {"entity"}
+
+    def test_cache_invalidation_on_mutation(self, graph):
+        hierarchy = TypeHierarchy(graph)
+        assert hierarchy.ancestors("politician") == {"person", "entity"}
+        graph.add_edge("entity", "subclassOf", "thing")
+        assert "thing" in hierarchy.ancestors("politician")

@@ -1,0 +1,54 @@
+"""Round-trip tests for graph persistence."""
+
+import pytest
+
+from repro.graph.io import load_graph, save_graph
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_structure(self, toy_graph, tmp_path):
+        path = str(tmp_path / "toy.nt")
+        written = save_graph(toy_graph, path)
+        assert written == toy_graph.edge_count // 2  # forward edges only
+
+        loaded = load_graph(path)
+        assert loaded.node_count == toy_graph.node_count
+        assert loaded.edge_count == toy_graph.edge_count
+        for edge in toy_graph.edges():
+            assert loaded.has_edge(
+                toy_graph.node_name(edge.source),
+                edge.label,
+                toy_graph.node_name(edge.target),
+            )
+
+    def test_label_statistics_survive(self, toy_graph, tmp_path):
+        path = str(tmp_path / "toy.nt")
+        save_graph(toy_graph, path)
+        loaded = load_graph(path)
+        for label in toy_graph.edge_labels:
+            assert loaded.label_frequency(label) == pytest.approx(
+                toy_graph.label_frequency(label)
+            )
+
+    def test_load_without_closure(self, toy_graph, tmp_path):
+        path = str(tmp_path / "toy.nt")
+        written = save_graph(toy_graph, path)
+        loaded = load_graph(path, add_inverse=False)
+        assert loaded.edge_count == written
+
+    def test_custom_name(self, toy_graph, tmp_path):
+        path = str(tmp_path / "toy.nt")
+        save_graph(toy_graph, path)
+        loaded = load_graph(path, name="restored")
+        assert loaded.name == "restored"
+
+    def test_synthetic_yago_round_trip(self, tmp_path):
+        from repro.datasets import synthetic_yago
+
+        graph = synthetic_yago(scale=0.3, seed=5)
+        path = str(tmp_path / "yago.nt")
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.node_count == graph.node_count
+        assert loaded.edge_count == graph.edge_count
+        assert loaded.has_edge("Angela_Merkel", "isLeaderOf", "Germany")

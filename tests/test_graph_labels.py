@@ -1,0 +1,62 @@
+"""Unit tests for repro.graph.labels."""
+
+import pytest
+
+from repro.graph.labels import (
+    LabelTable,
+    base_label,
+    inverse_label,
+    is_inverse_label,
+)
+
+
+class TestInverseLabel:
+    def test_inverse_adds_suffix(self):
+        assert inverse_label("hasChild") == "hasChild_inv"
+
+    def test_inverse_is_involution(self):
+        assert inverse_label(inverse_label("hasChild")) == "hasChild"
+
+    def test_is_inverse(self):
+        assert is_inverse_label("hasChild_inv")
+        assert not is_inverse_label("hasChild")
+
+    def test_base_label(self):
+        assert base_label("hasChild_inv") == "hasChild"
+        assert base_label("hasChild") == "hasChild"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            inverse_label("")
+
+
+class TestLabelTable:
+    def test_intern_dense_ids(self):
+        table = LabelTable()
+        assert table.intern("a") == 0
+        assert table.intern("b") == 1
+        assert table.intern("a") == 0
+        assert len(table) == 2
+
+    def test_name_inverts_intern(self):
+        table = LabelTable()
+        labels = ["type", "actedIn", "hasChild"]
+        ids = [table.intern(label) for label in labels]
+        assert [table.name(i) for i in ids] == labels
+
+    def test_lookup_unknown(self):
+        assert LabelTable().lookup("nope") is None
+
+    def test_name_out_of_range(self):
+        table = LabelTable()
+        with pytest.raises(IndexError):
+            table.name(0)
+        with pytest.raises(IndexError):
+            table.name(-1)
+
+    def test_contains_and_iter(self):
+        table = LabelTable()
+        table.intern("x")
+        assert "x" in table
+        assert "y" not in table
+        assert list(table) == ["x"]

@@ -1,0 +1,108 @@
+"""Unit tests for the Equation 1/2 matrices."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.matrix import (
+    dangling_nodes,
+    personalization_vector,
+    transition_matrix,
+    weighted_adjacency,
+)
+
+
+@pytest.fixture()
+def graph():
+    # a -r-> b, a -s-> c  (plus inverse closure)
+    return GraphBuilder().fact("a", "r", "b").fact("a", "s", "c").build()
+
+
+class TestWeightedAdjacency:
+    def test_shape(self, graph):
+        a = weighted_adjacency(graph)
+        assert a.shape == (graph.node_count, graph.node_count)
+
+    def test_entries_follow_equation1(self, graph):
+        a = weighted_adjacency(graph).toarray()
+        i, j = graph.node_id("a"), graph.node_id("b")
+        expected = 1.0 - graph.label_frequency("r")
+        assert a[i, j] == pytest.approx(expected)
+
+    def test_zero_where_no_edge(self, graph):
+        a = weighted_adjacency(graph).toarray()
+        b, c = graph.node_id("b"), graph.node_id("c")
+        assert a[b, c] == 0.0
+
+    def test_parallel_edges_sum(self):
+        graph = (
+            GraphBuilder(add_inverse=False)
+            .fact("a", "r", "b")
+            .fact("a", "s", "b")
+            .build()
+        )
+        a = weighted_adjacency(graph).toarray()
+        i, j = graph.node_id("a"), graph.node_id("b")
+        expected = (1 - graph.label_frequency("r")) + (1 - graph.label_frequency("s"))
+        assert a[i, j] == pytest.approx(expected)
+
+    def test_non_negative(self, graph):
+        a = weighted_adjacency(graph)
+        assert (a.data >= 0).all()
+
+
+class TestTransitionMatrix:
+    def test_columns_stochastic_for_non_dangling(self, graph):
+        t = transition_matrix(graph).toarray()
+        sums = t.sum(axis=0)
+        for node in graph.nodes():
+            if graph.out_degree(node) > 0:
+                assert sums[node] == pytest.approx(1.0)
+
+    def test_dangling_columns_zero(self):
+        graph = GraphBuilder(add_inverse=False).fact("a", "r", "b").build()
+        t = transition_matrix(graph).toarray()
+        b = graph.node_id("b")
+        assert t[:, b].sum() == 0.0
+
+    def test_transition_respects_weights(self):
+        graph = (
+            GraphBuilder(add_inverse=False)
+            .fact("a", "common", "b")
+            .fact("c", "common", "d")
+            .fact("c", "common", "e")
+            .fact("a", "rare", "e")
+            .build()
+        )
+        t = transition_matrix(graph).toarray()
+        a = graph.node_id("a")
+        b = graph.node_id("b")
+        e = graph.node_id("e")
+        # 'rare' is more informative: the walker prefers it from 'a'.
+        assert t[e, a] > t[b, a]
+
+
+class TestHelpers:
+    def test_dangling_mask(self):
+        graph = GraphBuilder(add_inverse=False).fact("a", "r", "b").build()
+        mask = dangling_nodes(graph)
+        assert not mask[graph.node_id("a")]
+        assert mask[graph.node_id("b")]
+
+    def test_personalization_vector(self, graph):
+        nodes = [graph.node_id("a"), graph.node_id("b")]
+        v = personalization_vector(graph, nodes)
+        assert v.sum() == pytest.approx(1.0)
+        assert v[graph.node_id("a")] == pytest.approx(0.5)
+        assert v[graph.node_id("c")] == 0.0
+
+    def test_personalization_duplicates_accumulate(self, graph):
+        node = graph.node_id("a")
+        v = personalization_vector(graph, [node, node])
+        assert v[node] == pytest.approx(1.0)
+
+    def test_personalization_requires_nodes(self, graph):
+        with pytest.raises(ValueError):
+            personalization_vector(graph, [])
+        with pytest.raises(ValueError):
+            personalization_vector(graph, [10_000])

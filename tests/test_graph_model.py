@@ -1,0 +1,209 @@
+"""Unit tests for repro.graph.model.KnowledgeGraph (Definition 1)."""
+
+import pytest
+
+from repro.errors import EdgeLabelNotFoundError, NodeNotFoundError
+from repro.graph.model import Edge, KnowledgeGraph
+
+
+@pytest.fixture()
+def graph():
+    g = KnowledgeGraph("test")
+    g.add_edge("merkel", "leaderOf", "germany")
+    g.add_edge("obama", "leaderOf", "usa")
+    g.add_edge("merkel", "studied", "physics")
+    return g
+
+
+class TestNodes:
+    def test_add_node_idempotent(self):
+        g = KnowledgeGraph()
+        a = g.add_node("a")
+        assert g.add_node("a") == a
+        assert g.node_count == 1
+
+    def test_node_ids_dense(self):
+        g = KnowledgeGraph()
+        assert [g.add_node(n) for n in "abc"] == [0, 1, 2]
+        assert list(g.nodes()) == [0, 1, 2]
+
+    def test_node_name_round_trip(self, graph):
+        node_id = graph.node_id("merkel")
+        assert graph.node_name(node_id) == "merkel"
+
+    def test_node_id_accepts_int(self, graph):
+        node_id = graph.node_id("merkel")
+        assert graph.node_id(node_id) == node_id
+
+    def test_unknown_name_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            graph.node_id("nobody")
+
+    def test_out_of_range_id_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            graph.node_id(999)
+        with pytest.raises(NodeNotFoundError):
+            graph.node_name(999)
+
+    def test_bool_is_not_a_node_ref(self, graph):
+        with pytest.raises(TypeError):
+            graph.node_id(True)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph().add_node("")
+
+    def test_has_node(self, graph):
+        assert graph.has_node("merkel")
+        assert graph.has_node(0)
+        assert not graph.has_node("nobody")
+        assert not graph.has_node(10_000)
+
+
+class TestEdges:
+    def test_inverse_closure(self, graph):
+        assert graph.has_edge("germany", "leaderOf_inv", "merkel")
+
+    def test_edge_count_includes_inverses(self, graph):
+        assert graph.edge_count == 6  # 3 facts x 2 directions
+
+    def test_add_edge_no_inverse(self):
+        g = KnowledgeGraph()
+        g.add_edge("a", "r", "b", add_inverse=False)
+        assert g.edge_count == 1
+        assert not g.has_edge("b", "r_inv", "a")
+
+    def test_duplicate_edge_not_counted(self, graph):
+        before = graph.edge_count
+        assert graph.add_edge("merkel", "leaderOf", "germany") is False
+        assert graph.edge_count == before
+
+    def test_parallel_labels_allowed(self):
+        g = KnowledgeGraph()
+        g.add_edge("a", "r1", "b")
+        g.add_edge("a", "r2", "b")
+        assert g.out_degree("a") == 2
+
+    def test_remove_edge_with_inverse(self, graph):
+        assert graph.remove_edge("merkel", "leaderOf", "germany")
+        assert not graph.has_edge("merkel", "leaderOf", "germany")
+        assert not graph.has_edge("germany", "leaderOf_inv", "merkel")
+        assert graph.edge_count == 4
+
+    def test_remove_missing_edge(self, graph):
+        assert graph.remove_edge("merkel", "leaderOf", "usa") is False
+
+    def test_edges_iteration_by_label(self, graph):
+        leaders = list(graph.edges("leaderOf"))
+        assert len(leaders) == 2
+        assert all(isinstance(e, Edge) for e in leaders)
+
+    def test_edges_iteration_all(self, graph):
+        assert len(list(graph.edges())) == graph.edge_count
+
+    def test_edges_unknown_label_empty(self, graph):
+        assert list(graph.edges("nope")) == []
+
+    def test_version_bumps_on_mutation(self):
+        g = KnowledgeGraph()
+        v0 = g.version
+        g.add_edge("a", "r", "b")
+        assert g.version > v0
+
+
+class TestAdjacency:
+    def test_out_neighbors(self, graph):
+        merkel = graph.node_id("merkel")
+        names = {graph.node_name(n) for n in graph.neighbors(merkel)}
+        assert names == {"germany", "physics"}
+
+    def test_label_restricted_neighbors(self, graph):
+        names = {
+            graph.node_name(n) for n in graph.neighbors("merkel", "leaderOf")
+        }
+        assert names == {"germany"}
+
+    def test_in_neighbors(self, graph):
+        names = {
+            graph.node_name(n)
+            for n in graph.neighbors("germany", "leaderOf", direction="in")
+        }
+        assert names == {"merkel"}
+
+    def test_both_directions(self, graph):
+        both = set(graph.neighbors("merkel", direction="both"))
+        out_only = set(graph.neighbors("merkel", direction="out"))
+        assert out_only <= both
+
+    def test_invalid_direction(self, graph):
+        with pytest.raises(ValueError):
+            list(graph.neighbors("merkel", direction="sideways"))
+
+    def test_out_edges_pairs(self, graph):
+        pairs = {(l, graph.node_name(t)) for l, t in graph.out_edges("merkel")}
+        assert ("leaderOf", "germany") in pairs
+        assert ("studied", "physics") in pairs
+
+    def test_degrees(self, graph):
+        assert graph.out_degree("merkel") == 2
+        assert graph.out_degree("merkel", "studied") == 1
+        assert graph.in_degree("germany", "leaderOf") == 1
+        assert graph.out_degree("merkel", "nope") == 0
+
+    def test_out_labels(self, graph):
+        assert graph.out_labels("merkel") == {"leaderOf", "studied"}
+
+    def test_incident_labels(self, graph):
+        labels = graph.incident_labels([graph.node_id("merkel"), graph.node_id("obama")])
+        assert "leaderOf" in labels
+        assert "studied" in labels
+
+
+class TestLabelStatistics:
+    def test_edge_count_by_label(self, graph):
+        assert graph.edge_count_by_label("leaderOf") == 2
+        assert graph.edge_count_by_label("leaderOf_inv") == 2
+        assert graph.edge_count_by_label("nope") == 0
+
+    def test_label_frequency(self, graph):
+        assert graph.label_frequency("leaderOf") == pytest.approx(2 / 6)
+
+    def test_label_weight_is_one_minus_frequency(self, graph):
+        assert graph.label_weight("studied") == pytest.approx(1 - 1 / 6)
+
+    def test_unknown_label_raises(self, graph):
+        with pytest.raises(EdgeLabelNotFoundError):
+            graph.label_frequency("nope")
+
+    def test_edge_labels_live_only(self, graph):
+        graph.remove_edge("merkel", "studied", "physics")
+        assert "studied" not in graph.edge_labels
+
+    def test_frequencies_sum_to_one(self, graph):
+        total = sum(graph.label_frequency(l) for l in graph.edge_labels)
+        assert total == pytest.approx(1.0)
+
+
+class TestTypes:
+    def test_types_of(self):
+        g = KnowledgeGraph()
+        g.add_edge("merkel", "type", "politician")
+        g.add_edge("merkel", "type", "scientist")
+        assert g.types_of("merkel") == {"politician", "scientist"}
+
+    def test_instances_of(self):
+        g = KnowledgeGraph()
+        g.add_edge("merkel", "type", "politician")
+        g.add_edge("obama", "type", "politician")
+        instances = {g.node_name(n) for n in g.instances_of("politician")}
+        assert instances == {"merkel", "obama"}
+
+
+class TestMisc:
+    def test_summary_mentions_sizes(self, graph):
+        summary = graph.summary()
+        assert "|V|=5" in summary
+        assert "|E|=6" in summary
+
+    def test_len_is_node_count(self, graph):
+        assert len(graph) == graph.node_count

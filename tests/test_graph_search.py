@@ -1,0 +1,79 @@
+"""Unit tests for entity search / name resolution."""
+
+import pytest
+
+from repro.errors import EntityResolutionError
+from repro.graph.builder import GraphBuilder
+from repro.graph.search import EntityIndex, normalize_name
+
+
+class TestNormalizeName:
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ("Angela Merkel", "angela_merkel"),
+            ("ANGELA-MERKEL", "angela merkel"),
+            ("Angela  Merkel", "angela merkel"),
+            ("Angéla", "angéla"),  # decomposed vs composed accents
+        ],
+    )
+    def test_equivalences(self, left, right):
+        assert normalize_name(left) == normalize_name(right)
+
+    def test_punctuation_folded(self):
+        assert normalize_name("O'Brien, Jr.") == normalize_name("o brien jr")
+
+
+class TestEntityIndex:
+    @pytest.fixture()
+    def graph(self):
+        return (
+            GraphBuilder()
+            .typed("Angela_Merkel", "politician")
+            .typed("Barack_Obama", "politician")
+            .typed("Brad_Pitt", "actor")
+            .build()
+        )
+
+    def test_exact_lookup(self, graph):
+        index = EntityIndex(graph)
+        assert index.lookup("Angela_Merkel") == [graph.node_id("Angela_Merkel")]
+
+    def test_normalized_lookup(self, graph):
+        index = EntityIndex(graph)
+        assert index.resolve("angela merkel") == graph.node_id("Angela_Merkel")
+
+    def test_resolve_unknown_raises_with_suggestions(self, graph):
+        index = EntityIndex(graph)
+        with pytest.raises(EntityResolutionError) as excinfo:
+            index.resolve("Angela Merkle")  # typo
+        assert "Angela_Merkel" in excinfo.value.candidates
+
+    def test_resolve_ambiguous_raises(self):
+        graph = (
+            GraphBuilder().node("John_Smith").node("john smith").build()
+        )
+        index = EntityIndex(graph)
+        with pytest.raises(EntityResolutionError):
+            index.resolve("john_smith")
+
+    def test_resolve_all_preserves_order(self, graph):
+        index = EntityIndex(graph)
+        ids = index.resolve_all(["Brad_Pitt", "Angela_Merkel"])
+        assert ids == [graph.node_id("Brad_Pitt"), graph.node_id("Angela_Merkel")]
+
+    def test_suggest_limit(self, graph):
+        index = EntityIndex(graph)
+        assert len(index.suggest("angela", limit=1)) <= 1
+
+    def test_contains(self, graph):
+        index = EntityIndex(graph)
+        assert "brad pitt" in index
+        assert "nobody" not in index
+        assert 42 not in index
+
+    def test_index_refreshes_after_mutation(self, graph):
+        index = EntityIndex(graph)
+        assert "new person" not in index
+        graph.add_node("New_Person")
+        assert index.resolve("new person") == graph.node_id("New_Person")

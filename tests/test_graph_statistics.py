@@ -1,0 +1,101 @@
+"""Unit tests for GraphStatistics."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.statistics import DegreeSummary, GraphStatistics
+
+
+@pytest.fixture()
+def graph():
+    return (
+        GraphBuilder()
+        .fact("a", "common", "b")
+        .fact("b", "common", "c")
+        .fact("c", "common", "d")
+        .fact("a", "rare", "d")
+        .build()
+    )
+
+
+class TestLabelStatistics:
+    def test_frequencies(self, graph):
+        stats = GraphStatistics(graph)
+        freqs = stats.label_frequencies()
+        assert freqs["common"] == pytest.approx(3 / 8)
+        assert freqs["rare"] == pytest.approx(1 / 8)
+        assert sum(freqs.values()) == pytest.approx(1.0)
+
+    def test_weights_equation1(self, graph):
+        stats = GraphStatistics(graph)
+        weights = stats.label_weights()
+        assert weights["common"] == pytest.approx(1 - 3 / 8)
+        assert weights["rare"] == pytest.approx(1 - 1 / 8)
+
+    def test_rare_labels_more_informative(self, graph):
+        stats = GraphStatistics(graph)
+        assert stats.weight("rare") > stats.weight("common")
+
+    def test_most_frequent_and_informative(self, graph):
+        stats = GraphStatistics(graph)
+        most_frequent = stats.most_frequent_labels(1)
+        assert most_frequent[0][0] in ("common", "common_inv")
+        most_informative = stats.most_informative_labels(1)
+        assert most_informative[0][0] in ("rare", "rare_inv")
+
+    def test_unknown_label_raises(self, graph):
+        with pytest.raises(KeyError):
+            GraphStatistics(graph).weight("nope")
+
+    def test_cache_invalidates_on_mutation(self, graph):
+        stats = GraphStatistics(graph)
+        before = stats.label_frequencies()["rare"]
+        graph.add_edge("b", "rare", "d")
+        after = stats.label_frequencies()["rare"]
+        assert after > before
+
+
+class TestDegreeStatistics:
+    def test_out_degree_summary(self, graph):
+        summary = GraphStatistics(graph).out_degree_summary()
+        assert summary.minimum >= 1  # every node has at least an inverse edge
+        assert summary.maximum >= summary.mean >= summary.minimum
+
+    def test_degree_summary_from_values(self):
+        summary = DegreeSummary.from_values([1, 2, 3, 4])
+        assert summary.minimum == 1
+        assert summary.maximum == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+
+    def test_degree_summary_odd_median(self):
+        assert DegreeSummary.from_values([5, 1, 3]).median == 3
+
+    def test_degree_summary_empty(self):
+        summary = DegreeSummary.from_values([])
+        assert summary == DegreeSummary(0, 0, 0.0, 0.0)
+
+    def test_degree_histogram_counts_nodes(self, graph):
+        histogram = GraphStatistics(graph).degree_histogram()
+        assert sum(histogram.values()) == graph.node_count
+
+
+class TestDescribe:
+    def test_type_population(self):
+        graph = (
+            GraphBuilder()
+            .typed("a", "t1")
+            .typed("b", "t1")
+            .typed("c", "t2")
+            .build()
+        )
+        population = GraphStatistics(graph).type_population()
+        assert population["t1"] == 2
+        assert population["t2"] == 1
+
+    def test_describe_card(self, graph):
+        card = GraphStatistics(graph).describe()
+        assert card["nodes"] == graph.node_count
+        assert card["edges_forward"] == 4
+        assert card["edges_with_inverse"] == 8
+        assert card["edge_labels_forward"] == 2

@@ -1,0 +1,97 @@
+"""Unit tests for graph traversal helpers."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.traversal import (
+    bfs_distances,
+    ego_nodes,
+    follow_label,
+    follow_label_counted,
+    nodes_with_label,
+    to_networkx,
+)
+
+
+@pytest.fixture()
+def chain():
+    # a -> b -> c -> d  (with inverse closure)
+    return (
+        GraphBuilder()
+        .fact("a", "next", "b")
+        .fact("b", "next", "c")
+        .fact("c", "next", "d")
+        .build()
+    )
+
+
+class TestBfs:
+    def test_distances_from_single_source(self, chain):
+        distances = bfs_distances(chain, ["a"])
+        by_name = {chain.node_name(n): d for n, d in distances.items()}
+        assert by_name == {"a": 0, "b": 1, "c": 2, "d": 3}
+
+    def test_max_depth_cuts(self, chain):
+        distances = bfs_distances(chain, ["a"], max_depth=1)
+        assert len(distances) == 2
+
+    def test_multi_source(self, chain):
+        distances = bfs_distances(chain, ["a", "d"])
+        by_name = {chain.node_name(n): d for n, d in distances.items()}
+        assert by_name["b"] == 1
+        assert by_name["c"] == 1
+
+    def test_direction_in(self):
+        graph = GraphBuilder(add_inverse=False).fact("a", "r", "b").build()
+        distances = bfs_distances(graph, ["b"], direction="in")
+        assert len(distances) == 2
+
+    def test_ego_nodes(self, chain):
+        ego = ego_nodes(chain, "b", radius=1)
+        names = {chain.node_name(n) for n in ego}
+        assert names == {"a", "b", "c"}
+
+
+class TestLabelSteps:
+    def test_follow_label(self, chain):
+        targets = follow_label(chain, [chain.node_id("a")], "next")
+        assert {chain.node_name(n) for n in targets} == {"b"}
+
+    def test_follow_label_counted_accumulates(self):
+        # diamond: s -> m1 -> t and s -> m2 -> t  => two paths to t
+        graph = (
+            GraphBuilder()
+            .fact("s", "r", "m1")
+            .fact("s", "r", "m2")
+            .fact("m1", "r", "t")
+            .fact("m2", "r", "t")
+            .build()
+        )
+        step1 = follow_label_counted(graph, {graph.node_id("s"): 1}, "r")
+        step2 = follow_label_counted(graph, step1, "r")
+        assert step2[graph.node_id("t")] == 2
+
+    def test_follow_label_counted_multiplies_path_counts(self):
+        graph = GraphBuilder().fact("a", "r", "b").build()
+        counts = follow_label_counted(graph, {graph.node_id("a"): 5}, "r")
+        assert counts[graph.node_id("b")] == 5
+
+    def test_nodes_with_label(self, chain):
+        sources = nodes_with_label(chain, "next")
+        assert {chain.node_name(n) for n in sources} == {"a", "b", "c"}
+
+    def test_unknown_label_empty(self, chain):
+        assert follow_label(chain, [0], "nope") == set()
+        assert follow_label_counted(chain, {0: 1}, "nope") == {}
+
+
+class TestNetworkxExport:
+    def test_export_counts(self, chain):
+        nx_graph = to_networkx(chain)
+        assert nx_graph.number_of_nodes() == chain.node_count
+        assert nx_graph.number_of_edges() == chain.edge_count
+
+    def test_edge_labels_preserved(self, chain):
+        nx_graph = to_networkx(chain)
+        labels = {d["label"] for _u, _v, d in nx_graph.edges(data=True)}
+        assert labels == {"next", "next_inv"}

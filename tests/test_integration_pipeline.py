@@ -1,0 +1,90 @@
+"""Integration tests: the full pipeline end to end on real generators.
+
+These assert the paper's headline behaviours on the synthetic YAGO graph —
+the same checks the benchmarks make, at unit-suite scale.
+"""
+
+import pytest
+
+from repro.core import ContextRW, FindNC, RandomWalkContext, rw_mult
+from repro.datasets import (
+    ACTORS_DOMAIN,
+    AUTHORS_QUERY,
+    CrowdSimulator,
+    load_dataset,
+)
+from repro.eval.metrics import f1_at
+from repro.graph.hierarchy import TypeHierarchy
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("yago", scale=1.0)
+
+
+class TestContextQuality:
+    def test_contextrw_beats_baseline_on_crowd_truth(self, graph):
+        query = [graph.node_id(n) for n in ACTORS_DOMAIN.entities[:4]]
+        truth = CrowdSimulator(graph, rng=3).simulate(query)
+        crw = ContextRW(graph, rng=11).select(query, 150)
+        rw = RandomWalkContext(graph, damping=0.2).select(query, 150)
+        crw_f1 = f1_at(crw.nodes, truth.entities, 100)
+        rw_f1 = f1_at(rw.nodes, truth.entities, 100)
+        assert crw_f1 > rw_f1, (crw_f1, rw_f1)
+
+    def test_contextrw_context_is_domain_pure(self, graph):
+        query = [graph.node_id(n) for n in ACTORS_DOMAIN.entities[:4]]
+        context = ContextRW(graph, rng=11).select(query, 50)
+        hierarchy = TypeHierarchy(graph)
+        people = hierarchy.instances("person", transitive=True)
+        person_share = sum(1 for n in context.nodes if n in people) / len(context)
+        assert person_share >= 0.8
+
+    def test_figure1_context_matches_paper(self):
+        from repro.datasets import FIGURE1_CONTEXT, FIGURE1_QUERY, figure1_graph
+
+        fig_graph = figure1_graph()
+        query = [fig_graph.node_id(n) for n in FIGURE1_QUERY]
+        context = ContextRW(fig_graph, rng=7).select(query, 3)
+        assert set(context.names(fig_graph)) == set(FIGURE1_CONTEXT)
+
+
+class TestNotableCharacteristics:
+    def test_actors_created_notable_haswonprize_not(self, graph):
+        finder = FindNC(graph, context_size=100, rng=11)
+        result = finder.run(list(ACTORS_DOMAIN.entities[:5]))
+        assert result.result_for("created").notable
+        assert not result.result_for("hasWonPrize").notable
+        assert not result.result_for("actedIn").notable
+
+    def test_rwmult_false_positives(self, graph):
+        baseline = rw_mult(graph, context_size=100, damping=0.2, rng=11)
+        result = baseline.run(list(ACTORS_DOMAIN.entities[:5]))
+        assert result.result_for("actedIn").notable
+
+    def test_authors_influences_notable_created_not(self, graph):
+        selector = ContextRW(graph, rng=23, samples=200_000)
+        finder = FindNC(graph, context_selector=selector, context_size=30, rng=23)
+        result = finder.run(list(AUTHORS_QUERY))
+        assert result.result_for("influences").notable
+        assert not result.result_for("created").notable
+
+    def test_merkel_no_child_surfaces_with_full_politician_query(self, graph):
+        from repro.datasets import POLITICIANS_DOMAIN
+
+        finder = FindNC(graph, context_size=50, rng=11)
+        result = finder.run(list(POLITICIANS_DOMAIN.entities))
+        child = result.result_for("hasChild")
+        leader = result.result_for("isLeaderOf")
+        assert child.notable
+        assert leader.notable
+
+
+class TestCrossDatasetConsistency:
+    def test_actor_queries_work_on_linkedmdb(self):
+        lmdb = load_dataset("linkedmdb", scale=1.0)
+        query = [lmdb.node_id(n) for n in ACTORS_DOMAIN.entities[:3]]
+        context = ContextRW(lmdb, rng=11).select(query, 50)
+        assert len(context) == 50
+        truth = CrowdSimulator(lmdb, rng=3).simulate(query)
+        assert f1_at(context.nodes, truth.entities, 50) > 0

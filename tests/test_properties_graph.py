@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for the knowledge-graph model.
+
+Invariants: inverse closure symmetry, degree bookkeeping, Equation 1
+weights in (0, 1), PageRank vectors are distributions, Kendall distance is
+a metric.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import kendall_switches
+from repro.graph.builder import GraphBuilder
+from repro.graph.labels import inverse_label
+from repro.graph.model import KnowledgeGraph
+from repro.walk.pagerank import personalized_pagerank
+
+node_names = st.sampled_from([f"n{i}" for i in range(6)])
+label_names = st.sampled_from(["r", "s", "t"])
+fact_lists = st.lists(
+    st.tuples(node_names, label_names, node_names), min_size=1, max_size=25
+)
+
+
+@given(fact_lists)
+@settings(max_examples=60, deadline=None)
+def test_inverse_closure_symmetry(facts):
+    graph = KnowledgeGraph()
+    for s, l, o in facts:
+        graph.add_edge(s, l, o)
+    for edge in graph.edges():
+        assert graph.has_edge(edge.target, inverse_label(edge.label), edge.source)
+
+
+@given(fact_lists)
+@settings(max_examples=60, deadline=None)
+def test_degree_sums_equal_edge_count(facts):
+    graph = KnowledgeGraph()
+    for s, l, o in facts:
+        graph.add_edge(s, l, o)
+    out_total = sum(graph.out_degree(n) for n in graph.nodes())
+    in_total = sum(graph.in_degree(n) for n in graph.nodes())
+    assert out_total == graph.edge_count
+    assert in_total == graph.edge_count
+
+
+@given(fact_lists)
+@settings(max_examples=60, deadline=None)
+def test_label_frequencies_partition_unity(facts):
+    graph = KnowledgeGraph()
+    for s, l, o in facts:
+        graph.add_edge(s, l, o)
+    total = sum(graph.label_frequency(label) for label in graph.edge_labels)
+    assert abs(total - 1.0) < 1e-9
+    for label in graph.edge_labels:
+        assert 0.0 < graph.label_weight(label) < 1.0 or graph.label_frequency(label) == 1.0
+
+
+@given(fact_lists)
+@settings(max_examples=30, deadline=None)
+def test_pagerank_is_distribution(facts):
+    graph = KnowledgeGraph()
+    for s, l, o in facts:
+        graph.add_edge(s, l, o)
+    p = personalized_pagerank(graph, [0], iterations=5)
+    assert abs(p.sum() - 1.0) < 1e-9
+    assert (p >= -1e-12).all()
+
+
+@given(fact_lists)
+@settings(max_examples=40, deadline=None)
+def test_edge_removal_restores_counts(facts):
+    graph = KnowledgeGraph()
+    for s, l, o in facts:
+        graph.add_edge(s, l, o)
+    before = graph.edge_count
+    s, l, o = facts[0]
+    existed = graph.has_edge(s, l, o)
+    graph.remove_edge(s, l, o)
+    graph.add_edge(s, l, o)
+    assert graph.edge_count == before if existed else graph.edge_count >= before
+
+
+permutations = st.permutations(list(range(7)))
+
+
+@given(permutations, permutations, permutations)
+@settings(max_examples=60, deadline=None)
+def test_kendall_triangle_inequality(a, b, c):
+    ab = kendall_switches(a, b)
+    bc = kendall_switches(b, c)
+    ac = kendall_switches(a, c)
+    assert ac <= ab + bc
+
+
+@given(permutations, permutations)
+@settings(max_examples=60, deadline=None)
+def test_kendall_symmetry_and_identity(a, b):
+    assert kendall_switches(a, a) == 0
+    assert kendall_switches(a, b) == kendall_switches(b, a)
+    n = len(a)
+    assert kendall_switches(a, b) <= n * (n - 1) // 2

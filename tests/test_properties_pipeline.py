@@ -1,0 +1,109 @@
+"""Property-based tests over the full pipeline on random small graphs.
+
+Invariants that must hold for *any* knowledge graph, not just the
+generators': p-values live in [0, 1], contexts never contain query nodes,
+scores are non-negative, results are deterministic under a fixed seed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import ContextRW, RandomWalkContext
+from repro.core.discrimination import MultinomialDiscriminator
+from repro.core.distributions import build_distributions
+from repro.core.findnc import FindNC
+from repro.graph.model import KnowledgeGraph
+
+people = [f"p{i}" for i in range(8)]
+values = [f"v{i}" for i in range(4)]
+labels = ["likes", "owns", "knows"]
+
+
+@st.composite
+def small_graphs(draw):
+    """A random typed graph with at least two connected person nodes."""
+    graph = KnowledgeGraph()
+    for person in people:
+        graph.add_edge(person, "type", "person")
+    n_facts = draw(st.integers(3, 25))
+    for _ in range(n_facts):
+        subject = draw(st.sampled_from(people))
+        label = draw(st.sampled_from(labels))
+        obj = draw(st.sampled_from(people + values))
+        if subject != obj:
+            graph.add_edge(subject, label, obj)
+    query_size = draw(st.integers(1, 3))
+    query = [graph.node_id(p) for p in people[:query_size]]
+    return graph, query
+
+
+@given(small_graphs())
+@settings(max_examples=25, deadline=None)
+def test_contexts_exclude_query_and_scores_positive(case):
+    graph, query = case
+    for selector in (
+        ContextRW(graph, rng=3, samples=600, min_samples=600),
+        RandomWalkContext(graph),
+    ):
+        result = selector.select(query, 5)
+        assert not set(result.nodes) & set(query)
+        assert all(score > 0 for score in result.scores.values())
+        assert len(result) <= 5
+
+
+@given(small_graphs())
+@settings(max_examples=25, deadline=None)
+def test_findnc_p_values_and_scores_bounded(case):
+    graph, query = case
+    finder = FindNC(graph, context_size=4, rng=9)
+    result = finder.run(query)
+    for item in result.results:
+        assert 0.0 <= item.score <= 1.0
+        if item.inst_p_value is not None:
+            assert 0.0 <= item.inst_p_value <= 1.0
+        if item.card_p_value is not None:
+            assert 0.0 <= item.card_p_value <= 1.0
+    assert [n.label for n in result.notable] == [
+        r.label for r in result.results if r.notable
+    ]
+
+
+@given(small_graphs())
+@settings(max_examples=15, deadline=None)
+def test_findnc_deterministic_per_seed(case):
+    graph, query = case
+    a = FindNC(graph, context_size=4, rng=42).run(query)
+    b = FindNC(graph, context_size=4, rng=42).run(query)
+    assert a.context.ranked_nodes == b.context.ranked_nodes
+    assert [(r.label, r.score) for r in a.results] == [
+        (r.label, r.score) for r in b.results
+    ]
+
+
+@given(small_graphs())
+@settings(max_examples=20, deadline=None)
+def test_distributions_consistent_for_every_label(case):
+    graph, query = case
+    context = [n for n in graph.nodes() if n not in query][:4]
+    for label in graph.incident_labels(query):
+        dists = build_distributions(graph, query, context, label)
+        # Cardinality histograms partition the populations.
+        assert dists.card_query.sum() == len(query)
+        assert dists.card_context.sum() == len(context)
+        # Aligned supports.
+        assert len(dists.inst_query) == len(dists.inst_context)
+        assert len(dists.card_query) == len(dists.card_context)
+        # With the None bucket, instance counts cover every member too.
+        assert dists.inst_query.sum() >= len(query) or dists.inst_query.sum() == 0
+
+
+@given(small_graphs())
+@settings(max_examples=15, deadline=None)
+def test_discriminator_handles_empty_context(case):
+    graph, query = case
+    for label in list(graph.incident_labels(query))[:3]:
+        dists = build_distributions(graph, query, [], label)
+        result = MultinomialDiscriminator(rng=1).score(dists)
+        # Degenerate context: the convention is maximal significance, never
+        # a crash or an out-of-range value.
+        assert 0.0 <= result.score <= 1.0

@@ -1,0 +1,73 @@
+"""Property-based test: the BGP join engine against a brute-force oracle."""
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store.query import BGPQuery, TriplePattern, Variable
+from repro.store.terms import IRI
+from repro.store.triples import Triple
+from repro.store.triplestore import TripleStore
+
+subjects = [IRI(f"s{i}") for i in range(4)]
+predicates = [IRI(f"p{i}") for i in range(2)]
+objects = [IRI(f"o{i}") for i in range(3)] + subjects
+
+triples = st.builds(
+    Triple,
+    st.sampled_from(subjects),
+    st.sampled_from(predicates),
+    st.sampled_from(objects),
+)
+
+pattern_terms = st.one_of(
+    st.sampled_from(subjects + predicates + objects),
+    st.sampled_from([Variable("x"), Variable("y"), Variable("z")]),
+)
+patterns = st.builds(TriplePattern, pattern_terms, pattern_terms, pattern_terms)
+
+
+def brute_force(store_triples, bgp_patterns):
+    """Enumerate all variable assignments over the store's terms."""
+    variables = sorted({v for p in bgp_patterns for v in p.variables()})
+    universe = sorted(
+        {t.subject for t in store_triples}
+        | {t.predicate for t in store_triples}
+        | {t.object for t in store_triples}
+    )
+    results = set()
+    for assignment in product(universe, repeat=len(variables)):
+        binding = dict(zip(variables, assignment))
+        ok = True
+        for pattern in bgp_patterns:
+            def resolve(term):
+                return binding[term.name] if isinstance(term, Variable) else term
+
+            candidate = (
+                resolve(pattern.subject),
+                resolve(pattern.predicate),
+                resolve(pattern.object),
+            )
+            if not any(t.as_tuple() == candidate for t in store_triples):
+                ok = False
+                break
+        if ok:
+            results.add(tuple(sorted(binding.items())))
+    return results
+
+
+@given(
+    st.lists(triples, min_size=1, max_size=10, unique=True),
+    st.lists(patterns, min_size=1, max_size=2),
+)
+@settings(max_examples=40, deadline=None)
+def test_bgp_matches_bruteforce(store_triples, bgp_patterns):
+    # Literal-in-predicate patterns can never match; the engine must agree.
+    store = TripleStore(store_triples)
+    query = BGPQuery(bgp_patterns)
+    engine_results = {
+        tuple(sorted(binding.items())) for binding in query.evaluate(store)
+    }
+    expected = brute_force(store_triples, bgp_patterns)
+    assert engine_results == expected

@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for the statistics layer.
+
+Invariants: p-values live in [0, 1]; the exact multinomial test agrees
+with a brute-force reference; EMD is a metric; alignment preserves counts.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.emd import earth_movers_distance_1d, total_variation_distance
+from repro.stats.histograms import align_count_maps
+from repro.stats.multinomial import (
+    exact_multinomial_test,
+    log_multinomial_pmf,
+    montecarlo_multinomial_test,
+)
+
+probability_vectors = st.integers(2, 4).flatmap(
+    lambda k: st.lists(
+        st.floats(0.05, 1.0, allow_nan=False), min_size=k, max_size=k
+    ).map(lambda ws: [w / sum(ws) for w in ws])
+)
+
+
+@st.composite
+def pi_and_counts(draw):
+    pi = draw(probability_vectors)
+    counts = draw(
+        st.lists(st.integers(0, 4), min_size=len(pi), max_size=len(pi)).filter(
+            lambda c: 0 < sum(c) <= 8
+        )
+    )
+    return pi, counts
+
+
+@given(pi_and_counts())
+@settings(max_examples=60, deadline=None)
+def test_exact_p_value_in_unit_interval(case):
+    pi, counts = case
+    result = exact_multinomial_test(pi, counts)
+    assert 0.0 <= result.p_value <= 1.0
+
+
+@given(pi_and_counts())
+@settings(max_examples=40, deadline=None)
+def test_exact_test_matches_bruteforce(case):
+    pi, counts = case
+    n = sum(counts)
+    k = len(pi)
+    result = exact_multinomial_test(pi, counts)
+
+    # brute force: enumerate all outcomes, sum those at most as likely
+    def outcomes(total, cells):
+        if cells == 1:
+            yield (total,)
+            return
+        for first in range(total + 1):
+            for rest in outcomes(total - first, cells - 1):
+                yield (first, *rest)
+
+    observed_logp = log_multinomial_pmf(np.array(pi), np.array(counts))
+    total = 0.0
+    for outcome in outcomes(n, k):
+        logp = log_multinomial_pmf(np.array(pi), np.array(outcome))
+        if logp <= observed_logp + 1e-9:
+            total += math.exp(logp)
+    assert result.p_value == min(total, 1.0) or abs(result.p_value - total) < 1e-9
+
+
+@given(pi_and_counts())
+@settings(max_examples=20, deadline=None)
+def test_montecarlo_close_to_exact(case):
+    pi, counts = case
+    exact = exact_multinomial_test(pi, counts)
+    approx = montecarlo_multinomial_test(pi, counts, samples=30_000, rng=7)
+    assert abs(exact.p_value - approx.p_value) < 0.03
+
+
+count_vectors = st.integers(2, 6).flatmap(
+    lambda k: st.tuples(
+        st.lists(st.integers(0, 20), min_size=k, max_size=k).filter(lambda v: sum(v) > 0),
+        st.lists(st.integers(0, 20), min_size=k, max_size=k).filter(lambda v: sum(v) > 0),
+    )
+)
+
+
+@given(count_vectors)
+@settings(max_examples=80, deadline=None)
+def test_emd_non_negative_and_symmetric(case):
+    p, q = case
+    d = earth_movers_distance_1d(p, q)
+    assert d >= 0
+    assert d == earth_movers_distance_1d(q, p)
+
+
+@given(count_vectors)
+@settings(max_examples=80, deadline=None)
+def test_emd_zero_iff_equal_distributions(case):
+    p, q = case
+    p_norm = np.array(p) / sum(p)
+    q_norm = np.array(q) / sum(q)
+    d = earth_movers_distance_1d(p, q)
+    if np.allclose(p_norm, q_norm):
+        assert d < 1e-9
+    else:
+        assert d > 0
+
+
+@given(count_vectors)
+@settings(max_examples=80, deadline=None)
+def test_total_variation_bounded(case):
+    p, q = case
+    assert 0.0 <= total_variation_distance(p, q) <= 1.0 + 1e-12
+
+
+@given(
+    st.dictionaries(st.text(min_size=1, max_size=4), st.integers(0, 10), max_size=6),
+    st.dictionaries(st.text(min_size=1, max_size=4), st.integers(0, 10), max_size=6),
+)
+@settings(max_examples=80, deadline=None)
+def test_align_preserves_totals_and_support(query_counts, context_counts):
+    support, x, y = align_count_maps(query_counts, context_counts)
+    assert x.sum() == sum(query_counts.values())
+    assert y.sum() == sum(context_counts.values())
+    assert set(support) == set(query_counts) | set(context_counts)
+    assert len(support) == len(set(support))

@@ -1,0 +1,57 @@
+"""The public API surface: everything advertised in __all__ exists and the
+documented quickstart works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.graph",
+            "repro.store",
+            "repro.walk",
+            "repro.stats",
+            "repro.datasets",
+            "repro.eval",
+            "repro.util",
+        ],
+    )
+    def test_subpackage_alls_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestDocumentedQuickstart:
+    def test_module_docstring_example_runs(self):
+        from repro import FindNC
+        from repro.datasets import figure1_graph
+
+        graph = figure1_graph()
+        finder = FindNC(graph, context_size=3, rng=7)
+        result = finder.run(["Angela_Merkel", "Barack_Obama"])
+        summary = result.summary(graph)
+        assert "Angela_Merkel" in summary
+
+    def test_public_items_have_docstrings(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if not name.startswith("_")
+            and getattr(repro, name).__doc__ in (None, "")
+            and not isinstance(getattr(repro, name), str)
+        ]
+        assert undocumented == []

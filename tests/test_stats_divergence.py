@@ -1,0 +1,69 @@
+"""Unit tests for KL / JS divergence."""
+
+import math
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.divergence import js_divergence, kl_divergence
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        assert kl_divergence([0.5, 0.5], [0.5, 0.5], smoothing=0) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # KL((1,0) || (0.5,0.5)) = log 2
+        assert kl_divergence([1.0, 0.0], [0.5, 0.5], smoothing=0) == pytest.approx(
+            math.log(2)
+        )
+
+    def test_asymmetry(self):
+        p, q = [0.8, 0.2], [0.3, 0.7]
+        assert kl_divergence(p, q, smoothing=0) != pytest.approx(
+            kl_divergence(q, p, smoothing=0)
+        )
+
+    def test_counts_are_normalized(self):
+        assert kl_divergence([8, 2], [3, 7], smoothing=0) == pytest.approx(
+            kl_divergence([0.8, 0.2], [0.3, 0.7], smoothing=0)
+        )
+
+    def test_undefined_without_smoothing(self):
+        with pytest.raises(StatisticsError):
+            kl_divergence([0.5, 0.5], [1.0, 0.0], smoothing=0)
+
+    def test_smoothing_makes_it_total(self):
+        value = kl_divergence([0.5, 0.5], [1.0, 0.0], smoothing=0.1)
+        assert math.isfinite(value) and value > 0
+
+    def test_non_negative(self):
+        assert kl_divergence([0.1, 0.9], [0.7, 0.3], smoothing=0) >= 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(StatisticsError):
+            kl_divergence([0.5, 0.5], [1.0])
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(StatisticsError):
+            kl_divergence([-0.5, 1.5], [0.5, 0.5])
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(StatisticsError):
+            kl_divergence([0.5, 0.5], [0.5, 0.5], smoothing=-1)
+
+
+class TestJS:
+    def test_zero_for_identical(self):
+        assert js_divergence([0.3, 0.7], [0.3, 0.7]) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        p, q = [0.9, 0.1], [0.2, 0.8]
+        assert js_divergence(p, q) == pytest.approx(js_divergence(q, p))
+
+    def test_bounded_by_log2(self):
+        assert js_divergence([1.0, 0.0], [0.0, 1.0]) == pytest.approx(math.log(2))
+
+    def test_defined_with_zeros(self):
+        value = js_divergence([1.0, 0.0], [0.5, 0.5])
+        assert 0 < value < math.log(2)

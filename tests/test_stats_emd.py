@@ -1,0 +1,80 @@
+"""Unit tests for Earth Mover's Distance."""
+
+import pytest
+from scipy.stats import wasserstein_distance
+
+from repro.errors import StatisticsError
+from repro.stats.emd import earth_movers_distance_1d, total_variation_distance
+
+
+class TestEmd1d:
+    def test_identical_is_zero(self):
+        assert earth_movers_distance_1d([1, 2, 3], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_unit_shift(self):
+        # all mass moves one position
+        assert earth_movers_distance_1d([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_agrees_with_scipy(self):
+        p = [3, 1, 0, 2]
+        q = [1, 1, 2, 2]
+        positions = [0, 1, 2, 3]
+        ours = earth_movers_distance_1d(p, q, positions=positions)
+        theirs = wasserstein_distance(
+            positions, positions, u_weights=p, v_weights=q
+        )
+        assert ours == pytest.approx(float(theirs))
+
+    def test_explicit_positions_scale_distance(self):
+        near = earth_movers_distance_1d([1, 0], [0, 1], positions=[0, 1])
+        far = earth_movers_distance_1d([1, 0], [0, 1], positions=[0, 10])
+        assert far == pytest.approx(10 * near)
+
+    def test_symmetry(self):
+        p, q = [2, 1, 1], [0, 1, 3]
+        assert earth_movers_distance_1d(p, q) == pytest.approx(
+            earth_movers_distance_1d(q, p)
+        )
+
+    def test_triangle_inequality(self):
+        a, b, c = [4, 0, 0], [0, 4, 0], [0, 0, 4]
+        ab = earth_movers_distance_1d(a, b)
+        bc = earth_movers_distance_1d(b, c)
+        ac = earth_movers_distance_1d(a, c)
+        assert ac <= ab + bc + 1e-12
+
+    def test_single_cell_support(self):
+        assert earth_movers_distance_1d([5], [3]) == pytest.approx(0.0)
+
+    def test_decreasing_positions_rejected(self):
+        with pytest.raises(StatisticsError):
+            earth_movers_distance_1d([1, 1], [1, 1], positions=[1, 0])
+
+    def test_position_shape_mismatch(self):
+        with pytest.raises(StatisticsError):
+            earth_movers_distance_1d([1, 1], [1, 1], positions=[0, 1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(StatisticsError):
+            earth_movers_distance_1d([], [])
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        assert total_variation_distance([1, 1], [2, 2]) == pytest.approx(0.0)
+
+    def test_disjoint_is_one(self):
+        assert total_variation_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_bounded(self):
+        assert 0 <= total_variation_distance([3, 1, 2], [1, 1, 4]) <= 1
+
+    def test_symmetric(self):
+        p, q = [5, 1], [2, 4]
+        assert total_variation_distance(p, q) == pytest.approx(
+            total_variation_distance(q, p)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(StatisticsError):
+            total_variation_distance([1], [1, 2])

@@ -1,0 +1,88 @@
+"""Unit tests for count-map alignment utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.histograms import (
+    align_count_maps,
+    cardinality_histogram,
+    counts_to_probabilities,
+)
+
+
+class TestAlign:
+    def test_union_support(self):
+        support, x, y = align_count_maps({"a": 1}, {"b": 3})
+        assert set(support) == {"a", "b"}
+        assert x.sum() == 1 and y.sum() == 3
+
+    def test_query_zero_where_context_only(self):
+        support, x, y = align_count_maps({}, {"ctx": 2})
+        assert list(x) == [0]
+        assert list(y) == [2]
+
+    def test_default_order_context_dominant_first(self):
+        support, _x, _y = align_count_maps(
+            {"rare": 1}, {"big": 10, "mid": 5, "rare": 0}
+        )
+        assert support[0] == "big"
+        assert support[1] == "mid"
+
+    def test_deterministic_tie_break(self):
+        support, _x, _y = align_count_maps({}, {"b": 1, "a": 1})
+        assert support == ["a", "b"]
+
+    def test_explicit_order(self):
+        support, x, y = align_count_maps(
+            {"a": 1}, {"b": 2}, order=["b", "a", "unused"]
+        )
+        assert support == ["b", "a"]
+        assert list(x) == [0, 1]
+
+    def test_explicit_order_missing_value_rejected(self):
+        with pytest.raises(StatisticsError):
+            align_count_maps({"a": 1}, {"b": 2}, order=["a"])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(StatisticsError):
+            align_count_maps({"a": -1}, {})
+
+    def test_non_integer_count_rejected(self):
+        with pytest.raises(StatisticsError):
+            align_count_maps({"a": 1.5}, {})  # type: ignore[dict-item]
+
+    def test_same_length_vectors(self):
+        support, x, y = align_count_maps({"a": 1, "c": 2}, {"b": 3})
+        assert len(support) == len(x) == len(y) == 3
+
+
+class TestCountsToProbabilities:
+    def test_normalization(self):
+        probs = counts_to_probabilities(np.array([1, 3]))
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[1] == pytest.approx(0.75)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(StatisticsError):
+            counts_to_probabilities(np.array([0, 0]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(StatisticsError):
+            counts_to_probabilities(np.array([-1, 2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(StatisticsError):
+            counts_to_probabilities(np.array([]))
+
+
+class TestCardinalityHistogram:
+    def test_counts(self):
+        assert cardinality_histogram([0, 1, 1, 3]) == {0: 1, 1: 2, 3: 1}
+
+    def test_empty(self):
+        assert cardinality_histogram([]) == {}
+
+    def test_negative_rejected(self):
+        with pytest.raises(StatisticsError):
+            cardinality_histogram([-1])

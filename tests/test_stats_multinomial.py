@@ -1,0 +1,175 @@
+"""Unit tests for the exact / Monte-Carlo multinomial test."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.errors import StatisticsError
+from repro.stats.multinomial import (
+    exact_multinomial_test,
+    log_multinomial_pmf,
+    montecarlo_multinomial_test,
+    multinomial_test,
+    number_of_compositions,
+)
+
+
+class TestLogPmf:
+    def test_binomial_agreement(self):
+        pi = np.array([0.3, 0.7])
+        x = np.array([2, 3])
+        expected = scipy_stats.binom.logpmf(2, 5, 0.3)
+        assert log_multinomial_pmf(pi, x) == pytest.approx(float(expected))
+
+    def test_zero_probability_cell(self):
+        assert log_multinomial_pmf(np.array([0.0, 1.0]), np.array([1, 0])) == float(
+            "-inf"
+        )
+
+    def test_degenerate_certainty(self):
+        assert log_multinomial_pmf(np.array([1.0]), np.array([4])) == pytest.approx(0.0)
+
+    def test_pmf_sums_to_one_small_case(self):
+        pi = np.array([0.2, 0.5, 0.3])
+        n = 4
+        total = 0.0
+        for a in range(n + 1):
+            for b in range(n + 1 - a):
+                c = n - a - b
+                total += math.exp(log_multinomial_pmf(pi, np.array([a, b, c])))
+        assert total == pytest.approx(1.0)
+
+
+class TestCompositions:
+    def test_known_values(self):
+        assert number_of_compositions(5, 1) == 1
+        assert number_of_compositions(5, 2) == 6
+        assert number_of_compositions(2, 3) == 6
+
+    def test_invalid(self):
+        with pytest.raises(StatisticsError):
+            number_of_compositions(-1, 2)
+        with pytest.raises(StatisticsError):
+            number_of_compositions(3, 0)
+
+
+class TestExactTest:
+    def test_fair_coin_extreme(self):
+        # [5, 0] under (0.5, 0.5): only (5,0) and (0,5) are that unlikely.
+        result = exact_multinomial_test([0.5, 0.5], [5, 0])
+        assert result.p_value == pytest.approx(2 * 0.5**5)
+        assert result.method == "exact"
+
+    def test_typical_outcome_not_significant(self):
+        result = exact_multinomial_test([0.5, 0.5], [3, 2])
+        assert result.p_value > 0.5
+        assert not result.significant
+        assert result.score == 0.0
+
+    def test_observation_on_zero_cell_maximally_significant(self):
+        result = exact_multinomial_test([1.0, 0.0], [0, 3])
+        assert result.p_value == 0.0
+        assert result.significant
+        assert result.score == 1.0
+
+    def test_zero_cells_excluded_from_enumeration(self):
+        # Same answer with or without padding zero-probability cells.
+        with_pad = exact_multinomial_test([0.5, 0.5, 0.0], [4, 1, 0])
+        without = exact_multinomial_test([0.5, 0.5], [4, 1])
+        assert with_pad.p_value == pytest.approx(without.p_value)
+
+    def test_empty_observation_degenerate(self):
+        result = exact_multinomial_test([0.4, 0.6], [0, 0])
+        assert result.p_value == 1.0
+        assert result.method == "degenerate"
+
+    def test_p_value_never_exceeds_one(self):
+        result = exact_multinomial_test([0.25, 0.25, 0.25, 0.25], [1, 1, 1, 1])
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_agrees_with_binomial_two_sided_mass(self):
+        # Pr_s = sum of binomial pmf over outcomes with pmf <= pmf(obs).
+        pi = [0.3, 0.7]
+        obs = [4, 1]
+        n = 5
+        pmf = [float(scipy_stats.binom.pmf(k, n, 0.3)) for k in range(n + 1)]
+        threshold = pmf[4]
+        expected = sum(p for p in pmf if p <= threshold * (1 + 1e-9))
+        result = exact_multinomial_test(pi, obs)
+        assert result.p_value == pytest.approx(expected)
+
+
+class TestMonteCarloTest:
+    def test_close_to_exact(self):
+        pi = [0.2, 0.3, 0.5]
+        x = [5, 0, 0]
+        exact = exact_multinomial_test(pi, x)
+        approx = montecarlo_multinomial_test(pi, x, samples=60_000, rng=3)
+        assert approx.p_value == pytest.approx(exact.p_value, abs=0.01)
+        assert approx.method == "montecarlo"
+
+    def test_never_returns_zero(self):
+        result = montecarlo_multinomial_test([0.5, 0.5], [20, 0], samples=1000, rng=1)
+        assert result.p_value > 0.0
+
+    def test_deterministic_under_seed(self):
+        a = montecarlo_multinomial_test([0.5, 0.5], [6, 1], samples=5000, rng=9)
+        b = montecarlo_multinomial_test([0.5, 0.5], [6, 1], samples=5000, rng=9)
+        assert a.p_value == b.p_value
+
+    def test_zero_cell_shortcut(self):
+        result = montecarlo_multinomial_test([1.0, 0.0], [1, 1], samples=100, rng=1)
+        assert result.p_value == 0.0
+
+
+class TestDispatch:
+    def test_small_case_uses_exact(self):
+        result = multinomial_test([0.5, 0.5], [3, 1])
+        assert result.method == "exact"
+
+    def test_large_support_uses_montecarlo(self):
+        pi = [1 / 60] * 60
+        x = [0] * 60
+        x[0] = 3
+        x[1] = 2
+        result = multinomial_test(pi, x, samples=2000, rng=4)
+        assert result.method == "montecarlo"
+
+    def test_significance_flag_respects_alpha(self):
+        lenient = multinomial_test([0.5, 0.5], [5, 0], alpha=0.10)
+        strict = multinomial_test([0.5, 0.5], [5, 0], alpha=0.01)
+        assert lenient.significant  # p = 0.0625 <= 0.10
+        assert not strict.significant
+
+    def test_score_is_one_minus_p_when_significant(self):
+        result = multinomial_test([0.9, 0.1], [0, 5])
+        assert result.significant
+        assert result.score == pytest.approx(1.0 - result.p_value)
+
+
+class TestValidation:
+    def test_support_mismatch(self):
+        with pytest.raises(StatisticsError):
+            multinomial_test([0.5, 0.5], [1, 2, 3])
+
+    def test_unnormalized_pi_rejected(self):
+        with pytest.raises(StatisticsError):
+            multinomial_test([0.5, 0.2], [1, 1])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(StatisticsError):
+            multinomial_test([0.5, 0.5], [-1, 2])
+
+    def test_negative_pi_rejected(self):
+        with pytest.raises(StatisticsError):
+            multinomial_test([-0.5, 1.5], [1, 1])
+
+    def test_empty_support_rejected(self):
+        with pytest.raises(StatisticsError):
+            multinomial_test([], [])
+
+    def test_bad_sample_count_rejected(self):
+        with pytest.raises(StatisticsError):
+            montecarlo_multinomial_test([0.5, 0.5], [1, 1], samples=0)

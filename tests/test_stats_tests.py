@@ -1,0 +1,76 @@
+"""Unit tests for the classical tests (chi-square, z-test)."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.tests import chi_square_test, two_proportion_z_test
+
+
+class TestChiSquare:
+    def test_perfect_fit_not_significant(self):
+        result = chi_square_test([25, 25, 25, 25], [0.25, 0.25, 0.25, 0.25])
+        assert result.p_value > 0.9
+        assert result.assumptions_met
+
+    def test_gross_misfit_significant(self):
+        result = chi_square_test([100, 0], [0.5, 0.5])
+        assert result.p_value < 1e-6
+
+    def test_small_sample_warns(self):
+        result = chi_square_test([2, 1], [0.5, 0.5])
+        assert not result.assumptions_met
+        assert "expected" in result.assumption_warnings[0]
+
+    def test_zero_expected_with_observation(self):
+        result = chi_square_test([1, 1], [1.0, 0.0])
+        assert result.p_value == 0.0
+
+    def test_zero_expected_without_observation_ok(self):
+        result = chi_square_test([5, 0], [1.0, 0.0])
+        assert result.p_value > 0.9
+
+    def test_unnormalized_expectation_is_normalized(self):
+        # expected_probs is treated as relative weights.
+        a = chi_square_test([10, 20], [0.5, 0.25])
+        b = chi_square_test([10, 20], [2 / 3, 1 / 3])
+        assert a.p_value == pytest.approx(b.p_value)
+
+    def test_validation(self):
+        with pytest.raises(StatisticsError):
+            chi_square_test([], [])
+        with pytest.raises(StatisticsError):
+            chi_square_test([-1, 2], [0.5, 0.5])
+        with pytest.raises(StatisticsError):
+            chi_square_test([0, 0], [0.5, 0.5])  # no observations
+
+
+class TestZTest:
+    def test_equal_proportions_not_significant(self):
+        result = two_proportion_z_test(50, 100, 50, 100)
+        assert result.p_value > 0.9
+
+    def test_different_proportions_significant(self):
+        result = two_proportion_z_test(90, 100, 10, 100)
+        assert result.p_value < 1e-6
+
+    def test_small_samples_warn(self):
+        result = two_proportion_z_test(3, 5, 1, 4)
+        assert not result.assumptions_met
+
+    def test_unanimous_equal_groups(self):
+        result = two_proportion_z_test(5, 5, 7, 7)
+        assert result.p_value == 1.0
+
+    def test_symmetry(self):
+        a = two_proportion_z_test(30, 50, 20, 60)
+        b = two_proportion_z_test(20, 60, 30, 50)
+        assert a.p_value == pytest.approx(b.p_value)
+        assert a.statistic == pytest.approx(-b.statistic)
+
+    def test_validation(self):
+        with pytest.raises(StatisticsError):
+            two_proportion_z_test(1, 0, 1, 2)
+        with pytest.raises(StatisticsError):
+            two_proportion_z_test(5, 3, 1, 2)  # successes > total
+        with pytest.raises(StatisticsError):
+            two_proportion_z_test(-1, 3, 1, 2)

@@ -1,0 +1,69 @@
+"""Unit tests for repro.store.dictionary."""
+
+import pytest
+
+from repro.store.dictionary import TermDictionary
+from repro.store.terms import IRI, Literal
+
+
+class TestTermDictionary:
+    def test_ids_are_dense_from_zero(self):
+        d = TermDictionary()
+        assert d.encode(IRI("a")) == 0
+        assert d.encode(IRI("b")) == 1
+        assert d.encode(Literal("c")) == 2
+
+    def test_encode_is_idempotent(self):
+        d = TermDictionary()
+        first = d.encode(IRI("a"))
+        assert d.encode(IRI("a")) == first
+        assert len(d) == 1
+
+    def test_decode_inverts_encode(self):
+        d = TermDictionary()
+        terms = [IRI("a"), Literal("b"), Literal("b", language="en")]
+        ids = [d.encode(t) for t in terms]
+        assert [d.decode(i) for i in ids] == terms
+
+    def test_distinct_literals_get_distinct_ids(self):
+        d = TermDictionary()
+        assert d.encode(Literal("x")) != d.encode(Literal("x", language="en"))
+        assert d.encode(Literal("x")) != d.encode(IRI("x"))
+
+    def test_lookup_unknown_returns_none(self):
+        d = TermDictionary()
+        assert d.lookup(IRI("nope")) is None
+
+    def test_decode_unknown_raises(self):
+        d = TermDictionary()
+        with pytest.raises(IndexError):
+            d.decode(0)
+        d.encode(IRI("a"))
+        with pytest.raises(IndexError):
+            d.decode(1)
+        with pytest.raises(IndexError):
+            d.decode(-1)
+
+    def test_contains(self):
+        d = TermDictionary()
+        d.encode(IRI("a"))
+        assert IRI("a") in d
+        assert IRI("b") not in d
+
+    def test_iteration_order_is_id_order(self):
+        d = TermDictionary()
+        terms = [IRI(name) for name in "cab"]
+        for term in terms:
+            d.encode(term)
+        assert list(d) == terms
+
+    def test_encode_many(self):
+        d = TermDictionary()
+        ids = d.encode_many([IRI("a"), IRI("b"), IRI("a")])
+        assert ids == [0, 1, 0]
+
+    def test_items(self):
+        d = TermDictionary()
+        d.encode(IRI("a"))
+        d.encode(IRI("b"))
+        assert dict(d.items()) == {IRI("a"): 0, IRI("b"): 1}

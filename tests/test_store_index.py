@@ -1,0 +1,93 @@
+"""Unit tests for repro.store.index.TwoLevelIndex."""
+
+import pytest
+
+from repro.store.index import TwoLevelIndex
+
+
+@pytest.fixture()
+def index():
+    idx = TwoLevelIndex()
+    idx.add(1, 10, 100)
+    idx.add(1, 10, 101)
+    idx.add(1, 11, 100)
+    idx.add(2, 10, 100)
+    return idx
+
+
+class TestAddRemove:
+    def test_add_reports_newness(self):
+        idx = TwoLevelIndex()
+        assert idx.add(1, 2, 3) is True
+        assert idx.add(1, 2, 3) is False
+        assert len(idx) == 1
+
+    def test_remove_existing(self, index):
+        assert index.remove(1, 10, 100) is True
+        assert not index.contains(1, 10, 100)
+        assert len(index) == 3
+
+    def test_remove_missing(self, index):
+        assert index.remove(9, 9, 9) is False
+        assert index.remove(1, 10, 999) is False
+        assert len(index) == 4
+
+    def test_remove_prunes_empty_levels(self):
+        idx = TwoLevelIndex()
+        idx.add(1, 2, 3)
+        idx.remove(1, 2, 3)
+        assert list(idx.firsts()) == []
+        assert list(idx.scan()) == []
+
+
+class TestScan:
+    def test_full_scan(self, index):
+        assert sorted(index.scan()) == [
+            (1, 10, 100),
+            (1, 10, 101),
+            (1, 11, 100),
+            (2, 10, 100),
+        ]
+
+    def test_scan_first_bound(self, index):
+        assert sorted(index.scan(1)) == [(1, 10, 100), (1, 10, 101), (1, 11, 100)]
+
+    def test_scan_both_bound(self, index):
+        assert sorted(index.scan(1, 10)) == [(1, 10, 100), (1, 10, 101)]
+
+    def test_scan_missing_prefix(self, index):
+        assert list(index.scan(42)) == []
+        assert list(index.scan(1, 42)) == []
+
+    def test_scan_second_without_first_rejected(self, index):
+        with pytest.raises(ValueError):
+            list(index.scan(None, 10))
+
+
+class TestCounts:
+    def test_total(self, index):
+        assert index.count() == 4
+
+    def test_count_first(self, index):
+        assert index.count(1) == 3
+        assert index.count(2) == 1
+        assert index.count(3) == 0
+
+    def test_count_prefix(self, index):
+        assert index.count(1, 10) == 2
+        assert index.count(1, 11) == 1
+        assert index.count(1, 12) == 0
+
+    def test_firsts_seconds(self, index):
+        assert sorted(index.firsts()) == [1, 2]
+        assert sorted(index.seconds(1)) == [10, 11]
+        assert list(index.seconds(99)) == []
+
+    def test_size_tracks_mutations(self):
+        idx = TwoLevelIndex()
+        for i in range(10):
+            idx.add(i % 3, i % 2, i)
+        assert len(idx) == 10
+        for i in range(10):
+            idx.remove(i % 3, i % 2, i)
+        assert len(idx) == 0

@@ -1,0 +1,77 @@
+"""Unit tests for the N-Triples parser/serializer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.store.ntriples import (
+    load_ntriples_file,
+    parse_ntriples,
+    parse_ntriples_line,
+    save_ntriples_file,
+    serialize_ntriples,
+)
+from repro.store.terms import IRI, Literal
+from repro.store.triples import Triple
+
+
+class TestParse:
+    def test_iri_object(self):
+        (triple,) = parse_ntriples("<a> <b> <c> .")
+        assert triple == Triple(IRI("a"), IRI("b"), IRI("c"))
+
+    def test_plain_literal(self):
+        (triple,) = parse_ntriples('<a> <b> "hello" .')
+        assert triple.object == Literal("hello")
+
+    def test_language_literal(self):
+        (triple,) = parse_ntriples('<a> <b> "hallo"@de .')
+        assert triple.object == Literal("hallo", language="de")
+
+    def test_datatyped_literal(self):
+        (triple,) = parse_ntriples('<a> <b> "5"^^<http://ex/int> .')
+        assert triple.object == Literal("5", datatype="http://ex/int")
+
+    def test_escaped_literal(self):
+        (triple,) = parse_ntriples('<a> <b> "line\\nbreak \\"q\\"" .')
+        assert triple.object == Literal('line\nbreak "q"')
+
+    def test_comments_and_blanks_skipped(self):
+        text = "\n# a comment\n<a> <b> <c> .\n\n   \n<d> <e> <f> .\n"
+        assert len(list(parse_ntriples(text))) == 2
+
+    def test_invalid_line_raises_with_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            list(parse_ntriples("<a> <b> <c> .\nnot a triple"))
+        assert excinfo.value.line_number == 2
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<a> <b> <c>")
+
+    def test_blank_nodes_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("_:b1 <b> <c> .")
+
+    def test_whitespace_tolerance(self):
+        (triple,) = parse_ntriples("   <a>\t<b>   <c>  .  ")
+        assert triple.subject == IRI("a")
+
+
+class TestRoundTrip:
+    def test_serialize_parse_round_trip(self):
+        triples = [
+            Triple(IRI("s1"), IRI("p"), IRI("o")),
+            Triple(IRI("s2"), IRI("p"), Literal("plain")),
+            Triple(IRI("s3"), IRI("p"), Literal("tagged", language="en")),
+            Triple(IRI("s4"), IRI("p"), Literal("7", datatype="http://ex/int")),
+            Triple(IRI("s5"), IRI("p"), Literal('tricky\n"\\')),
+        ]
+        text = serialize_ntriples(triples)
+        assert list(parse_ntriples(text)) == triples
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "facts.nt"
+        triples = [Triple.of("a", "b", "c"), Triple(IRI("a"), IRI("x"), Literal("v"))]
+        written = save_ntriples_file(str(path), triples)
+        assert written == 2
+        assert list(load_ntriples_file(str(path))) == triples

@@ -1,0 +1,138 @@
+"""Unit tests for the BGP query evaluator."""
+
+import pytest
+
+from repro.store.query import BGPQuery, TriplePattern, Variable
+from repro.store.terms import IRI, Literal
+from repro.store.triples import Triple
+from repro.store.triplestore import TripleStore
+
+
+@pytest.fixture()
+def store():
+    st = TripleStore()
+    facts = [
+        ("merkel", "type", "politician"),
+        ("obama", "type", "politician"),
+        ("pitt", "type", "actor"),
+        ("merkel", "leaderOf", "germany"),
+        ("obama", "leaderOf", "usa"),
+        ("merkel", "studied", "physics"),
+        ("obama", "studied", "law"),
+        ("pitt", "actedIn", "troy"),
+    ]
+    for s, p, o in facts:
+        st.add(Triple.of(s, p, o))
+    return st
+
+
+class TestVariable:
+    def test_str(self):
+        assert str(Variable("x")) == "?x"
+
+    def test_rejects_question_mark_prefix(self):
+        with pytest.raises(ValueError):
+            Variable("?x")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+
+class TestTriplePattern:
+    def test_of_parses_variables(self):
+        pattern = TriplePattern.of("?who", "leaderOf", "?where")
+        assert pattern.variables() == {"who", "where"}
+
+    def test_bind_substitutes(self):
+        pattern = TriplePattern.of("?who", "leaderOf", "?where")
+        bound = pattern.bind({"who": IRI("merkel")})
+        assert bound.subject == IRI("merkel")
+        assert isinstance(bound.object, Variable)
+
+
+class TestBGPQuery:
+    def test_single_pattern(self, store):
+        query = BGPQuery([TriplePattern.of("?who", "leaderOf", "?where")])
+        bindings = list(query.evaluate(store))
+        assert len(bindings) == 2
+        pairs = {(str(b["who"]), str(b["where"])) for b in bindings}
+        assert pairs == {("merkel", "germany"), ("obama", "usa")}
+
+    def test_join_on_shared_variable(self, store):
+        query = BGPQuery(
+            [
+                TriplePattern.of("?who", "type", "politician"),
+                TriplePattern.of("?who", "studied", "?field"),
+            ]
+        )
+        fields = {str(b["field"]) for b in query.evaluate(store)}
+        assert fields == {"physics", "law"}
+
+    def test_three_way_join(self, store):
+        query = BGPQuery(
+            [
+                TriplePattern.of("?who", "type", "?t"),
+                TriplePattern.of("?who", "leaderOf", "?where"),
+                TriplePattern.of("?who", "studied", "physics"),
+            ]
+        )
+        bindings = list(query.evaluate(store))
+        assert len(bindings) == 1
+        assert str(bindings[0]["who"]) == "merkel"
+        assert str(bindings[0]["t"]) == "politician"
+
+    def test_no_results(self, store):
+        query = BGPQuery(
+            [
+                TriplePattern.of("?who", "type", "actor"),
+                TriplePattern.of("?who", "leaderOf", "?where"),
+            ]
+        )
+        assert list(query.evaluate(store)) == []
+
+    def test_fully_bound_pattern_acts_as_filter(self, store):
+        query = BGPQuery(
+            [
+                TriplePattern.of("merkel", "leaderOf", "germany"),
+                TriplePattern.of("?who", "type", "actor"),
+            ]
+        )
+        bindings = list(query.evaluate(store))
+        assert len(bindings) == 1
+        assert str(bindings[0]["who"]) == "pitt"
+
+    def test_variable_predicate(self, store):
+        query = BGPQuery([TriplePattern.of("pitt", "?rel", "?obj")])
+        relations = {str(b["rel"]) for b in query.evaluate(store)}
+        assert relations == {"type", "actedIn"}
+
+    def test_same_variable_in_two_positions(self, store):
+        store.add(Triple.of("narcissus", "admires", "narcissus"))
+        query = BGPQuery([TriplePattern.of("?x", "admires", "?x")])
+        bindings = list(query.evaluate(store))
+        assert len(bindings) == 1
+        assert str(bindings[0]["x"]) == "narcissus"
+
+    def test_literal_bound_to_subject_position_matches_nothing(self, store):
+        store.add(Triple(IRI("merkel"), IRI("born"), Literal("1954")))
+        query = BGPQuery(
+            [
+                TriplePattern.of("merkel", "born", "?when"),
+                TriplePattern.of("?when", "type", "?t"),  # literal subject: dead
+            ]
+        )
+        assert list(query.evaluate(store)) == []
+
+    def test_empty_pattern_list_rejected(self):
+        with pytest.raises(ValueError):
+            BGPQuery([])
+
+    def test_variables_union(self, store):
+        query = BGPQuery(
+            [
+                TriplePattern.of("?a", "type", "?b"),
+                TriplePattern.of("?a", "studied", "?c"),
+            ]
+        )
+        assert query.variables() == {"a", "b", "c"}

@@ -1,0 +1,117 @@
+"""Unit tests for the minimal SPARQL SELECT front-end."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.store.sparql import parse_select, select
+from repro.store.terms import IRI, Literal
+from repro.store.triples import Triple
+from repro.store.triplestore import TripleStore
+
+
+@pytest.fixture()
+def store():
+    st = TripleStore()
+    facts = [
+        ("merkel", "type", "politician"),
+        ("obama", "type", "politician"),
+        ("pitt", "type", "actor"),
+        ("merkel", "isLeaderOf", "germany"),
+        ("obama", "isLeaderOf", "usa"),
+        ("merkel", "studied", "physics"),
+        ("obama", "studied", "law"),
+    ]
+    for s, p, o in facts:
+        st.add(Triple.of(s, p, o))
+    st.add(Triple(IRI("merkel"), IRI("born"), Literal("1954")))
+    return st
+
+
+class TestParsing:
+    def test_basic_shape(self):
+        query = parse_select(
+            "SELECT ?x WHERE { ?x <type> <politician> . }"
+        )
+        assert query.variables == ("x",)
+        assert not query.distinct
+        assert query.limit is None
+
+    def test_star_projection(self):
+        query = parse_select("SELECT * WHERE { ?x <type> ?t . }")
+        assert query.variables == ()
+
+    def test_distinct_and_limit(self):
+        query = parse_select(
+            "SELECT DISTINCT ?t WHERE { ?x <type> ?t . } LIMIT 5"
+        )
+        assert query.distinct
+        assert query.limit == 5
+
+    def test_case_insensitive_keywords(self):
+        query = parse_select("select ?x where { ?x <type> <actor> . } limit 1")
+        assert query.limit == 1
+
+    def test_rejects_unbound_projection(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT ?nope WHERE { ?x <type> ?t . }")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_select("INSERT DATA { }")
+
+    def test_rejects_malformed_pattern(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT ?x WHERE { ?x <only-two-terms> . }")
+
+    def test_rejects_empty_where(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT ?x WHERE {   }")
+
+
+class TestExecution:
+    def test_single_pattern(self, store):
+        rows = select(store, "SELECT ?x WHERE { ?x <type> <politician> . }")
+        names = {str(row["x"]) for row in rows}
+        assert names == {"merkel", "obama"}
+
+    def test_join(self, store):
+        rows = select(
+            store,
+            """SELECT ?who ?where WHERE {
+                ?who <type> <politician> .
+                ?who <isLeaderOf> ?where .
+            }""",
+        )
+        pairs = {(str(r["who"]), str(r["where"])) for r in rows}
+        assert pairs == {("merkel", "germany"), ("obama", "usa")}
+
+    def test_projection_drops_other_variables(self, store):
+        rows = select(
+            store,
+            "SELECT ?where WHERE { ?who <isLeaderOf> ?where . }",
+        )
+        assert all(set(row) == {"where"} for row in rows)
+
+    def test_distinct_deduplicates(self, store):
+        rows = select(
+            store, "SELECT DISTINCT ?t WHERE { ?x <type> ?t . }"
+        )
+        assert len(rows) == 2  # politician, actor
+
+    def test_limit(self, store):
+        rows = select(store, "SELECT ?x WHERE { ?x <type> ?t . } LIMIT 2")
+        assert len(rows) == 2
+
+    def test_literal_object(self, store):
+        rows = select(store, 'SELECT ?who WHERE { ?who <born> "1954" . }')
+        assert [str(r["who"]) for r in rows] == ["merkel"]
+
+    def test_star_returns_all_bindings(self, store):
+        rows = select(store, "SELECT * WHERE { ?x <isLeaderOf> ?y . }")
+        assert all(set(row) == {"x", "y"} for row in rows)
+
+    def test_no_results(self, store):
+        rows = select(
+            store, "SELECT ?x WHERE { ?x <type> <astronaut> . }"
+        )
+        assert rows == []

@@ -1,0 +1,95 @@
+"""Unit tests for repro.store.terms."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.store.terms import IRI, Literal, coerce_term, unescape_literal
+
+
+class TestIRI:
+    def test_construction_and_str(self):
+        iri = IRI("http://example.org/Angela_Merkel")
+        assert str(iri) == "http://example.org/Angela_Merkel"
+
+    def test_local_name_after_slash(self):
+        assert IRI("http://example.org/Angela_Merkel").local_name == "Angela_Merkel"
+
+    def test_local_name_after_hash(self):
+        assert IRI("http://example.org#thing").local_name == "thing"
+
+    def test_local_name_plain(self):
+        assert IRI("Angela_Merkel").local_name == "Angela_Merkel"
+
+    def test_n3_serialization(self):
+        assert IRI("a/b").n3() == "<a/b>"
+
+    def test_empty_rejected(self):
+        with pytest.raises(TermError):
+            IRI("")
+
+    @pytest.mark.parametrize("bad", ["has space", "a<b", "a>b", 'a"b', "a\\b", "a{b}"])
+    def test_forbidden_characters_rejected(self, bad):
+        with pytest.raises(TermError):
+            IRI(bad)
+
+    def test_equality_and_hash(self):
+        assert IRI("x") == IRI("x")
+        assert hash(IRI("x")) == hash(IRI("x"))
+        assert IRI("x") != IRI("y")
+
+    def test_ordering(self):
+        assert IRI("a") < IRI("b")
+        assert IRI("z") < Literal("a")  # IRIs sort before literals
+
+
+class TestLiteral:
+    def test_plain(self):
+        lit = Literal("hello")
+        assert str(lit) == "hello"
+        assert lit.n3() == '"hello"'
+
+    def test_language_tagged(self):
+        lit = Literal("hallo", language="de")
+        assert lit.n3() == '"hallo"@de'
+
+    def test_datatyped(self):
+        lit = Literal("42", datatype="http://www.w3.org/2001/XMLSchema#int")
+        assert lit.n3() == '"42"^^<http://www.w3.org/2001/XMLSchema#int>'
+
+    def test_datatype_and_language_conflict(self):
+        with pytest.raises(TermError):
+            Literal("x", datatype="d", language="en")
+
+    def test_escaping_round_trip(self):
+        tricky = 'line1\nline2\t"quoted"\\backslash'
+        lit = Literal(tricky)
+        n3 = lit.n3()
+        assert "\n" not in n3
+        inner = n3[1:-1]
+        assert unescape_literal(inner) == tricky
+
+    def test_unicode_escape_decoding(self):
+        assert unescape_literal("\\u00e9") == "é"
+        assert unescape_literal("\\U0001F600") == "\U0001F600"
+
+    def test_ordering_among_literals(self):
+        assert Literal("a") < Literal("b")
+        assert Literal("a") < Literal("a", datatype="t")
+
+    def test_literal_sorts_after_iri(self):
+        assert not (Literal("a") < IRI("z"))
+
+
+class TestCoerceTerm:
+    def test_string_becomes_iri(self):
+        assert coerce_term("abc") == IRI("abc")
+
+    def test_terms_pass_through(self):
+        iri = IRI("x")
+        lit = Literal("y")
+        assert coerce_term(iri) is iri
+        assert coerce_term(lit) is lit
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TermError):
+            coerce_term(42)  # type: ignore[arg-type]

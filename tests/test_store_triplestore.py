@@ -1,0 +1,150 @@
+"""Unit tests for repro.store.triplestore.TripleStore."""
+
+import pytest
+
+from repro.store.terms import IRI, Literal
+from repro.store.triples import Triple
+from repro.store.triplestore import TripleStore
+
+
+def t(s, p, o):
+    return Triple.of(s, p, o)
+
+
+@pytest.fixture()
+def store():
+    st = TripleStore()
+    st.add(t("merkel", "leaderOf", "germany"))
+    st.add(t("obama", "leaderOf", "usa"))
+    st.add(t("merkel", "studied", "physics"))
+    st.add(t("obama", "studied", "law"))
+    st.add(Triple(IRI("merkel"), IRI("born"), Literal("1954")))
+    return st
+
+
+class TestMutation:
+    def test_add_is_idempotent(self, store):
+        assert len(store) == 5
+        assert store.add(t("merkel", "leaderOf", "germany")) is False
+        assert len(store) == 5
+
+    def test_add_all_counts_new(self):
+        st = TripleStore()
+        count = st.add_all([t("a", "b", "c"), t("a", "b", "c"), t("a", "b", "d")])
+        assert count == 2
+
+    def test_constructor_bulk_load(self):
+        st = TripleStore([t("a", "b", "c"), t("x", "y", "z")])
+        assert len(st) == 2
+
+    def test_remove(self, store):
+        assert store.remove(t("merkel", "leaderOf", "germany")) is True
+        assert t("merkel", "leaderOf", "germany") not in store
+        assert len(store) == 4
+
+    def test_remove_missing(self, store):
+        assert store.remove(t("nobody", "did", "anything")) is False
+        assert len(store) == 5
+
+    def test_remove_then_match_consistent(self, store):
+        store.remove(t("merkel", "studied", "physics"))
+        assert list(store.match(subject=IRI("merkel"), predicate=IRI("studied"))) == []
+        # The other indexes agree.
+        assert store.count(predicate=IRI("studied")) == 1
+        assert store.count(obj=IRI("physics")) == 0
+
+
+class TestMatch:
+    def test_contains(self, store):
+        assert t("merkel", "leaderOf", "germany") in store
+        assert t("merkel", "leaderOf", "usa") not in store
+        assert "not-a-triple" not in store
+
+    def test_match_fully_bound(self, store):
+        matches = list(
+            store.match(IRI("merkel"), IRI("leaderOf"), IRI("germany"))
+        )
+        assert matches == [t("merkel", "leaderOf", "germany")]
+
+    def test_match_by_subject(self, store):
+        assert len(list(store.match(subject=IRI("merkel")))) == 3
+
+    def test_match_by_predicate(self, store):
+        leaders = list(store.match(predicate=IRI("leaderOf")))
+        assert {str(m.subject) for m in leaders} == {"merkel", "obama"}
+
+    def test_match_by_object(self, store):
+        assert len(list(store.match(obj=IRI("law")))) == 1
+
+    def test_match_subject_predicate(self, store):
+        matches = list(store.match(subject=IRI("obama"), predicate=IRI("studied")))
+        assert matches == [t("obama", "studied", "law")]
+
+    def test_match_predicate_object(self, store):
+        matches = list(store.match(predicate=IRI("studied"), obj=IRI("law")))
+        assert len(matches) == 1
+
+    def test_match_subject_object(self, store):
+        matches = list(store.match(subject=IRI("merkel"), obj=IRI("germany")))
+        assert matches == [t("merkel", "leaderOf", "germany")]
+
+    def test_match_all(self, store):
+        assert len(list(store.match())) == 5
+
+    def test_match_unknown_term_is_empty(self, store):
+        assert list(store.match(subject=IRI("zz"))) == []
+        assert list(store.match(predicate=IRI("zz"))) == []
+        assert list(store.match(obj=IRI("zz"))) == []
+
+    def test_literal_objects_matched(self, store):
+        matches = list(store.match(obj=Literal("1954")))
+        assert len(matches) == 1
+        assert str(matches[0].subject) == "merkel"
+
+
+class TestCount:
+    def test_count_total(self, store):
+        assert store.count() == 5
+
+    @pytest.mark.parametrize(
+        "kwargs,expected",
+        [
+            (dict(subject=IRI("merkel")), 3),
+            (dict(predicate=IRI("studied")), 2),
+            (dict(obj=IRI("law")), 1),
+            (dict(subject=IRI("merkel"), predicate=IRI("studied")), 1),
+            (dict(predicate=IRI("leaderOf"), obj=IRI("usa")), 1),
+            (dict(subject=IRI("merkel"), obj=IRI("germany")), 1),
+            (dict(subject=IRI("zz")), 0),
+        ],
+    )
+    def test_count_patterns(self, store, kwargs, expected):
+        assert store.count(**kwargs) == expected
+
+    def test_count_matches_match(self, store):
+        # count() must agree with len(match()) for every pattern shape.
+        patterns = [
+            {},
+            dict(subject=IRI("obama")),
+            dict(predicate=IRI("studied")),
+            dict(obj=IRI("germany")),
+            dict(subject=IRI("obama"), predicate=IRI("leaderOf")),
+        ]
+        for pattern in patterns:
+            assert store.count(**pattern) == len(list(store.match(**pattern)))
+
+
+class TestVocabulary:
+    def test_subjects(self, store):
+        assert {str(s) for s in store.subjects()} == {"merkel", "obama"}
+
+    def test_predicates(self, store):
+        assert {str(p) for p in store.predicates()} == {"leaderOf", "studied", "born"}
+
+    def test_objects(self, store):
+        objects = set(store.objects())
+        assert IRI("germany") in objects
+        assert Literal("1954") in objects
+
+    def test_iter_yields_all(self, store):
+        assert len(list(iter(store))) == 5

@@ -1,0 +1,67 @@
+"""Unit tests for the YAGO-style TSV fact reader/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.store.terms import IRI, Literal
+from repro.store.triples import Triple
+from repro.store.tsv import (
+    load_tsv_file,
+    parse_tsv_facts,
+    parse_tsv_line,
+    serialize_tsv_facts,
+)
+
+
+class TestParse:
+    def test_plain_three_column(self):
+        (triple,) = parse_tsv_facts("Angela_Merkel\tisLeaderOf\tGermany")
+        assert triple == Triple(IRI("Angela_Merkel"), IRI("isLeaderOf"), IRI("Germany"))
+
+    def test_four_column_fact_id_skipped(self):
+        (triple,) = parse_tsv_facts("#42\tAngela_Merkel\tisLeaderOf\tGermany")
+        assert triple.subject == IRI("Angela_Merkel")
+
+    def test_angle_brackets_stripped(self):
+        (triple,) = parse_tsv_facts("<merkel>\t<leads>\t<germany>")
+        assert triple.subject == IRI("merkel")
+
+    def test_quoted_value_is_literal(self):
+        (triple,) = parse_tsv_facts('Angela_Merkel\twasBornOnDate\t"1954-07-17"')
+        assert triple.object == Literal("1954-07-17")
+
+    def test_blank_lines_and_comments(self):
+        text = "# facts\n\na\tb\tc\n"
+        assert len(list(parse_tsv_facts(text))) == 1
+
+    def test_wrong_column_count(self):
+        with pytest.raises(ParseError):
+            list(parse_tsv_facts("only\ttwo"))
+        with pytest.raises(ParseError):
+            list(parse_tsv_facts("a\tb\tc\td\te"))
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tsv_line('"literal"\tb\tc')
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(ParseError) as excinfo:
+            list(parse_tsv_facts("a\tb\tc\nbroken"))
+        assert excinfo.value.line_number == 2
+
+
+class TestRoundTrip:
+    def test_serialize_parse(self):
+        triples = [
+            Triple.of("a", "b", "c"),
+            Triple(IRI("a"), IRI("attr"), Literal("value")),
+        ]
+        text = serialize_tsv_facts(triples)
+        assert list(parse_tsv_facts(text)) == triples
+
+    def test_file_loading(self, tmp_path):
+        path = tmp_path / "facts.tsv"
+        path.write_text("a\tb\tc\nx\ty\t\"z\"\n", encoding="utf-8")
+        triples = list(load_tsv_file(str(path)))
+        assert len(triples) == 2
+        assert triples[1].object == Literal("z")

@@ -1,0 +1,82 @@
+"""Unit tests for the table renderer."""
+
+import pytest
+
+from repro.util.tables import Table, format_table
+
+
+class TestTable:
+    def test_add_row_validates_width(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_render_ascii(self):
+        table = Table(["algo", "f1"])
+        table.add_row(["ContextRW", 0.5])
+        out = table.render()
+        assert "algo" in out and "ContextRW" in out and "0.5000" in out
+        assert "|" in out
+
+    def test_render_markdown(self):
+        table = Table(["a"])
+        table.add_row([1])
+        out = table.render(markdown=True)
+        assert out.splitlines()[0].startswith("| a")
+        assert out.splitlines()[1].startswith("|-")
+
+    def test_title_rendered(self):
+        table = Table(["a"], title="My Table")
+        table.add_row([1])
+        assert table.render().startswith("My Table")
+
+    def test_float_format(self):
+        table = Table(["x"], float_format=".1f")
+        table.add_row([0.25])
+        assert "0.2" in table.render() or "0.3" in table.render()
+
+    def test_bool_rendering(self):
+        table = Table(["ok"])
+        table.add_row([True])
+        table.add_row([False])
+        rendered = table.render()
+        assert "yes" in rendered and "no" in rendered
+
+    def test_sorted_by(self):
+        table = Table(["k", "v"])
+        table.extend([[2, "b"], [1, "a"], [3, "c"]])
+        ordered = table.sorted_by("k")
+        assert ordered.column("k") == [1, 2, 3]
+        reverse = table.sorted_by("k", reverse=True)
+        assert reverse.column("k") == [3, 2, 1]
+
+    def test_column_access(self):
+        table = Table(["k", "v"])
+        table.extend([[1, "a"], [2, "b"]])
+        assert table.column("v") == ["a", "b"]
+        with pytest.raises(ValueError):
+            table.column("nope")
+
+    def test_to_csv_escapes(self):
+        table = Table(["name"])
+        table.add_row(["comma, inside"])
+        csv = table.to_csv()
+        assert '"comma, inside"' in csv
+
+    def test_len(self):
+        table = Table(["a"])
+        assert len(table) == 0
+        table.add_row([1])
+        assert len(table) == 1
+
+    def test_empty_render(self):
+        table = Table(["alpha", "b"])
+        out = table.render()
+        assert "alpha" in out
+
+
+class TestFormatTable:
+    def test_one_shot(self):
+        out = format_table(["x"], [[1], [2]], title="T")
+        assert out.startswith("T")
+        assert "2" in out

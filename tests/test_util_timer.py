@@ -1,0 +1,73 @@
+"""Unit tests for timing utilities."""
+
+import pytest
+
+from repro.util.timer import Stopwatch, time_call, timed
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        with sw:
+            pass
+        assert sw.elapsed >= 0
+        assert len(sw.laps) == 2
+        assert sw.mean_lap == pytest.approx(sw.elapsed / 2)
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert sw.laps == []
+
+    def test_mean_lap_empty(self):
+        assert Stopwatch().mean_lap == 0.0
+
+
+class TestTimedHelpers:
+    def test_timed_records_into_sink(self):
+        sink: dict[str, float] = {}
+        with timed("step", sink):
+            pass
+        assert "step" in sink and sink["step"] >= 0
+
+    def test_timed_accumulates(self):
+        sink: dict[str, float] = {}
+        with timed("step", sink):
+            pass
+        first = sink["step"]
+        with timed("step", sink):
+            pass
+        assert sink["step"] >= first
+
+    def test_timed_without_sink(self):
+        with timed("x") as watch:
+            pass
+        assert watch.elapsed >= 0
+
+    def test_time_call(self):
+        result, elapsed = time_call(lambda a, b: a + b, 2, b=3)
+        assert result == 5
+        assert elapsed >= 0

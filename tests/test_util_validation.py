@@ -1,0 +1,95 @@
+"""Unit tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    normalize_counts,
+    require,
+    require_in_unit_interval,
+    require_non_empty,
+    require_positive,
+    require_probability_vector,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+
+class TestRequireType:
+    def test_passes(self):
+        assert require_type(5, int, "x") == 5
+
+    def test_raises(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            require_type("5", int, "x")
+
+
+class TestRequirePositive:
+    def test_strict(self):
+        assert require_positive(1.5, "x") == 1.5
+        with pytest.raises(ValueError):
+            require_positive(0, "x")
+
+    def test_non_strict(self):
+        assert require_positive(0, "x", strict=False) == 0
+        with pytest.raises(ValueError):
+            require_positive(-1, "x", strict=False)
+
+
+class TestUnitInterval:
+    def test_bounds_inclusive(self):
+        assert require_in_unit_interval(0.0, "x") == 0.0
+        assert require_in_unit_interval(1.0, "x") == 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            require_in_unit_interval(1.5, "x")
+
+
+class TestNonEmpty:
+    def test_passes(self):
+        require_non_empty([1], "x")
+
+    def test_raises(self):
+        with pytest.raises(ValueError):
+            require_non_empty([], "x")
+
+
+class TestProbabilityVector:
+    def test_valid(self):
+        out = require_probability_vector([0.25, 0.75], "p")
+        assert isinstance(out, np.ndarray)
+
+    def test_not_summing_to_one(self):
+        with pytest.raises(ValueError):
+            require_probability_vector([0.5, 0.2], "p")
+
+    def test_negative_entry(self):
+        with pytest.raises(ValueError):
+            require_probability_vector([-0.5, 1.5], "p")
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            require_probability_vector([], "p")
+
+
+class TestNormalizeCounts:
+    def test_normalizes(self):
+        out = normalize_counts([2, 2])
+        assert out.tolist() == [0.5, 0.5]
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_counts([0, 0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_counts([-1, 2])

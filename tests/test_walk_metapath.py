@@ -1,0 +1,143 @@
+"""Unit tests for metapaths and metapath-constrained path counting."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.walk.metapath import (
+    Metapath,
+    ScoredMetapath,
+    count_matching_paths,
+    node_has_type,
+    normalize_probabilities,
+    primary_type,
+)
+
+
+@pytest.fixture()
+def graph():
+    return (
+        GraphBuilder()
+        .typed("pitt", "actor")
+        .typed("clooney", "actor")
+        .typed("damon", "actor")
+        .typed("spielberg", "director")
+        .fact("pitt", "actedIn", "oceans")
+        .fact("clooney", "actedIn", "oceans")
+        .fact("damon", "actedIn", "oceans")
+        .fact("damon", "actedIn", "ryan")
+        .fact("spielberg", "directed", "ryan")
+        .build()
+    )
+
+
+class TestMetapath:
+    def test_construction(self):
+        mp = Metapath(("a", "b"))
+        assert mp.length == 2
+        assert mp.end_type is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Metapath(())
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Metapath(("a", ""))
+
+    def test_reversed_inverts_and_flips(self):
+        mp = Metapath(("actedIn", "directed_inv"), end_type="director")
+        rev = mp.reversed()
+        assert rev.labels == ("directed", "actedIn_inv")
+        assert rev.end_type is None
+
+    def test_reversed_is_involution_on_labels(self):
+        mp = Metapath(("a", "b_inv", "c"))
+        assert mp.reversed().reversed().labels == mp.labels
+
+    def test_str(self):
+        assert str(Metapath(("a", "b"))) == "a -> b"
+        assert str(Metapath(("a",), end_type="actor")) == "a [actor]"
+
+    def test_hashable(self):
+        assert Metapath(("a",)) == Metapath(("a",))
+        assert Metapath(("a",)) != Metapath(("a",), end_type="t")
+
+
+class TestTypeHelpers:
+    def test_primary_type_lexicographic(self):
+        graph = GraphBuilder().typed("x", "zebra").typed("x", "antelope").build()
+        assert primary_type(graph, graph.node_id("x")) == "antelope"
+
+    def test_primary_type_untyped(self, graph):
+        assert primary_type(graph, graph.node_id("oceans")) is None
+
+    def test_node_has_type(self, graph):
+        pitt = graph.node_id("pitt")
+        assert node_has_type(graph, pitt, "actor")
+        assert not node_has_type(graph, pitt, "director")
+
+
+class TestCountMatchingPaths:
+    def test_single_hop(self, graph):
+        counts = count_matching_paths(
+            graph, graph.node_id("pitt"), Metapath(("actedIn",))
+        )
+        assert counts == {graph.node_id("oceans"): 1}
+
+    def test_co_actor_pattern(self, graph):
+        counts = count_matching_paths(
+            graph, graph.node_id("pitt"), Metapath(("actedIn", "actedIn_inv"))
+        )
+        names = {graph.node_name(n): c for n, c in counts.items()}
+        # includes pitt himself (a path back), clooney and damon
+        assert names == {"pitt": 1, "clooney": 1, "damon": 1}
+
+    def test_path_multiplicity(self, graph):
+        graph.add_edge("pitt", "actedIn", "ryan")
+        counts = count_matching_paths(
+            graph, graph.node_id("pitt"), Metapath(("actedIn", "actedIn_inv"))
+        )
+        # damon is reachable via oceans AND ryan: two paths.
+        assert counts[graph.node_id("damon")] == 2
+
+    def test_end_type_filter(self, graph):
+        no_filter = count_matching_paths(
+            graph, graph.node_id("damon"), Metapath(("actedIn", "actedIn_inv"))
+        )
+        actor_only = count_matching_paths(
+            graph,
+            graph.node_id("damon"),
+            Metapath(("actedIn", "actedIn_inv"), end_type="actor"),
+        )
+        assert set(actor_only) <= set(no_filter)
+        assert all(node_has_type(graph, n, "actor") for n in actor_only)
+
+    def test_dead_first_label(self, graph):
+        counts = count_matching_paths(
+            graph, graph.node_id("pitt"), Metapath(("directed",))
+        )
+        assert counts == {}
+
+    def test_unknown_label(self, graph):
+        assert count_matching_paths(graph, 0, Metapath(("nope",))) == {}
+
+
+class TestScoredMetapath:
+    def test_normalize_probabilities(self):
+        paths = [
+            ScoredMetapath(Metapath(("a",)), 3),
+            ScoredMetapath(Metapath(("b",)), 1),
+        ]
+        normalize_probabilities(paths)
+        assert paths[0].probability == pytest.approx(0.75)
+        assert paths[1].probability == pytest.approx(0.25)
+
+    def test_normalize_zero_total(self):
+        paths = [ScoredMetapath(Metapath(("a",)), 0)]
+        normalize_probabilities(paths)
+        assert paths[0].probability == 0.0
+
+    def test_accessors(self):
+        sp = ScoredMetapath(Metapath(("a", "b"), end_type="t"), 5)
+        assert sp.labels == ("a", "b")
+        assert sp.length == 2

@@ -1,0 +1,132 @@
+"""Unit tests for Personalized PageRank (Equation 2)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.matrix import personalization_vector, transition_matrix
+from repro.walk.pagerank import (
+    PersonalizedPageRank,
+    personalized_pagerank,
+    power_iteration,
+    power_iteration_python,
+)
+
+
+@pytest.fixture()
+def graph():
+    return (
+        GraphBuilder()
+        .fact("a", "r", "b")
+        .fact("b", "r", "c")
+        .fact("c", "r", "a")
+        .fact("c", "r", "d")
+        .fact("d", "s", "a")
+        .build()
+    )
+
+
+class TestPowerIteration:
+    def test_result_is_distribution(self, graph):
+        p = personalized_pagerank(graph, [graph.node_id("a")])
+        assert p.shape == (graph.node_count,)
+        assert p.sum() == pytest.approx(1.0)
+        assert (p >= 0).all()
+
+    def test_personalized_node_gets_extra_mass(self, graph):
+        a = graph.node_id("a")
+        p = personalized_pagerank(graph, [a])
+        assert p[a] == max(p)
+
+    def test_damping_zero_returns_personalization(self, graph):
+        a = graph.node_id("a")
+        p = personalized_pagerank(graph, [a], damping=0.0)
+        assert p[a] == pytest.approx(1.0)
+
+    def test_tolerance_early_stop_close_to_full_run(self, graph):
+        v = personalization_vector(graph, [graph.node_id("a")])
+        t = transition_matrix(graph)
+        full = power_iteration(t, v, iterations=100)
+        early = power_iteration(t, v, iterations=100, tolerance=1e-12)
+        assert np.abs(full - early).max() < 1e-6
+
+    def test_invalid_damping(self, graph):
+        v = personalization_vector(graph, [0])
+        t = transition_matrix(graph)
+        with pytest.raises(ValueError):
+            power_iteration(t, v, damping=1.5)
+
+    def test_invalid_iterations(self, graph):
+        v = personalization_vector(graph, [0])
+        t = transition_matrix(graph)
+        with pytest.raises(ValueError):
+            power_iteration(t, v, iterations=0)
+
+    def test_zero_personalization_rejected(self, graph):
+        t = transition_matrix(graph)
+        with pytest.raises(ValueError):
+            power_iteration(t, np.zeros(graph.node_count))
+
+    def test_dangling_mass_reinjected(self):
+        # b is a sink (no inverse closure): mass must not leak.
+        graph = GraphBuilder(add_inverse=False).fact("a", "r", "b").build()
+        p = personalized_pagerank(graph, [graph.node_id("a")])
+        assert p.sum() == pytest.approx(1.0)
+
+
+class TestPythonBackend:
+    def test_matches_scipy_backend(self, graph):
+        v = personalization_vector(graph, [graph.node_id("a")])
+        t = transition_matrix(graph)
+        scipy_p = power_iteration(t, v, damping=0.8, iterations=10)
+        python_p = power_iteration_python(graph, v, damping=0.8, iterations=10)
+        assert np.abs(scipy_p - python_p).max() < 1e-9
+
+    def test_matches_on_dangling_graph(self):
+        graph = GraphBuilder(add_inverse=False).fact("a", "r", "b").build()
+        v = personalization_vector(graph, [graph.node_id("a")])
+        t = transition_matrix(graph)
+        scipy_p = power_iteration(t, v, iterations=8)
+        python_p = power_iteration_python(graph, v, iterations=8)
+        assert np.abs(scipy_p - python_p).max() < 1e-9
+
+
+class TestPersonalizedPageRankClass:
+    def test_scores_per_node_is_sum(self, graph):
+        ppr = PersonalizedPageRank(graph)
+        a, b = graph.node_id("a"), graph.node_id("b")
+        combined = ppr.scores_per_node([a, b])
+        individual = ppr.scores([a]) + ppr.scores([b])
+        assert np.abs(combined - individual).max() < 1e-12
+
+    def test_top_k_excludes_query(self, graph):
+        ppr = PersonalizedPageRank(graph)
+        a = graph.node_id("a")
+        top = ppr.top_k([a], 3)
+        assert a not in [node for node, _ in top]
+
+    def test_top_k_sorted_descending(self, graph):
+        ppr = PersonalizedPageRank(graph)
+        top = ppr.top_k([graph.node_id("a")], graph.node_count)
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_k_zero(self, graph):
+        ppr = PersonalizedPageRank(graph)
+        assert ppr.top_k([0], 0) == []
+
+    def test_invalid_backend(self, graph):
+        with pytest.raises(ValueError):
+            PersonalizedPageRank(graph, backend="julia")
+
+    def test_transition_cache_invalidation(self, graph):
+        ppr = PersonalizedPageRank(graph)
+        t1 = ppr.transition()
+        graph.add_edge("d", "r", "b")
+        t2 = ppr.transition()
+        assert t1.shape != t2.shape or (t1 != t2).nnz > 0
+
+    def test_empty_personalization_rejected(self, graph):
+        ppr = PersonalizedPageRank(graph)
+        with pytest.raises(ValueError):
+            ppr.scores_per_node([])

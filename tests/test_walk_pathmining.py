@@ -1,0 +1,114 @@
+"""Unit tests for the PathMining sampler."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.walk.pathmining import PathMiner
+
+
+@pytest.fixture()
+def graph():
+    builder = GraphBuilder()
+    for i in range(8):
+        builder.typed(f"actor{i}", "actor")
+        builder.fact(f"actor{i}", "actedIn", "blockbuster")
+    builder.typed("loner", "actor")  # no movie
+    return builder.build()
+
+
+class TestMine:
+    def test_finds_co_actor_pattern(self, graph):
+        miner = PathMiner(graph, rng=7)
+        query = [graph.node_id("actor0"), graph.node_id("actor1")]
+        mined = miner.mine(query, samples=4000, max_length=3)
+        assert mined.hits > 0
+        labels = {p.labels for p in mined.paths}
+        assert ("actedIn", "actedIn_inv") in labels
+
+    def test_records_walk_order_not_reversed(self, graph):
+        # Walks reach the query via actedIn (movie -> actor is actedIn_inv);
+        # a 1-hop hit from the movie node mines ("actedIn_inv",).
+        miner = PathMiner(graph, rng=7)
+        query = [graph.node_id("actor0")]
+        mined = miner.mine(query, samples=4000, max_length=1)
+        labels = {p.labels for p in mined.paths}
+        assert ("actedIn_inv",) in labels
+        assert ("actedIn",) not in labels  # nothing points at the query that way
+
+    def test_end_type_is_start_type(self, graph):
+        miner = PathMiner(graph, rng=7)
+        query = [graph.node_id("actor0")]
+        mined = miner.mine(query, samples=4000, max_length=3)
+        co_actor = [p for p in mined.paths if p.labels == ("actedIn", "actedIn_inv")]
+        assert co_actor and co_actor[0].metapath.end_type == "actor"
+
+    def test_probabilities_normalized(self, graph):
+        miner = PathMiner(graph, rng=7)
+        mined = miner.mine([graph.node_id("actor0")], samples=3000, max_length=4)
+        assert sum(p.probability for p in mined.paths) == pytest.approx(1.0)
+
+    def test_counts_sorted_descending(self, graph):
+        miner = PathMiner(graph, rng=7)
+        mined = miner.mine([graph.node_id("actor0")], samples=3000, max_length=4)
+        counts = [p.count for p in mined.paths]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_max_paths_truncates(self, graph):
+        miner = PathMiner(graph, rng=7)
+        mined = miner.mine(
+            [graph.node_id("actor0")], samples=3000, max_length=4, max_paths=2
+        )
+        assert len(mined) <= 2
+
+    def test_hit_rate(self, graph):
+        miner = PathMiner(graph, rng=7)
+        mined = miner.mine([graph.node_id("actor0")], samples=1000, max_length=3)
+        assert 0.0 <= mined.hit_rate <= 1.0
+        assert mined.hit_rate == mined.hits / mined.samples
+
+    def test_deterministic_under_seed(self, graph):
+        query = [graph.node_id("actor0")]
+        a = PathMiner(graph, rng=99).mine(query, samples=2000, max_length=3)
+        b = PathMiner(graph, rng=99).mine(query, samples=2000, max_length=3)
+        assert [(p.labels, p.count) for p in a.paths] == [
+            (p.labels, p.count) for p in b.paths
+        ]
+
+    def test_unreachable_query_yields_no_paths(self):
+        graph = (
+            GraphBuilder()
+            .fact("island", "r", "island2")
+            .node("hermit")
+            .build()
+        )
+        miner = PathMiner(graph, rng=1)
+        mined = miner.mine([graph.node_id("hermit")], samples=500, max_length=3)
+        assert mined.hits == 0
+        assert len(mined) == 0
+
+
+class TestValidation:
+    def test_empty_query_rejected(self, graph):
+        with pytest.raises(ValueError):
+            PathMiner(graph, rng=1).mine([], samples=10)
+
+    def test_bad_samples_rejected(self, graph):
+        with pytest.raises(ValueError):
+            PathMiner(graph, rng=1).mine([0], samples=0)
+
+    def test_bad_max_length_rejected(self, graph):
+        with pytest.raises(ValueError):
+            PathMiner(graph, rng=1).mine([0], samples=10, max_length=0)
+
+    def test_bad_max_paths_rejected(self, graph):
+        with pytest.raises(ValueError):
+            PathMiner(graph, rng=1).mine([0], samples=10, max_paths=0)
+
+    def test_unknown_query_node_rejected(self, graph):
+        with pytest.raises(ValueError):
+            PathMiner(graph, rng=1).mine([10_000], samples=10)
+
+    def test_whole_graph_query_rejected(self):
+        graph = GraphBuilder().node("only").build()
+        with pytest.raises(ValueError):
+            PathMiner(graph, rng=1).mine([0], samples=10)

@@ -1,0 +1,106 @@
+"""Unit tests for the random walker."""
+
+from collections import Counter
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.walk.walker import RandomWalker, WalkRecord
+
+
+@pytest.fixture()
+def graph():
+    return (
+        GraphBuilder()
+        .fact("a", "common", "b")
+        .fact("a", "common", "c")
+        .fact("b", "common", "c")
+        .fact("c", "common", "a")
+        .fact("a", "rare", "d")
+        .build()
+    )
+
+
+class TestWalkRecord:
+    def test_properties(self):
+        record = WalkRecord((1, 2, 3), ("r", "s"))
+        assert record.length == 2
+        assert record.start == 1
+        assert record.end == 3
+
+    def test_zero_length(self):
+        record = WalkRecord((7,), ())
+        assert record.length == 0
+        assert record.start == record.end == 7
+
+
+class TestStep:
+    def test_step_returns_real_edge(self, graph):
+        walker = RandomWalker(graph, rng=1)
+        a = graph.node_id("a")
+        for _ in range(50):
+            label, target = walker.step(a)
+            assert graph.has_edge(a, label, target)
+
+    def test_dead_end_returns_none(self):
+        graph = GraphBuilder(add_inverse=False).fact("a", "r", "b").build()
+        walker = RandomWalker(graph, rng=1)
+        assert walker.step(graph.node_id("b")) is None
+
+    def test_weighted_walker_prefers_rare_labels(self, graph):
+        walker = RandomWalker(graph, weighted=True, rng=5)
+        a = graph.node_id("a")
+        labels = Counter(walker.step(a)[0] for _ in range(4000))
+        # 'rare' has weight ~0.92 vs 'common' ~0.58: per-edge, the rare
+        # edge must be chosen more often than each single common edge.
+        per_common_edge = labels["common"] / 2
+        assert labels["rare"] > per_common_edge
+
+    def test_uniform_walker_ignores_weights(self, graph):
+        walker = RandomWalker(graph, weighted=False, rng=5)
+        a = graph.node_id("a")
+        labels = Counter(walker.step(a)[0] for _ in range(6000))
+        per_common_edge = labels["common"] / 2
+        # Uniform: every out-edge equally likely (a has common x2, rare x1,
+        # and inverse edges).
+        assert labels["rare"] == pytest.approx(per_common_edge, rel=0.25)
+
+
+class TestWalk:
+    def test_walk_length_bounded(self, graph):
+        walker = RandomWalker(graph, rng=3)
+        record = walker.walk(graph.node_id("a"), max_length=4)
+        assert record.length <= 4
+        assert len(record.nodes) == record.length + 1
+
+    def test_walk_path_is_connected(self, graph):
+        walker = RandomWalker(graph, rng=3)
+        record = walker.walk(graph.node_id("a"), max_length=6)
+        for (src, dst), label in zip(zip(record.nodes, record.nodes[1:]), record.labels):
+            assert graph.has_edge(src, label, dst)
+
+    def test_stop_at_terminates_early(self, graph):
+        walker = RandomWalker(graph, rng=3)
+        targets = {graph.node_id("c")}
+        for _ in range(20):
+            record = walker.walk(graph.node_id("a"), max_length=50, stop_at=targets)
+            if record.end in targets:
+                # Stops at the *first* visit.
+                assert all(n not in targets for n in record.nodes[:-1])
+
+    def test_negative_length_rejected(self, graph):
+        walker = RandomWalker(graph, rng=3)
+        with pytest.raises(ValueError):
+            walker.walk(0, max_length=-1)
+
+    def test_determinism_per_seed(self, graph):
+        r1 = RandomWalker(graph, rng=42).walk(0, 5)
+        r2 = RandomWalker(graph, rng=42).walk(0, 5)
+        assert r1 == r2
+
+    def test_cache_invalidation_on_graph_change(self, graph):
+        walker = RandomWalker(graph, rng=1)
+        walker.step(graph.node_id("a"))
+        graph.add_edge("a", "fresh", "e")
+        seen = {walker.step(graph.node_id("a"))[0] for _ in range(300)}
+        assert "fresh" in seen

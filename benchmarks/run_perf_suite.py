@@ -1,0 +1,233 @@
+"""Run the performance suite and emit a machine-readable BENCH_PR<N>.json.
+
+Times the FindNC hot-path kernels — the discrimination-phase distribution
+build (per-label reference vs single-sweep batch), batched vs per-node
+Personalized PageRank, argpartition vs full-sort top-k — plus the Figure-5
+end-to-end context-selection bench, and writes the results as JSON so
+future PRs have a perf trajectory to compare against.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_perf_suite.py [--out BENCH_PR1.json]
+                                                       [--skip-fig5] [--repeat 5]
+
+The same-machine, same-run reference/batch pairs in the output are the
+speedup evidence: both paths live in the repo (``build_distributions`` is
+the pre-batching implementation, kept as the parity oracle), so the
+comparison needs no git archaeology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.distributions import (  # noqa: E402
+    build_all_distributions,
+    build_distributions,
+)
+from repro.core.findnc import FindNC  # noqa: E402
+from repro.datasets.loader import load_dataset  # noqa: E402
+from repro.datasets.seeds import ACTORS_DOMAIN  # noqa: E402
+from repro.eval.experiments import ExperimentSetting, time_vs_query_size  # noqa: E402
+from repro.graph.search import EntityIndex  # noqa: E402
+from repro.walk.pagerank import PersonalizedPageRank  # noqa: E402
+
+#: Matches benchmarks/conftest.py's BENCH_SETTING (synthetic YAGO, ~4k nodes).
+SCALE = 2.0
+
+
+def best_of(repeat: int, func, *args, **kwargs) -> float:
+    """Best wall-clock seconds over ``repeat`` runs (min filters jitter)."""
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        func(*args, **kwargs)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_discrimination(graph, query, repeat: int) -> dict:
+    """Per-label reference vs single-sweep batch, per context size."""
+    ppr = PersonalizedPageRank(graph)
+    finder = FindNC(graph)
+    out = {}
+    for context_size in (100, 500, 1000):
+        context = [n for n, _ in ppr.top_k(query, context_size)]
+        labels = finder.candidate_labels(list(query) + context)
+        graph._compiled()  # noqa: SLF001 - warm the snapshot cache
+
+        def reference():
+            return [
+                build_distributions(graph, query, context, label)
+                for label in labels
+            ]
+
+        def batch():
+            return build_all_distributions(graph, query, context, labels)
+
+        reference_s = best_of(repeat, reference)
+        batch_s = best_of(repeat, batch)
+        out[f"context_{context_size}"] = {
+            "candidate_labels": len(labels),
+            "members": len(query) + len(context),
+            "reference_s": reference_s,
+            "batch_s": batch_s,
+            "speedup": reference_s / batch_s if batch_s > 0 else float("inf"),
+        }
+    return out
+
+
+def bench_ppr(graph, query, repeat: int) -> dict:
+    """Batched multi-column scores_per_node vs the per-node loop."""
+    ppr = PersonalizedPageRank(graph, iterations=10)
+    ppr.transition()  # warm the transition-matrix cache
+    out = {}
+    for size in (1, 3, 5):
+        nodes = list(query[:size])
+
+        def per_node():
+            total = np.zeros(graph.node_count)
+            for node in nodes:
+                total += ppr.scores([node])
+            return total
+
+        def batched():
+            return ppr.scores_per_node(nodes)
+
+        per_node_s = best_of(repeat, per_node)
+        batched_s = best_of(repeat, batched)
+        out[f"q_{size}"] = {
+            "per_node_s": per_node_s,
+            "batched_s": batched_s,
+            "speedup": per_node_s / batched_s if batched_s > 0 else float("inf"),
+        }
+    return out
+
+
+def bench_top_k(graph, query, repeat: int, k: int = 100) -> dict:
+    """The ordering kernel alone: argpartition prefilter vs full argsort.
+
+    Scores are computed once outside the timing so the comparison isolates
+    what changed — the old path sorted the entire score vector; the new
+    one partitions first and sorts only the candidate set.
+    """
+    from repro.walk.pagerank import _top_order
+
+    ppr = PersonalizedPageRank(graph)
+    scores = ppr.scores_per_node(query)
+    excluded = set(query)
+
+    def select(order):
+        out = []
+        for node in order:
+            node = int(node)
+            if node in excluded:
+                continue
+            if scores[node] <= 0:
+                break
+            out.append((node, float(scores[node])))
+            if len(out) == k:
+                break
+        return out
+
+    def full_sort():
+        return select(np.argsort(-scores, kind="stable"))
+
+    def partitioned():
+        return select(_top_order(scores, k + len(excluded)))
+
+    full_s = best_of(repeat, full_sort)
+    part_s = best_of(repeat, partitioned)
+    assert partitioned() == full_sort(), "top-k parity violated"
+    return {
+        "k": k,
+        "nodes": graph.node_count,
+        "full_sort_s": full_s,
+        "argpartition_s": part_s,
+        "speedup": full_s / part_s if part_s > 0 else float("inf"),
+    }
+
+
+def bench_fig5() -> list[dict]:
+    """The Figure-5 end-to-end bench (context selection time vs |Q|)."""
+    table = time_vs_query_size(ExperimentSetting(scale=SCALE))
+    return [
+        {"algorithm": algorithm, "query_size": size, "seconds": seconds}
+        for algorithm, size, seconds in table.rows
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR1.json",
+        help="output JSON path (default: repo-root BENCH_PR1.json)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=5, help="runs per timing (best-of)"
+    )
+    parser.add_argument(
+        "--skip-fig5",
+        action="store_true",
+        help="skip the minutes-long Figure-5 end-to-end bench",
+    )
+    args = parser.parse_args(argv)
+
+    graph = load_dataset("yago", scale=SCALE, seed=7)
+    index = EntityIndex(graph)
+    query = tuple(index.resolve(name) for name in ACTORS_DOMAIN.entities[:5])
+
+    print(f"graph: {graph.summary()}", flush=True)
+    report = {
+        "suite": "run_perf_suite",
+        "pr": 1,
+        "created_unix": int(time.time()),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "processor": platform.processor() or platform.machine(),
+        },
+        "graph": {
+            "dataset": "yago",
+            "scale": SCALE,
+            "nodes": graph.node_count,
+            "edges": graph.edge_count,
+        },
+        "repeat": args.repeat,
+    }
+
+    print("timing discrimination phase (reference vs batch)...", flush=True)
+    report["discrimination"] = bench_discrimination(graph, query, args.repeat)
+    print("timing scores_per_node (per-node loop vs batched)...", flush=True)
+    report["ppr_scores_per_node"] = bench_ppr(graph, query, args.repeat)
+    print("timing top_k (full sort vs argpartition)...", flush=True)
+    report["top_k"] = bench_top_k(graph, query, args.repeat)
+    if not args.skip_fig5:
+        print("running fig5 end-to-end bench (this takes a while)...", flush=True)
+        report["fig5"] = bench_fig5()
+
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    for name, entry in report["discrimination"].items():
+        print(
+            f"discrimination {name}: {entry['reference_s'] * 1e3:.2f}ms -> "
+            f"{entry['batch_s'] * 1e3:.2f}ms ({entry['speedup']:.1f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

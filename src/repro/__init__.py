@@ -35,7 +35,11 @@ from repro.core.discrimination import (
     KLDiscriminator,
     MultinomialDiscriminator,
 )
-from repro.core.distributions import CharacteristicDistributions, build_distributions
+from repro.core.distributions import (
+    CharacteristicDistributions,
+    build_all_distributions,
+    build_distributions,
+)
 from repro.core.findnc import FindNC, FindNCResult, NotableCharacteristic, rw_mult
 from repro.errors import ReproError
 from repro.graph.builder import GraphBuilder
@@ -61,6 +65,7 @@ __all__ = [
     "RandomWalkContext",
     "ReproError",
     "__version__",
+    "build_all_distributions",
     "build_distributions",
     "rw_mult",
 ]

@@ -26,6 +26,7 @@ from repro.core.discrimination import (
 from repro.core.distributions import (
     NONE_INSTANCE,
     CharacteristicDistributions,
+    build_all_distributions,
     build_distributions,
     cardinality_counts,
     instance_counts,
@@ -60,6 +61,7 @@ __all__ = [
     "NONE_INSTANCE",
     "NotableCharacteristic",
     "RandomWalkContext",
+    "build_all_distributions",
     "build_composite_distributions",
     "build_distributions",
     "cardinality_counts",

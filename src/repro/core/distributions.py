@@ -130,25 +130,20 @@ class CharacteristicDistributions:
         ]
 
 
-def build_distributions(
-    graph: KnowledgeGraph,
-    query: Sequence[NodeRef],
-    context: Sequence[NodeRef],
+def _assemble(
     label: str,
-    *,
-    none_bucket: bool = True,
+    inst_q: dict[object, int],
+    inst_c: dict[object, int],
+    card_q: dict[int, int],
+    card_c: dict[int, int],
 ) -> CharacteristicDistributions:
-    """Build the aligned Inst/Card distribution pairs for ``label``.
+    """Align count maps into one :class:`CharacteristicDistributions`.
 
-    The cardinality support is the contiguous range ``0..max`` observed in
-    either set, so the histograms read like Figure 8 (zeros included).
+    Shared by the per-label reference path and the batch sweep, so both
+    produce bit-identical supports and arrays from equal count maps.
     """
-    inst_q = instance_counts(graph, query, label, none_bucket=none_bucket)
-    inst_c = instance_counts(graph, context, label, none_bucket=none_bucket)
     instance_support, x_inst, y_inst = align_count_maps(inst_q, inst_c)
 
-    card_q = cardinality_counts(graph, query, label)
-    card_c = cardinality_counts(graph, context, label)
     max_cardinality = max(
         max(card_q, default=0),
         max(card_c, default=0),
@@ -166,3 +161,143 @@ def build_distributions(
         card_query=x_card,
         card_context=y_card,
     )
+
+
+def build_distributions(
+    graph: KnowledgeGraph,
+    query: Sequence[NodeRef],
+    context: Sequence[NodeRef],
+    label: str,
+    *,
+    none_bucket: bool = True,
+) -> CharacteristicDistributions:
+    """Build the aligned Inst/Card distribution pairs for ``label``.
+
+    The cardinality support is the contiguous range ``0..max`` observed in
+    either set, so the histograms read like Figure 8 (zeros included).
+
+    This is the reference implementation: one adjacency scan per label.
+    The pipeline hot path uses :func:`build_all_distributions`, which
+    produces identical output for every label in a single sweep.
+    """
+    return _assemble(
+        label,
+        instance_counts(graph, query, label, none_bucket=none_bucket),
+        instance_counts(graph, context, label, none_bucket=none_bucket),
+        cardinality_counts(graph, query, label),
+        cardinality_counts(graph, context, label),
+    )
+
+
+class _SweepCounts:
+    """Label-id-keyed counters from one columnar pass over a node set."""
+
+    __slots__ = (
+        "size",
+        "inst_labels",
+        "inst_targets",
+        "inst_counts",
+        "card_labels",
+        "card_degrees",
+        "card_counts",
+        "members_with_label",
+    )
+
+    def __init__(self, compiled, members: "Sequence[int]") -> None:
+        self.size = len(members)
+        label_count = compiled.label_count
+        rows, owners = compiled.gather_rows(np.asarray(members, dtype=np.int64))
+        labels = compiled.label_ids[rows]
+        targets = compiled.targets[rows]
+        # Instance channel: occurrences per (label, target) pair.
+        node_count = max(compiled.node_count, 1)
+        inst_key = labels * node_count + targets
+        inst_unique, self.inst_counts = np.unique(inst_key, return_counts=True)
+        self.inst_labels = inst_unique // node_count
+        self.inst_targets = inst_unique - self.inst_labels * node_count
+        # Cardinality channel: degree of each (member, label) pair ...
+        width = max(label_count, 1)
+        pair_key = owners * width + labels
+        pair_unique, pair_degree = np.unique(pair_key, return_counts=True)
+        pair_label = pair_unique % width
+        self.members_with_label = np.bincount(pair_label, minlength=label_count)
+        # ... histogrammed into member counts per (label, degree).
+        degree_width = int(pair_degree.max()) + 1 if pair_degree.size else 1
+        card_key = pair_label * degree_width + pair_degree
+        card_unique, self.card_counts = np.unique(card_key, return_counts=True)
+        self.card_labels = card_unique // degree_width
+        self.card_degrees = card_unique - self.card_labels * degree_width
+
+    def count_maps(
+        self, label_id: "int | None", names: list[str], none_bucket: bool
+    ) -> tuple[dict[object, int], dict[int, int]]:
+        """The ``(instance, cardinality)`` count maps of one label.
+
+        Content-identical to :func:`instance_counts` /
+        :func:`cardinality_counts` over the same member set (zero-count
+        cardinality buckets are omitted; the assembly fills them in).
+        """
+        instances: dict[object, int] = {}
+        cardinalities: dict[int, int] = {}
+        zero_members = self.size
+        if label_id is not None:
+            lo = int(np.searchsorted(self.inst_labels, label_id, side="left"))
+            hi = int(np.searchsorted(self.inst_labels, label_id, side="right"))
+            for target, count in zip(
+                self.inst_targets[lo:hi].tolist(), self.inst_counts[lo:hi].tolist()
+            ):
+                instances[names[target]] = count
+            lo = int(np.searchsorted(self.card_labels, label_id, side="left"))
+            hi = int(np.searchsorted(self.card_labels, label_id, side="right"))
+            for degree, count in zip(
+                self.card_degrees[lo:hi].tolist(), self.card_counts[lo:hi].tolist()
+            ):
+                cardinalities[degree] = count
+            zero_members = self.size - int(self.members_with_label[label_id])
+        if zero_members > 0:
+            cardinalities[0] = zero_members
+            if none_bucket:
+                instances[NONE_INSTANCE] = zero_members
+        return instances, cardinalities
+
+
+def build_all_distributions(
+    graph: KnowledgeGraph,
+    query: Sequence[NodeRef],
+    context: Sequence[NodeRef],
+    labels: Iterable[str],
+    *,
+    none_bucket: bool = True,
+) -> dict[str, CharacteristicDistributions]:
+    """Build every label's distributions in one sweep over ``Q`` and ``C``.
+
+    Instead of re-scanning each member's adjacency once per candidate
+    label (the :func:`build_distributions` cost profile, O(|labels| *
+    (|Q| + |C|)) scans), this gathers the members' edge rows from the
+    compiled columnar snapshot once and accumulates **all** labels'
+    instance and cardinality counters simultaneously, keyed by label id;
+    node-name decoding is deferred to the final assembly and touches each
+    distinct value once.
+
+    Returns ``{label: distributions}`` preserving the input label order.
+    Output is exactly equal — supports, ordering, arrays, the None
+    bucket — to calling :func:`build_distributions` per label (the
+    property tests in ``tests/test_perf_parity.py`` pin this down).
+    """
+    label_list = list(labels)
+    query_ids = graph.node_ids(query)
+    context_ids = graph.node_ids(context)
+    compiled = graph._compiled()  # noqa: SLF001 - internal fast path
+    table = graph._label_table()  # noqa: SLF001 - internal fast path
+    names = graph._node_names_list()  # noqa: SLF001 - internal fast path
+
+    query_sweep = _SweepCounts(compiled, query_ids)
+    context_sweep = _SweepCounts(compiled, context_ids)
+
+    out: dict[str, CharacteristicDistributions] = {}
+    for label in label_list:
+        label_id = table.lookup(label)
+        inst_q, card_q = query_sweep.count_maps(label_id, names, none_bucket)
+        inst_c, card_c = context_sweep.count_maps(label_id, names, none_bucket)
+        out[label] = _assemble(label, inst_q, inst_c, card_q, card_c)
+    return out

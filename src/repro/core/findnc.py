@@ -18,7 +18,7 @@ from repro.core.discrimination import (
     Discriminator,
     MultinomialDiscriminator,
 )
-from repro.core.distributions import build_distributions
+from repro.core.distributions import build_all_distributions, build_distributions
 from repro.errors import QueryError
 from repro.graph.labels import SUBCLASS_OF_LABEL, TYPE_LABEL, inverse_label, is_inverse_label
 from repro.graph.model import KnowledgeGraph, NodeRef
@@ -92,10 +92,22 @@ class FindNCResult:
         return self.elapsed_context + self.elapsed_discrimination
 
     def result_for(self, label: str) -> DiscriminationResult:
-        for result in self.results:
-            if result.label == label:
-                return result
-        raise KeyError(f"label {label!r} was not evaluated")
+        # Memoized {label: result} index instead of an O(n) scan per call.
+        # ``results`` is a public mutable list, so the cache is keyed on the
+        # elements' identities: replacing/removing/adding entries in place
+        # rebuilds it (pointer comparisons only — far cheaper than the
+        # per-call string scan this replaced).
+        fingerprint = tuple(map(id, self.results))
+        if self.__dict__.get("_result_index_ids") != fingerprint:
+            index: dict[str, DiscriminationResult] = {}
+            for result in self.results:
+                index.setdefault(result.label, result)  # first match wins
+            self.__dict__["_result_index"] = index
+            self.__dict__["_result_index_ids"] = fingerprint
+        try:
+            return self.__dict__["_result_index"][label]
+        except KeyError:
+            raise KeyError(f"label {label!r} was not evaluated") from None
 
     def notable_labels(self) -> list[str]:
         return [n.label for n in self.notable]
@@ -160,6 +172,7 @@ class FindNC:
         excluded_labels: Iterable[str] | None = None,
         include_inverse_labels: bool = False,
         none_bucket: bool = True,
+        batch_distributions: bool = True,
         rng: RandomSource = None,
     ) -> None:
         self._graph = graph
@@ -175,7 +188,13 @@ class FindNC:
         )
         self.include_inverse_labels = include_inverse_labels
         self.none_bucket = none_bucket
-        self._entity_index = EntityIndex(graph)
+        #: When True (default) the discrimination phase builds every
+        #: candidate's distributions in one sweep; False falls back to the
+        #: per-label reference path (same results, reference cost profile).
+        self.batch_distributions = batch_distributions
+        # Built on first fuzzy lookup — id / exact-name queries never pay
+        # for the normalized-name index.
+        self._entity_index: EntityIndex | None = None
 
     @property
     def graph(self) -> KnowledgeGraph:
@@ -189,6 +208,13 @@ class FindNC:
     def discriminator(self) -> Discriminator:
         return self._discriminator
 
+    @property
+    def entity_index(self) -> EntityIndex:
+        """The fuzzy name resolver (built lazily on first use)."""
+        if self._entity_index is None:
+            self._entity_index = EntityIndex(self._graph)
+        return self._entity_index
+
     # -- query plumbing ----------------------------------------------------
 
     def resolve_query(self, query: Sequence[NodeRef]) -> tuple[int, ...]:
@@ -198,7 +224,7 @@ class FindNC:
         resolved: list[int] = []
         for item in query:
             if isinstance(item, str) and not self._graph.has_node(item):
-                resolved.append(self._entity_index.resolve(item))
+                resolved.append(self.entity_index.resolve(item))
             else:
                 resolved.append(self._graph.node_id(item))
         return tuple(dict.fromkeys(resolved))  # dedupe, keep order
@@ -240,16 +266,30 @@ class FindNC:
 
         started = time.perf_counter()
         members = list(query_ids) + context.nodes
-        results: list[DiscriminationResult] = []
-        for label in self.candidate_labels(members):
-            distributions = build_distributions(
+        labels = self.candidate_labels(members)
+        if self.batch_distributions:
+            distribution_map = build_all_distributions(
                 self._graph,
                 query_ids,
                 context.nodes,
-                label,
+                labels,
                 none_bucket=self.none_bucket,
             )
-            results.append(self._discriminator.score(distributions))
+        else:  # reference path: one adjacency scan per candidate label
+            distribution_map = {
+                label: build_distributions(
+                    self._graph,
+                    query_ids,
+                    context.nodes,
+                    label,
+                    none_bucket=self.none_bucket,
+                )
+                for label in labels
+            }
+        results = [
+            self._discriminator.score(distributions)
+            for distributions in distribution_map.values()
+        ]
         elapsed_discrimination = time.perf_counter() - started
 
         results.sort(key=lambda r: (-r.score, r.label))

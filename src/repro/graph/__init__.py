@@ -10,6 +10,7 @@ A knowledge graph is a quadruple ``G = (V, E, phi, psi)`` with node labels
 """
 
 from repro.graph.builder import GraphBuilder
+from repro.graph.compiled import CompiledGraph, compile_graph
 from repro.graph.hierarchy import TypeHierarchy
 from repro.graph.io import load_graph, save_graph
 from repro.graph.labels import (
@@ -26,6 +27,7 @@ from repro.graph.statistics import GraphStatistics
 from repro.graph.traversal import bfs_distances, ego_nodes, follow_label
 
 __all__ = [
+    "CompiledGraph",
     "Edge",
     "EntityIndex",
     "GraphBuilder",
@@ -36,6 +38,7 @@ __all__ = [
     "TypeHierarchy",
     "base_label",
     "bfs_distances",
+    "compile_graph",
     "ego_nodes",
     "follow_label",
     "inverse_label",

@@ -30,22 +30,44 @@ from repro.graph.statistics import GraphStatistics
 def weighted_adjacency(
     graph: KnowledgeGraph, *, statistics: GraphStatistics | None = None
 ) -> sparse.csr_matrix:
-    """Build Equation 1's weighted adjacency matrix ``A`` (CSR, float64)."""
-    stats = statistics or GraphStatistics(graph)
-    weights_by_label = stats.label_weights()
+    """Build Equation 1's weighted adjacency matrix ``A`` (CSR, float64).
+
+    The COO triple comes straight from the compiled columnar snapshot
+    (:mod:`repro.graph.compiled`) — flat ``(sources, targets, label_ids)``
+    arrays and a per-label-id weight lookup — instead of materializing an
+    :class:`~repro.graph.model.Edge` dataclass per edge.
+    """
+    compiled = graph._compiled()  # noqa: SLF001 - internal fast path
+    weights = _label_weight_array(graph, statistics)
     n = graph.node_count
-    rows: list[int] = []
-    cols: list[int] = []
-    data: list[float] = []
-    for edge in graph.edges():
-        rows.append(edge.source)
-        cols.append(edge.target)
-        data.append(weights_by_label[edge.label])
     matrix = sparse.coo_matrix(
-        (data, (rows, cols)), shape=(n, n), dtype=np.float64
+        (weights[compiled.label_ids], (compiled.sources, compiled.targets)),
+        shape=(n, n),
+        dtype=np.float64,
     )
     # Duplicate (i, j) entries from parallel edges are summed by conversion.
     return matrix.tocsr()
+
+
+def _label_weight_array(
+    graph: KnowledgeGraph, statistics: GraphStatistics | None
+) -> np.ndarray:
+    """Per-label-id weight lookup for the graph's live labels.
+
+    Without ``statistics`` this is the compiled snapshot's precomputed
+    Equation-1 weights; with it, the caller-supplied weights are mapped
+    onto label ids. A live graph label missing from ``statistics`` raises
+    ``KeyError``, matching the per-edge dict lookups this replaced.
+    """
+    compiled = graph._compiled()  # noqa: SLF001 - internal fast path
+    if statistics is None:
+        return compiled.label_weights
+    weights_by_label = statistics.label_weights()
+    table = graph._label_table()  # noqa: SLF001 - internal fast path
+    weights = np.zeros(compiled.label_count, dtype=np.float64)
+    for label in graph.edge_labels:
+        weights[table.lookup(label)] = weights_by_label[label]
+    return weights
 
 
 def transition_matrix(
@@ -69,11 +91,8 @@ def transition_matrix(
 
 def dangling_nodes(graph: KnowledgeGraph) -> np.ndarray:
     """Boolean mask of nodes without out-edges (zero columns of ``A~``)."""
-    mask = np.zeros(graph.node_count, dtype=bool)
-    for node in graph.nodes():
-        if graph.out_degree(node) == 0:
-            mask[node] = True
-    return mask
+    compiled = graph._compiled()  # noqa: SLF001 - internal fast path
+    return compiled.out_degrees() == 0
 
 
 def personalization_vector(

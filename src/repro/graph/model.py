@@ -58,6 +58,7 @@ class KnowledgeGraph:
         self._edge_count = 0
         self._label_edge_counts: dict[int, int] = {}
         self._version = 0  # bumped on mutation; caches key on this
+        self._compiled_snapshot = None  # CompiledGraph cache, keyed on _version
 
     # -- nodes ------------------------------------------------------------
 
@@ -352,3 +353,21 @@ class KnowledgeGraph:
 
     def _label_table(self) -> LabelTable:
         return self._labels
+
+    def _node_names_list(self) -> list[str]:
+        return self._names
+
+    def _compiled(self):
+        """The columnar CSR snapshot of this graph (version-keyed cache).
+
+        Compiled lazily on first use and invalidated automatically when
+        :attr:`version` moves; see :mod:`repro.graph.compiled`. The
+        returned arrays are read-only and shared — do not mutate.
+        """
+        snapshot = self._compiled_snapshot
+        if snapshot is None or snapshot.version != self._version:
+            from repro.graph.compiled import compile_graph
+
+            snapshot = compile_graph(self)
+            self._compiled_snapshot = snapshot
+        return snapshot

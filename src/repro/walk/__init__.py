@@ -6,6 +6,7 @@ from repro.walk.pagerank import (
     PersonalizedPageRank,
     personalized_pagerank,
     power_iteration,
+    power_iteration_batch,
     power_iteration_python,
 )
 from repro.walk.pathmining import MinedPaths, PathMiner
@@ -21,5 +22,6 @@ __all__ = [
     "count_matching_paths",
     "personalized_pagerank",
     "power_iteration",
+    "power_iteration_batch",
     "power_iteration_python",
 ]

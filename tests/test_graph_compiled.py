@@ -1,0 +1,152 @@
+"""Unit tests for the compiled columnar graph snapshot."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.model import KnowledgeGraph
+from repro.graph.statistics import GraphStatistics
+
+
+@pytest.fixture()
+def graph():
+    return (
+        GraphBuilder()
+        .fact("a", "r", "b")
+        .fact("a", "r", "c")
+        .fact("a", "s", "b")
+        .fact("b", "r", "c")
+        .fact("c", "s", "a")
+        .build()
+    )
+
+
+class TestCompileGraph:
+    def test_edge_rows_cover_every_edge(self, graph):
+        snapshot = compile_graph(graph)
+        assert snapshot.edge_count == graph.edge_count
+        name = graph._label_table().name
+        seen = set()
+        for row in range(snapshot.edge_count):
+            src = int(snapshot.sources[row])
+            label = name(int(snapshot.label_ids[row]))
+            dst = int(snapshot.targets[row])
+            assert graph.has_edge(src, label, dst)
+            seen.add((src, label, dst))
+        assert len(seen) == graph.edge_count
+
+    def test_node_slices_match_out_edges(self, graph):
+        snapshot = compile_graph(graph)
+        name = graph._label_table().name
+        for node in graph.nodes():
+            rows = snapshot.node_slice(node)
+            got = {
+                (name(int(l)), int(t))
+                for l, t in zip(snapshot.label_ids[rows], snapshot.targets[rows])
+            }
+            assert got == set(graph.out_edges(node))
+            assert (snapshot.sources[rows] == node).all()
+
+    def test_rows_sorted_by_label_then_target(self, graph):
+        snapshot = compile_graph(graph)
+        for node in graph.nodes():
+            rows = snapshot.node_slice(node)
+            keys = list(
+                zip(snapshot.label_ids[rows].tolist(), snapshot.targets[rows].tolist())
+            )
+            assert keys == sorted(keys)
+
+    def test_out_degrees(self, graph):
+        snapshot = compile_graph(graph)
+        expected = [graph.out_degree(node) for node in graph.nodes()]
+        assert snapshot.out_degrees().tolist() == expected
+
+    def test_label_slices_match_edges(self, graph):
+        snapshot = compile_graph(graph)
+        table = graph._label_table()
+        for label in graph.edge_labels:
+            label_id = table.lookup(label)
+            sources, targets = snapshot.edges_for_label(label_id)
+            got = {(int(s), int(t)) for s, t in zip(sources, targets)}
+            expected = {(e.source, e.target) for e in graph.edges(label)}
+            assert got == expected
+
+    def test_label_slice_out_of_range(self, graph):
+        snapshot = compile_graph(graph)
+        sources, targets = snapshot.edges_for_label(10_000)
+        assert sources.size == 0 and targets.size == 0
+
+    def test_label_weights_match_statistics(self, graph):
+        snapshot = compile_graph(graph)
+        stats = GraphStatistics(graph)
+        table = graph._label_table()
+        for label, weight in stats.label_weights().items():
+            assert snapshot.label_weights[table.lookup(label)] == weight
+
+    def test_out_weight_sums_edge_weights(self, graph):
+        snapshot = compile_graph(graph)
+        for node in graph.nodes():
+            rows = snapshot.node_slice(node)
+            expected = snapshot.label_weights[snapshot.label_ids[rows]].sum()
+            assert snapshot.out_weight[node] == pytest.approx(expected)
+
+    def test_empty_graph(self):
+        snapshot = compile_graph(KnowledgeGraph())
+        assert snapshot.node_count == 0
+        assert snapshot.edge_count == 0
+        assert snapshot.indptr.tolist() == [0]
+
+    def test_nodes_without_edges(self):
+        graph = KnowledgeGraph()
+        graph.add_node("loner")
+        snapshot = compile_graph(graph)
+        assert snapshot.out_degrees().tolist() == [0]
+        assert snapshot.out_weight.tolist() == [0.0]
+
+    def test_arrays_are_read_only(self, graph):
+        snapshot = compile_graph(graph)
+        with pytest.raises(ValueError):
+            snapshot.targets[0] = 0
+
+
+class TestGatherRows:
+    def test_gather_matches_slices(self, graph):
+        snapshot = compile_graph(graph)
+        members = np.array([2, 0], dtype=np.int64)
+        rows, owners = snapshot.gather_rows(members)
+        # Rows come out member-major, in slice order.
+        indptr = snapshot.indptr.tolist()
+        expected_rows = list(range(indptr[2], indptr[3])) + list(
+            range(indptr[0], indptr[1])
+        )
+        assert rows.tolist() == expected_rows
+        assert owners.tolist() == [0] * graph.out_degree(2) + [1] * graph.out_degree(0)
+
+    def test_gather_with_duplicates(self, graph):
+        snapshot = compile_graph(graph)
+        rows, owners = snapshot.gather_rows(np.array([0, 0], dtype=np.int64))
+        degree = graph.out_degree(0)
+        assert rows.shape[0] == 2 * degree
+        assert owners.tolist() == [0] * degree + [1] * degree
+
+    def test_gather_empty(self, graph):
+        snapshot = compile_graph(graph)
+        rows, owners = snapshot.gather_rows(np.empty(0, dtype=np.int64))
+        assert rows.size == 0 and owners.size == 0
+
+
+class TestSnapshotCache:
+    def test_cache_reuses_snapshot(self, graph):
+        assert graph._compiled() is graph._compiled()
+
+    def test_cache_invalidated_by_mutation(self, graph):
+        first = graph._compiled()
+        graph.add_edge("a", "r", "d")
+        second = graph._compiled()
+        assert second is not first
+        assert second.version == graph.version
+        assert second.edge_count == graph.edge_count
+
+    def test_snapshot_type(self, graph):
+        assert isinstance(graph._compiled(), CompiledGraph)

@@ -106,3 +106,28 @@ class TestHelpers:
             personalization_vector(graph, [])
         with pytest.raises(ValueError):
             personalization_vector(graph, [10_000])
+
+
+class TestExplicitStatistics:
+    def test_matching_statistics_accepted(self, graph):
+        from repro.graph.statistics import GraphStatistics
+
+        a = weighted_adjacency(graph, statistics=GraphStatistics(graph))
+        b = weighted_adjacency(graph)
+        assert (a != b).nnz == 0
+
+    def test_mismatched_statistics_rejected(self, graph):
+        from repro.graph.statistics import GraphStatistics
+
+        other = GraphBuilder().fact("x", "unrelated", "y").build()
+        with pytest.raises(KeyError):
+            weighted_adjacency(graph, statistics=GraphStatistics(other))
+
+    def test_mismatched_statistics_rejected_by_python_backend(self, graph):
+        from repro.graph.statistics import GraphStatistics
+        from repro.walk.pagerank import power_iteration_python
+
+        other = GraphBuilder().fact("x", "unrelated", "y").build()
+        v = personalization_vector(graph, [0])
+        with pytest.raises(KeyError):
+            power_iteration_python(graph, v, statistics=GraphStatistics(other))

@@ -10,6 +10,12 @@ Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/run_perf_suite.py [--out BENCH_PR1.json]
                                                        [--skip-fig5] [--repeat 5]
+                                                       [--quick]
+
+``--quick`` is the CI smoke mode: tiny scale, one repetition, smallest
+context sizes, no Figure-5 run — seconds instead of minutes, enough to
+catch perf-suite bitrot on every PR (numbers are NOT comparable to the
+committed BENCH_PR*.json files).
 
 The same-machine, same-run reference/batch pairs in the output are the
 speedup evidence: both paths live in the repo (``build_distributions`` is
@@ -23,6 +29,7 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -57,12 +64,14 @@ def best_of(repeat: int, func, *args, **kwargs) -> float:
     return best
 
 
-def bench_discrimination(graph, query, repeat: int) -> dict:
+def bench_discrimination(
+    graph, query, repeat: int, context_sizes: tuple = (100, 500, 1000)
+) -> dict:
     """Per-label reference vs single-sweep batch, per context size."""
     ppr = PersonalizedPageRank(graph)
     finder = FindNC(graph)
     out = {}
-    for context_size in (100, 500, 1000):
+    for context_size in context_sizes:
         context = [n for n, _ in ppr.top_k(query, context_size)]
         labels = finder.candidate_labels(list(query) + context)
         graph._compiled()  # noqa: SLF001 - warm the snapshot cache
@@ -88,12 +97,12 @@ def bench_discrimination(graph, query, repeat: int) -> dict:
     return out
 
 
-def bench_ppr(graph, query, repeat: int) -> dict:
+def bench_ppr(graph, query, repeat: int, sizes: tuple = (1, 3, 5)) -> dict:
     """Batched multi-column scores_per_node vs the per-node loop."""
     ppr = PersonalizedPageRank(graph, iterations=10)
     ppr.transition()  # warm the transition-matrix cache
     out = {}
-    for size in (1, 3, 5):
+    for size in sizes:
         nodes = list(query[:size])
 
         def per_node():
@@ -173,8 +182,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR1.json",
-        help="output JSON path (default: repo-root BENCH_PR1.json)",
+        default=None,
+        help="output JSON path (default: repo-root BENCH_PR1.json; with "
+        "--quick, a temp file so smoke numbers never overwrite the "
+        "committed record)",
     )
     parser.add_argument(
         "--repeat", type=int, default=5, help="runs per timing (best-of)"
@@ -184,9 +195,28 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the minutes-long Figure-5 end-to-end bench",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: tiny scale, repeat=1, no fig5 (~seconds)",
+    )
     args = parser.parse_args(argv)
+    if args.quick:
+        scale, repeat = 0.5, 1
+        context_sizes, ppr_sizes = (50, 100), (1, 3)
+    else:
+        scale, repeat = SCALE, args.repeat
+        context_sizes, ppr_sizes = (100, 500, 1000), (1, 3, 5)
+    if args.out is None:
+        # Quick numbers are NOT comparable to the committed record — never
+        # let them land on the repo-root BENCH file by default.
+        args.out = (
+            Path(tempfile.gettempdir()) / "bench_quick.json"
+            if args.quick
+            else REPO_ROOT / "BENCH_PR1.json"
+        )
 
-    graph = load_dataset("yago", scale=SCALE, seed=7)
+    graph = load_dataset("yago", scale=scale, seed=7)
     index = EntityIndex(graph)
     query = tuple(index.resolve(name) for name in ACTORS_DOMAIN.entities[:5])
 
@@ -195,6 +225,7 @@ def main(argv: list[str] | None = None) -> int:
         "suite": "run_perf_suite",
         "pr": 1,
         "created_unix": int(time.time()),
+        "quick": args.quick,
         "machine": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -202,20 +233,22 @@ def main(argv: list[str] | None = None) -> int:
         },
         "graph": {
             "dataset": "yago",
-            "scale": SCALE,
+            "scale": scale,
             "nodes": graph.node_count,
             "edges": graph.edge_count,
         },
-        "repeat": args.repeat,
+        "repeat": repeat,
     }
 
     print("timing discrimination phase (reference vs batch)...", flush=True)
-    report["discrimination"] = bench_discrimination(graph, query, args.repeat)
+    report["discrimination"] = bench_discrimination(
+        graph, query, repeat, context_sizes
+    )
     print("timing scores_per_node (per-node loop vs batched)...", flush=True)
-    report["ppr_scores_per_node"] = bench_ppr(graph, query, args.repeat)
+    report["ppr_scores_per_node"] = bench_ppr(graph, query, repeat, ppr_sizes)
     print("timing top_k (full sort vs argpartition)...", flush=True)
-    report["top_k"] = bench_top_k(graph, query, args.repeat)
-    if not args.skip_fig5:
+    report["top_k"] = bench_top_k(graph, query, repeat)
+    if not args.skip_fig5 and not args.quick:
         print("running fig5 end-to-end bench (this takes a while)...", flush=True)
         report["fig5"] = bench_fig5()
 

@@ -1,0 +1,56 @@
+"""Run the query-service benchmark and emit BENCH_PR<N>.json.
+
+Thin wrapper over :func:`repro.service.bench.run_service_benchmark` (the
+same driver behind ``repro bench-serve``), defaulting the output to the
+repo-root ``BENCH_PR2.json`` so the service has a committed perf record
+alongside ``BENCH_PR1.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR2.json]
+                                                          [--scale 2.0] [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.bench import print_report, run_service_benchmark  # noqa: E402
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_PR2.json")
+    parser.add_argument("--dataset", default="yago")
+    parser.add_argument("--scale", type=float, default=2.0)
+    parser.add_argument("--context-size", type=int, default=100)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--distinct", type=int, default=12)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    report = run_service_benchmark(
+        dataset=args.dataset,
+        scale=args.scale,
+        context_size=args.context_size,
+        workers=args.workers,
+        distinct=args.distinct,
+        repeat=args.repeat,
+        seed=args.seed,
+    )
+    print_report(report)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

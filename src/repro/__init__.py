@@ -25,6 +25,8 @@ Package map:
 * :mod:`repro.stats` — multinomial test and divergences
 * :mod:`repro.datasets` — synthetic YAGO & LinkedMDB + ground truth
 * :mod:`repro.eval` — metrics and the per-figure experiment harness
+* :mod:`repro.service` — concurrent query engine + cache + HTTP API
+  (``repro serve``)
 """
 
 from repro.core.context import ContextResult, ContextRW, ContextSelector, RandomWalkContext
@@ -44,8 +46,9 @@ from repro.core.findnc import FindNC, FindNCResult, NotableCharacteristic, rw_mu
 from repro.errors import ReproError
 from repro.graph.builder import GraphBuilder
 from repro.graph.model import KnowledgeGraph
+from repro.service.engine import NCEngine, SearchOutcome
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CharacteristicDistributions",
@@ -61,9 +64,11 @@ __all__ = [
     "KLDiscriminator",
     "KnowledgeGraph",
     "MultinomialDiscriminator",
+    "NCEngine",
     "NotableCharacteristic",
     "RandomWalkContext",
     "ReproError",
+    "SearchOutcome",
     "__version__",
     "build_all_distributions",
     "build_distributions",

@@ -16,12 +16,26 @@ Subcommands
 
 ``datasets``
     List the registered datasets with their statistics.
+
+``serve``
+    Run the concurrent NC query service over a built-in dataset::
+
+        repro serve --dataset yago --port 8099
+        curl 'http://127.0.0.1:8099/search?query=Angela_Merkel,Barack_Obama'
+
+``bench-serve``
+    Run the service throughput/latency benchmark and write the JSON
+    report (see ``src/repro/service/README.md``)::
+
+        repro bench-serve --out BENCH_PR2.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.core.findnc import FindNC, rw_mult
 from repro.datasets.loader import dataset_names, load_dataset
@@ -55,6 +69,34 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--markdown", action="store_true")
 
     sub.add_parser("datasets", help="list datasets with statistics")
+
+    serve = sub.add_parser("serve", help="run the concurrent NC query service")
+    serve.add_argument("--dataset", default="yago", choices=dataset_names())
+    serve.add_argument("--scale", type=float, default=2.0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8099)
+    serve.add_argument("--context-size", type=int, default=100)
+    serve.add_argument("--alpha", type=float, default=0.05)
+    serve.add_argument("--cache-size", type=int, default=256)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--seed", type=int, default=11)
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request to stderr"
+    )
+
+    bench = sub.add_parser(
+        "bench-serve", help="benchmark the query service (latency/throughput)"
+    )
+    bench.add_argument("--dataset", default="yago", choices=dataset_names())
+    bench.add_argument("--scale", type=float, default=2.0)
+    bench.add_argument("--context-size", type=int, default=100)
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--distinct", type=int, default=12)
+    bench.add_argument("--repeat", type=int, default=3)
+    bench.add_argument("--seed", type=int, default=11)
+    bench.add_argument(
+        "--out", type=Path, default=None, help="write the JSON report here"
+    )
     return parser
 
 
@@ -85,6 +127,54 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.engine import NCEngine
+    from repro.service.server import NCRequestHandler, create_server
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    engine = NCEngine(
+        graph,
+        context_size=args.context_size,
+        alpha=args.alpha,
+        cache_size=args.cache_size,
+        max_workers=args.workers,
+        seed=args.seed,
+    )
+    engine.pin()  # compile + freeze shared state before accepting traffic
+    NCRequestHandler.quiet = not args.verbose
+    server = create_server(engine, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving {graph.summary()}")
+    print(f"listening on http://{host}:{port} (/search, /healthz, /stats)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+        engine.close()
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.service.bench import print_report, run_service_benchmark
+
+    report = run_service_benchmark(
+        dataset=args.dataset,
+        scale=args.scale,
+        context_size=args.context_size,
+        workers=args.workers,
+        distinct=args.distinct,
+        repeat=args.repeat,
+        seed=args.seed,
+    )
+    print_report(report)
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -92,6 +182,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "search": _cmd_search,
         "experiment": _cmd_experiment,
         "datasets": _cmd_datasets,
+        "serve": _cmd_serve,
+        "bench-serve": _cmd_bench_serve,
     }
     return handlers[args.command](args)
 

@@ -113,6 +113,7 @@ class RandomWalkContext(ContextSelector):
         iterations: int = 10,
         tolerance: float | None = None,
         backend: str = "scipy",
+        pin: bool = False,
     ) -> None:
         super().__init__(graph)
         self._pagerank = PersonalizedPageRank(
@@ -121,7 +122,17 @@ class RandomWalkContext(ContextSelector):
             iterations=iterations,
             tolerance=tolerance,
             backend=backend,
+            pin=pin,
         )
+
+    def warm(self) -> "RandomWalkContext":
+        """Prebuild the transition matrix (with ``pin=True``: freeze it).
+
+        The query service calls this while re-pinning so that concurrent
+        requests share one immutable matrix instead of racing to build it.
+        """
+        self._pagerank.transition()
+        return self
 
     def select(self, query: Sequence[int], k: int) -> ContextResult:
         query_tuple = _validate_query(self._graph, query)

@@ -21,11 +21,15 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.graph.model import KnowledgeGraph, NodeRef
 from repro.stats.histograms import align_count_maps
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.graph.compiled import CompiledGraph
 
 
 class _NoneInstance:
@@ -268,6 +272,7 @@ def build_all_distributions(
     labels: Iterable[str],
     *,
     none_bucket: bool = True,
+    compiled: "CompiledGraph | None" = None,
 ) -> dict[str, CharacteristicDistributions]:
     """Build every label's distributions in one sweep over ``Q`` and ``C``.
 
@@ -283,11 +288,22 @@ def build_all_distributions(
     Output is exactly equal — supports, ordering, arrays, the None
     bucket — to calling :func:`build_distributions` per label (the
     property tests in ``tests/test_perf_parity.py`` pin this down).
+
+    A pre-pinned ``compiled`` snapshot may be injected (the query service
+    pins one per request so the sweep stays consistent while writers
+    mutate the graph); by default the graph's current snapshot is used.
+    All member ids must be covered by the snapshot.
     """
     label_list = list(labels)
     query_ids = graph.node_ids(query)
     context_ids = graph.node_ids(context)
-    compiled = graph._compiled()  # noqa: SLF001 - internal fast path
+    if compiled is None:
+        compiled = graph._compiled()  # noqa: SLF001 - internal fast path
+    elif not compiled.covers(query_ids) or not compiled.covers(context_ids):
+        raise ValueError(
+            "pinned snapshot does not cover every query/context node "
+            f"(snapshot holds {compiled.node_count} nodes)"
+        )
     table = graph._label_table()  # noqa: SLF001 - internal fast path
     names = graph._node_names_list()  # noqa: SLF001 - internal fast path
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.context import ContextResult, ContextRW, ContextSelector, RandomWalkContext
 from repro.core.discrimination import (
@@ -22,8 +23,11 @@ from repro.core.distributions import build_all_distributions, build_distribution
 from repro.errors import QueryError
 from repro.graph.labels import SUBCLASS_OF_LABEL, TYPE_LABEL, inverse_label, is_inverse_label
 from repro.graph.model import KnowledgeGraph, NodeRef
-from repro.graph.search import EntityIndex
+from repro.graph.search import EntityIndex, resolve_node_refs
 from repro.util.rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.graph.compiled import CompiledGraph
 
 
 @dataclass(frozen=True)
@@ -93,19 +97,28 @@ class FindNCResult:
 
     def result_for(self, label: str) -> DiscriminationResult:
         # Memoized {label: result} index instead of an O(n) scan per call.
-        # ``results`` is a public mutable list, so the cache is keyed on the
-        # elements' identities: replacing/removing/adding entries in place
-        # rebuilds it (pointer comparisons only — far cheaper than the
-        # per-call string scan this replaced).
-        fingerprint = tuple(map(id, self.results))
-        if self.__dict__.get("_result_index_ids") != fingerprint:
+        # ``results`` is a public mutable list, so the cache is re-keyed on
+        # the elements' *identities*: replacing/removing/adding entries
+        # rebuilds it. The indexed entries are kept alive inside the state
+        # tuple (strong references), so a GC'd entry's ``id()`` being
+        # reused can never revive a stale index — and the whole state is
+        # stored in ONE attribute assignment, so threads sharing a cached
+        # result always observe a matching (entries, index) pair; rebuild
+        # races waste a little work but never mix states.
+        entries = tuple(self.results)
+        state = self.__dict__.get("_result_index_state")
+        if (
+            state is None
+            or len(state[0]) != len(entries)
+            or any(a is not b for a, b in zip(state[0], entries))
+        ):
             index: dict[str, DiscriminationResult] = {}
-            for result in self.results:
+            for result in entries:
                 index.setdefault(result.label, result)  # first match wins
-            self.__dict__["_result_index"] = index
-            self.__dict__["_result_index_ids"] = fingerprint
+            state = (entries, index)
+            self.__dict__["_result_index_state"] = state
         try:
-            return self.__dict__["_result_index"][label]
+            return state[1][label]
         except KeyError:
             raise KeyError(f"label {label!r} was not evaluated") from None
 
@@ -174,6 +187,7 @@ class FindNC:
         none_bucket: bool = True,
         batch_distributions: bool = True,
         rng: RandomSource = None,
+        entity_index: EntityIndex | None = None,
     ) -> None:
         self._graph = graph
         self._selector = context_selector or ContextRW(graph, rng=rng)
@@ -193,8 +207,9 @@ class FindNC:
         #: per-label reference path (same results, reference cost profile).
         self.batch_distributions = batch_distributions
         # Built on first fuzzy lookup — id / exact-name queries never pay
-        # for the normalized-name index.
-        self._entity_index: EntityIndex | None = None
+        # for the normalized-name index. The query service injects a
+        # shared, pre-built index so per-request finders don't rebuild it.
+        self._entity_index: EntityIndex | None = entity_index
 
     @property
     def graph(self) -> KnowledgeGraph:
@@ -221,21 +236,34 @@ class FindNC:
         """Accept node ids, exact names, or fuzzy names (Section 2 input)."""
         if len(query) == 0:
             raise QueryError("the query set must not be empty")
-        resolved: list[int] = []
-        for item in query:
-            if isinstance(item, str) and not self._graph.has_node(item):
-                resolved.append(self.entity_index.resolve(item))
-            else:
-                resolved.append(self._graph.node_id(item))
+        resolved = resolve_node_refs(
+            self._graph, query, lambda: self.entity_index
+        )
         return tuple(dict.fromkeys(resolved))  # dedupe, keep order
 
     # -- the pipeline --------------------------------------------------------
 
-    def candidate_labels(self, nodes: Iterable[int]) -> list[str]:
-        """``L | Q ∪ C`` minus exclusions (Definition 3's restriction)."""
-        labels = self._graph.incident_labels(nodes)
+    def candidate_labels(
+        self, nodes: Iterable[int], *, snapshot: "CompiledGraph | None" = None
+    ) -> list[str]:
+        """``L | Q ∪ C`` minus exclusions (Definition 3's restriction).
+
+        With a pinned ``snapshot`` the incident labels come from the
+        snapshot's edge rows instead of the live adjacency dicts, so the
+        candidate set stays consistent with the snapshot even while
+        writers mutate the graph. Both paths produce the same labels in
+        the same (sorted) order for an unmutated graph.
+        """
+        if snapshot is None:
+            labels = sorted(self._graph.incident_labels(nodes))
+        else:
+            table = self._graph._label_table()  # noqa: SLF001 - label ids only grow
+            labels = sorted(
+                table.name(int(label_id))
+                for label_id in snapshot.incident_label_ids(list(nodes))
+            )
         out = []
-        for label in sorted(labels):
+        for label in labels:
             if label in self.excluded_labels:
                 continue
             if not self.include_inverse_labels and is_inverse_label(label):
@@ -249,15 +277,34 @@ class FindNC:
         *,
         context_size: int | None = None,
         context: ContextResult | None = None,
+        snapshot: "CompiledGraph | None" = None,
     ) -> FindNCResult:
         """Execute the full pipeline for ``query``.
 
         A pre-computed ``context`` can be injected (the benchmarks reuse
         one context across distribution sweeps); otherwise the configured
         selector runs with ``context_size``.
+
+        A pinned ``snapshot`` (from :meth:`KnowledgeGraph.compiled`) makes
+        the discrimination phase — candidate enumeration and the batch
+        distribution sweep — read only that immutable snapshot instead of
+        re-resolving the graph's current one per call, so the run is
+        consistent against concurrent writers. The query must be covered
+        by the snapshot; pinning requires the batch path
+        (``batch_distributions=True``).
         """
         query_ids = self.resolve_query(query)
         k = context_size if context_size is not None else self.context_size
+        if snapshot is not None:
+            if not self.batch_distributions:
+                raise ValueError(
+                    "snapshot pinning requires batch_distributions=True "
+                    "(the reference path scans the live adjacency)"
+                )
+            if not snapshot.covers(query_ids):
+                raise QueryError(
+                    "query references nodes newer than the pinned snapshot"
+                )
 
         started = time.perf_counter()
         if context is None:
@@ -266,7 +313,17 @@ class FindNC:
 
         started = time.perf_counter()
         members = list(query_ids) + context.nodes
-        labels = self.candidate_labels(members)
+        if snapshot is not None and not snapshot.covers(members):
+            # The selector ran against a newer graph than the snapshot
+            # (it returned nodes the snapshot has never seen). Surface a
+            # clean error instead of indexing out of bounds — callers
+            # serving pinned requests must pin the selector too (the
+            # query service pins both; see repro.service.engine).
+            raise QueryError(
+                "context references nodes newer than the pinned snapshot; "
+                "pin the context selector to the same graph version"
+            )
+        labels = self.candidate_labels(members, snapshot=snapshot)
         if self.batch_distributions:
             distribution_map = build_all_distributions(
                 self._graph,
@@ -274,6 +331,7 @@ class FindNC:
                 context.nodes,
                 labels,
                 none_bucket=self.none_bucket,
+                compiled=snapshot,
             )
         else:  # reference path: one adjacency scan per candidate label
             distribution_map = {

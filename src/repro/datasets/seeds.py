@@ -18,7 +18,7 @@ Everything here is encoded as data so tests can assert the facts exist.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.datasets import schema as s
 

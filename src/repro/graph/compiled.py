@@ -22,10 +22,19 @@ adjacency as flat numpy arrays:
   normalizers), precomputed once instead of on every PageRank call.
 
 Snapshots are immutable; the graph caches one per mutation
-:attr:`~repro.graph.model.KnowledgeGraph.version` behind the internal
-accessor ``KnowledgeGraph._compiled()`` (see :func:`compile_graph`), so
-any mutation transparently invalidates every consumer. Callers must not
-write to the arrays.
+:attr:`~repro.graph.model.KnowledgeGraph.version` (see
+:func:`compile_graph`), so any mutation transparently invalidates every
+consumer. Callers must not write to the arrays.
+
+**Pinning.** The public accessor
+:meth:`repro.graph.model.KnowledgeGraph.compiled` returns the current
+snapshot so callers can *pin* it: a pinned snapshot stays valid (and
+immutable) while writers keep mutating the graph, which is what lets the
+query service (:mod:`repro.service`) answer requests lock-free against a
+live graph. Internal hot paths still go through the ``_compiled()``
+alias. A pinned snapshot never covers nodes added after it was taken —
+consumers that accept one (:meth:`repro.core.findnc.FindNC.run`) check
+membership with :meth:`CompiledGraph.covers` and reject stale inputs.
 """
 
 from __future__ import annotations
@@ -86,6 +95,28 @@ class CompiledGraph:
             self.label_indptr[label_id] : self.label_indptr[label_id + 1]
         ]
         return self.sources[rows], self.targets[rows]
+
+    def covers(self, nodes: "np.ndarray | list[int] | tuple[int, ...]") -> bool:
+        """Whether every id in ``nodes`` existed when this snapshot was taken.
+
+        Nodes added to the graph after compilation have ids beyond
+        ``node_count``; pinned-snapshot consumers use this to reject
+        queries that reference them instead of indexing out of bounds.
+        """
+        arr = np.asarray(nodes, dtype=np.int64)
+        if arr.size == 0:
+            return True
+        return bool(arr.min() >= 0 and arr.max() < self.node_count)
+
+    def incident_label_ids(self, nodes: "np.ndarray | list[int] | tuple[int, ...]") -> np.ndarray:
+        """Sorted unique label ids on out-edges of ``nodes`` (``L | nodes``).
+
+        The snapshot-side equivalent of
+        :meth:`repro.graph.model.KnowledgeGraph.incident_labels`, used by
+        pinned-snapshot candidate enumeration (Definition 3).
+        """
+        rows, _ = self.gather_rows(np.asarray(list(nodes), dtype=np.int64))
+        return np.unique(self.label_ids[rows])
 
     def gather_rows(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Edge rows of ``nodes`` (with multiplicity), plus their owner index.

@@ -13,6 +13,7 @@ with the inverse label (the paper's closure assumption); pass
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
@@ -59,6 +60,7 @@ class KnowledgeGraph:
         self._label_edge_counts: dict[int, int] = {}
         self._version = 0  # bumped on mutation; caches key on this
         self._compiled_snapshot = None  # CompiledGraph cache, keyed on _version
+        self._compile_lock = threading.Lock()  # one compile per version
 
     # -- nodes ------------------------------------------------------------
 
@@ -334,6 +336,17 @@ class KnowledgeGraph:
         """Mutation counter; caches keyed on it invalidate automatically."""
         return self._version
 
+    def compiled(self):
+        """Pin the current columnar snapshot (:class:`~repro.graph.compiled.CompiledGraph`).
+
+        The returned snapshot is immutable and belongs to the current
+        :attr:`version`: readers holding it keep a consistent view of the
+        adjacency even while writers keep mutating the graph. Concurrent
+        calls share one compile per version (serialized by a lock); the
+        query service pins one snapshot per request through this accessor.
+        """
+        return self._compiled()
+
     def summary(self) -> str:
         return (
             f"{self.name}: |V|={self.node_count}, |E|={self.edge_count}, "
@@ -363,11 +376,16 @@ class KnowledgeGraph:
         Compiled lazily on first use and invalidated automatically when
         :attr:`version` moves; see :mod:`repro.graph.compiled`. The
         returned arrays are read-only and shared — do not mutate.
+        Double-checked locking keeps concurrent readers from compiling
+        the same version twice (compiles are idempotent, just wasteful).
         """
         snapshot = self._compiled_snapshot
         if snapshot is None or snapshot.version != self._version:
             from repro.graph.compiled import compile_graph
 
-            snapshot = compile_graph(self)
-            self._compiled_snapshot = snapshot
+            with self._compile_lock:
+                snapshot = self._compiled_snapshot
+                if snapshot is None or snapshot.version != self._version:
+                    snapshot = compile_graph(self)
+                    self._compiled_snapshot = snapshot
         return snapshot

@@ -12,7 +12,7 @@ from __future__ import annotations
 import difflib
 import re
 import unicodedata
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 
 from repro.errors import EntityResolutionError
 from repro.graph.model import KnowledgeGraph
@@ -52,11 +52,17 @@ class EntityIndex:
         graph = self._graph
         if graph.version == self._version:
             return
-        self._normalized = {}
+        # Build into a local dict and publish it with a single assignment:
+        # concurrent readers (the query service shares one index across
+        # request threads) always observe a *complete* mapping — either
+        # the previous one or the new one, never a half-built dict.
+        normalized: dict[str, list[int]] = {}
+        version = graph.version
         for node_id in graph.nodes():
             key = normalize_name(graph.node_name(node_id))
-            self._normalized.setdefault(key, []).append(node_id)
-        self._version = graph.version
+            normalized.setdefault(key, []).append(node_id)
+        self._normalized = normalized
+        self._version = version
 
     def lookup(self, name: str) -> list[int]:
         """All nodes whose normalized name equals normalized ``name``."""
@@ -97,3 +103,34 @@ class EntityIndex:
 
     def __contains__(self, name: object) -> bool:
         return isinstance(name, str) and bool(self.lookup(name))
+
+
+def resolve_node_refs(
+    graph: KnowledgeGraph,
+    refs: Iterable["int | str"],
+    index: "Callable[[], EntityIndex]",
+) -> list[int]:
+    """Resolve mixed node references: ids, exact names, digit ids-as-strings,
+    then fuzzy names.
+
+    The single resolution path shared by :meth:`FindNC.resolve_query` and
+    the query service's :class:`~repro.service.engine.NCEngine` — keeping
+    the two in lock-step matters because the service's cache key is built
+    from the resolved ids. ``index`` is a zero-argument callable so lazy
+    builders only pay for the fuzzy index when a fuzzy lookup happens.
+
+    Resolution order for strings: exact node name first (a node literally
+    named ``"1954"`` wins over id 1954), then — for all-digit strings,
+    as sent by ``GET /search?query=42`` where everything arrives as
+    text — the integer node id, then the fuzzy index.
+    """
+    resolved: list[int] = []
+    for item in refs:
+        if isinstance(item, str) and not graph.has_node(item):
+            if item.isdigit() and graph.has_node(int(item)):
+                resolved.append(int(item))
+            else:
+                resolved.append(index().resolve(item))
+        else:
+            resolved.append(graph.node_id(item))
+    return resolved

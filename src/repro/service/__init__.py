@@ -1,0 +1,25 @@
+"""Concurrent NC query service: engine, result cache, HTTP front-end.
+
+The step from algorithm to system: :class:`NCEngine` serves many
+concurrent FindNC requests over one live :class:`~repro.graph.model.KnowledgeGraph`
+by pinning immutable compiled snapshots per request, caching results in a
+version-keyed LRU, and coalescing identical in-flight queries. The
+stdlib HTTP server (:mod:`repro.service.server`) exposes it as a JSON API
+(``repro serve``); :mod:`repro.service.bench` measures it
+(``repro bench-serve``). See ``src/repro/service/README.md``.
+"""
+
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.engine import EngineStats, NCEngine, SearchOutcome
+from repro.service.server import NCServiceServer, create_server, outcome_to_json
+
+__all__ = [
+    "CacheStats",
+    "EngineStats",
+    "NCEngine",
+    "NCServiceServer",
+    "ResultCache",
+    "SearchOutcome",
+    "create_server",
+    "outcome_to_json",
+]

@@ -1,0 +1,142 @@
+"""Thread-safe, version-keyed LRU result cache for the query service.
+
+Keys are opaque hashables; by convention the engine uses::
+
+    (graph.version, frozenset(query_ids), context_size, alpha, discriminator_params)
+
+so a graph mutation (which bumps ``graph.version``) makes every previous
+entry *unreachable* immediately — no invalidation scan is needed on the
+read path. The engine additionally calls :meth:`ResultCache.purge_versions`
+when it re-pins to a new version, reclaiming the dead entries' memory
+eagerly instead of waiting for LRU pressure to evict them.
+
+All operations take one internal lock; values are returned as-is (cached
+:class:`~repro.core.findnc.FindNCResult` objects are shared across
+requests and must be treated as read-only by callers).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of the cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    purged: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never consulted)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "purged": self.purged,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """An LRU mapping with hit/miss/eviction accounting.
+
+    >>> cache = ResultCache(maxsize=2)
+    >>> cache.put((1, "a"), "ra"); cache.put((1, "b"), "rb")
+    >>> cache.get((1, "a"))
+    'ra'
+    >>> cache.put((1, "c"), "rc")          # evicts (1, "b"), the LRU entry
+    >>> cache.get((1, "b")) is None
+    True
+    >>> cache.stats().evictions
+    1
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._purged = 0
+
+    def get(self, key: Hashable) -> object | None:
+        """The cached value for ``key`` (marking it most-recent), or None."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries over capacity."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def purge_versions(self, keep_version: int) -> int:
+        """Drop every entry whose key's version field != ``keep_version``.
+
+        Assumes the engine's key convention (``key[0]`` is the graph
+        version the result was computed at). Returns the number of
+        entries dropped; they are counted under ``purged``, not
+        ``evictions``.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key and key[0] != keep_version
+            ]
+            for key in stale:
+                del self._entries[key]
+            self._purged += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                purged=self._purged,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+            )

@@ -1,0 +1,405 @@
+"""`NCEngine` — a thread-safe FindNC query engine over one live graph.
+
+The engine turns the library pipeline into a servable primitive:
+
+* **Snapshot pinning.** Every request pins the graph's compiled columnar
+  snapshot (:meth:`KnowledgeGraph.compiled`) together with a frozen
+  PageRank selector (transition matrix built once per graph version) and
+  a shared entity index. Requests then run lock-free against immutable
+  state while writers keep mutating the graph; when
+  :attr:`KnowledgeGraph.version` advances, the next request transparently
+  re-pins.
+* **Version-keyed result cache.** Results are cached under
+  ``(graph.version, frozenset(query_ids), context_size, alpha,
+  discriminator_params)`` in a :class:`~repro.service.cache.ResultCache`
+  LRU — a mutation makes old entries unreachable instantly, and re-pinning
+  purges them.
+* **Request executor with single-flight coalescing.** Queries run on a
+  bounded :class:`~concurrent.futures.ThreadPoolExecutor`; concurrent
+  identical requests share one in-flight computation instead of
+  recomputing a hot query N times.
+
+Determinism: each computation derives its RNG seed from the cache key, so
+identical requests produce identical results whether or not they hit the
+cache.
+
+Cached :class:`~repro.core.findnc.FindNCResult` objects are shared across
+requests — treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections.abc import Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.context import RandomWalkContext
+from repro.core.discrimination import MultinomialDiscriminator
+from repro.core.findnc import FindNC, FindNCResult
+from repro.errors import QueryError
+from repro.graph.compiled import CompiledGraph
+from repro.graph.model import KnowledgeGraph, NodeRef
+from repro.graph.search import EntityIndex, resolve_node_refs
+from repro.service.cache import CacheStats, ResultCache
+
+
+@dataclass(frozen=True)
+class _PinnedState:
+    """Everything one graph version's requests share, all immutable in use."""
+
+    snapshot: CompiledGraph
+    selector: RandomWalkContext
+    entity_index: EntityIndex
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """One served request: the result plus how it was satisfied."""
+
+    result: FindNCResult
+    cached: bool
+    coalesced: bool
+    graph_version: int
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """A point-in-time snapshot of the engine counters."""
+
+    requests: int
+    cache_hits: int
+    coalesced: int
+    computed: int
+    repins: int
+    pinned_version: int | None
+    inflight: int
+    max_workers: int
+    cache: CacheStats
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "computed": self.computed,
+            "repins": self.repins,
+            "pinned_version": self.pinned_version,
+            "inflight": self.inflight,
+            "max_workers": self.max_workers,
+            "cache": self.cache.as_dict(),
+        }
+
+
+class NCEngine:
+    """Serve concurrent FindNC requests over one :class:`KnowledgeGraph`.
+
+    >>> # engine = NCEngine(graph, context_size=50, max_workers=4)
+    >>> # result = engine.search(["Angela_Merkel", "Barack_Obama"])
+    >>> # engine.stats().cache_hits
+
+    Parameters
+    ----------
+    context_size / alpha / damping / iterations:
+        Defaults of the served pipeline (per-request ``context_size`` and
+        ``alpha`` overrides are part of the cache key).
+    discriminator_params:
+        Extra :class:`MultinomialDiscriminator` keyword arguments (e.g.
+        ``{"min_none_share": 0.1}``); fingerprinted into the cache key.
+    cache_size / max_workers:
+        LRU capacity and executor width.
+    seed:
+        Base seed mixed into the per-request deterministic RNG derivation.
+
+    ``search``/``submit``/``request`` are safe to call from many threads.
+    Do not call them from inside the engine's own executor (a worker
+    blocking on another request's future could exhaust the pool).
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        *,
+        context_size: int = 100,
+        alpha: float = 0.05,
+        damping: float = 0.8,
+        iterations: int = 10,
+        discriminator_params: dict | None = None,
+        excluded_labels: "frozenset[str] | None" = None,
+        include_inverse_labels: bool = False,
+        none_bucket: bool = True,
+        cache_size: int = 256,
+        max_workers: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._graph = graph
+        self.context_size = context_size
+        self.alpha = alpha
+        self.damping = damping
+        self.iterations = iterations
+        self._discriminator_params = dict(discriminator_params or {})
+        self._discriminator_fingerprint = tuple(
+            sorted(self._discriminator_params.items())
+        )
+        self._excluded_labels = excluded_labels
+        self._include_inverse_labels = include_inverse_labels
+        self._none_bucket = none_bucket
+        self._seed = seed
+        self._cache = ResultCache(maxsize=cache_size)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="nc-query"
+        )
+        self.max_workers = max_workers
+        self._pin_lock = threading.Lock()
+        self._pinned: _PinnedState | None = None
+        self._flight_lock = threading.Lock()
+        self._inflight: dict[tuple, Future] = {}
+        self._requests = 0
+        self._hits = 0
+        self._coalesced = 0
+        self._computed = 0
+        self._repins = 0
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def graph(self) -> KnowledgeGraph:
+        return self._graph
+
+    @property
+    def cache(self) -> ResultCache:
+        return self._cache
+
+    def close(self) -> None:
+        """Shut the executor down (in-flight requests finish first)."""
+        self._closed = True
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "NCEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- pinning -----------------------------------------------------------
+
+    def pin(self) -> _PinnedState:
+        """The shared per-version state, re-pinned if the graph moved.
+
+        Fast path is lock-free (one attribute read + version compare);
+        re-pinning — compiling the snapshot, freezing the PageRank
+        transition matrix, rebuilding the entity index, purging
+        stale cache entries — is serialized behind a lock.
+        """
+        state = self._pinned
+        if state is not None and state.snapshot.version == self._graph.version:
+            return state
+        with self._pin_lock:
+            state = self._pinned
+            if state is None or state.snapshot.version != self._graph.version:
+                state = self._build_pin()
+                self._pinned = state
+                self._repins += 1
+                self._cache.purge_versions(state.snapshot.version)
+        return state
+
+    def _build_pin(self) -> _PinnedState:
+        """Build a selector/snapshot/index triple at ONE graph version.
+
+        A writer racing the build can tear the triple (selector frozen at
+        a different version than the snapshot) or break a live-adjacency
+        scan mid-iteration; retry a few times for a consistent pin. If
+        writers are too hot to ever win the race, keep the last attempt —
+        the selector is built *before* the snapshot, so the (newer)
+        snapshot covers every node the selector can return, and the
+        per-request ``covers`` checks remain the backstop.
+        """
+        last_error: RuntimeError | None = None
+        state: _PinnedState | None = None
+        for _ in range(4):
+            version = self._graph.version
+            try:
+                selector = RandomWalkContext(
+                    self._graph,
+                    damping=self.damping,
+                    iterations=self.iterations,
+                    pin=True,
+                ).warm()
+                snapshot = self._graph.compiled()
+            except RuntimeError as error:
+                # e.g. "dictionary changed size during iteration" from a
+                # writer mutating the adjacency mid-compile
+                last_error = error
+                continue
+            state = _PinnedState(
+                snapshot=snapshot,
+                selector=selector,
+                entity_index=EntityIndex(self._graph),
+            )
+            if snapshot.version == version:
+                return state
+        if state is None:
+            raise RuntimeError(
+                "could not pin a graph snapshot: writers kept mutating the "
+                "graph during compilation"
+            ) from last_error
+        return state
+
+    # -- request plumbing --------------------------------------------------
+
+    def _resolve(self, state: _PinnedState, query: Sequence[NodeRef]) -> tuple[int, ...]:
+        """Node ids for ``query`` (ids, exact names, or fuzzy names), sorted.
+
+        Same resolution path as ``FindNC.resolve_query`` (shared
+        :func:`resolve_node_refs`), then canonicalized by sorting + dedup
+        so every spelling of the same entity set shares one cache entry
+        (the pipeline is order-invariant; only ``FindNCResult.query``'s
+        ordering reflects the canonical form rather than the request's).
+        """
+        if len(query) == 0:
+            raise QueryError("the query set must not be empty")
+        resolved = resolve_node_refs(
+            self._graph, query, lambda: state.entity_index
+        )
+        return tuple(sorted(set(resolved)))
+
+    def _rng_seed(self, key: tuple) -> int:
+        """A deterministic 63-bit seed derived from the cache key + base seed."""
+        material = repr((key[1:], self._seed)).encode()  # version-independent
+        digest = hashlib.blake2b(material, digest_size=8).digest()
+        return int.from_bytes(digest, "big") >> 1
+
+    def _compute(self, key: tuple, query_ids: tuple[int, ...], k: int, alpha: float,
+                 state: _PinnedState) -> FindNCResult:
+        try:
+            discriminator = MultinomialDiscriminator(
+                alpha=alpha,
+                rng=self._rng_seed(key),
+                **self._discriminator_params,
+            )
+            finder = FindNC(
+                self._graph,
+                context_selector=state.selector,
+                discriminator=discriminator,
+                context_size=k,
+                excluded_labels=self._excluded_labels,
+                include_inverse_labels=self._include_inverse_labels,
+                none_bucket=self._none_bucket,
+                entity_index=state.entity_index,
+            )
+            result = finder.run(query_ids, snapshot=state.snapshot)
+            self._cache.put(key, result)
+            with self._flight_lock:
+                self._computed += 1
+            return result
+        finally:
+            with self._flight_lock:
+                self._inflight.pop(key, None)
+
+    def submit(
+        self,
+        query: Sequence[NodeRef],
+        *,
+        context_size: int | None = None,
+        alpha: float | None = None,
+    ) -> "tuple[Future, bool, bool, int]":
+        """Enqueue one request; returns ``(future, cached, coalesced, version)``.
+
+        Cache hits resolve immediately; concurrent identical requests
+        share the first one's future (single-flight). Name resolution and
+        cache lookup happen synchronously on the caller's thread, so bad
+        queries raise here rather than inside the future.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        state = self.pin()
+        query_ids = self._resolve(state, query)
+        if not state.snapshot.covers(query_ids):
+            # The graph grew between pin() and resolution; retry once on
+            # a fresh pin (the new snapshot covers every current node).
+            state = self.pin()
+        k = context_size if context_size is not None else self.context_size
+        a = alpha if alpha is not None else self.alpha
+        key = (
+            state.snapshot.version,
+            frozenset(query_ids),
+            k,
+            a,
+            self._discriminator_fingerprint,
+        )
+        with self._flight_lock:
+            self._requests += 1
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                future: Future = Future()
+                future.set_result(cached)
+                return future, True, False, state.snapshot.version
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self._coalesced += 1
+                return existing, False, True, state.snapshot.version
+            future = self._executor.submit(
+                self._compute, key, query_ids, k, a, state
+            )
+            self._inflight[key] = future
+            return future, False, False, state.snapshot.version
+
+    def request(
+        self,
+        query: Sequence[NodeRef],
+        *,
+        context_size: int | None = None,
+        alpha: float | None = None,
+    ) -> SearchOutcome:
+        """Serve one request synchronously, with cache/coalescing provenance."""
+        started = time.perf_counter()
+        future, cached, coalesced, version = self.submit(
+            query, context_size=context_size, alpha=alpha
+        )
+        result = future.result()
+        return SearchOutcome(
+            result=result,
+            cached=cached,
+            coalesced=coalesced,
+            graph_version=version,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def search(
+        self,
+        query: Sequence[NodeRef],
+        *,
+        context_size: int | None = None,
+        alpha: float | None = None,
+    ) -> FindNCResult:
+        """Serve one request synchronously; the drop-in ``FindNC.run``."""
+        return self.request(query, context_size=context_size, alpha=alpha).result
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        with self._flight_lock:
+            requests = self._requests
+            hits = self._hits
+            coalesced = self._coalesced
+            computed = self._computed
+            inflight = len(self._inflight)
+        pinned = self._pinned
+        return EngineStats(
+            requests=requests,
+            cache_hits=hits,
+            coalesced=coalesced,
+            computed=computed,
+            repins=self._repins,
+            pinned_version=pinned.snapshot.version if pinned else None,
+            inflight=inflight,
+            max_workers=self.max_workers,
+            cache=self._cache.stats(),
+        )

@@ -1,0 +1,184 @@
+"""Stdlib HTTP JSON front-end for :class:`~repro.service.engine.NCEngine`.
+
+Endpoints
+---------
+
+``GET /healthz``
+    Liveness + graph summary::
+
+        {"status": "ok", "graph_version": 3, "nodes": 2188, "edges": 15466}
+
+``GET /stats``
+    Engine counters (requests, cache hits, coalescing, LRU stats).
+
+``GET /search?query=Angela_Merkel&query=Barack_Obama[&context_size=50][&alpha=0.05]``
+``POST /search`` with body ``{"query": [...], "context_size": 50, "alpha": 0.05}``
+    Run FindNC and return the notable characteristics. ``query`` accepts
+    node names (exact or fuzzy) or integer node ids; the GET form also
+    accepts one comma-separated ``query`` parameter.
+
+Built on :class:`http.server.ThreadingHTTPServer` (one thread per
+connection, stdlib-only); actual query concurrency is bounded by the
+engine's executor, and identical concurrent requests coalesce there.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ReproError
+from repro.graph.model import KnowledgeGraph
+from repro.service.engine import NCEngine, SearchOutcome
+
+
+def outcome_to_json(outcome: SearchOutcome, graph: KnowledgeGraph) -> dict:
+    """The wire shape of one served search."""
+    result = outcome.result
+    return {
+        "query": [graph.node_name(n) for n in result.query],
+        "graph_version": outcome.graph_version,
+        "cached": outcome.cached,
+        "coalesced": outcome.coalesced,
+        "context": {
+            "algorithm": result.context.algorithm,
+            "size": len(result.context),
+        },
+        "candidates_evaluated": len(result.results),
+        "notable": [
+            {
+                "label": item.label,
+                "score": item.score,
+                "channel": item.channel,
+                "p_value": item.p_value,
+                "explanation": item.explanation(graph),
+            }
+            for item in result.notable
+        ],
+        "elapsed": {
+            "context_s": result.elapsed_context,
+            "discrimination_s": result.elapsed_discrimination,
+            "request_s": outcome.elapsed_seconds,
+        },
+    }
+
+
+class NCServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server owning one engine."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], engine: NCEngine) -> None:
+        super().__init__(address, NCRequestHandler)
+        self.engine = engine
+
+
+class NCRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-nc-service/1.0"
+    #: Silenced by default; ``repro serve --verbose`` re-enables it.
+    quiet = True
+
+    # -- helpers -----------------------------------------------------------
+
+    def _engine(self) -> NCEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - exercised only with --verbose
+            super().log_message(format, *args)
+
+    # -- search ------------------------------------------------------------
+
+    def _run_search(self, params: dict) -> None:
+        query = params.get("query")
+        if isinstance(query, (str, int)):
+            query = [query]
+        if not isinstance(query, list) or not query:
+            self._send_error_json(400, "missing or empty 'query'")
+            return
+        try:
+            context_size = params.get("context_size")
+            alpha = params.get("alpha")
+            outcome = self._engine().request(
+                query,
+                context_size=int(context_size) if context_size is not None else None,
+                alpha=float(alpha) if alpha is not None else None,
+            )
+        except (ReproError, ValueError, TypeError) as error:
+            # bad query contents (unknown entity, float ids, bad numbers)
+            self._send_error_json(400, str(error))
+            return
+        except RuntimeError as error:
+            # engine closed (server draining) — tell the client to retry
+            self._send_error_json(503, str(error))
+            return
+        self._send_json(outcome_to_json(outcome, self._engine().graph))
+
+    # -- HTTP verbs --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        url = urlsplit(self.path)
+        if url.path == "/healthz":
+            graph = self._engine().graph
+            self._send_json(
+                {
+                    "status": "ok",
+                    "graph": graph.name,
+                    "graph_version": graph.version,
+                    "nodes": graph.node_count,
+                    "edges": graph.edge_count,
+                }
+            )
+        elif url.path == "/stats":
+            self._send_json(self._engine().stats().as_dict())
+        elif url.path == "/search":
+            raw = parse_qs(url.query)
+            query = [
+                part
+                for value in raw.get("query", [])
+                for part in value.split(",")
+                if part
+            ]
+            params: dict = {"query": query}
+            if "context_size" in raw:
+                params["context_size"] = raw["context_size"][0]
+            if "alpha" in raw:
+                params["alpha"] = raw["alpha"][0]
+            self._run_search(params)
+        else:
+            self._send_error_json(404, f"unknown path {url.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        url = urlsplit(self.path)
+        if url.path != "/search":
+            self._send_error_json(404, f"unknown path {url.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            params = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError):
+            self._send_error_json(400, "request body is not valid JSON")
+            return
+        if not isinstance(params, dict):
+            self._send_error_json(400, "request body must be a JSON object")
+            return
+        self._run_search(params)
+
+
+def create_server(
+    engine: NCEngine, *, host: str = "127.0.0.1", port: int = 8099
+) -> NCServiceServer:
+    """Bind an :class:`NCServiceServer` (``port=0`` picks a free port)."""
+    return NCServiceServer((host, port), engine)

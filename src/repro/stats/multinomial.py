@@ -17,7 +17,9 @@ hypothesis of equality is rejected) and ``0`` otherwise.
 
 from __future__ import annotations
 
+import itertools
 import math
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -103,13 +105,154 @@ def number_of_compositions(n: int, k: int) -> int:
 
 
 def _iter_compositions(n: int, k: int):
-    """Yield all count vectors of length ``k`` summing to ``n`` (as lists)."""
+    """Yield all count vectors of length ``k`` summing to ``n`` (as lists).
+
+    The readable reference enumerator; :func:`compositions_array` is the
+    vectorized equivalent the exact test actually runs on (the parity
+    test in ``tests/test_stats_multinomial.py`` pins them to each other).
+    """
     if k == 1:
         yield [n]
         return
     for first in range(n + 1):
         for rest in _iter_compositions(n - first, k - 1):
             yield [first] + rest
+
+
+#: Rows per vectorized enumeration batch — bounds the exact test's
+#: transient memory at ~batch * k * 8 bytes per in-flight test (the query
+#: service runs several tests concurrently).
+_COMPOSITION_BATCH_ROWS = 32_768
+
+
+def _composition_batches(n: int, k: int, batch_rows: int = _COMPOSITION_BATCH_ROWS):
+    """Yield the compositions of ``n`` into ``k`` cells as ``(rows, k)`` matrices.
+
+    Stars and bars: each composition corresponds to a choice of ``k - 1``
+    bar positions among ``n + k - 1`` slots; ``itertools.combinations``
+    enumerates the choices at C speed and the gap widths between bars are
+    the counts. Rows appear in the same lexicographic order as
+    :func:`_iter_compositions`.
+    """
+    if n < 0 or k < 1:
+        raise StatisticsError(f"invalid composition parameters n={n}, k={k}")
+    if k == 1:
+        yield np.array([[n]], dtype=np.int64)
+        return
+    bars_iter = itertools.combinations(range(n + k - 1), k - 1)
+    while True:
+        flat = np.fromiter(
+            itertools.chain.from_iterable(itertools.islice(bars_iter, batch_rows)),
+            dtype=np.int64,
+        )
+        if flat.size == 0:
+            return
+        bars = flat.reshape(-1, k - 1)
+        padded = np.empty((bars.shape[0], k + 1), dtype=np.int64)
+        padded[:, 0] = -1
+        padded[:, 1:-1] = bars
+        padded[:, -1] = n + k - 1
+        yield np.diff(padded, axis=1) - 1
+
+
+def compositions_array(n: int, k: int) -> np.ndarray:
+    """All compositions of ``n`` into ``k`` cells as one ``(C, k)`` matrix.
+
+    Built bottom-up over the cell count: level ``j``'s table for mass
+    ``m`` is the stack of ``[first, *rest]`` blocks with ``rest`` drawn
+    from level ``j - 1``'s table for ``m - first``. Each block lands with
+    one numpy slice copy, so the interpreter executes O(n * k) statements
+    total instead of touching every one of the ``C(n + k - 1, k - 1) * k``
+    output elements (the cost profile of the tuple-based enumerators
+    above). Row order matches :func:`_iter_compositions` exactly.
+    """
+    if n < 0 or k < 1:
+        raise StatisticsError(f"invalid composition parameters n={n}, k={k}")
+    tables = [np.array([[m]], dtype=np.int64) for m in range(n + 1)]
+    for j in range(2, k + 1):
+        masses = range(n + 1) if j < k else (n,)
+        level = []
+        for m in masses:
+            out = np.empty((number_of_compositions(m, j), j), dtype=np.int64)
+            pos = 0
+            for first in range(m + 1):
+                sub = tables[m - first]
+                end = pos + sub.shape[0]
+                out[pos:end, 0] = first
+                out[pos:end, 1:] = sub
+                pos = end
+            level.append(out)
+        tables = level
+    return tables[-1]
+
+
+#: Outcome tables with more int64 elements than this are streamed in
+#: batches instead of materialized and cached (4M elements = 32 MB).
+_OUTCOME_TABLE_MAX_ELEMENTS = 4_000_000
+
+
+class _OutcomeTableCache:
+    """LRU cache of ``(compositions, row lgamma sums)`` per ``(n, k)``.
+
+    Both arrays depend only on ``(n, k)`` — not on ``pi`` — and the query
+    workload hits a handful of shapes over and over (``n`` = query
+    observations, ``k`` = support cells), so a long-running service
+    amortizes the interpreter-bound enumeration across requests; the
+    remaining per-call work (one matmul, one compare, one exp-sum) runs
+    in GIL-releasing numpy kernels, which is what lets the query engine's
+    thread pool scale. Eviction is *byte-budgeted* (total elements, not
+    entry count): many small tables or a few big ones, never an unbounded
+    aggregate. Arrays are published read-only because they are shared
+    across threads.
+    """
+
+    def __init__(self, budget_elements: int = 16_000_000) -> None:  # ~128 MB
+        self.budget_elements = budget_elements
+        self._entries: "dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]" = {}
+        self._elements = 0
+        self._lock = threading.Lock()
+
+    def get(self, n: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+        key = (n, k)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                # dicts preserve insertion order; re-insert = LRU refresh
+                del self._entries[key]
+                self._entries[key] = entry
+                return entry
+        outcomes = compositions_array(n, k)
+        lgamma_rows = _lgamma_rows(outcomes)
+        outcomes.setflags(write=False)
+        lgamma_rows.setflags(write=False)
+        entry = (outcomes, lgamma_rows)
+        with self._lock:
+            if key not in self._entries:  # racing builders: first one wins
+                self._entries[key] = entry
+                self._elements += outcomes.size
+                while self._elements > self.budget_elements and len(self._entries) > 1:
+                    old_key = next(iter(self._entries))
+                    old_outcomes, _ = self._entries.pop(old_key)
+                    self._elements -= old_outcomes.size
+            return self._entries[key]
+
+
+_outcome_tables = _OutcomeTableCache()
+
+
+def _cached_outcome_table(n: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+    return _outcome_tables.get(n, k)
+
+
+def _log_pmf_rows(pi: np.ndarray, outcomes: np.ndarray, n: int) -> np.ndarray:
+    """Row-wise ``log Pr(X = outcome)`` for ``X ~ Mult(n, pi)``, ``pi > 0``.
+
+    One lgamma-table lookup plus a matmul per batch — the numpy work
+    releases the GIL, which is what lets the query service's thread pool
+    scale the discrimination phase across requests.
+    """
+    log_pi = np.log(pi)
+    return math.lgamma(n + 1) + outcomes @ log_pi - _lgamma_rows(outcomes)
 
 
 def exact_multinomial_test(
@@ -125,6 +268,10 @@ def exact_multinomial_test(
     ``Pr_s``. If the *observed* vector places counts on a zero cell,
     ``Pr(x) = 0`` and ``Pr_s = 0`` (maximal significance) — the "query
     exhibits a value the context never shows" case.
+
+    The outcome space is materialized as one matrix
+    (:func:`compositions_array`) and scored in a single vectorized
+    log-pmf pass instead of an interpreted per-outcome loop.
     """
     pi_arr, x_arr = _validate(np.asarray(pi), np.asarray(x))
     n = int(x_arr.sum())
@@ -138,11 +285,18 @@ def exact_multinomial_test(
     x_pos = x_arr[support]
     log_px = log_multinomial_pmf(pi_pos, x_pos)
     threshold = log_px + LOG_TIE_TOLERANCE
-    total = 0.0
-    for outcome in _iter_compositions(n, int(pi_pos.size)):
-        log_py = log_multinomial_pmf(pi_pos, np.asarray(outcome))
-        if log_py <= threshold:
-            total += math.exp(log_py)
+    k = int(pi_pos.size)
+    if number_of_compositions(n, k) * k <= _OUTCOME_TABLE_MAX_ELEMENTS:
+        outcomes, lgamma_rows = _cached_outcome_table(n, k)
+        log_py = math.lgamma(n + 1) + outcomes @ np.log(pi_pos) - lgamma_rows
+        selected = log_py[log_py <= threshold]
+        total = float(np.exp(selected).sum())
+    else:  # huge outcome space: stream batches, bounding transient memory
+        total = 0.0
+        for outcomes in _composition_batches(n, k):
+            log_py = _log_pmf_rows(pi_pos, outcomes, n)
+            selected = log_py[log_py <= threshold]
+            total += float(np.exp(selected).sum())
     return MultinomialTestResult(min(total, 1.0), alpha, n, pi_arr.size, "exact")
 
 

@@ -204,6 +204,24 @@ def power_iteration_python(
     return p
 
 
+def _personalization_columns(n: int, nodes: "list[int] | tuple[int, ...]") -> np.ndarray:
+    """``(n, len(nodes))`` — one unit personalization column per node.
+
+    The shared validate-and-build step of :meth:`PersonalizedPageRank.scores`
+    / :meth:`~PersonalizedPageRank.scores_per_node`. ``n`` comes from the
+    (possibly pinned) transition matrix, not the live graph, so pinned
+    runners stay within the pinned node set.
+    """
+    if len(nodes) == 0:
+        raise ValueError("need at least one personalization node")
+    v = np.zeros((n, len(nodes)), dtype=np.float64)
+    for column, node in enumerate(nodes):
+        if not 0 <= node < n:
+            raise ValueError(f"node id out of range: {node}")
+        v[node, column] = 1.0
+    return v
+
+
 def _top_order(scores: np.ndarray, m: int) -> np.ndarray:
     """Indices of (at least) the ``m`` largest scores, best first.
 
@@ -245,6 +263,7 @@ class PersonalizedPageRank:
         iterations: int = 10,
         tolerance: float | None = None,
         backend: str = "scipy",
+        pin: bool = False,
     ) -> None:
         if backend not in ("scipy", "python"):
             raise ValueError(f"backend must be 'scipy' or 'python', got {backend!r}")
@@ -253,6 +272,11 @@ class PersonalizedPageRank:
         self.iterations = iterations
         self.tolerance = tolerance
         self.backend = backend
+        #: With ``pin=True`` the transition matrix is built once (at the
+        #: graph version current on first use) and never invalidated — the
+        #: query service pins one runner per graph version so in-flight
+        #: requests keep a consistent matrix while writers mutate the graph.
+        self.pin = pin
         self._transition: sparse.csr_matrix | None = None
         self._version = -1
 
@@ -261,21 +285,26 @@ class PersonalizedPageRank:
         return self._graph
 
     def transition(self) -> sparse.csr_matrix:
-        if self._transition is None or self._graph.version != self._version:
-            adjacency = weighted_adjacency(self._graph)
-            self._transition = transition_matrix(self._graph, adjacency=adjacency)
-            self._version = self._graph.version
+        if self._transition is not None and (
+            self.pin or self._graph.version == self._version
+        ):
+            return self._transition
+        adjacency = weighted_adjacency(self._graph)
+        self._transition = transition_matrix(self._graph, adjacency=adjacency)
+        self._version = self._graph.version
         return self._transition
 
     def scores(self, nodes: "list[int] | tuple[int, ...]") -> np.ndarray:
         """PPR vector personalized on ``nodes`` jointly."""
-        v = personalization_vector(self._graph, list(nodes))
         if self.backend == "python":
+            v = personalization_vector(self._graph, list(nodes))
             return power_iteration_python(
                 self._graph, v, damping=self.damping, iterations=self.iterations
             )
+        transition = self.transition()
+        v = _personalization_columns(transition.shape[0], list(nodes)).sum(axis=1)
         return power_iteration(
-            self.transition(),
+            transition,
             v,
             damping=self.damping,
             iterations=self.iterations,
@@ -304,14 +333,11 @@ class PersonalizedPageRank:
             for node in nodes:
                 total += self.scores([node])
             return total
-        n = self._graph.node_count
-        v = np.zeros((n, len(nodes)), dtype=np.float64)
-        for column, node in enumerate(nodes):
-            if not 0 <= node < n:
-                raise ValueError(f"node id out of range: {node}")
-            v[node, column] = 1.0
+        # As in :meth:`scores`, the pinned matrix defines the node space.
+        transition = self.transition()
+        v = _personalization_columns(transition.shape[0], list(nodes))
         p = power_iteration_batch(
-            self.transition(),
+            transition,
             v,
             damping=self.damping,
             iterations=self.iterations,

@@ -164,3 +164,110 @@ class TestRwMult:
         assert result.elapsed_total == pytest.approx(
             result.elapsed_context + result.elapsed_discrimination
         )
+
+
+class TestSnapshotPinning:
+    def test_pinned_run_matches_unpinned(self, graph):
+        snapshot = graph.compiled()
+        pinned = rw_mult(graph, context_size=8, rng=3).run(
+            ["alpha", "beta"], snapshot=snapshot
+        )
+        unpinned = rw_mult(graph, context_size=8, rng=3).run(["alpha", "beta"])
+        assert [r.label for r in pinned.results] == [r.label for r in unpinned.results]
+        assert [r.score for r in pinned.results] == [r.score for r in unpinned.results]
+
+    def test_pinned_run_survives_concurrent_mutation(self, graph):
+        # Pin snapshot AND selector (as the query service does), mutate,
+        # then run: the whole pipeline must read the pre-mutation state.
+        from repro.core.discrimination import MultinomialDiscriminator
+
+        snapshot = graph.compiled()
+
+        def pinned_finder():
+            return FindNC(
+                graph,
+                context_selector=RandomWalkContext(graph, pin=True).warm(),
+                discriminator=MultinomialDiscriminator(rng=3),
+                context_size=8,
+            )
+
+        before = pinned_finder().run(["alpha", "beta"], snapshot=snapshot)
+        finder = pinned_finder()  # selector frozen at the pre-mutation version
+        graph.add_edge("alpha", "ownsPet", "Dog")
+        graph.add_edge("gamma", "studied", "Physics")  # new nodes too
+        after = finder.run(["alpha", "beta"], snapshot=snapshot)
+        assert "ownsPet" not in [r.label for r in after.results]
+        assert [r.label for r in after.results] == [r.label for r in before.results]
+        assert [r.score for r in after.results] == [r.score for r in before.results]
+
+    def test_query_beyond_snapshot_rejected(self, graph):
+        snapshot = graph.compiled()
+        graph.add_edge("newbie", "studied", "Physics")
+        with pytest.raises(QueryError):
+            rw_mult(graph, context_size=8, rng=3).run(["newbie"], snapshot=snapshot)
+
+    def test_reference_path_rejects_snapshot(self, graph):
+        finder = rw_mult(graph, context_size=8, rng=3, batch_distributions=False)
+        with pytest.raises(ValueError):
+            finder.run(["alpha"], snapshot=graph.compiled())
+
+    def test_candidate_labels_from_snapshot_match_live(self, graph):
+        finder = FindNC(graph, rng=1)
+        nodes = [graph.node_id("alpha"), graph.node_id("pol0")]
+        assert finder.candidate_labels(nodes) == finder.candidate_labels(
+            nodes, snapshot=graph.compiled()
+        )
+
+
+class TestResultForThreadSafety:
+    def test_shared_result_across_threads(self, graph):
+        """A cached result handed to many threads must index correctly."""
+        import threading
+
+        result = rw_mult(graph, context_size=8, rng=3).run(["alpha", "beta"])
+        labels = [r.label for r in result.results]
+        assert labels
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def reader():
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    for label in labels:
+                        assert result.result_for(label).label == label
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_index_rebuilds_after_in_place_mutation(self, graph):
+        result = rw_mult(graph, context_size=8, rng=3).run(["alpha", "beta"])
+        first = result.results[0]
+        assert result.result_for(first.label) is first
+        replacement = result.results[-1]
+        result.results[0] = replacement
+        assert result.result_for(replacement.label) is replacement
+        if first.label != replacement.label:
+            with pytest.raises(KeyError):
+                result.result_for(first.label)
+
+    def test_unknown_label_raises_keyerror(self, graph):
+        result = rw_mult(graph, context_size=8, rng=3).run(["alpha"])
+        with pytest.raises(KeyError):
+            result.result_for("definitely-not-a-label")
+
+    def test_unpinned_selector_context_rejected_cleanly(self, graph):
+        # An UNpinned selector racing a writer returns new nodes the
+        # snapshot never saw; run() must raise, not IndexError.
+        snapshot = graph.compiled()
+        graph.add_edge("alpha", "likes", "brand_new_node")
+        with pytest.raises(QueryError, match="pin the context selector"):
+            rw_mult(graph, context_size=8, rng=3).run(
+                ["alpha", "beta"], snapshot=snapshot
+            )

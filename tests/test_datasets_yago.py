@@ -8,7 +8,6 @@ from repro.datasets.seeds import (
     AUTHORS_QUERY,
     MOVIE_CONTRIBUTORS_DOMAIN,
     POLITICIANS_DOMAIN,
-    SEED_PEOPLE,
 )
 from repro.datasets.yago import SyntheticYago, synthetic_yago
 from repro.graph.hierarchy import TypeHierarchy

@@ -150,3 +150,45 @@ class TestSnapshotCache:
 
     def test_snapshot_type(self, graph):
         assert isinstance(graph._compiled(), CompiledGraph)
+
+
+class TestPublicPinning:
+    def test_public_accessor_matches_internal(self, graph):
+        assert graph.compiled() is graph._compiled()
+
+    def test_covers(self, graph):
+        snapshot = graph.compiled()
+        assert snapshot.covers(list(graph.nodes()))
+        assert snapshot.covers([])
+        assert not snapshot.covers([graph.node_count])
+        assert not snapshot.covers([-1])
+        new_id = graph.add_node("zz_extra")
+        assert not snapshot.covers([new_id])
+        assert graph.compiled().covers([new_id])
+
+    def test_incident_label_ids_match_live_labels(self, graph):
+        snapshot = graph.compiled()
+        table = graph._label_table()
+        for nodes in ([0], [0, 1], list(graph.nodes())):
+            from_snapshot = {
+                table.name(int(i)) for i in snapshot.incident_label_ids(nodes)
+            }
+            assert from_snapshot == graph.incident_labels(nodes)
+
+    def test_compile_is_concurrency_safe(self, graph):
+        import threading
+
+        graph.add_edge("zz_c1", "r", "zz_c2")  # invalidate the cache
+        snapshots = []
+        barrier = threading.Barrier(4)
+
+        def compiler():
+            barrier.wait()
+            snapshots.append(graph.compiled())
+
+        threads = [threading.Thread(target=compiler) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(s) for s in snapshots}) == 1  # one compile, shared

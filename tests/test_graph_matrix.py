@@ -1,6 +1,5 @@
 """Unit tests for the Equation 1/2 matrices."""
 
-import numpy as np
 import pytest
 
 from repro.graph.builder import GraphBuilder

@@ -77,3 +77,23 @@ class TestEntityIndex:
         assert "new person" not in index
         graph.add_node("New_Person")
         assert index.resolve("new person") == graph.node_id("New_Person")
+
+
+class TestResolveNodeRefs:
+    def test_shared_resolution_order(self):
+        from repro.graph.builder import GraphBuilder
+        from repro.graph.search import EntityIndex, resolve_node_refs
+
+        graph = GraphBuilder().typed("Angela_Merkel", "politician").build()
+        graph.add_node("1954")  # a node literally named "1954"
+        index = EntityIndex(graph)
+        merkel = graph.node_id("Angela_Merkel")
+        resolved = resolve_node_refs(
+            graph,
+            [merkel, "Angela_Merkel", "angela merkel", str(merkel), "1954"],
+            lambda: index,
+        )
+        # id, exact name, fuzzy name, and digit-string id all agree;
+        # the node NAMED "1954" wins over node id 1954 (which is absent).
+        assert resolved[:4] == [merkel] * 4
+        assert resolved[4] == graph.node_id("1954")

@@ -9,7 +9,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.eval.metrics import kendall_switches
-from repro.graph.builder import GraphBuilder
 from repro.graph.labels import inverse_label
 from repro.graph.model import KnowledgeGraph
 from repro.walk.pagerank import personalized_pagerank

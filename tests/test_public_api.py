@@ -26,6 +26,7 @@ class TestTopLevelExports:
             "repro.stats",
             "repro.datasets",
             "repro.eval",
+            "repro.service",
             "repro.util",
         ],
     )

@@ -1,0 +1,118 @@
+"""Unit tests for the version-keyed LRU result cache."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+class TestLRU:
+    def test_get_put_roundtrip(self):
+        cache = ResultCache(maxsize=4)
+        cache.put((1, "a"), "ra")
+        assert cache.get((1, "a")) == "ra"
+        assert cache.get((1, "b")) is None
+
+    def test_eviction_order_is_lru(self):
+        cache = ResultCache(maxsize=2)
+        cache.put((1, "a"), "ra")
+        cache.put((1, "b"), "rb")
+        cache.get((1, "a"))  # refresh a -> b is now LRU
+        cache.put((1, "c"), "rc")
+        assert cache.get((1, "b")) is None
+        assert cache.get((1, "a")) == "ra"
+        assert cache.get((1, "c")) == "rc"
+
+    def test_put_refreshes_existing_key(self):
+        cache = ResultCache(maxsize=2)
+        cache.put((1, "a"), "old")
+        cache.put((1, "b"), "rb")
+        cache.put((1, "a"), "new")  # refresh, no eviction
+        cache.put((1, "c"), "rc")  # evicts b, the LRU
+        assert cache.get((1, "a")) == "new"
+        assert cache.get((1, "b")) is None
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            ResultCache(maxsize=0)
+
+    def test_len_and_contains(self):
+        cache = ResultCache(maxsize=4)
+        cache.put((1, "a"), "ra")
+        assert len(cache) == 1
+        assert (1, "a") in cache
+        assert (2, "a") not in cache
+
+
+class TestStats:
+    def test_hit_miss_eviction_accounting(self):
+        cache = ResultCache(maxsize=1)
+        cache.get("missing")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("b", 2)  # evicts a
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.evictions == 1
+        assert stats.size == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_zero_without_lookups(self):
+        assert ResultCache().stats().hit_rate == 0.0
+
+    def test_as_dict_roundtrips(self):
+        cache = ResultCache(maxsize=3)
+        cache.put("a", 1)
+        d = cache.stats().as_dict()
+        assert d["size"] == 1
+        assert d["maxsize"] == 3
+        assert set(d) >= {"hits", "misses", "evictions", "purged", "hit_rate"}
+
+
+class TestVersionPurge:
+    def test_purge_drops_other_versions_only(self):
+        cache = ResultCache(maxsize=8)
+        cache.put((1, "a"), "v1a")
+        cache.put((1, "b"), "v1b")
+        cache.put((2, "a"), "v2a")
+        assert cache.purge_versions(2) == 2
+        assert cache.get((1, "a")) is None
+        assert cache.get((2, "a")) == "v2a"
+        assert cache.stats().purged == 2
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations(self):
+        cache = ResultCache(maxsize=32)
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(300):
+                    key = (i % 3, (i + offset) % 40)
+                    cache.put(key, i)
+                    cache.get(key)
+                    if i % 50 == 0:
+                        cache.purge_versions(i % 3)
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= 32
+        stats = cache.stats()
+        assert stats.hits + stats.misses == 1200

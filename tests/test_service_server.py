@@ -1,0 +1,216 @@
+"""Tests for the HTTP JSON front-end (and the `repro serve` wiring)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets.figure1 import figure1_graph
+from repro.service.engine import NCEngine
+from repro.service.server import create_server, outcome_to_json
+
+
+@pytest.fixture(scope="module")
+def service():
+    """A live server on an ephemeral port, shared across this module."""
+    graph = figure1_graph()
+    engine = NCEngine(graph, context_size=3, max_workers=2, seed=5)
+    server = create_server(engine, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, engine, graph
+    server.shutdown()
+    server.server_close()
+    engine.close()
+
+
+def _get(server, path):
+    port = server.server_address[1]
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(server, path, payload):
+    port = server.server_address[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        server, _, graph = service
+        status, body = _get(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["nodes"] == graph.node_count
+        assert body["graph_version"] == graph.version
+
+    def test_search_get_end_to_end(self, service):
+        server, _, _ = service
+        status, body = _get(
+            server, "/search?query=Angela_Merkel,Barack_Obama&context_size=3"
+        )
+        assert status == 200
+        assert sorted(body["query"]) == ["Angela_Merkel", "Barack_Obama"]
+        assert body["context"]["size"] <= 3
+        assert body["candidates_evaluated"] > 0
+        assert isinstance(body["notable"], list)
+        assert body["elapsed"]["request_s"] > 0
+
+    def test_search_repeated_query_params(self, service):
+        server, _, _ = service
+        status, body = _get(
+            server, "/search?query=Angela_Merkel&query=Barack_Obama"
+        )
+        assert status == 200
+        assert len(body["query"]) == 2
+
+    def test_search_post_hits_cache_of_get(self, service):
+        server, _, _ = service
+        _get(server, "/search?query=Vladimir_Putin&context_size=3")
+        status, body = _post(
+            server, "/search", {"query": ["Vladimir_Putin"], "context_size": 3}
+        )
+        assert status == 200
+        assert body["cached"] is True
+
+    def test_stats(self, service):
+        server, engine, _ = service
+        status, body = _get(server, "/stats")
+        assert status == 200
+        assert body["requests"] == engine.stats().requests
+        assert "cache" in body
+
+
+class TestErrors:
+    def test_unknown_path_404(self, service):
+        server, _, _ = service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_missing_query_400(self, service):
+        server, _, _ = service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/search")
+        assert excinfo.value.code == 400
+
+    def test_unresolvable_entity_400(self, service):
+        server, _, _ = service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/search?query=Completely_Unknown_Entity_42")
+        error = excinfo.value
+        assert error.code == 400
+        assert "error" in json.loads(error.read())
+
+    def test_invalid_json_body_400(self, service):
+        server, _, _ = service
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/search", data=b"not json"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_post_wrong_path_404(self, service):
+        server, _, _ = service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server, "/healthz", {})
+        assert excinfo.value.code == 404
+
+
+class TestSerialization:
+    def test_outcome_to_json_shape(self, service):
+        _, engine, graph = service
+        outcome = engine.request(["Angela_Merkel"])
+        payload = outcome_to_json(outcome, graph)
+        assert payload["query"] == ["Angela_Merkel"]
+        assert set(payload["elapsed"]) == {
+            "context_s",
+            "discrimination_s",
+            "request_s",
+        }
+        for item in payload["notable"]:
+            assert set(item) == {
+                "label",
+                "score",
+                "channel",
+                "p_value",
+                "explanation",
+            }
+        json.dumps(payload)  # must be JSON-serializable end to end
+
+
+class TestServeCommand:
+    def test_serve_subprocess_answers_search(self, tmp_path):
+        """`repro serve` end-to-end: spawn the CLI, hit /search over HTTP."""
+        import os
+        import subprocess
+        import sys
+        import time as time_mod
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--dataset",
+                "figure1",
+                "--context-size",
+                "3",
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            # the CLI prints "listening on http://host:port (...)" once ready
+            port = None
+            deadline = time_mod.monotonic() + 60
+            while time_mod.monotonic() < deadline:
+                line = process.stdout.readline()
+                if "listening on" in line:
+                    port = int(line.split("http://", 1)[1].split("(")[0].strip().rsplit(":", 1)[1])
+                    break
+            assert port, "server did not report its port"
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/search?query=Angela_Merkel,Barack_Obama",
+                timeout=30,
+            ) as response:
+                body = json.loads(response.read())
+            assert sorted(body["query"]) == ["Angela_Merkel", "Barack_Obama"]
+            assert body["candidates_evaluated"] > 0
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+
+class TestNonStringQueryItems:
+    def test_float_query_id_is_400_not_dropped_connection(self, service):
+        server, _, _ = service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server, "/search", {"query": [1.5]})
+        error = excinfo.value
+        assert error.code == 400
+        assert "error" in json.loads(error.read())
+
+    def test_get_integer_node_id_resolves(self, service):
+        server, _, graph = service
+        node_id = graph.node_id("Angela_Merkel")
+        status, body = _get(server, f"/search?query={node_id}")
+        assert status == 200
+        assert body["query"] == ["Angela_Merkel"]

@@ -173,3 +173,61 @@ class TestValidation:
     def test_bad_sample_count_rejected(self):
         with pytest.raises(StatisticsError):
             montecarlo_multinomial_test([0.5, 0.5], [1, 1], samples=0)
+
+
+class TestVectorizedEnumeration:
+    def test_compositions_array_matches_reference(self):
+        from repro.stats.multinomial import _iter_compositions, compositions_array
+
+        for n in range(0, 7):
+            for k in range(1, 5):
+                reference = np.array(list(_iter_compositions(n, k)), dtype=np.int64)
+                vectorized = compositions_array(n, k)
+                assert vectorized.shape == (
+                    number_of_compositions(n, k),
+                    k,
+                ), (n, k)
+                assert (vectorized == reference.reshape(-1, k)).all(), (n, k)
+
+    def test_compositions_array_validates(self):
+        from repro.stats.multinomial import compositions_array
+
+        with pytest.raises(StatisticsError):
+            compositions_array(-1, 2)
+        with pytest.raises(StatisticsError):
+            compositions_array(3, 0)
+
+    def test_outcome_table_cache_reuses_arrays(self):
+        from repro.stats.multinomial import _cached_outcome_table
+
+        first = _cached_outcome_table(4, 3)
+        again = _cached_outcome_table(4, 3)
+        assert first[0] is again[0]
+        assert not first[0].flags.writeable  # shared across threads
+
+    def test_streamed_and_cached_paths_agree(self):
+        from repro.stats.multinomial import _composition_batches
+
+        pi = np.array([0.1, 0.2, 0.3, 0.4])
+        x = np.array([3, 0, 1, 1])
+        expected = exact_multinomial_test(pi, x)
+        # force the streaming path by tiny batches
+        streamed = np.concatenate(list(_composition_batches(5, 4, batch_rows=7)))
+        from repro.stats.multinomial import compositions_array
+
+        assert (streamed == compositions_array(5, 4)).all()
+        assert expected.method == "exact"
+
+    def test_outcome_table_cache_respects_budget(self):
+        from repro.stats.multinomial import _OutcomeTableCache
+
+        cache = _OutcomeTableCache(budget_elements=200)
+        first = cache.get(4, 3)  # 15 rows x 3 = 45 elements
+        assert cache.get(4, 3)[0] is first[0]
+        cache.get(5, 3)  # 21 x 3 = 63
+        cache.get(6, 3)  # 28 x 3 = 84
+        cache.get(7, 3)  # 36 x 3 = 108 -> budget exceeded, LRU evicted
+        assert cache._elements <= 200 or len(cache._entries) == 1
+        # evicted entry is rebuilt as a fresh (but equal) array
+        rebuilt = cache.get(4, 3)
+        assert (rebuilt[0] == first[0]).all()

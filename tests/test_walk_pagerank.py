@@ -130,3 +130,27 @@ class TestPersonalizedPageRankClass:
         ppr = PersonalizedPageRank(graph)
         with pytest.raises(ValueError):
             ppr.scores_per_node([])
+
+
+class TestPinnedTransition:
+    def test_pinned_matrix_ignores_mutation(self, graph):
+        ppr = PersonalizedPageRank(graph, pin=True)
+        t1 = ppr.transition()
+        graph.add_edge("zz_new_node", "r", "b")
+        assert ppr.transition() is t1  # frozen at the pinned version
+
+    def test_pinned_scores_stay_in_pinned_node_space(self, graph):
+        ppr = PersonalizedPageRank(graph, pin=True)
+        ppr.transition()
+        n_before = graph.node_count
+        new_id = graph.add_node("zz_late_arrival")
+        scores = ppr.scores_per_node([0])
+        assert scores.shape == (n_before,)
+        with pytest.raises(ValueError):
+            ppr.scores_per_node([new_id])
+
+    def test_unpinned_matrix_still_invalidates(self, graph):
+        ppr = PersonalizedPageRank(graph)
+        t1 = ppr.transition()
+        graph.add_edge("zz_other", "r", "b")
+        assert ppr.transition() is not t1

@@ -2,13 +2,21 @@
 
 Thin wrapper over :func:`repro.service.bench.run_service_benchmark` (the
 same driver behind ``repro bench-serve``), defaulting the output to the
-repo-root ``BENCH_PR2.json`` so the service has a committed perf record
-alongside ``BENCH_PR1.json``.
+repo-root ``BENCH_PR3.json`` so the service has a committed perf record
+alongside ``BENCH_PR1.json`` / ``BENCH_PR2.json``. Since PR 3 the suite
+includes the thread-vs-process backend comparison on distinct-query
+traffic (see ``benchmarks/README.md`` for the field reference).
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR2.json]
+    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR3.json]
                                                           [--scale 2.0] [--workers 4]
+                                                          [--quick]
+
+``--quick`` is the CI smoke mode: tiny scale, one repetition, two worker
+processes — seconds instead of minutes, enough to catch bitrot in both
+backends on every PR (numbers are NOT comparable to the committed
+BENCH_PR*.json files).
 """
 
 from __future__ import annotations
@@ -24,10 +32,21 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.service.bench import print_report, run_service_benchmark  # noqa: E402
 
+#: The --quick preset: the smallest workload that still exercises every
+#: phase, including the process backend with two workers.
+QUICK_PRESET = {
+    "scale": 0.5,
+    "context_size": 30,
+    "distinct": 6,
+    "repeat": 1,
+    "workers": 2,
+}
+
 
 def main(argv: "list[str] | None" = None) -> int:
+    """Parse arguments, run the service benchmark, write the JSON report."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_PR2.json")
+    parser.add_argument("--out", type=Path, default=None)
     parser.add_argument("--dataset", default="yago")
     parser.add_argument("--scale", type=float, default=2.0)
     parser.add_argument("--context-size", type=int, default=100)
@@ -35,7 +54,17 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--distinct", type=int, default=12)
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke preset: scale 0.5, 6 distinct queries, context 30, "
+        "1 repetition, 2 worker processes",
+    )
     args = parser.parse_args(argv)
+    if args.quick:
+        for name, value in QUICK_PRESET.items():
+            setattr(args, name, value)
+    out = args.out if args.out is not None else REPO_ROOT / "BENCH_PR3.json"
 
     report = run_service_benchmark(
         dataset=args.dataset,
@@ -47,8 +76,8 @@ def main(argv: "list[str] | None" = None) -> int:
         seed=args.seed,
     )
     print_report(report)
-    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {args.out}")
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
     return 0
 
 

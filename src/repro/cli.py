@@ -21,13 +21,15 @@ Subcommands
     Run the concurrent NC query service over a built-in dataset::
 
         repro serve --dataset yago --port 8099
+        repro serve --executor process --workers 4   # scale with cores
         curl 'http://127.0.0.1:8099/search?query=Angela_Merkel,Barack_Obama'
 
 ``bench-serve``
-    Run the service throughput/latency benchmark and write the JSON
-    report (see ``src/repro/service/README.md``)::
+    Run the service throughput/latency benchmark — including the
+    thread-vs-process backend comparison — and write the JSON report
+    (see ``benchmarks/README.md`` for the field reference)::
 
-        repro bench-serve --out BENCH_PR2.json
+        repro bench-serve --out BENCH_PR3.json
 """
 
 from __future__ import annotations
@@ -79,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--alpha", type=float, default=0.05)
     serve.add_argument("--cache-size", type=int, default=256)
     serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--executor",
+        default="thread",
+        choices=("thread", "process"),
+        help="computation backend: 'thread' (default; cached traffic at "
+        "memory speed, distinct queries GIL-bound) or 'process' "
+        "(shared-memory worker processes; distinct-query throughput "
+        "scales with cores)",
+    )
     serve.add_argument("--seed", type=int, default=11)
     serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request to stderr"
@@ -138,13 +149,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         cache_size=args.cache_size,
         max_workers=args.workers,
+        executor=args.executor,
         seed=args.seed,
     )
-    engine.pin()  # compile + freeze shared state before accepting traffic
+    engine.pin()  # compile + publish/freeze shared state before accepting traffic
     NCRequestHandler.quiet = not args.verbose
     server = create_server(engine, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"serving {graph.summary()}")
+    print(f"executor: {args.executor} ({args.workers} workers)")
     print(f"listening on http://{host}:{port} (/search, /healthz, /stats)")
     try:
         server.serve_forever()

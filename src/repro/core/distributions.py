@@ -15,6 +15,21 @@ For an edge label ``l`` and node sets ``Q`` (query) and ``C`` (context):
 
 Query and context vectors are aligned over the same support, "so x_i is
 zero if i appears only in the context".
+
+Paper cross-reference (Mottin et al., EDBT 2018):
+
+* **Section 3.2, instance distributions** — :func:`instance_counts`
+  (reference) and the instance channel of :class:`_SweepCounts` (batch);
+  the ``None`` bucket realises Figure 7's explicit "no matching edge"
+  label (the ``hasWonPrize`` example).
+* **Section 3.2, cardinality distributions** — :func:`cardinality_counts`
+  and the cardinality channel of :class:`_SweepCounts`; Figure 8's
+  ``hasChild`` histogram ("Angela Merkel has no child while all other
+  leaders have at least one") is exactly a
+  :meth:`CharacteristicDistributions.cardinality_rows` table.
+* **Support alignment** ("x_i is zero if i appears only in the
+  context") — :func:`_assemble`, shared by both paths so the batch
+  sweep is bit-identical to the per-label reference.
 """
 
 from __future__ import annotations

@@ -4,6 +4,26 @@
 discriminator (default the multinomial test) and evaluates every candidate
 edge label ``L | Q ∪ C`` (Definition 3). The paper's baseline **RWMult**
 — PPR context + multinomial test — is the :func:`rw_mult` factory.
+
+Paper cross-reference (Mottin et al., EDBT 2018):
+
+* **Problem 1** (find the notable characteristics of ``Q``) —
+  :meth:`FindNC.run`, the two-phase pipeline: context selection then
+  per-label discrimination.
+* **Definition 2** (the context ``C``: similar entities, disjoint from
+  ``Q``, ``|C| = k``) — the ``context_size`` parameter and the injected
+  :class:`~repro.core.context.ContextSelector`.
+* **Definition 3** (candidate labels ``L | Q ∪ C`` and the
+  discrimination function ``delta``) — :meth:`FindNC.candidate_labels`
+  (with the type-system exclusions of
+  :func:`default_excluded_labels`) and the
+  :class:`~repro.core.discrimination.Discriminator` scoring loop.
+* **Section 3.2** (instance/cardinality distributions) — delegated to
+  :mod:`repro.core.distributions`.
+* **Figure 5** (runtime vs query size) — ``elapsed_context`` /
+  ``elapsed_discrimination`` on :class:`FindNCResult` are the two cost
+  components that figure plots; the benchmark driver is
+  ``benchmarks/bench_fig5_time_vs_query_size.py``.
 """
 
 from __future__ import annotations

@@ -48,6 +48,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (model imports us laz
     from repro.graph.model import KnowledgeGraph
 
 
+#: The snapshot's flat array fields in canonical order, with their dtypes.
+#: This is the serialization contract of the snapshot layer: the
+#: shared-memory exporter (:mod:`repro.parallel.shm`) lays the arrays out
+#: in exactly this order, and :meth:`CompiledGraph.from_arrays`
+#: reconstructs a snapshot from any buffers that honour it.
+ARRAY_FIELDS: "tuple[tuple[str, np.dtype], ...]" = (
+    ("indptr", np.dtype(np.int64)),
+    ("sources", np.dtype(np.int64)),
+    ("label_ids", np.dtype(np.int64)),
+    ("targets", np.dtype(np.int64)),
+    ("label_indptr", np.dtype(np.int64)),
+    ("label_order", np.dtype(np.int64)),
+    ("label_weights", np.dtype(np.float64)),
+    ("out_weight", np.dtype(np.float64)),
+)
+
+
 @dataclass(frozen=True)
 class CompiledGraph:
     """Immutable CSR-style snapshot of one :class:`KnowledgeGraph` version."""
@@ -75,6 +92,76 @@ class CompiledGraph:
     @property
     def edge_count(self) -> int:
         return int(self.targets.shape[0])
+
+    def arrays(self) -> "dict[str, np.ndarray]":
+        """The flat array fields, in :data:`ARRAY_FIELDS` order.
+
+        The export side of the serialization boundary: everything a
+        process needs to rebuild this snapshot besides the three scalar
+        fields (``version``, ``node_count``, ``label_count``). Arrays are
+        returned as-is (read-only views, zero-copy).
+        """
+        return {name: getattr(self, name) for name, _ in ARRAY_FIELDS}
+
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        version: int,
+        node_count: int,
+        label_count: int,
+        arrays: "dict[str, np.ndarray]",
+    ) -> "CompiledGraph":
+        """Rebuild a snapshot from externally supplied array buffers.
+
+        The attach side of the serialization boundary: ``arrays`` must
+        hold every :data:`ARRAY_FIELDS` entry with the right dtype and a
+        consistent shape (``indptr`` of length ``node_count + 1``,
+        ``label_indptr`` of length ``label_count + 1``, the four edge
+        columns all equally long). The buffers may view foreign memory —
+        e.g. a :mod:`multiprocessing.shared_memory` segment — and are
+        marked read-only in place, preserving zero-copy attachment.
+        """
+        views: dict[str, np.ndarray] = {}
+        edge_total: int | None = None
+        for name, dtype in ARRAY_FIELDS:
+            if name not in arrays:
+                raise ValueError(f"missing snapshot array {name!r}")
+            array = arrays[name]
+            if array.dtype != dtype:
+                raise ValueError(
+                    f"snapshot array {name!r} must have dtype {dtype}, "
+                    f"got {array.dtype}"
+                )
+            if array.ndim != 1:
+                raise ValueError(f"snapshot array {name!r} must be 1-D")
+            array.setflags(write=False)
+            views[name] = array
+        expected = {
+            "indptr": node_count + 1,
+            "label_indptr": label_count + 1,
+            "label_weights": label_count,
+            "out_weight": node_count,
+        }
+        for name, length in expected.items():
+            if views[name].shape[0] != length:
+                raise ValueError(
+                    f"snapshot array {name!r} has length {views[name].shape[0]}, "
+                    f"expected {length}"
+                )
+        edge_total = views["targets"].shape[0]
+        for name in ("sources", "label_ids", "label_order"):
+            if views[name].shape[0] != edge_total:
+                raise ValueError(
+                    f"snapshot array {name!r} has length {views[name].shape[0]}, "
+                    f"expected the edge count {edge_total}"
+                )
+        return cls(
+            version=version,
+            node_count=node_count,
+            label_count=label_count,
+            **views,
+        )
 
     def node_slice(self, node: int) -> slice:
         """The edge-row slice of ``node`` into the node-major arrays."""

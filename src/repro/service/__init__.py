@@ -3,23 +3,31 @@
 The step from algorithm to system: :class:`NCEngine` serves many
 concurrent FindNC requests over one live :class:`~repro.graph.model.KnowledgeGraph`
 by pinning immutable compiled snapshots per request, caching results in a
-version-keyed LRU, and coalescing identical in-flight queries. The
-stdlib HTTP server (:mod:`repro.service.server`) exposes it as a JSON API
-(``repro serve``); :mod:`repro.service.bench` measures it
-(``repro bench-serve``). See ``src/repro/service/README.md``.
+version-keyed LRU, and coalescing identical in-flight queries. Two
+execution backends share that front: ``executor="thread"`` computes on
+the engine's thread pool; ``executor="process"`` dispatches to a
+:class:`~repro.service.workers.ProcessWorkerPool` over the shared-memory
+snapshot (:mod:`repro.parallel`), scaling distinct-query throughput with
+cores. The stdlib HTTP server (:mod:`repro.service.server`) exposes it
+as a JSON API (``repro serve``); :mod:`repro.service.bench` measures it
+(``repro bench-serve``). See ``src/repro/service/README.md`` and
+``docs/ARCHITECTURE.md``.
 """
 
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.engine import EngineStats, NCEngine, SearchOutcome
 from repro.service.server import NCServiceServer, create_server, outcome_to_json
+from repro.service.workers import ProcessWorkerPool, WorkerPoolStats
 
 __all__ = [
     "CacheStats",
     "EngineStats",
     "NCEngine",
     "NCServiceServer",
+    "ProcessWorkerPool",
     "ResultCache",
     "SearchOutcome",
+    "WorkerPoolStats",
     "create_server",
     "outcome_to_json",
 ]

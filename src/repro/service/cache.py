@@ -41,6 +41,7 @@ class CacheStats:
         return self.hits / lookups if lookups else 0.0
 
     def as_dict(self) -> dict:
+        """The JSON shape embedded in the engine's ``/stats`` payload."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -131,6 +132,7 @@ class ResultCache:
             return key in self._entries
 
     def stats(self) -> CacheStats:
+        """A point-in-time snapshot of the cache counters."""
         with self._lock:
             return CacheStats(
                 hits=self._hits,

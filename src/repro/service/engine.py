@@ -18,10 +18,22 @@ The engine turns the library pipeline into a servable primitive:
   bounded :class:`~concurrent.futures.ThreadPoolExecutor`; concurrent
   identical requests share one in-flight computation instead of
   recomputing a hot query N times.
+* **Pluggable execution backend.** With ``executor="thread"`` (default)
+  computations run on the executor threads — cached and coalesced
+  traffic is served at memory speed, but *distinct* queries scale at
+  ~1x per core because the pipeline's Python-level work holds the GIL.
+  With ``executor="process"`` the thread pool only *dispatches*: the
+  pinned snapshot is published once per graph version into shared
+  memory (:mod:`repro.parallel.shm`) and the computations execute on a
+  :class:`~repro.service.workers.ProcessWorkerPool`, so distinct-query
+  throughput scales with cores. The cache, coalescing, name resolution
+  and the HTTP server stay in the parent either way.
 
 Determinism: each computation derives its RNG seed from the cache key, so
 identical requests produce identical results whether or not they hit the
-cache.
+cache — and whichever backend executes them (the worker replicates this
+method's computation exactly; ``tests/test_service_workers.py`` pins
+thread/process parity).
 
 Cached :class:`~repro.core.findnc.FindNCResult` objects are shared across
 requests — treat them as read-only.
@@ -43,16 +55,25 @@ from repro.errors import QueryError
 from repro.graph.compiled import CompiledGraph
 from repro.graph.model import KnowledgeGraph, NodeRef
 from repro.graph.search import EntityIndex, resolve_node_refs
+from repro.parallel.shm import SharedSnapshot, StaleSnapshotError, publish_snapshot
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.workers import ProcessWorkerPool, WorkerConfig
 
 
 @dataclass(frozen=True)
 class _PinnedState:
-    """Everything one graph version's requests share, all immutable in use."""
+    """Everything one graph version's requests share, all immutable in use.
+
+    In process-executor mode the state additionally carries the published
+    shared-memory segment (``shared``) workers attach the snapshot from;
+    its lifecycle follows the pin's (retired when the pin is replaced,
+    unlinked once its last in-flight request completes).
+    """
 
     snapshot: CompiledGraph
     selector: RandomWalkContext
     entity_index: EntityIndex
+    shared: "SharedSnapshot | None" = None
 
 
 @dataclass(frozen=True)
@@ -78,10 +99,13 @@ class EngineStats:
     pinned_version: int | None
     inflight: int
     max_workers: int
+    executor: str
     cache: CacheStats
+    workers: "dict | None" = None
 
     def as_dict(self) -> dict:
-        return {
+        """The JSON shape served by ``GET /stats``."""
+        out = {
             "requests": self.requests,
             "cache_hits": self.cache_hits,
             "coalesced": self.coalesced,
@@ -90,8 +114,12 @@ class EngineStats:
             "pinned_version": self.pinned_version,
             "inflight": self.inflight,
             "max_workers": self.max_workers,
+            "executor": self.executor,
             "cache": self.cache.as_dict(),
         }
+        if self.workers is not None:
+            out["workers"] = self.workers
+        return out
 
 
 class NCEngine:
@@ -110,7 +138,14 @@ class NCEngine:
         Extra :class:`MultinomialDiscriminator` keyword arguments (e.g.
         ``{"min_none_share": 0.1}``); fingerprinted into the cache key.
     cache_size / max_workers:
-        LRU capacity and executor width.
+        LRU capacity and executor width. With ``executor="process"``,
+        ``max_workers`` is also the worker-process count (the thread
+        pool then only dispatches, one thread per in-flight request).
+    executor:
+        ``"thread"`` (default) computes on the executor threads;
+        ``"process"`` computes on a shared-memory worker-process pool —
+        the backend that scales *distinct*-query throughput with cores
+        (see :mod:`repro.service.workers`).
     seed:
         Base seed mixed into the per-request deterministic RNG derivation.
 
@@ -133,10 +168,15 @@ class NCEngine:
         none_bucket: bool = True,
         cache_size: int = 256,
         max_workers: int = 4,
+        executor: str = "thread",
         seed: int = 0,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
         self._graph = graph
         self.context_size = context_size
         self.alpha = alpha
@@ -155,6 +195,16 @@ class NCEngine:
             max_workers=max_workers, thread_name_prefix="nc-query"
         )
         self.max_workers = max_workers
+        self.executor = executor
+        self._pool: ProcessWorkerPool | None = None
+        self._worker_config = WorkerConfig(
+            damping=self.damping,
+            iterations=self.iterations,
+            excluded_labels=self._excluded_labels,
+            include_inverse_labels=self._include_inverse_labels,
+            none_bucket=self._none_bucket,
+            discriminator_params=self._discriminator_fingerprint,
+        )
         self._pin_lock = threading.Lock()
         self._pinned: _PinnedState | None = None
         self._flight_lock = threading.Lock()
@@ -170,16 +220,29 @@ class NCEngine:
 
     @property
     def graph(self) -> KnowledgeGraph:
+        """The live graph this engine serves (writers may keep mutating it)."""
         return self._graph
 
     @property
     def cache(self) -> ResultCache:
+        """The version-keyed LRU result cache."""
         return self._cache
 
     def close(self) -> None:
-        """Shut the executor down (in-flight requests finish first)."""
+        """Shut the executor down (in-flight requests finish first).
+
+        In process mode this also stops the worker pool and unlinks every
+        shared-memory segment the engine still owns (the pinned version's
+        and any parked retired ones).
+        """
         self._closed = True
         self._executor.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        pinned = self._pinned
+        if pinned is not None and pinned.shared is not None:
+            pinned.shared.unlink()
 
     def __enter__(self) -> "NCEngine":
         return self
@@ -203,11 +266,27 @@ class NCEngine:
         with self._pin_lock:
             state = self._pinned
             if state is None or state.snapshot.version != self._graph.version:
+                previous = state
                 state = self._build_pin()
                 self._pinned = state
                 self._repins += 1
                 self._cache.purge_versions(state.snapshot.version)
+                if previous is not None and previous.shared is not None:
+                    # Superseded segment: unlink now if idle, else when
+                    # its last in-flight worker job completes. No pool
+                    # yet means no job ever referenced it — unlink
+                    # directly instead of spawning workers to say so.
+                    if self._pool is not None:
+                        self._pool.retire(previous.shared)
+                    else:
+                        previous.shared.unlink()
         return state
+
+    def _worker_pool(self) -> ProcessWorkerPool:
+        """The process pool (created lazily on the first process-mode pin)."""
+        if self._pool is None:
+            self._pool = ProcessWorkerPool(self.max_workers)
+        return self._pool
 
     def _build_pin(self) -> _PinnedState:
         """Build a selector/snapshot/index triple at ONE graph version.
@@ -223,6 +302,11 @@ class NCEngine:
         last_error: RuntimeError | None = None
         state: _PinnedState | None = None
         for _ in range(4):
+            if state is not None and state.shared is not None:
+                # The previous iteration's state is being discarded (its
+                # snapshot raced a writer) — unlink its published segment
+                # or every contended pin would leak a whole-graph copy.
+                state.shared.unlink()
             version = self._graph.version
             try:
                 selector = RandomWalkContext(
@@ -230,7 +314,12 @@ class NCEngine:
                     damping=self.damping,
                     iterations=self.iterations,
                     pin=True,
-                ).warm()
+                )
+                if self.executor == "thread":
+                    # Freeze the transition matrix in the parent. Process
+                    # workers rebuild it from the shared arrays instead,
+                    # so process-mode pins skip this (per-version) cost.
+                    selector.warm()
                 snapshot = self._graph.compiled()
             except RuntimeError as error:
                 # e.g. "dictionary changed size during iteration" from a
@@ -241,6 +330,7 @@ class NCEngine:
                 snapshot=snapshot,
                 selector=selector,
                 entity_index=EntityIndex(self._graph),
+                shared=self._publish(snapshot),
             )
             if snapshot.version == version:
                 return state
@@ -250,6 +340,23 @@ class NCEngine:
                 "graph during compilation"
             ) from last_error
         return state
+
+    def _publish(self, snapshot: CompiledGraph) -> "SharedSnapshot | None":
+        """Export ``snapshot`` to shared memory (process mode only).
+
+        Name tables are sliced to the snapshot's node/label counts inside
+        :func:`publish_snapshot`, so a racing writer growing the graph
+        cannot leak post-snapshot names into the published segment.
+        """
+        if self.executor != "process":
+            return None
+        table = self._graph._label_table()  # noqa: SLF001 - label ids only grow
+        return publish_snapshot(
+            snapshot,
+            self._graph._node_names_list(),  # noqa: SLF001 - internal fast path
+            [table.name(label_id) for label_id in range(snapshot.label_count)],
+            graph_name=self._graph.name,
+        )
 
     # -- request plumbing --------------------------------------------------
 
@@ -278,22 +385,10 @@ class NCEngine:
     def _compute(self, key: tuple, query_ids: tuple[int, ...], k: int, alpha: float,
                  state: _PinnedState) -> FindNCResult:
         try:
-            discriminator = MultinomialDiscriminator(
-                alpha=alpha,
-                rng=self._rng_seed(key),
-                **self._discriminator_params,
-            )
-            finder = FindNC(
-                self._graph,
-                context_selector=state.selector,
-                discriminator=discriminator,
-                context_size=k,
-                excluded_labels=self._excluded_labels,
-                include_inverse_labels=self._include_inverse_labels,
-                none_bucket=self._none_bucket,
-                entity_index=state.entity_index,
-            )
-            result = finder.run(query_ids, snapshot=state.snapshot)
+            if self.executor == "process":
+                result = self._compute_remote(key, query_ids, k, alpha, state)
+            else:
+                result = self._compute_local(key, query_ids, k, alpha, state)
             self._cache.put(key, result)
             with self._flight_lock:
                 self._computed += 1
@@ -301,6 +396,59 @@ class NCEngine:
         finally:
             with self._flight_lock:
                 self._inflight.pop(key, None)
+
+    def _compute_local(self, key: tuple, query_ids: tuple[int, ...], k: int,
+                       alpha: float, state: _PinnedState) -> FindNCResult:
+        """Run the pipeline on the calling executor thread (thread backend)."""
+        discriminator = MultinomialDiscriminator(
+            alpha=alpha,
+            rng=self._rng_seed(key),
+            **self._discriminator_params,
+        )
+        finder = FindNC(
+            self._graph,
+            context_selector=state.selector,
+            discriminator=discriminator,
+            context_size=k,
+            excluded_labels=self._excluded_labels,
+            include_inverse_labels=self._include_inverse_labels,
+            none_bucket=self._none_bucket,
+            entity_index=state.entity_index,
+        )
+        return finder.run(query_ids, snapshot=state.snapshot)
+
+    def _compute_remote(self, key: tuple, query_ids: tuple[int, ...], k: int,
+                        alpha: float, state: _PinnedState) -> FindNCResult:
+        """Dispatch the computation to the worker pool (process backend).
+
+        The RNG seed derives from the cache key exactly as in the local
+        path, and the worker replicates :meth:`_compute_local`'s
+        construction, so both backends return identical results. If the
+        pinned segment was retired between dispatch and the worker's
+        attach (a writer raced the request), retry once against the
+        current pin — the one situation where a request keyed at version
+        ``v`` is answered from ``v+1``; its cache entry is already
+        unreachable to new requests.
+        """
+        pool = self._worker_pool()
+        for attempt in range(2):
+            shared = state.shared
+            if shared is None:  # pragma: no cover - process pins always publish
+                raise RuntimeError("process executor is missing its shared segment")
+            try:
+                return pool.run(
+                    header=shared.header,
+                    query_ids=query_ids,
+                    context_size=k,
+                    alpha=alpha,
+                    rng_seed=self._rng_seed(key),
+                    config=self._worker_config,
+                )
+            except StaleSnapshotError:
+                if attempt:
+                    raise
+                state = self.pin()
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def submit(
         self,
@@ -385,6 +533,7 @@ class NCEngine:
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> EngineStats:
+        """A point-in-time snapshot of the engine (and worker-pool) counters."""
         with self._flight_lock:
             requests = self._requests
             hits = self._hits
@@ -392,6 +541,7 @@ class NCEngine:
             computed = self._computed
             inflight = len(self._inflight)
         pinned = self._pinned
+        pool = self._pool
         return EngineStats(
             requests=requests,
             cache_hits=hits,
@@ -401,5 +551,7 @@ class NCEngine:
             pinned_version=pinned.snapshot.version if pinned else None,
             inflight=inflight,
             max_workers=self.max_workers,
+            executor=self.executor,
             cache=self._cache.stats(),
+            workers=pool.stats().as_dict() if pool is not None else None,
         )

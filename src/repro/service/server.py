@@ -31,6 +31,7 @@ from urllib.parse import parse_qs, urlsplit
 from repro.errors import ReproError
 from repro.graph.model import KnowledgeGraph
 from repro.service.engine import NCEngine, SearchOutcome
+from repro.service.workers import RemoteQueryError, WorkerCrashError
 
 
 def outcome_to_json(outcome: SearchOutcome, graph: KnowledgeGraph) -> dict:
@@ -75,6 +76,8 @@ class NCServiceServer(ThreadingHTTPServer):
 
 
 class NCRequestHandler(BaseHTTPRequestHandler):
+    """Routes ``/search``, ``/healthz`` and ``/stats`` onto the engine."""
+
     server_version = "repro-nc-service/1.0"
     #: Silenced by default; ``repro serve --verbose`` re-enables it.
     quiet = True
@@ -96,6 +99,7 @@ class NCRequestHandler(BaseHTTPRequestHandler):
         self._send_json({"error": message}, status=status)
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Per-request stderr logging, silenced unless ``--verbose``."""
         if not self.quiet:  # pragma: no cover - exercised only with --verbose
             super().log_message(format, *args)
 
@@ -120,6 +124,14 @@ class NCRequestHandler(BaseHTTPRequestHandler):
             # bad query contents (unknown entity, float ids, bad numbers)
             self._send_error_json(400, str(error))
             return
+        except (RemoteQueryError, WorkerCrashError):
+            # worker-backend failure: deterministic for this request, so
+            # not a retry-me 503 — and the remote traceback stays out of
+            # the response body (it is in the exception for server logs).
+            self._send_error_json(
+                500, "internal error while executing the query on a worker"
+            )
+            return
         except RuntimeError as error:
             # engine closed (server draining) — tell the client to retry
             self._send_error_json(503, str(error))
@@ -129,9 +141,11 @@ class NCRequestHandler(BaseHTTPRequestHandler):
     # -- HTTP verbs --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """Serve ``/healthz``, ``/stats`` and the GET form of ``/search``."""
         url = urlsplit(self.path)
         if url.path == "/healthz":
-            graph = self._engine().graph
+            engine = self._engine()
+            graph = engine.graph
             self._send_json(
                 {
                     "status": "ok",
@@ -139,6 +153,7 @@ class NCRequestHandler(BaseHTTPRequestHandler):
                     "graph_version": graph.version,
                     "nodes": graph.node_count,
                     "edges": graph.edge_count,
+                    "executor": engine.executor,
                 }
             )
         elif url.path == "/stats":
@@ -161,6 +176,7 @@ class NCRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"unknown path {url.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """Serve the JSON-body form of ``/search``."""
         url = urlsplit(self.path)
         if url.path != "/search":
             self._send_error_json(404, f"unknown path {url.path!r}")

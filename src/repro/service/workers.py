@@ -1,0 +1,492 @@
+"""Multiprocess execution backend for :class:`~repro.service.engine.NCEngine`.
+
+The thread backend serves *distinct* queries at ~1x per core: the
+pipeline's Python-level work holds the GIL. This module is the scaling
+lever for that traffic class — a pool of persistent worker **processes**
+that execute FindNC computations against the shared-memory graph
+snapshot published by :mod:`repro.parallel.shm`:
+
+* the engine (parent) keeps everything stateful: HTTP serving, name
+  resolution, the version-keyed result cache, single-flight coalescing,
+  and segment publication;
+* workers receive ``(job id, segment header, resolved query ids,
+  parameters)`` tuples — a few hundred bytes — and attach the snapshot
+  segment **once per graph version**, rebuilding the frozen PPR
+  transition matrix from the shared arrays; per-request cost is one
+  small task pickle and one result pickle, never the graph;
+* dispatch is round-robin over per-worker task queues, results flow back
+  over one shared queue drained by a collector thread that resolves the
+  parent-side jobs.
+
+Segment lifecycle: the pool refcounts in-flight jobs per segment.
+:meth:`ProcessWorkerPool.retire` unlinks a segment immediately when idle,
+or defers the unlink until its last in-flight job completes. A worker
+that loses the race anyway (task dispatched, segment unlinked before
+attach) reports the job as *stale* and the engine re-dispatches against
+the current version.
+
+Workers start via the ``spawn`` method: a fresh interpreter per worker
+(no inherited locks or thread state), imports paid once at pool start,
+not per request.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import threading
+import traceback
+from dataclasses import dataclass
+
+from repro.core.discrimination import MultinomialDiscriminator
+from repro.core.findnc import FindNC, FindNCResult
+from repro.parallel.shm import (
+    SharedSnapshot,
+    SharedSnapshotHeader,
+    SnapshotGraphView,
+    StaleSnapshotError,
+    attach_snapshot,
+)
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died while one of its jobs was in flight."""
+
+
+class RemoteQueryError(RuntimeError):
+    """A worker-side computation failed; carries the remote traceback."""
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """The engine parameters a worker needs to replicate ``_compute``.
+
+    Shipped with every task (it is tiny and immutable); fields mirror the
+    :class:`~repro.service.engine.NCEngine` constructor so thread- and
+    process-backend results are byte-identical for the same request.
+    """
+
+    damping: float
+    iterations: int
+    excluded_labels: "frozenset[str] | None"
+    include_inverse_labels: bool
+    none_bucket: bool
+    #: ``sorted(dict.items())`` of the engine's discriminator params —
+    #: a tuple so the config stays hashable and deterministic.
+    discriminator_params: "tuple[tuple[str, object], ...]"
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """One FindNC computation order, as pickled onto a worker queue."""
+
+    job_id: int
+    header: SharedSnapshotHeader
+    query_ids: "tuple[int, ...]"
+    context_size: int
+    alpha: float
+    rng_seed: int
+    config: WorkerConfig
+
+
+def _execute_task(view: SnapshotGraphView, selector, task: WorkerTask) -> FindNCResult:
+    """Run one FindNC computation against the attached snapshot view.
+
+    Mirrors ``NCEngine._compute`` exactly — same discriminator
+    construction, same pinned-snapshot ``FindNC.run`` — so a process
+    worker and a parent thread produce identical results for one task.
+    """
+    config = task.config
+    discriminator = MultinomialDiscriminator(
+        alpha=task.alpha,
+        rng=task.rng_seed,
+        **dict(config.discriminator_params),
+    )
+    finder = FindNC(
+        view,
+        context_selector=selector,
+        discriminator=discriminator,
+        context_size=task.context_size,
+        excluded_labels=config.excluded_labels,
+        include_inverse_labels=config.include_inverse_labels,
+        none_bucket=config.none_bucket,
+    )
+    return finder.run(task.query_ids, snapshot=view._compiled())  # noqa: SLF001
+
+
+def _worker_main(worker_index: int, task_queue, result_queue) -> None:
+    """The worker process loop: attach-per-version, compute-per-task.
+
+    Messages back to the parent are ``(job_id, segment, status, payload)``
+    with status ``"ok"`` (payload: the pickled
+    :class:`~repro.core.findnc.FindNCResult`), ``"stale"`` (the segment
+    was unlinked before this worker could attach) or ``"error"``
+    (payload: ``(repr, traceback string)``).
+    """
+    from repro.core.context import RandomWalkContext  # heavy import, worker-local
+
+    attached = None
+    attached_segment: str | None = None
+    view: SnapshotGraphView | None = None
+    selector = None
+
+    while True:
+        task: WorkerTask | None = task_queue.get()
+        if task is None:
+            break
+        segment = task.header.segment
+        try:
+            if attached_segment != segment:
+                # New graph version: drop the old mapping (views first —
+                # a memoryview with live exports cannot be released),
+                # attach the new segment, rebuild the frozen transition
+                # matrix from the shared arrays. Once per version, not
+                # per request. `attached_segment` is only recorded after
+                # the WHOLE initialization succeeds — a partial failure
+                # (e.g. the transition build raising) must not leave this
+                # worker believing the segment is ready, or every later
+                # task for the version would skip re-initialization and
+                # fail on the half-built state.
+                selector = None
+                view = None
+                attached_segment = None
+                if attached is not None:
+                    attached.close()
+                    attached = None
+                attached = attach_snapshot(task.header)
+                view = SnapshotGraphView(attached)
+                selector = RandomWalkContext(
+                    view,
+                    damping=task.config.damping,
+                    iterations=task.config.iterations,
+                    pin=True,
+                ).warm()
+                attached_segment = segment
+            result = _execute_task(view, selector, task)
+            result_queue.put((task.job_id, segment, "ok", result))
+        except StaleSnapshotError:
+            attached = None
+            attached_segment = None
+            view = None
+            selector = None
+            result_queue.put((task.job_id, segment, "stale", None))
+        except BaseException as error:  # noqa: BLE001 - forwarded to the parent
+            payload = (repr(error), traceback.format_exc())
+            try:
+                result_queue.put((task.job_id, segment, "error", payload))
+            except Exception:  # pragma: no cover - unpicklable payload
+                result_queue.put((task.job_id, segment, "error", (repr(error), "")))
+
+    # Orderly shutdown: release the mapping before the interpreter exits.
+    selector = None
+    view = None
+    if attached is not None:
+        attached.close()
+
+
+class _Job:
+    """Parent-side slot one in-flight task resolves into."""
+
+    __slots__ = ("event", "status", "payload", "process")
+
+    def __init__(self, process) -> None:
+        self.event = threading.Event()
+        self.status: str | None = None
+        self.payload: object = None
+        self.process = process
+
+
+@dataclass(frozen=True)
+class WorkerPoolStats:
+    """A point-in-time snapshot of the pool counters."""
+
+    workers: int
+    alive: int
+    dispatched: int
+    completed: int
+    stale_retries: int
+    respawns: int
+    inflight: int
+    retired_segments: int
+
+    def as_dict(self) -> dict:
+        """The JSON shape embedded in the engine's ``/stats`` payload."""
+        return {
+            "workers": self.workers,
+            "alive": self.alive,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "stale_retries": self.stale_retries,
+            "respawns": self.respawns,
+            "inflight": self.inflight,
+            "retired_segments": self.retired_segments,
+        }
+
+
+class ProcessWorkerPool:
+    """Round-robin pool of persistent FindNC worker processes.
+
+    ``run`` is safe to call from many threads (the engine's thread pool
+    is the dispatch layer); each call blocks until its worker answers.
+    The pool never sees the graph — only snapshot headers and task
+    parameters — which is what keeps the serialization boundary at
+    "a few hundred bytes per request".
+    """
+
+    def __init__(self, workers: int, *, start_method: str = "spawn") -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._ctx = mp.get_context(start_method)
+        self._result_queue = self._ctx.SimpleQueue()
+        self._processes: list = []
+        self._task_queues: list = []
+        for index in range(workers):
+            process, task_queue = self._spawn(index)
+            self._processes.append(process)
+            self._task_queues.append(task_queue)
+        self.workers = workers
+        self._lock = threading.Lock()
+        self._jobs: dict[int, _Job] = {}
+        self._job_ids = itertools.count(1)
+        self._round_robin = 0
+        self._inflight_by_segment: dict[str, int] = {}
+        self._retired: dict[str, SharedSnapshot] = {}
+        self._dispatched = 0
+        self._completed = 0
+        self._stale_retries = 0
+        self._respawns = 0
+        self._closed = False
+        self._collector = threading.Thread(
+            target=self._collect, name="nc-worker-collector", daemon=True
+        )
+        self._collector.start()
+
+    def _spawn(self, index: int):
+        """Start one worker process with its private task queue."""
+        task_queue = self._ctx.SimpleQueue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(index, task_queue, self._result_queue),
+            name=f"nc-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        return process, task_queue
+
+    def _respawn(self, dead) -> None:
+        """Replace ``dead`` with a fresh worker so its slot keeps serving.
+
+        Without this, a single worker crash would permanently fail every
+        job round-robined onto its slot. Jobs already queued to the dead
+        worker are lost (their callers' watchdogs surface
+        :class:`WorkerCrashError`); new dispatches get the replacement.
+        Idempotent under races: only the caller that still finds ``dead``
+        in the slot table respawns.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                slot = self._processes.index(dead)
+            except ValueError:  # another caller already replaced it
+                return
+            if self._processes[slot].is_alive():  # pragma: no cover - raced
+                return
+            process, task_queue = self._spawn(slot)
+            self._processes[slot] = process
+            self._task_queues[slot] = task_queue
+            self._respawns += 1
+
+    # -- dispatch ----------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        header: SharedSnapshotHeader,
+        query_ids: "tuple[int, ...]",
+        context_size: int,
+        alpha: float,
+        rng_seed: int,
+        config: WorkerConfig,
+    ) -> FindNCResult:
+        """Execute one task on the next worker (round-robin); block for it.
+
+        Raises :class:`StaleSnapshotError` when the segment was retired
+        before the worker attached (callers re-dispatch with the current
+        header), :class:`RemoteQueryError` for worker-side failures, and
+        :class:`WorkerCrashError` if the worker process died.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            job_id = next(self._job_ids)
+            slot = self._round_robin % self.workers
+            self._round_robin += 1
+            process = self._processes[slot]
+            job = _Job(process)
+            self._jobs[job_id] = job
+            self._inflight_by_segment[header.segment] = (
+                self._inflight_by_segment.get(header.segment, 0) + 1
+            )
+            self._dispatched += 1
+        task = WorkerTask(
+            job_id=job_id,
+            header=header,
+            query_ids=tuple(query_ids),
+            context_size=context_size,
+            alpha=alpha,
+            rng_seed=rng_seed,
+            config=config,
+        )
+        try:
+            self._task_queues[slot].put(task)
+        except BaseException:
+            # put() pickles the task on the calling thread; a failure here
+            # (e.g. an unpicklable discriminator param) must give back the
+            # job slot and the segment refcount or retired segments could
+            # never unlink.
+            self._abandon(job_id, header.segment)
+            raise
+        # Wait with a liveness watchdog: a worker killed mid-job would
+        # otherwise leave this job waiting forever.
+        while not job.event.wait(timeout=0.5):
+            if not job.process.is_alive():
+                # The worker may have finished the job (result already on
+                # the queue) and died afterwards — give the collector one
+                # chance to drain it before declaring the job lost.
+                if job.event.wait(timeout=1.0):
+                    break
+                self._abandon(job_id, header.segment)
+                self._respawn(job.process)
+                raise WorkerCrashError(
+                    f"worker {job.process.name} died while computing job "
+                    f"{job_id} (a replacement worker was started)"
+                )
+        if job.status == "ok":
+            return job.payload  # type: ignore[return-value]
+        if job.status == "stale":
+            with self._lock:
+                self._stale_retries += 1
+            raise StaleSnapshotError(
+                f"segment {header.segment!r} was retired before the worker attached"
+            )
+        error_repr, remote_traceback = job.payload  # type: ignore[misc]
+        raise RemoteQueryError(
+            f"worker computation failed: {error_repr}\n--- worker traceback ---\n"
+            f"{remote_traceback}"
+        )
+
+    def _abandon(self, job_id: int, segment: str) -> None:
+        """Drop a job whose worker died; fix the segment refcount.
+
+        The refcount is given back only if this call actually removed the
+        job — the collector may have resolved it concurrently, and each
+        job decrements its segment exactly once.
+        """
+        unlink_now: SharedSnapshot | None = None
+        with self._lock:
+            job = self._jobs.pop(job_id, None)
+            if job is not None:
+                unlink_now = self._decrement_segment_locked(segment)
+        if unlink_now is not None:
+            unlink_now.unlink()
+
+    # -- collection --------------------------------------------------------
+
+    def _collect(self) -> None:
+        while True:
+            message = self._result_queue.get()
+            if message is None:
+                break
+            job_id, segment, status, payload = message
+            unlink_now: SharedSnapshot | None = None
+            with self._lock:
+                job = self._jobs.pop(job_id, None)
+                if job is not None:
+                    # Decrement exactly once per job: an abandoned job
+                    # (crash watchdog) already gave its refcount back in
+                    # _abandon, and its late message must not decrement
+                    # the segment a second time — that could unlink a
+                    # retired segment while another job still reads it.
+                    unlink_now = self._decrement_segment_locked(segment)
+                    self._completed += 1
+            if unlink_now is not None:
+                unlink_now.unlink()
+            if job is not None:
+                job.status = status
+                job.payload = payload
+                job.event.set()
+
+    def _decrement_segment_locked(self, segment: str) -> "SharedSnapshot | None":
+        """Drop one in-flight ref; return a retired segment now ready to unlink."""
+        count = self._inflight_by_segment.get(segment, 0) - 1
+        if count > 0:
+            self._inflight_by_segment[segment] = count
+            return None
+        self._inflight_by_segment.pop(segment, None)
+        return self._retired.pop(segment, None)
+
+    # -- segment lifecycle -------------------------------------------------
+
+    def retire(self, shared: SharedSnapshot) -> None:
+        """Unlink ``shared`` as soon as no in-flight job references it.
+
+        Called by the engine when a graph version is superseded: idle
+        segments unlink immediately; busy ones are parked and unlinked by
+        the collector when their last job completes.
+        """
+        with self._lock:
+            if not self._closed and self._inflight_by_segment.get(shared.segment, 0) > 0:
+                self._retired[shared.segment] = shared
+                return
+        shared.unlink()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, *, timeout: float = 10.0) -> None:
+        """Stop workers and the collector; unlink any parked segments."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._jobs.values())
+            self._jobs.clear()
+            retired = list(self._retired.values())
+            self._retired.clear()
+        for job in pending:  # unblock callers of run()
+            job.status = "error"
+            job.payload = ("RuntimeError('worker pool closed')", "")
+            job.event.set()
+        for task_queue in self._task_queues:
+            task_queue.put(None)
+        for process in self._processes:
+            process.join(timeout=timeout)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=timeout)
+        self._result_queue.put(None)
+        self._collector.join(timeout=timeout)
+        for shared in retired:
+            shared.unlink()
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> WorkerPoolStats:
+        """Counters for ``/stats`` and the benchmark report."""
+        with self._lock:
+            return WorkerPoolStats(
+                workers=self.workers,
+                alive=sum(1 for p in self._processes if p.is_alive()),
+                dispatched=self._dispatched,
+                completed=self._completed,
+                stale_retries=self._stale_retries,
+                respawns=self._respawns,
+                inflight=len(self._jobs),
+                retired_segments=len(self._retired),
+            )

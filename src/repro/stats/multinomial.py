@@ -13,6 +13,25 @@ approximate the final result is performed."
 
 The characteristic score is ``MT = 1 - Pr_s`` when ``Pr_s <= alpha`` (the
 hypothesis of equality is rejected) and ``0`` otherwise.
+
+Paper cross-reference (Mottin et al., EDBT 2018):
+
+* **Section 3.2, the multinomial test** — :func:`multinomial_test`
+  (exact via full outcome enumeration, Monte-Carlo beyond
+  ``max_exact_n``, matching the paper's "in case of large N ... a
+  Montecarlo sampling" note); ``pi`` is the normalized *context*
+  distribution, ``x`` the *query* counts.
+* **The MT score** (``1 - Pr_s`` if significant at ``alpha``, else 0) —
+  :attr:`MultinomialTestResult.score`; ``alpha = 0.05`` is the paper's
+  Section-4 setting, and Figure 9 plots the significance probabilities
+  (:attr:`MultinomialTestResult.p_value`) per candidate label.
+* **delta(l, C, Q) = max over both channels** — applied one level up in
+  :class:`repro.core.discrimination.MultinomialDiscriminator`, which
+  runs this test on the instance and cardinality distribution pairs.
+
+The vectorized outcome enumeration (``compositions_array`` + one matmul
+log-pmf pass, PR 2) is a performance reformulation only: it scores the
+same outcome set as the paper's exact test.
 """
 
 from __future__ import annotations

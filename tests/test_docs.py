@@ -1,0 +1,79 @@
+"""The committed documentation surface stays link-clean (tools/check_docs.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    """Import tools/check_docs.py as a module (tools/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCommittedDocs:
+    def test_default_doc_set_exists(self, check_docs):
+        for rel in check_docs.DEFAULT_DOC_SET:
+            assert (REPO_ROOT / rel).exists(), rel
+
+    def test_all_links_resolve(self, check_docs, capsys):
+        assert check_docs.main([]) == 0, capsys.readouterr().err
+
+
+class TestChecker:
+    def test_broken_relative_link_fails(self, check_docs, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [missing](./nope.md)\n")
+        problems = check_docs.check_file(doc)
+        assert problems and "broken link" in problems[0]
+
+    def test_missing_anchor_fails(self, check_docs, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Real Heading\n\n[jump](#not-a-heading)\n")
+        problems = check_docs.check_file(doc)
+        assert problems and "missing anchor" in problems[0]
+
+    def test_good_anchor_and_cross_file_anchor_pass(self, check_docs, tmp_path):
+        other = tmp_path / "other.md"
+        other.write_text("## Target Section!\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "# My Doc\n[self](#my-doc) and [there](other.md#target-section)\n"
+        )
+        assert check_docs.check_file(doc) == []
+
+    def test_external_links_and_code_blocks_ignored(self, check_docs, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[web](https://example.com)\n\n```\n[fake](./gone.md)\n```\n"
+        )
+        assert check_docs.check_file(doc) == []
+
+    def test_duplicate_headings_get_suffixes(self, check_docs, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Same\n# Same\n[a](#same) [b](#same-1)\n")
+        assert check_docs.check_file(doc) == []
+
+    def test_underscores_survive_slugging_like_github(self, check_docs, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("## `node_count` semantics\n[ok](#node_count-semantics)\n")
+        assert check_docs.check_file(doc) == []
+        doc.write_text("## `node_count` semantics\n[bad](#nodecount-semantics)\n")
+        problems = check_docs.check_file(doc)
+        assert problems and "missing anchor" in problems[0]
+
+    def test_main_reports_missing_file(self, check_docs, tmp_path, capsys):
+        assert check_docs.main([str(tmp_path / "ghost.md")]) == 1
+        assert "does not exist" in capsys.readouterr().err

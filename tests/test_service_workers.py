@@ -1,0 +1,216 @@
+"""Tests for the process execution backend (pool, lifecycle, parity)."""
+
+from __future__ import annotations
+
+import glob
+
+import pytest
+
+from repro.datasets.figure1 import figure1_graph
+from repro.parallel.shm import StaleSnapshotError, publish_graph
+from repro.service.engine import NCEngine
+from repro.service.workers import (
+    ProcessWorkerPool,
+    RemoteQueryError,
+    WorkerConfig,
+    WorkerCrashError,
+)
+
+QUERY = ["Angela_Merkel", "Barack_Obama"]
+
+
+def _segments() -> set[str]:
+    """The repro snapshot segments currently linked on this host."""
+    return set(glob.glob("/dev/shm/repro-snap-*"))
+
+
+def _config() -> WorkerConfig:
+    return WorkerConfig(
+        damping=0.8,
+        iterations=10,
+        excluded_labels=None,
+        include_inverse_labels=False,
+        none_bucket=True,
+        discriminator_params=(),
+    )
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One persistent single-worker pool shared by the pool-level tests."""
+    with ProcessWorkerPool(1) as p:
+        yield p
+
+
+class TestProcessWorkerPool:
+    def test_run_executes_findnc_remotely(self, pool):
+        graph = figure1_graph()
+        shared = publish_graph(graph)
+        try:
+            result = pool.run(
+                header=shared.header,
+                query_ids=(1, 2),
+                context_size=3,
+                alpha=0.05,
+                rng_seed=123,
+                config=_config(),
+            )
+            assert result.query == (1, 2)
+            assert result.results
+        finally:
+            pool.retire(shared)
+
+    def test_retire_unlinks_idle_segment_immediately(self, pool):
+        shared = publish_graph(figure1_graph())
+        assert f"/dev/shm/{shared.segment}" in _segments()
+        pool.retire(shared)
+        assert f"/dev/shm/{shared.segment}" not in _segments()
+
+    def test_stale_segment_surfaces_as_retriable_error(self, pool):
+        shared = publish_graph(figure1_graph())
+        header = shared.header
+        shared.unlink()
+        with pytest.raises(StaleSnapshotError):
+            pool.run(
+                header=header,
+                query_ids=(1, 2),
+                context_size=3,
+                alpha=0.05,
+                rng_seed=123,
+                config=_config(),
+            )
+        assert pool.stats().stale_retries == 1
+
+    def test_worker_error_carries_remote_traceback(self, pool):
+        shared = publish_graph(figure1_graph())
+        try:
+            with pytest.raises(RemoteQueryError, match="worker traceback"):
+                pool.run(
+                    header=shared.header,
+                    query_ids=(10 ** 9,),  # beyond the snapshot: QueryError
+                    context_size=3,
+                    alpha=0.05,
+                    rng_seed=123,
+                    config=_config(),
+                )
+        finally:
+            pool.retire(shared)
+
+    def test_stats_counters(self, pool):
+        stats = pool.stats()
+        assert stats.workers == 1
+        assert stats.alive == 1
+        assert stats.dispatched >= 3
+        assert stats.inflight == 0
+        assert stats.as_dict()["workers"] == 1
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ProcessWorkerPool(0)
+
+
+class TestWorkerCrash:
+    def test_dead_worker_raises_then_slot_recovers(self):
+        pool = ProcessWorkerPool(1)
+        shared = publish_graph(figure1_graph())
+        try:
+            pool._processes[0].terminate()
+            pool._processes[0].join(timeout=10)
+            with pytest.raises(WorkerCrashError):
+                pool.run(
+                    header=shared.header,
+                    query_ids=(1, 2),
+                    context_size=3,
+                    alpha=0.05,
+                    rng_seed=123,
+                    config=_config(),
+                )
+            # The watchdog respawned the slot: the next job must succeed
+            # and the pool must report the replacement.
+            result = pool.run(
+                header=shared.header,
+                query_ids=(1, 2),
+                context_size=3,
+                alpha=0.05,
+                rng_seed=123,
+                config=_config(),
+            )
+            assert result.query == (1, 2)
+            stats = pool.stats()
+            assert stats.respawns == 1
+            assert stats.alive == 1
+            assert stats.inflight == 0  # crashed job gave its slot back
+        finally:
+            pool.retire(shared)
+            pool.close()
+
+
+class TestProcessEngine:
+    @pytest.fixture()
+    def graph(self):
+        return figure1_graph()
+
+    def test_parity_lifecycle_and_no_segment_leaks(self, graph):
+        before = _segments()
+        with NCEngine(graph, context_size=3, max_workers=2, seed=5) as thread_engine:
+            thread_results = [
+                thread_engine.search(QUERY),
+                thread_engine.search(["Vladimir_Putin"]),
+            ]
+        with NCEngine(
+            graph, context_size=3, max_workers=2, executor="process", seed=5
+        ) as engine:
+            # -- result parity with the thread backend ---------------------
+            process_results = [
+                engine.search(QUERY),
+                engine.search(["Vladimir_Putin"]),
+            ]
+            for mine, theirs in zip(process_results, thread_results):
+                assert mine.query == theirs.query
+                assert [r.label for r in mine.results] == [
+                    r.label for r in theirs.results
+                ]
+                assert [r.score for r in mine.results] == [
+                    r.score for r in theirs.results
+                ]
+                assert mine.notable_labels() == theirs.notable_labels()
+
+            # -- cache / coalescing stay in the parent ---------------------
+            outcome = engine.request(QUERY)
+            assert outcome.cached
+            stats = engine.stats()
+            assert stats.executor == "process"
+            assert stats.workers is not None and stats.workers["workers"] == 2
+            assert stats.workers["completed"] >= 2
+
+            # -- version bump: re-pin publishes a new segment and unlinks
+            # the old one (no in-flight requests reference it) -------------
+            first_segment = engine._pinned.shared.segment
+            assert f"/dev/shm/{first_segment}" in _segments()
+            graph.add_edge(
+                graph.add_node("New_Entity"), "type", graph.add_node("new_type")
+            )
+            fresh = engine.search(QUERY)
+            assert fresh is not outcome.result  # old version's cache purged
+            second_segment = engine._pinned.shared.segment
+            assert second_segment != first_segment
+            assert f"/dev/shm/{first_segment}" not in _segments()
+            assert f"/dev/shm/{second_segment}" in _segments()
+        # -- engine close unlinks everything it published ------------------
+        assert _segments() <= before
+
+    def test_deterministic_across_backends_and_cache_clears(self, graph):
+        with NCEngine(
+            graph, context_size=3, max_workers=1, executor="process", seed=5
+        ) as engine:
+            first = engine.search(QUERY)
+            engine.cache.clear()
+            second = engine.search(QUERY)
+            assert first is not second
+            assert [r.score for r in first.results] == [
+                r.score for r in second.results
+            ]
+
+    def test_rejects_unknown_executor(self, graph):
+        with pytest.raises(ValueError, match="executor"):
+            NCEngine(graph, executor="fiber")

@@ -1,0 +1,162 @@
+"""Markdown link and anchor checker for the repo's documentation surface.
+
+Validates, for every markdown file it is given (or the default doc set):
+
+* **relative links** ``[text](path)`` resolve to an existing file or
+  directory (relative to the file containing the link);
+* **anchored links** ``[text](path#anchor)`` / ``[text](#anchor)`` point
+  at a heading that actually exists in the target markdown file, using
+  GitHub's heading-to-anchor slug rules (lowercase, spaces to hyphens,
+  punctuation stripped);
+* external links (``http://``, ``https://``, ``mailto:``) are *not*
+  fetched — CI must not depend on the network — but obviously malformed
+  ones (empty targets) still fail.
+
+Exit status 0 when every link resolves, 1 otherwise (one line per broken
+link). Run from the repo root::
+
+    python tools/check_docs.py            # the default documentation set
+    python tools/check_docs.py README.md docs/ARCHITECTURE.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The documentation surface checked by CI when no files are given.
+DEFAULT_DOC_SET = (
+    "README.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/ARCHITECTURE.md",
+    "benchmarks/README.md",
+    "src/repro/service/README.md",
+)
+
+#: Inline markdown links: [text](target). Images share the syntax with a
+#: leading "!", which the pattern tolerates. Nested brackets in the text
+#: are not supported (the doc set doesn't use them).
+_LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: ATX headings, the only heading style the doc set uses.
+_HEADING_PATTERN = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading → anchor slug transformation.
+
+    Lowercase, backtick/asterisk markers and punctuation removed, spaces
+    turned into hyphens. Underscores are *kept* — GitHub preserves them
+    (``## node_count semantics`` anchors as ``#node_count-semantics``);
+    stripping them would both reject correct anchors and accept wrong
+    ones.
+    """
+    text = re.sub(r"[`*]", "", heading.strip())
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    text = text.replace(" ", "-")
+    return text
+
+
+def _strip_code_blocks(markdown: str) -> str:
+    """Remove fenced code blocks so example links inside them are ignored."""
+    out: list[str] = []
+    in_fence = False
+    for line in markdown.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def heading_slugs(markdown_path: Path) -> set[str]:
+    """Every anchor GitHub would generate for ``markdown_path``'s headings.
+
+    Duplicate headings get ``-1``, ``-2`` … suffixes, exactly as GitHub
+    disambiguates them.
+    """
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    content = _strip_code_blocks(markdown_path.read_text(encoding="utf-8"))
+    for line in content.splitlines():
+        match = _HEADING_PATTERN.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def check_file(markdown_path: Path) -> list[str]:
+    """All broken-link messages for one markdown file (empty = clean)."""
+    problems: list[str] = []
+    content = _strip_code_blocks(markdown_path.read_text(encoding="utf-8"))
+    for target in _LINK_PATTERN.findall(content):
+        if target.startswith(_EXTERNAL_SCHEMES):
+            continue
+        if target.startswith("#"):
+            path_part, anchor = "", target[1:]
+        elif "#" in target:
+            path_part, anchor = target.split("#", 1)
+        else:
+            path_part, anchor = target, ""
+        resolved = (
+            markdown_path.parent / path_part if path_part else markdown_path
+        )
+        try:
+            resolved = resolved.resolve()
+        except OSError:  # pragma: no cover - unresolvable path
+            problems.append(f"{markdown_path}: unresolvable link {target!r}")
+            continue
+        if path_part and not resolved.exists():
+            problems.append(f"{markdown_path}: broken link {target!r}")
+            continue
+        if anchor:
+            if resolved.suffix.lower() not in (".md", ".markdown"):
+                problems.append(
+                    f"{markdown_path}: anchor on non-markdown target {target!r}"
+                )
+                continue
+            if anchor not in heading_slugs(resolved):
+                problems.append(
+                    f"{markdown_path}: missing anchor {target!r} "
+                    f"(no heading slugs to {anchor!r} in {resolved.name})"
+                )
+    return problems
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Check the given markdown files (default: the committed doc set)."""
+    args = argv if argv is not None else sys.argv[1:]
+    files = [Path(arg) for arg in args] if args else [
+        REPO_ROOT / rel for rel in DEFAULT_DOC_SET
+    ]
+    problems: list[str] = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file does not exist")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = ", ".join(str(p) for p in files)
+    if problems:
+        print(f"FAILED: {len(problems)} broken link(s) across {checked}", file=sys.stderr)
+        return 1
+    print(f"OK: all links resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

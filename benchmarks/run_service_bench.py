@@ -2,21 +2,25 @@
 
 Thin wrapper over :func:`repro.service.bench.run_service_benchmark` (the
 same driver behind ``repro bench-serve``), defaulting the output to the
-repo-root ``BENCH_PR3.json`` so the service has a committed perf record
-alongside ``BENCH_PR1.json`` / ``BENCH_PR2.json``. Since PR 3 the suite
+repo-root ``BENCH_PR4.json`` so the service has a committed perf record
+alongside ``BENCH_PR1.json`` – ``BENCH_PR3.json``. Since PR 3 the suite
 includes the thread-vs-process backend comparison on distinct-query
-traffic (see ``benchmarks/README.md`` for the field reference).
+traffic; since PR 4 it also measures the snapshot-store cold start
+(parse+compile vs mmap open, asserted >= 10x) and snapshot-file serving
+parity (see ``benchmarks/README.md`` for the field reference).
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR3.json]
+    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR4.json]
                                                           [--scale 2.0] [--workers 4]
-                                                          [--quick]
+                                                          [--quick] [--snapshot PATH]
 
 ``--quick`` is the CI smoke mode: tiny scale, one repetition, two worker
 processes — seconds instead of minutes, enough to catch bitrot in both
 backends on every PR (numbers are NOT comparable to the committed
-BENCH_PR*.json files).
+BENCH_PR*.json files). ``--snapshot`` names the snapshot file for the
+cold-start/serving phases; CI passes a cached path so the compiled
+synthetic-YAGO snapshot is reused across workflow runs.
 """
 
 from __future__ import annotations
@@ -60,11 +64,18 @@ def main(argv: "list[str] | None" = None) -> int:
         help="CI smoke preset: scale 0.5, 6 distinct queries, context 30, "
         "1 repetition, 2 worker processes",
     )
+    parser.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        help="snapshot file for the cold-start/serving phases; an existing "
+        "matching file is reused (CI caches it), else it is compiled here",
+    )
     args = parser.parse_args(argv)
     if args.quick:
         for name, value in QUICK_PRESET.items():
             setattr(args, name, value)
-    out = args.out if args.out is not None else REPO_ROOT / "BENCH_PR3.json"
+    out = args.out if args.out is not None else REPO_ROOT / "BENCH_PR4.json"
 
     report = run_service_benchmark(
         dataset=args.dataset,
@@ -74,6 +85,7 @@ def main(argv: "list[str] | None" = None) -> int:
         distinct=args.distinct,
         repeat=args.repeat,
         seed=args.seed,
+        snapshot_path=str(args.snapshot) if args.snapshot is not None else None,
     )
     print_report(report)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

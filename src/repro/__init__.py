@@ -48,7 +48,7 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.model import KnowledgeGraph
 from repro.service.engine import NCEngine, SearchOutcome
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CharacteristicDistributions",

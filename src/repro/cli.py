@@ -17,19 +17,31 @@ Subcommands
 ``datasets``
     List the registered datasets with their statistics.
 
+``compile``
+    Compile an N-Triples/TSV dump — or a registered dataset — into a
+    single-file binary snapshot through the streaming bulk ingester
+    (never materializing the dict graph)::
+
+        repro compile dump.nt graph.snap
+        repro compile yago yago-s2.snap --scale 2.0
+
 ``serve``
-    Run the concurrent NC query service over a built-in dataset::
+    Run the concurrent NC query service over a built-in dataset, or
+    cold-start it from a compiled snapshot (one mmap, no parse, no
+    ``KnowledgeGraph`` in the serving process)::
 
         repro serve --dataset yago --port 8099
+        repro serve --snapshot yago-s2.snap --port 8099
         repro serve --executor process --workers 4   # scale with cores
         curl 'http://127.0.0.1:8099/search?query=Angela_Merkel,Barack_Obama'
 
 ``bench-serve``
     Run the service throughput/latency benchmark — including the
-    thread-vs-process backend comparison — and write the JSON report
-    (see ``benchmarks/README.md`` for the field reference)::
+    thread-vs-process backend comparison and the snapshot-store
+    cold-start phase — and write the JSON report (see
+    ``benchmarks/README.md`` for the field reference)::
 
-        repro bench-serve --out BENCH_PR3.json
+        repro bench-serve --out BENCH_PR4.json
 """
 
 from __future__ import annotations
@@ -72,9 +84,57 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list datasets with statistics")
 
+    compile_parser = sub.add_parser(
+        "compile",
+        help="compile a dump (or dataset) into a binary snapshot file",
+    )
+    compile_parser.add_argument(
+        "source",
+        help="an N-Triples (.nt) / YAGO-TSV (.tsv) dump path, or a "
+        "registered dataset name (see `repro datasets`)",
+    )
+    compile_parser.add_argument(
+        "snapshot", type=Path, help="output snapshot file path"
+    )
+    compile_parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="auto",
+        choices=("auto", "nt", "tsv"),
+        help="dump format (default: by file extension)",
+    )
+    compile_parser.add_argument(
+        "--scale", type=float, default=2.0, help="dataset scale (dataset sources)"
+    )
+    compile_parser.add_argument(
+        "--seed", type=int, default=None, help="dataset seed (dataset sources)"
+    )
+    compile_parser.add_argument(
+        "--name", default=None, help="graph name recorded in the snapshot header"
+    )
+    compile_parser.add_argument(
+        "--no-inverse",
+        action="store_true",
+        help="the dump already contains both edge directions "
+        "(skip the Section-2 inverse closure)",
+    )
+    compile_parser.add_argument(
+        "--no-transition",
+        action="store_true",
+        help="do not persist the frozen PPR transition matrix "
+        "(smaller file, slower serve warm-up)",
+    )
+
     serve = sub.add_parser("serve", help="run the concurrent NC query service")
     serve.add_argument("--dataset", default="yago", choices=dataset_names())
     serve.add_argument("--scale", type=float, default=2.0)
+    serve.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        help="serve from a compiled snapshot file (mmap cold start; "
+        "--dataset/--scale are ignored)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8099)
     serve.add_argument("--context-size", type=int, default=100)
@@ -108,6 +168,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--out", type=Path, default=None, help="write the JSON report here"
     )
+    bench.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        help="snapshot file for the cold-start/serving phases "
+        "(reused when it matches, else compiled here)",
+    )
     return parser
 
 
@@ -138,11 +205,48 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.datasets.loader import to_snapshot
+    from repro.disk import ingest_file
+
+    source = str(args.source)
+    if source in dataset_names() and not Path(source).exists():
+        stats = to_snapshot(
+            source,
+            args.snapshot,
+            scale=args.scale,
+            seed=args.seed,
+            include_transition=not args.no_transition,
+            graph_name=args.name,
+        )
+    else:
+        stats = ingest_file(
+            source,
+            args.snapshot,
+            fmt=args.fmt,
+            graph_name=args.name,
+            add_inverse=not args.no_inverse,
+            include_transition=not args.no_transition,
+        )
+    print(
+        f"compiled {source}: |V|={stats.nodes}, |E|={stats.edges}, "
+        f"|L|={stats.labels} ({stats.triples} statements read, "
+        f"{stats.duplicates} duplicates dropped)"
+    )
+    print(f"wrote {args.snapshot} ({stats.bytes_written} bytes)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.engine import NCEngine
     from repro.service.server import NCRequestHandler, create_server
 
-    graph = load_dataset(args.dataset, scale=args.scale)
+    if args.snapshot is not None:
+        from repro.disk import open_snapshot_view
+
+        graph = open_snapshot_view(args.snapshot)
+    else:
+        graph = load_dataset(args.dataset, scale=args.scale)
     engine = NCEngine(
         graph,
         context_size=args.context_size,
@@ -180,6 +284,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         distinct=args.distinct,
         repeat=args.repeat,
         seed=args.seed,
+        snapshot_path=str(args.snapshot) if args.snapshot is not None else None,
     )
     print_report(report)
     if args.out is not None:
@@ -195,6 +300,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "search": _cmd_search,
         "experiment": _cmd_experiment,
         "datasets": _cmd_datasets,
+        "compile": _cmd_compile,
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
     }

@@ -134,6 +134,25 @@ class RandomWalkContext(ContextSelector):
         self._pagerank.transition()
         return self
 
+    def warm_from(self, transition) -> "RandomWalkContext":
+        """Freeze a transition matrix somebody else already built.
+
+        Used by process workers (the CSR triple arrives through the shared
+        segment) and by snapshot-file serving (the triple is persisted in
+        the file): adopting skips the per-worker/per-boot
+        ``weighted_adjacency`` rebuild entirely. Requires ``pin=True``.
+        """
+        self._pagerank.adopt_transition(transition)
+        return self
+
+    def frozen_transition(self):
+        """The pinned transition matrix, building it if necessary.
+
+        The export side of transition sharing: the engine publishes this
+        matrix's ``(data, indices, indptr)`` triple for workers to adopt.
+        """
+        return self._pagerank.transition()
+
     def select(self, query: Sequence[int], k: int) -> ContextResult:
         query_tuple = _validate_query(self._graph, query)
         if k < 0:

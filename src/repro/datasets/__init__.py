@@ -9,7 +9,12 @@ reproduce the distributional facts the evaluation relies on).
 from repro.datasets.figure1 import FIGURE1_CONTEXT, FIGURE1_QUERY, figure1_graph
 from repro.datasets.groundtruth import CrowdConfig, CrowdSimulator, GroundTruth
 from repro.datasets.linkedmdb import SyntheticLinkedMdb, synthetic_linkedmdb
-from repro.datasets.loader import clear_dataset_cache, dataset_names, load_dataset
+from repro.datasets.loader import (
+    clear_dataset_cache,
+    dataset_names,
+    load_dataset,
+    to_snapshot,
+)
 from repro.datasets.seeds import (
     ACTORS_DOMAIN,
     AUTHORS_QUERY,
@@ -46,4 +51,5 @@ __all__ = [
     "seed_person",
     "synthetic_linkedmdb",
     "synthetic_yago",
+    "to_snapshot",
 ]

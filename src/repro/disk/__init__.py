@@ -1,0 +1,62 @@
+"""Persistence substrate: the memory-mapped snapshot store + bulk ingest.
+
+The third transport for compiled graph snapshots. PR 1 compiled the
+in-process columnar :class:`~repro.graph.compiled.CompiledGraph`; PR 3
+published it over :mod:`multiprocessing.shared_memory` for worker
+processes; this package puts the same block layout in a **single
+immutable file**, so serving cold-starts by mapping pages instead of
+parsing dumps:
+
+* :func:`save_snapshot` / :func:`save_graph_snapshot` — write one graph
+  version (eight snapshot arrays + name tables + optionally the frozen
+  PPR transition CSR) with a versioned binary header;
+* :func:`open_snapshot` / :func:`open_snapshot_view` — zero-copy
+  :class:`numpy.memmap` reconstruction, wrapped in the
+  :class:`~repro.parallel.shm.SnapshotGraphView` reader surface so the
+  unchanged FindNC pipeline (and :class:`~repro.service.engine.NCEngine`,
+  both executor backends) serves straight off disk with **no**
+  :class:`~repro.graph.model.KnowledgeGraph` in the process;
+* :func:`ingest_file` / :func:`ingest_triples` — the streaming bulk
+  ingester behind ``repro compile``: N-Triples/TSV dumps compile
+  directly into CSR arrays through two counting passes, never
+  materializing the dict graph.
+
+File-format details and the cold-start lifecycle live in
+``docs/ARCHITECTURE.md``.
+"""
+
+from repro.disk.ingest import (
+    IngestStats,
+    StreamingCompiler,
+    compile_triples,
+    detect_format,
+    ingest_file,
+    ingest_triples,
+)
+from repro.disk.store import (
+    DiskSnapshot,
+    DiskSnapshotHeader,
+    DiskSnapshotPublication,
+    SnapshotFormatError,
+    open_snapshot,
+    open_snapshot_view,
+    save_graph_snapshot,
+    save_snapshot,
+)
+
+__all__ = [
+    "DiskSnapshot",
+    "DiskSnapshotHeader",
+    "DiskSnapshotPublication",
+    "IngestStats",
+    "SnapshotFormatError",
+    "StreamingCompiler",
+    "compile_triples",
+    "detect_format",
+    "ingest_file",
+    "ingest_triples",
+    "open_snapshot",
+    "open_snapshot_view",
+    "save_graph_snapshot",
+    "save_snapshot",
+]

@@ -20,11 +20,16 @@ via the (1 - c) teleport term and renormalization.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 from scipy import sparse
 
 from repro.graph.model import KnowledgeGraph
 from repro.graph.statistics import GraphStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.graph.compiled import CompiledGraph
 
 
 def weighted_adjacency(
@@ -35,18 +40,50 @@ def weighted_adjacency(
     The COO triple comes straight from the compiled columnar snapshot
     (:mod:`repro.graph.compiled`) — flat ``(sources, targets, label_ids)``
     arrays and a per-label-id weight lookup — instead of materializing an
-    :class:`~repro.graph.model.Edge` dataclass per edge.
+    :class:`~repro.graph.model.Edge` dataclass per edge. With the default
+    snapshot weights this delegates to
+    :func:`weighted_adjacency_from_snapshot` (one construction for both
+    the live-graph and snapshot-only paths).
     """
     compiled = graph._compiled()  # noqa: SLF001 - internal fast path
+    if statistics is None:
+        return weighted_adjacency_from_snapshot(compiled)
     weights = _label_weight_array(graph, statistics)
-    n = graph.node_count
     matrix = sparse.coo_matrix(
         (weights[compiled.label_ids], (compiled.sources, compiled.targets)),
-        shape=(n, n),
+        shape=(compiled.node_count, compiled.node_count),
         dtype=np.float64,
     )
     # Duplicate (i, j) entries from parallel edges are summed by conversion.
     return matrix.tocsr()
+
+
+def weighted_adjacency_from_snapshot(compiled: "CompiledGraph") -> sparse.csr_matrix:
+    """Equation 1's ``A`` built from a snapshot alone — no graph object.
+
+    The graph-free twin of :func:`weighted_adjacency` (same COO-from-arrays
+    construction, always the snapshot's precomputed Equation-1 weights),
+    for consumers that only hold a :class:`~repro.graph.compiled.CompiledGraph`
+    — the disk ingester bakes the frozen transition matrix into a snapshot
+    file before any graph exists.
+    """
+    n = compiled.node_count
+    matrix = sparse.coo_matrix(
+        (compiled.label_weights[compiled.label_ids], (compiled.sources, compiled.targets)),
+        shape=(n, n),
+        dtype=np.float64,
+    )
+    return matrix.tocsr()
+
+
+def transition_from_snapshot(compiled: "CompiledGraph") -> sparse.csr_matrix:
+    """Equation 2's column-stochastic ``A~`` built from a snapshot alone.
+
+    :func:`transition_matrix` over :func:`weighted_adjacency_from_snapshot`
+    — the matrix the query service freezes per graph version and the disk
+    store persists so a cold-started server never rebuilds it.
+    """
+    return _normalize_transition(weighted_adjacency_from_snapshot(compiled))
 
 
 def _label_weight_array(
@@ -81,6 +118,11 @@ def transition_matrix(
     from node ``j`` to node ``i``.
     """
     a = adjacency if adjacency is not None else weighted_adjacency(graph)
+    return _normalize_transition(a)
+
+
+def _normalize_transition(a: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Column-normalize ``a`` transposed (the shared Equation-2 step)."""
     out_weight = np.asarray(a.sum(axis=1)).ravel()  # row sums of A = out-weights
     with np.errstate(divide="ignore"):
         inverse = np.where(out_weight > 0, 1.0 / out_weight, 0.0)

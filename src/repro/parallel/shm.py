@@ -5,9 +5,14 @@ a **single** named shared-memory segment laid out as::
 
     [ indptr | sources | label_ids | targets | label_indptr | label_order
       | label_weights | out_weight | node-name offsets | node-name blob
-      | label-name offsets | label-name blob ]
+      | label-name offsets | label-name blob
+      | transition data | indices | indptr   (optional CSR triple) ]
 
-with every block 8-byte aligned. The layout is described by a small
+with every block 8-byte aligned. The optional trailing blocks carry the
+frozen Equation-2 PPR transition matrix (:data:`TRANSITION_FIELDS`), so
+workers adopt the publisher's matrix instead of each rebuilding
+``weighted_adjacency``; the disk snapshot store (:mod:`repro.disk`)
+persists the same block set to a file. The layout is described by a small
 picklable :class:`SharedSnapshotHeader` (segment name, scalar metadata,
 per-block offsets/shapes) — the *only* thing that crosses the process
 boundary per publication; requests then reference the header and workers
@@ -80,6 +85,45 @@ class _BlockSpec:
         return self.length * np.dtype(self.dtype).itemsize
 
 
+#: Block names of a packed frozen transition matrix (CSR triple), in
+#: canonical order. Shared by the shm segment and the disk snapshot store
+#: (:mod:`repro.disk`): both publish the same three arrays so consumers
+#: rebuild ``scipy.sparse.csr_matrix((data, indices, indptr))`` zero-copy.
+TRANSITION_FIELDS: "tuple[str, ...]" = (
+    "transition_data",
+    "transition_indices",
+    "transition_indptr",
+)
+
+
+def transition_blocks(transition) -> "list[tuple[str, np.ndarray]]":
+    """``(name, array)`` pairs of a scipy CSR matrix, in
+    :data:`TRANSITION_FIELDS` order (the export half of transition
+    sharing)."""
+    return [
+        ("transition_data", np.asarray(transition.data)),
+        ("transition_indices", np.asarray(transition.indices)),
+        ("transition_indptr", np.asarray(transition.indptr)),
+    ]
+
+
+def build_transition_csr(
+    data: np.ndarray, indices: np.ndarray, indptr: np.ndarray, node_count: int
+):
+    """Rebuild the frozen transition matrix from its shared CSR triple.
+
+    The attach half of transition sharing: the arrays may view foreign
+    memory (an shm segment or an mmapped snapshot file); scipy wraps them
+    without copying. Import is local so :mod:`repro.parallel.shm` keeps
+    working where scipy is absent until a transition is actually used.
+    """
+    from scipy import sparse
+
+    return sparse.csr_matrix(
+        (data, indices, indptr), shape=(node_count, node_count), copy=False
+    )
+
+
 @dataclass(frozen=True)
 class SharedSnapshotHeader:
     """The picklable description of one published snapshot segment.
@@ -87,7 +131,10 @@ class SharedSnapshotHeader:
     Everything a worker needs to reconstruct the snapshot: the segment
     *name* (the shared-memory rendezvous), the three snapshot scalars,
     and the block table. Headers are tiny (a few hundred bytes pickled)
-    and safe to ship with every request.
+    and safe to ship with every request. ``transition`` is the optional
+    block table of the pinned PPR transition matrix's CSR triple
+    (:data:`TRANSITION_FIELDS`); when present, workers adopt the matrix
+    instead of rebuilding it from the adjacency.
     """
 
     segment: str
@@ -101,6 +148,7 @@ class SharedSnapshotHeader:
     label_name_offsets: _BlockSpec
     label_name_blob: _BlockSpec
     total_bytes: int
+    transition: "tuple[tuple[str, _BlockSpec], ...] | None" = None
 
 
 def _encode_names(names: "Sequence[str]") -> "tuple[np.ndarray, np.ndarray]":
@@ -213,6 +261,7 @@ def publish_snapshot(
     *,
     graph_name: str = "knowledge-graph",
     segment_prefix: str = "repro-snap",
+    transition=None,
 ) -> SharedSnapshot:
     """Export one compiled snapshot into a fresh shared-memory segment.
 
@@ -220,6 +269,12 @@ def publish_snapshot(
     ``node_count`` / ``label_count`` so a name table that has grown past
     the snapshot (writers kept adding nodes) cannot leak newer state into
     the published version.
+
+    ``transition`` (optional) is the pinned PPR transition matrix (scipy
+    CSR) for this snapshot version; its ``(data, indices, indptr)``
+    triple is packed into the segment so every worker adopts ONE frozen
+    matrix instead of rebuilding ``weighted_adjacency`` per worker per
+    version.
 
     Returns the :class:`SharedSnapshot` handle whose
     :attr:`~SharedSnapshot.header` workers attach with; the caller owns
@@ -245,6 +300,13 @@ def publish_snapshot(
         ("label_name_offsets", label_offsets),
         ("label_name_blob", label_blob),
     ]
+    if transition is not None:
+        if transition.shape != (compiled.node_count, compiled.node_count):
+            raise ValueError(
+                f"transition matrix shape {transition.shape} does not match "
+                f"the snapshot's {compiled.node_count} nodes"
+            )
+        blocks += transition_blocks(transition)
     specs: dict[str, _BlockSpec] = {}
     offset = 0
     for name, array in blocks:
@@ -290,6 +352,11 @@ def publish_snapshot(
         label_name_offsets=specs["label_name_offsets"],
         label_name_blob=specs["label_name_blob"],
         total_bytes=total,
+        transition=(
+            tuple((name, specs[name]) for name in TRANSITION_FIELDS)
+            if transition is not None
+            else None
+        ),
     )
     return SharedSnapshot(header, shm)
 
@@ -371,6 +438,28 @@ class AttachedSnapshot:
         for label in label_names:
             self.label_table.intern(label)
         label_names.release()
+        self._transition = None
+
+    def transition(self):
+        """The published frozen PPR transition matrix, or ``None``.
+
+        Rebuilt (and memoized) as a scipy CSR over zero-copy views of the
+        segment's :data:`TRANSITION_FIELDS` blocks. ``None`` when the
+        publisher did not share one (workers then rebuild it from the
+        snapshot arrays, the pre-PR-4 behaviour).
+        """
+        if self._transition is not None:
+            return self._transition
+        if self.header.transition is None:
+            return None
+        views = {name: self._view(spec) for name, spec in self.header.transition}
+        self._transition = build_transition_csr(
+            views["transition_data"],
+            views["transition_indices"],
+            views["transition_indptr"],
+            self.header.node_count,
+        )
+        return self._transition
 
     def _view(self, spec: _BlockSpec) -> np.ndarray:
         assert self._shm is not None
@@ -390,6 +479,7 @@ class AttachedSnapshot:
         if self._shm is None:
             return
         self.compiled = None  # type: ignore[assignment]
+        self._transition = None
         self.node_names.release()
         self.node_names = None  # type: ignore[assignment]
         shm, self._shm = self._shm, None
@@ -425,11 +515,21 @@ class SnapshotGraphView:
     :class:`~repro.walk.pagerank.PersonalizedPageRank` and
     :func:`~repro.core.distributions.build_all_distributions` run
     unmodified on shared memory.
+
+    ``attached`` is anything exposing the attach surface — an shm
+    :class:`AttachedSnapshot` or a :class:`repro.disk.DiskSnapshot`
+    (mmap-backed); the view itself never touches the transport.
     """
 
-    def __init__(self, attached: AttachedSnapshot) -> None:
+    #: Marker consumed by :class:`~repro.service.engine.NCEngine`: a
+    #: frozen view's ``version`` never advances, so the engine pins once
+    #: and serves with no live :class:`KnowledgeGraph` in the process.
+    frozen = True
+
+    def __init__(self, attached) -> None:
         self._attached = attached
         self.name = attached.header.graph_name
+        self._name_index: "dict[str, int] | None" = None
 
     # -- identity ----------------------------------------------------------
 
@@ -461,17 +561,28 @@ class SnapshotGraphView:
         return isinstance(ref, int) and 0 <= ref < self.node_count
 
     def node_id(self, ref: "NodeRef") -> int:
-        """Resolve an id (range-checked) or exact name (linear scan).
+        """Resolve an id (range-checked) or exact name.
 
         Workers receive queries already resolved to ids by the engine, so
-        the string path exists only for API completeness — it scans the
-        lazy name table and is not meant for hot use.
+        their string path stays cold. Snapshot-file *serving*
+        (``repro serve --snapshot``) resolves names in this process, which
+        makes the string path hot — the first string lookup builds a full
+        ``{name: id}`` index (one decode pass over the name blob, the
+        same cost the live graph pays at construction) and every later
+        lookup is a dict hit.
         """
         if isinstance(ref, str):
-            for node_id, name in enumerate(self._attached.node_names):
-                if name == ref:
-                    return node_id
-            raise NodeNotFoundError(ref)
+            index = self._name_index
+            if index is None:
+                index = {
+                    name: node_id
+                    for node_id, name in enumerate(self._attached.node_names)
+                }
+                self._name_index = index
+            node_id = index.get(ref)
+            if node_id is None:
+                raise NodeNotFoundError(ref)
+            return node_id
         if not isinstance(ref, int) or isinstance(ref, bool):
             raise TypeError(
                 f"node reference must be int or str, got {type(ref).__name__}"
@@ -489,6 +600,19 @@ class SnapshotGraphView:
         if not 0 <= node_id < self.node_count:
             raise NodeNotFoundError(node_id)
         return self._attached.node_names[node_id]
+
+    def nodes(self) -> range:
+        """All node ids of the pinned version (dense, so a range).
+
+        Mirrors :meth:`KnowledgeGraph.nodes` — the entity index iterates
+        this to build its normalized-name map when a frozen view is
+        served directly.
+        """
+        return range(self.node_count)
+
+    def node_names(self):
+        """Iterate phi over all nodes (decoded lazily)."""
+        return iter(self._attached.node_names)
 
     # -- snapshot access (the internal fast-path surface) ------------------
 
@@ -511,3 +635,12 @@ class SnapshotGraphView:
             f"{self.name}@v{self.version} (shared view): "
             f"|V|={self.node_count}, |E|={self.edge_count}"
         )
+
+    def close(self) -> None:
+        """Release the underlying attachment (segment mapping or mmap).
+
+        The view must not be used afterwards — same contract as closing
+        the attachment directly. Convenience for serving callers that own
+        the view's whole lifecycle (the benchmark, short-lived scripts).
+        """
+        self._attached.close()

@@ -24,10 +24,18 @@ The engine turns the library pipeline into a servable primitive:
   ~1x per core because the pipeline's Python-level work holds the GIL.
   With ``executor="process"`` the thread pool only *dispatches*: the
   pinned snapshot is published once per graph version into shared
-  memory (:mod:`repro.parallel.shm`) and the computations execute on a
+  memory (:mod:`repro.parallel.shm`) — together with the frozen PPR
+  transition's CSR triple, which workers adopt instead of rebuilding —
+  and the computations execute on a
   :class:`~repro.service.workers.ProcessWorkerPool`, so distinct-query
   throughput scales with cores. The cache, coalescing, name resolution
   and the HTTP server stay in the parent either way.
+* **Graph-free serving.** The engine also accepts a *frozen* snapshot
+  view (``repro.disk.open_snapshot_view`` over an mmapped snapshot
+  file): same API, one pin for the process lifetime, and in process
+  mode workers mmap the same file instead of receiving a fresh shm
+  publication — no :class:`KnowledgeGraph` exists anywhere in the
+  serving topology.
 
 Determinism: each computation derives its RNG seed from the cache key, so
 identical requests produce identical results whether or not they hit the
@@ -178,6 +186,12 @@ class NCEngine:
                 f"executor must be 'thread' or 'process', got {executor!r}"
             )
         self._graph = graph
+        #: A frozen graph (``SnapshotGraphView`` over an mmapped snapshot
+        #: file or an attached shm segment) never mutates: the engine pins
+        #: exactly once, skips the writer-race retry loop, and — for a
+        #: disk-backed view in process mode — ships workers the snapshot
+        #: *path* instead of publishing a redundant shm copy.
+        self._frozen = bool(getattr(graph, "frozen", False))
         self.context_size = context_size
         self.alpha = alpha
         self.damping = damping
@@ -298,7 +312,13 @@ class NCEngine:
         the selector is built *before* the snapshot, so the (newer)
         snapshot covers every node the selector can return, and the
         per-request ``covers`` checks remain the backstop.
+
+        Frozen graphs (snapshot views) cannot race: their single pin is
+        built directly, with the stored transition matrix adopted instead
+        of rebuilt when the snapshot carries one.
         """
+        if self._frozen:
+            return self._build_frozen_pin()
         last_error: RuntimeError | None = None
         state: _PinnedState | None = None
         for _ in range(4):
@@ -315,11 +335,11 @@ class NCEngine:
                     iterations=self.iterations,
                     pin=True,
                 )
-                if self.executor == "thread":
-                    # Freeze the transition matrix in the parent. Process
-                    # workers rebuild it from the shared arrays instead,
-                    # so process-mode pins skip this (per-version) cost.
-                    selector.warm()
+                # Freeze the transition matrix in the parent — thread mode
+                # serves PPR from it directly; process mode shares its CSR
+                # triple through the segment so workers adopt ONE matrix
+                # instead of each rebuilding weighted_adjacency.
+                selector.warm()
                 snapshot = self._graph.compiled()
             except RuntimeError as error:
                 # e.g. "dictionary changed size during iteration" from a
@@ -330,7 +350,7 @@ class NCEngine:
                 snapshot=snapshot,
                 selector=selector,
                 entity_index=EntityIndex(self._graph),
-                shared=self._publish(snapshot),
+                shared=self._publish(snapshot, selector),
             )
             if snapshot.version == version:
                 return state
@@ -341,21 +361,70 @@ class NCEngine:
             ) from last_error
         return state
 
-    def _publish(self, snapshot: CompiledGraph) -> "SharedSnapshot | None":
+    def _build_frozen_pin(self) -> _PinnedState:
+        """The one-shot pin over a frozen snapshot view (no writers, ever).
+
+        The cold-start fast path of ``repro serve --snapshot``: the
+        snapshot is already compiled (it *is* the mmapped file), and when
+        the file/segment carries the frozen PPR transition CSR the
+        selector adopts it — so pinning costs an entity-index build and
+        nothing else. In process mode a disk-backed view is republished
+        as its own *path* (workers mmap the same file); only a view with
+        no path-publication falls back to an shm export.
+        """
+        snapshot = self._graph.compiled()
+        selector = RandomWalkContext(
+            self._graph,
+            damping=self.damping,
+            iterations=self.iterations,
+            pin=True,
+        )
+        attached = getattr(self._graph, "_attached", None)
+        stored = attached.transition() if attached is not None else None
+        if stored is not None:
+            selector.warm_from(stored)
+        elif self.executor == "thread":
+            selector.warm()
+        shared: "SharedSnapshot | None" = None
+        if self.executor == "process":
+            if attached is not None and hasattr(attached, "publication"):
+                shared = attached.publication()
+            else:  # pragma: no cover - shm-backed view served directly
+                shared = self._publish(snapshot, selector)
+        return _PinnedState(
+            snapshot=snapshot,
+            selector=selector,
+            entity_index=EntityIndex(self._graph),
+            shared=shared,
+        )
+
+    def _publish(
+        self, snapshot: CompiledGraph, selector: RandomWalkContext
+    ) -> "SharedSnapshot | None":
         """Export ``snapshot`` to shared memory (process mode only).
 
         Name tables are sliced to the snapshot's node/label counts inside
         :func:`publish_snapshot`, so a racing writer growing the graph
-        cannot leak post-snapshot names into the published segment.
+        cannot leak post-snapshot names into the published segment. The
+        selector's frozen transition CSR rides along when its shape still
+        matches the snapshot (a torn retry-exhausted pin publishes
+        without it and workers rebuild, the pre-PR-4 behaviour).
         """
         if self.executor != "process":
             return None
+        transition = selector.frozen_transition()
+        if transition.shape[0] != snapshot.node_count:
+            transition = None
+        node_names = self._graph._node_names_list()  # noqa: SLF001 - fast path
+        if not isinstance(node_names, list):  # lazy table: no slice support
+            node_names = [node_names[i] for i in range(snapshot.node_count)]
         table = self._graph._label_table()  # noqa: SLF001 - label ids only grow
         return publish_snapshot(
             snapshot,
-            self._graph._node_names_list(),  # noqa: SLF001 - internal fast path
+            node_names,
             [table.name(label_id) for label_id in range(snapshot.label_count)],
             graph_name=self._graph.name,
+            transition=transition,
         )
 
     # -- request plumbing --------------------------------------------------

@@ -9,11 +9,13 @@ snapshot published by :mod:`repro.parallel.shm`:
 * the engine (parent) keeps everything stateful: HTTP serving, name
   resolution, the version-keyed result cache, single-flight coalescing,
   and segment publication;
-* workers receive ``(job id, segment header, resolved query ids,
+* workers receive ``(job id, snapshot header, resolved query ids,
   parameters)`` tuples — a few hundred bytes — and attach the snapshot
-  segment **once per graph version**, rebuilding the frozen PPR
-  transition matrix from the shared arrays; per-request cost is one
-  small task pickle and one result pickle, never the graph;
+  **once per graph version** (an shm segment for live-graph serving, an
+  mmapped snapshot file for ``repro serve --snapshot``), adopting the
+  published frozen PPR transition CSR zero-copy (rebuilding it only when
+  the publisher did not share one); per-request cost is one small task
+  pickle and one result pickle, never the graph;
 * dispatch is round-robin over per-worker task queues, results flow back
   over one shared queue drained by a collector thread that resolves the
   parent-side jobs.
@@ -47,6 +49,33 @@ from repro.parallel.shm import (
     StaleSnapshotError,
     attach_snapshot,
 )
+
+
+def _attach_header(header):
+    """Attach whatever transport ``header`` describes.
+
+    Two header species reach a worker: an shm
+    :class:`~repro.parallel.shm.SharedSnapshotHeader` (live-graph serving
+    — attach the named segment) and a disk
+    :class:`~repro.disk.DiskSnapshotHeader` (snapshot-file serving — mmap
+    the file; no publish step existed, so there is nothing to attach in
+    the shm sense). Both return objects with the same attach surface, so
+    the worker loop below does not care which it got. A vanished snapshot
+    file maps onto :class:`~repro.parallel.shm.StaleSnapshotError`, the
+    same retriable condition as an unlinked segment.
+    """
+    if isinstance(header, SharedSnapshotHeader):
+        return attach_snapshot(header)
+    from repro.disk.store import DiskSnapshotHeader, open_snapshot
+
+    if isinstance(header, DiskSnapshotHeader):
+        try:
+            return open_snapshot(header.path)
+        except FileNotFoundError as error:
+            raise StaleSnapshotError(
+                f"snapshot file {header.path!r} is gone"
+            ) from error
+    raise TypeError(f"unknown snapshot header type: {type(header).__name__}")
 
 
 class WorkerCrashError(RuntimeError):
@@ -153,14 +182,23 @@ def _worker_main(worker_index: int, task_queue, result_queue) -> None:
                 if attached is not None:
                     attached.close()
                     attached = None
-                attached = attach_snapshot(task.header)
+                attached = _attach_header(task.header)
                 view = SnapshotGraphView(attached)
                 selector = RandomWalkContext(
                     view,
                     damping=task.config.damping,
                     iterations=task.config.iterations,
                     pin=True,
-                ).warm()
+                )
+                shared_transition = attached.transition()
+                if shared_transition is not None:
+                    # The publisher shared the frozen transition's CSR
+                    # triple (through the segment or the snapshot file):
+                    # adopt it zero-copy instead of rebuilding
+                    # weighted_adjacency per worker per version.
+                    selector.warm_from(shared_transition)
+                else:
+                    selector.warm()
                 attached_segment = segment
             result = _execute_task(view, selector, task)
             result_queue.put((task.job_id, segment, "ok", result))

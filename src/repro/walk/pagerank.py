@@ -311,6 +311,28 @@ class PersonalizedPageRank:
         self._version = self._graph.version
         return self._transition
 
+    def adopt_transition(self, matrix: sparse.csr_matrix) -> None:
+        """Install a prebuilt frozen transition matrix (requires ``pin=True``).
+
+        The zero-build warm path: the query service publishes the pinned
+        transition's CSR triple through shared memory and the disk store
+        persists it in the snapshot file, so workers and cold-started
+        servers hand the matrix in here instead of paying a
+        :func:`~repro.graph.matrix.weighted_adjacency` rebuild. Only a
+        pinned runner may adopt — an unpinned one would keep serving the
+        adopted matrix across graph mutations.
+        """
+        if not self.pin:
+            raise ValueError("adopt_transition requires a pinned runner (pin=True)")
+        n = self._graph.node_count
+        if matrix.shape != (n, n):
+            raise ValueError(
+                f"transition matrix shape {matrix.shape} does not match the "
+                f"graph's {n} nodes"
+            )
+        self._transition = matrix
+        self._version = self._graph.version
+
     def scores(self, nodes: "list[int] | tuple[int, ...]") -> np.ndarray:
         """PPR vector personalized on ``nodes`` jointly."""
         if self.backend == "python":

@@ -124,3 +124,50 @@ class TestBenchServeCommand:
         assert report["warm"]["n"] == report["params"]["distinct_queries"]
         assert report["single_flight"]["computed"] == 1
         assert "concurrent" in capsys.readouterr().out
+
+
+class TestCompileParser:
+    def test_compile_args(self):
+        args = build_parser().parse_args(["compile", "yago", "out.snap", "--scale", "0.5"])
+        assert args.command == "compile"
+        assert args.source == "yago"
+        assert str(args.snapshot) == "out.snap"
+        assert args.scale == 0.5
+        assert args.fmt == "auto"
+        assert not args.no_transition
+
+    def test_serve_snapshot_flag(self):
+        args = build_parser().parse_args(["serve", "--snapshot", "graph.snap"])
+        assert str(args.snapshot) == "graph.snap"
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.snapshot is None
+
+
+class TestCompileCommand:
+    def test_compile_dataset_then_open(self, capsys, tmp_path):
+        out = tmp_path / "figure1.snap"
+        assert main(["compile", "figure1", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "compiled figure1" in stdout
+        assert str(out) in stdout
+        from repro.datasets.loader import load_dataset
+        from repro.disk import open_snapshot_view
+
+        view = open_snapshot_view(out)
+        graph = load_dataset("figure1")
+        assert view.node_count == graph.node_count
+        assert view.edge_count == graph.edge_count
+
+    def test_compile_ntriples_dump(self, capsys, tmp_path):
+        dump = tmp_path / "dump.nt"
+        dump.write_text(
+            "<Angela_Merkel> <leaderOf> <Germany> .\n"
+            "<Barack_Obama> <leaderOf> <USA> .\n"
+        )
+        out = tmp_path / "dump.snap"
+        assert main(["compile", str(dump), str(out)]) == 0
+        from repro.disk import open_snapshot
+
+        with open_snapshot(out) as snap:
+            assert snap.compiled.node_count == 4
+            assert snap.compiled.edge_count == 4  # inverse closure

@@ -34,3 +34,33 @@ class TestLoader:
         a = load_dataset("yago", scale=0.3, seed=1)
         b = load_dataset("yago", scale=0.3, seed=2)
         assert a is not b
+
+
+class TestToSnapshot:
+    def test_routes_through_ingester_byte_identically(self, tmp_path):
+        import numpy as np
+
+        from repro.datasets.loader import to_snapshot
+        from repro.disk import open_snapshot
+        from repro.graph.compiled import ARRAY_FIELDS
+
+        graph = load_dataset("figure1")
+        path = tmp_path / "figure1.snap"
+        stats = to_snapshot("figure1", path)
+        assert stats.nodes == graph.node_count
+        assert stats.edges == graph.edge_count
+        compiled = graph.compiled()
+        with open_snapshot(path) as snap:
+            for name, _ in ARRAY_FIELDS:
+                assert np.array_equal(
+                    getattr(snap.compiled, name), getattr(compiled, name)
+                ), name
+            assert list(snap.node_names) == graph._node_names_list()
+            assert snap.header.version == graph.version
+            assert snap.transition() is not None
+
+    def test_unknown_dataset_raises(self, tmp_path):
+        from repro.datasets.loader import to_snapshot
+
+        with pytest.raises(KeyError):
+            to_snapshot("wikidata", tmp_path / "x.snap")

@@ -1,0 +1,180 @@
+"""The streaming bulk ingester: dict-graph parity, dedup, closure, formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.ingest import (
+    StreamingCompiler,
+    compile_triples,
+    detect_format,
+    ingest_file,
+    ingest_triples,
+)
+from repro.disk.store import open_snapshot
+from repro.graph.builder import graph_from_triples
+from repro.graph.compiled import ARRAY_FIELDS
+from repro.graph.io import save_graph
+
+node_names = st.sampled_from([f"n{i}" for i in range(6)])
+label_names = st.sampled_from(["r", "s", "t"])
+fact_lists = st.lists(
+    st.tuples(node_names, label_names, node_names), min_size=1, max_size=25
+)
+
+
+def assert_byte_identical(compiled, expected):
+    for name, dtype in ARRAY_FIELDS:
+        actual = getattr(compiled, name)
+        assert actual.dtype == dtype
+        assert actual.tobytes() == getattr(expected, name).tobytes(), name
+    assert compiled.node_count == expected.node_count
+    assert compiled.label_count == expected.label_count
+
+
+class TestDictGraphParity:
+    @given(fact_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_same_stream_same_arrays(self, facts):
+        """Ingesting a stream == building the dict graph from it + compiling."""
+        graph = graph_from_triples(facts)
+        compiled, names, labels, stats = compile_triples(facts)
+        assert_byte_identical(compiled, graph.compiled())
+        assert names == graph._node_names_list()
+        assert list(labels) == list(graph._label_table())
+        assert stats.edges == graph.edge_count
+
+    @given(fact_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_closure_off_parity(self, facts):
+        graph = graph_from_triples(facts, add_inverse=False)
+        compiled, names, labels, _ = compile_triples(facts, add_inverse=False)
+        assert_byte_identical(compiled, graph.compiled())
+        assert names == graph._node_names_list()
+
+    def test_preinterned_vocabulary_reproduces_ids(self):
+        """Pre-interned names pin node/label ids regardless of stream order."""
+        facts = [("a", "r", "b"), ("c", "s", "a")]
+        graph = graph_from_triples(facts)
+        names = graph._node_names_list()
+        labels = list(graph._label_table())
+        # Feed the graph's edges back in graph-iteration order (not the
+        # original insertion order) with the vocabulary pre-interned: the
+        # arrays must still come out identical to graph.compiled().
+        stream = [
+            (names[edge.source], edge.label, names[edge.target])
+            for edge in graph.edges()
+        ]
+        compiled, out_names, out_labels, _ = compile_triples(
+            stream,
+            add_inverse=False,
+            node_names=names,
+            label_names=labels,
+            version=graph.version,
+        )
+        assert_byte_identical(compiled, graph.compiled())
+        assert out_names == names
+        assert compiled.version == graph.version
+
+
+class TestDedupAndCounting:
+    def test_duplicate_statements_collapse(self):
+        facts = [("a", "r", "b")] * 5 + [("b", "s", "c")]
+        compiled, _, _, stats = compile_triples(facts)
+        graph = graph_from_triples(facts)
+        assert_byte_identical(compiled, graph.compiled())
+        assert stats.triples == 6
+        assert stats.edges == graph.edge_count
+        assert stats.duplicates == 4 * 2  # repeat copies dropped, both directions
+
+    def test_empty_stream(self):
+        compiled, names, labels, stats = compile_triples([])
+        assert compiled.node_count == 0
+        assert compiled.edge_count == 0
+        assert names == [] and len(labels) == 0
+        assert stats.triples == 0
+
+    def test_self_loops_and_palindromes(self):
+        facts = [("a", "r", "a"), ("a", "r_inv", "a")]
+        graph = graph_from_triples(facts)
+        compiled, _, _, _ = compile_triples(facts)
+        assert_byte_identical(compiled, graph.compiled())
+
+    def test_rejects_empty_node_name(self):
+        compiler = StreamingCompiler()
+        with pytest.raises(ValueError, match="non-empty"):
+            compiler.add("", "r", "b")
+
+
+class TestFileIngest:
+    def test_ntriples_file_matches_same_stream_graph(self, tmp_path):
+        graph = graph_from_triples(
+            [("Angela_Merkel", "leaderOf", "Germany"),
+             ("Barack_Obama", "leaderOf", "USA"),
+             ("Angela_Merkel", "born", "1954")]
+        )
+        nt = tmp_path / "dump.nt"
+        save_graph(graph, str(nt))
+        snap = tmp_path / "dump.snap"
+        stats = ingest_file(nt, snap)
+        assert stats.bytes_written > 0
+        # Oracle: the dict graph built from the SAME parsed stream.
+        from repro.store.ntriples import load_ntriples_file
+
+        stream = [
+            (str(t.subject), str(t.predicate), str(t.object))
+            for t in load_ntriples_file(str(nt))
+        ]
+        oracle = graph_from_triples(stream)
+        with open_snapshot(snap) as stored:
+            assert_byte_identical(stored.compiled, oracle.compiled())
+            assert list(stored.node_names) == oracle._node_names_list()
+            assert stored.transition() is not None
+
+    def test_tsv_file_ingest(self, tmp_path):
+        tsv = tmp_path / "facts.tsv"
+        tsv.write_text(
+            "Angela_Merkel\tleaderOf\tGermany\n"
+            "#comment line\n"
+            "Barack_Obama\tleaderOf\tUSA\n"
+        )
+        snap = tmp_path / "facts.snap"
+        stats = ingest_file(tsv, snap, fmt="tsv")
+        assert stats.triples == 2
+        assert stats.edges == 4  # inverse closure
+        with open_snapshot(snap) as stored:
+            assert "leaderOf" in list(stored.label_table)
+            assert "leaderOf_inv" in list(stored.label_table)
+
+    def test_format_detection(self, tmp_path):
+        assert detect_format("x.nt") == "nt"
+        assert detect_format("x.ntriples") == "nt"
+        assert detect_format("x.tsv") == "tsv"
+        with pytest.raises(ValueError, match="cannot infer"):
+            detect_format("x.parquet")
+        with pytest.raises(ValueError, match="unknown dump format"):
+            ingest_file(tmp_path / "x.nt", tmp_path / "x.snap", fmt="rdfxml")
+
+    def test_no_transition_flag(self, tmp_path):
+        stats = ingest_triples(
+            [("a", "r", "b")], tmp_path / "x.snap", include_transition=False
+        )
+        assert stats.edges == 2
+        with open_snapshot(tmp_path / "x.snap") as stored:
+            assert stored.transition() is None
+
+
+class TestIngestedSnapshotIsServable:
+    def test_out_weight_matches_transition_normalizers(self):
+        """The baked transition is the one the pipeline would build."""
+        from repro.graph.matrix import transition_from_snapshot
+
+        facts = [("a", "r", "b"), ("b", "s", "c"), ("c", "t", "a")]
+        compiled, _, _, _ = compile_triples(facts)
+        transition = transition_from_snapshot(compiled)
+        # Column sums of a transition matrix are 1 for non-dangling nodes.
+        sums = np.asarray(transition.sum(axis=0)).ravel()
+        dangling = compiled.out_degrees() == 0
+        assert np.allclose(sums[~dangling], 1.0)
+        assert np.allclose(sums[dangling], 0.0)

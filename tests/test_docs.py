@@ -77,3 +77,68 @@ class TestChecker:
     def test_main_reports_missing_file(self, check_docs, tmp_path, capsys):
         assert check_docs.main([str(tmp_path / "ghost.md")]) == 1
         assert "does not exist" in capsys.readouterr().err
+
+
+class TestDocstringSurface:
+    """The ruff D100–D104 CI gate, runnable without ruff (PR 4)."""
+
+    def test_default_packages_are_clean(self, check_docs):
+        problems = check_docs.check_docstrings(
+            [REPO_ROOT / rel for rel in check_docs.DEFAULT_DOCSTRING_PACKAGES]
+        )
+        assert problems == []
+
+    def test_disk_package_is_in_scope(self, check_docs):
+        assert "src/repro/disk" in check_docs.DEFAULT_DOCSTRING_PACKAGES
+
+    def test_missing_module_docstring_flagged(self, check_docs, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1\n")
+        problems = check_docs.check_docstrings([bad])
+        assert problems and "module docstring" in problems[0]
+
+    def test_missing_public_def_docstrings_flagged(self, check_docs, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            '"""Module doc."""\n'
+            "class Public:\n"
+            "    def method(self):\n"
+            "        pass\n"
+            "def _private():\n"
+            "    pass\n"
+        )
+        problems = check_docs.check_docstrings([bad])
+        assert len(problems) == 2  # class + method; _private exempt
+        assert any("D101" in p for p in problems)
+        assert any("D102/D103" in p for p in problems)
+
+    def test_private_class_members_exempt(self, check_docs, tmp_path):
+        """Members of private classes are private too (pydocstyle rule)."""
+        good = tmp_path / "good.py"
+        good.write_text(
+            '"""Module doc."""\n'
+            "class _Segment:\n"
+            "    def close(self):\n"
+            "        pass\n"
+        )
+        assert check_docs.check_docstrings([good]) == []
+
+    def test_nested_helpers_exempt(self, check_docs, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text(
+            '"""Module doc."""\n'
+            "def outer():\n"
+            '    """Doc."""\n'
+            "    def inner():\n"
+            "        pass\n"
+            "    return inner\n"
+        )
+        assert check_docs.check_docstrings([good]) == []
+
+    def test_cli_mode(self, check_docs, capsys):
+        assert check_docs.main(["--docstrings"]) == 0
+        assert "docstring surface complete" in capsys.readouterr().out
+
+    def test_cli_mode_missing_path(self, check_docs, tmp_path, capsys):
+        assert check_docs.main(["--docstrings", str(tmp_path / "ghost")]) == 1
+        assert "does not exist" in capsys.readouterr().err

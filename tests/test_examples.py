@@ -45,6 +45,7 @@ class TestExampleFilesPresent:
             "authors_influences.py",
             "product_catalog.py",
             "complex_patterns.py",
+            "snapshot_serving.py",
         ],
     )
     def test_example_exists_and_compiles(self, name):
@@ -54,6 +55,16 @@ class TestExampleFilesPresent:
         source = path.read_text(encoding="utf-8")
         compile(source, str(path), "exec")
         assert '"""' in source  # every example is documented
+
+
+class TestSnapshotServing:
+    def test_compile_and_serve_graph_free(self, capsys):
+        module = runpy.run_path(str(EXAMPLES / "snapshot_serving.py"))
+        module["main"]()
+        out = capsys.readouterr().out
+        assert "mmap cold start" in out
+        assert "notable characteristics" in out
+        assert "boot comparison" in out
 
 
 class TestCrossProcessDeterminism:

@@ -241,3 +241,71 @@ class TestFromArrays:
         assert rebuilt.edge_count == compiled.edge_count
         assert np.array_equal(rebuilt.indptr, compiled.indptr)
         assert rebuilt.covers(range(compiled.node_count))
+
+
+class TestSharedTransition:
+    """PR 4: the frozen PPR transition CSR travels through the segment."""
+
+    def test_transition_blocks_round_trip(self, fig1_graph):
+        from repro.graph.matrix import transition_from_snapshot
+
+        compiled = fig1_graph.compiled()
+        expected = transition_from_snapshot(compiled)
+        shared = publish_snapshot(
+            compiled,
+            fig1_graph._node_names_list(),
+            [
+                fig1_graph._label_table().name(i)
+                for i in range(compiled.label_count)
+            ],
+            transition=expected,
+        )
+        try:
+            assert shared.header.transition is not None
+            attached = attach_snapshot(shared.header)
+            try:
+                stored = attached.transition()
+                assert stored is not None
+                assert stored.shape == expected.shape
+                assert (stored != expected).nnz == 0
+                assert attached.transition() is stored  # memoized
+            finally:
+                attached.close()
+        finally:
+            shared.unlink()
+
+    def test_transition_absent_by_default(self, published):
+        _, shared = published
+        attached = attach_snapshot(shared.header)
+        try:
+            assert shared.header.transition is None
+            assert attached.transition() is None
+        finally:
+            attached.close()
+
+    def test_publish_rejects_mismatched_transition(self, fig1_graph):
+        from scipy import sparse
+
+        compiled = fig1_graph.compiled()
+        wrong = sparse.csr_matrix((2, 2), dtype=np.float64)
+        with pytest.raises(ValueError, match="transition matrix shape"):
+            publish_snapshot(
+                compiled,
+                fig1_graph._node_names_list(),
+                [
+                    fig1_graph._label_table().name(i)
+                    for i in range(compiled.label_count)
+                ],
+                transition=wrong,
+            )
+
+    def test_engine_publishes_transition_and_workers_adopt(self, fig1_graph):
+        """Process-mode pins ship the CSR triple; a worker-side adopt
+        reproduces the warm build exactly (pinned by result parity in
+        tests/test_service_workers.py; here we check the plumbing)."""
+        from repro.service.engine import NCEngine
+
+        with NCEngine(fig1_graph, executor="process", max_workers=1) as engine:
+            state = engine.pin()
+            assert state.shared is not None
+            assert state.shared.header.transition is not None

@@ -1,6 +1,7 @@
-"""Markdown link and anchor checker for the repo's documentation surface.
+"""Markdown link/anchor checker + docstring-surface checker for the repo docs.
 
-Validates, for every markdown file it is given (or the default doc set):
+**Link mode** (the default) validates, for every markdown file it is
+given (or the default doc set):
 
 * **relative links** ``[text](path)`` resolve to an existing file or
   directory (relative to the file containing the link);
@@ -12,15 +13,25 @@ Validates, for every markdown file it is given (or the default doc set):
   fetched — CI must not depend on the network — but obviously malformed
   ones (empty targets) still fail.
 
-Exit status 0 when every link resolves, 1 otherwise (one line per broken
-link). Run from the repo root::
+**Docstring mode** (``--docstrings``) mirrors the CI ruff D100–D104 job
+without requiring ruff: every module in the given packages (default: the
+documented ``repro.service`` / ``repro.parallel`` / ``repro.disk``
+surface) must carry a module docstring, and every public class, method
+and function a docstring. ``tests/test_docs.py`` runs both modes, so the
+docs gate holds even where only pytest is installed.
+
+Exit status 0 when everything passes, 1 otherwise (one line per
+problem). Run from the repo root::
 
     python tools/check_docs.py            # the default documentation set
     python tools/check_docs.py README.md docs/ARCHITECTURE.md
+    python tools/check_docs.py --docstrings                 # default packages
+    python tools/check_docs.py --docstrings src/repro/disk
 """
 
 from __future__ import annotations
 
+import ast
 import re
 import sys
 from pathlib import Path
@@ -35,6 +46,13 @@ DEFAULT_DOC_SET = (
     "docs/ARCHITECTURE.md",
     "benchmarks/README.md",
     "src/repro/service/README.md",
+)
+
+#: The packages whose docstring surface CI enforces (ruff D100–D104 scope).
+DEFAULT_DOCSTRING_PACKAGES = (
+    "src/repro/service",
+    "src/repro/parallel",
+    "src/repro/disk",
 )
 
 #: Inline markdown links: [text](target). Images share the syntax with a
@@ -136,9 +154,92 @@ def check_file(markdown_path: Path) -> list[str]:
     return problems
 
 
+def _docstring_problems_in_tree(tree: ast.Module, path: Path) -> "list[str]":
+    """D100/D104 (module) and D101–D103 (public defs) presence checks."""
+    problems: list[str] = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{path}: missing module docstring (D100/D104)")
+
+    def visit(node: ast.AST, *, inside_function: bool, inside_private: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                private = inside_private or child.name.startswith("_")
+                if not private and ast.get_docstring(child) is None:
+                    problems.append(
+                        f"{path}:{child.lineno}: public class "
+                        f"{child.name!r} has no docstring (D101)"
+                    )
+                visit(
+                    child,
+                    inside_function=inside_function,
+                    inside_private=private,
+                )
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested helpers are implementation detail, and members of
+                # private classes inherit privacy (pydocstyle semantics:
+                # every ancestor must be public for a name to be public).
+                if (
+                    not inside_function
+                    and not inside_private
+                    and not child.name.startswith("_")
+                    and ast.get_docstring(child) is None
+                ):
+                    problems.append(
+                        f"{path}:{child.lineno}: public function/method "
+                        f"{child.name!r} has no docstring (D102/D103)"
+                    )
+                visit(child, inside_function=True, inside_private=inside_private)
+
+    visit(tree, inside_function=False, inside_private=False)
+    return problems
+
+
+def check_docstrings(paths: "list[Path] | tuple[Path, ...]") -> "list[str]":
+    """All docstring-surface problems under ``paths`` (empty = clean).
+
+    Each path is a ``.py`` file or a package directory (walked
+    recursively). Mirrors the CI ruff ``D100,D101,D102,D103,D104``
+    selection: module docstrings everywhere, docstrings on every public
+    class/function/method; private names (leading underscore) and
+    function-local helpers are exempt.
+    """
+    problems: list[str] = []
+    for base in paths:
+        base = Path(base)
+        if not base.exists():
+            problems.append(f"{base}: path does not exist")
+            continue
+        files = [base] if base.suffix == ".py" else sorted(base.rglob("*.py"))
+        for file in files:
+            try:
+                tree = ast.parse(file.read_text(encoding="utf-8"), filename=str(file))
+            except SyntaxError as error:  # pragma: no cover - broken source
+                problems.append(f"{file}: cannot parse ({error})")
+                continue
+            problems.extend(_docstring_problems_in_tree(tree, file))
+    return problems
+
+
 def main(argv: "list[str] | None" = None) -> int:
-    """Check the given markdown files (default: the committed doc set)."""
-    args = argv if argv is not None else sys.argv[1:]
+    """Check markdown links (default) or the docstring surface (``--docstrings``)."""
+    args = list(argv) if argv is not None else sys.argv[1:]
+    if "--docstrings" in args:
+        args.remove("--docstrings")
+        targets = [Path(arg) for arg in args] or [
+            REPO_ROOT / rel for rel in DEFAULT_DOCSTRING_PACKAGES
+        ]
+        problems = check_docstrings(targets)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        checked = ", ".join(str(p) for p in targets)
+        if problems:
+            print(
+                f"FAILED: {len(problems)} docstring problem(s) across {checked}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: docstring surface complete ({checked})")
+        return 0
     files = [Path(arg) for arg in args] if args else [
         REPO_ROOT / rel for rel in DEFAULT_DOC_SET
     ]

@@ -27,6 +27,9 @@ Package map:
 * :mod:`repro.eval` — metrics and the per-figure experiment harness
 * :mod:`repro.service` — concurrent query engine + cache + HTTP API
   (``repro serve``)
+* :mod:`repro.disk` — snapshot store, bulk ingest, and the versioned
+  :class:`~repro.disk.registry.SnapshotRegistry` behind multi-version
+  hot-swap serving (``repro publish`` / ``POST /admin/reload``)
 """
 
 from repro.core.context import ContextResult, ContextRW, ContextSelector, RandomWalkContext
@@ -46,9 +49,9 @@ from repro.core.findnc import FindNC, FindNCResult, NotableCharacteristic, rw_mu
 from repro.errors import ReproError
 from repro.graph.builder import GraphBuilder
 from repro.graph.model import KnowledgeGraph
-from repro.service.engine import NCEngine, SearchOutcome
+from repro.service.engine import NCEngine, SearchOutcome, SwapOutcome
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CharacteristicDistributions",
@@ -69,6 +72,7 @@ __all__ = [
     "RandomWalkContext",
     "ReproError",
     "SearchOutcome",
+    "SwapOutcome",
     "__version__",
     "build_all_distributions",
     "build_distributions",

@@ -25,23 +25,45 @@ Subcommands
         repro compile dump.nt graph.snap
         repro compile yago yago-s2.snap --scale 2.0
 
+``publish``
+    Publish a dump, dataset, or existing snapshot file into a versioned
+    snapshot **registry** directory (monotonic version ids, atomic
+    manifest — the directory ``repro serve --snapshot-dir`` hot-swaps
+    from)::
+
+        repro publish dump.nt serving/
+        repro publish yago serving/ --scale 2.0
+        repro publish prebuilt.snap serving/
+
+``inspect``
+    Print the stored header of a snapshot file (format version,
+    node/edge/label counts, name-table sizes, transition presence) or
+    the manifest of a registry directory::
+
+        repro inspect graph.snap
+        repro inspect serving/ --json
+
 ``serve``
-    Run the concurrent NC query service over a built-in dataset, or
+    Run the concurrent NC query service over a built-in dataset,
     cold-start it from a compiled snapshot (one mmap, no parse, no
-    ``KnowledgeGraph`` in the serving process)::
+    ``KnowledgeGraph`` in the serving process), or serve a snapshot
+    registry with hot swaps (``POST /admin/reload``, optional mtime
+    polling)::
 
         repro serve --dataset yago --port 8099
         repro serve --snapshot yago-s2.snap --port 8099
+        repro serve --snapshot-dir serving/ --poll-interval 5 --retain 2
         repro serve --executor process --workers 4   # scale with cores
         curl 'http://127.0.0.1:8099/search?query=Angela_Merkel,Barack_Obama'
+        curl -X POST 'http://127.0.0.1:8099/admin/reload'
 
 ``bench-serve``
     Run the service throughput/latency benchmark — including the
-    thread-vs-process backend comparison and the snapshot-store
-    cold-start phase — and write the JSON report (see
-    ``benchmarks/README.md`` for the field reference)::
+    thread-vs-process backend comparison, the snapshot-store cold-start
+    phase, and the multi-version hot-swap phase — and write the JSON
+    report (see ``benchmarks/README.md`` for the field reference)::
 
-        repro bench-serve --out BENCH_PR4.json
+        repro bench-serve --out BENCH_PR5.json
 """
 
 from __future__ import annotations
@@ -125,6 +147,56 @@ def build_parser() -> argparse.ArgumentParser:
         "(smaller file, slower serve warm-up)",
     )
 
+    publish = sub.add_parser(
+        "publish",
+        help="publish a dump/dataset/snapshot into a versioned registry",
+    )
+    publish.add_argument(
+        "source",
+        help="an N-Triples/TSV dump, an existing .snap file, or a "
+        "registered dataset name (see `repro datasets`)",
+    )
+    publish.add_argument(
+        "registry", type=Path, help="snapshot registry directory (created if missing)"
+    )
+    publish.add_argument(
+        "--format",
+        dest="fmt",
+        default="auto",
+        choices=("auto", "nt", "tsv"),
+        help="dump format (default: by file extension)",
+    )
+    publish.add_argument(
+        "--scale", type=float, default=2.0, help="dataset scale (dataset sources)"
+    )
+    publish.add_argument(
+        "--seed", type=int, default=None, help="dataset seed (dataset sources)"
+    )
+    publish.add_argument(
+        "--name", default=None, help="graph name recorded in the snapshot header"
+    )
+    publish.add_argument(
+        "--no-inverse",
+        action="store_true",
+        help="the dump already contains both edge directions",
+    )
+    publish.add_argument(
+        "--no-transition",
+        action="store_true",
+        help="do not persist the frozen PPR transition matrix",
+    )
+
+    inspect = sub.add_parser(
+        "inspect",
+        help="print a snapshot file's stored header (or a registry manifest)",
+    )
+    inspect.add_argument(
+        "target", type=Path, help="a snapshot file or a registry directory"
+    )
+    inspect.add_argument(
+        "--json", action="store_true", help="emit raw JSON instead of the digest"
+    )
+
     serve = sub.add_parser("serve", help="run the concurrent NC query service")
     serve.add_argument("--dataset", default="yago", choices=dataset_names())
     serve.add_argument("--scale", type=float, default=2.0)
@@ -134,6 +206,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve from a compiled snapshot file (mmap cold start; "
         "--dataset/--scale are ignored)",
+    )
+    serve.add_argument(
+        "--snapshot-dir",
+        type=Path,
+        default=None,
+        help="serve the latest version of a snapshot registry directory "
+        "(see `repro publish`); enables POST /admin/reload hot swaps",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.0,
+        help="with --snapshot-dir: seconds between registry manifest "
+        "polls that auto-reload new versions (0 disables polling; "
+        "POST /admin/reload always works)",
+    )
+    serve.add_argument(
+        "--retain",
+        type=int,
+        default=2,
+        help="with --snapshot-dir: registry versions kept on disk after "
+        "a hot swap (drained older versions are garbage-collected)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8099)
@@ -237,11 +331,108 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_publish(args: argparse.Namespace) -> int:
+    from repro.disk import SnapshotRegistry
+
+    registry = SnapshotRegistry(args.registry)
+    source = str(args.source)
+    if source in dataset_names() and not Path(source).exists():
+        graph = load_dataset(source, scale=args.scale, seed=args.seed)
+        if args.name is not None:
+            graph.name = args.name
+        entry = registry.publish_graph(
+            graph, include_transition=not args.no_transition
+        )
+    else:
+        entry = registry.publish(
+            source,
+            fmt=args.fmt,
+            graph_name=args.name,
+            add_inverse=not args.no_inverse,
+            include_transition=not args.no_transition,
+        )
+    print(
+        f"published {source} as v{entry.version}: |V|={entry.nodes}, "
+        f"|E|={entry.edges}, |L|={entry.labels} ({entry.bytes} bytes, "
+        f"{entry.file})"
+    )
+    print(registry.summary())
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.disk import SnapshotRegistry, inspect_snapshot
+    from repro.disk.registry import MANIFEST_NAME
+
+    target = Path(args.target)
+    if target.is_dir():
+        if not (target / MANIFEST_NAME).exists():
+            print(f"{target}: not a snapshot registry (no {MANIFEST_NAME})")
+            return 1
+        registry = SnapshotRegistry(target, create=False)
+        if args.json:
+            print(
+                json.dumps(
+                    [entry.as_dict() for entry in registry.versions()],
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        print(registry.summary())
+        for entry in registry.versions():
+            print(
+                f"  v{entry.version}: {entry.file}  |V|={entry.nodes} "
+                f"|E|={entry.edges} |L|={entry.labels}  {entry.bytes} bytes  "
+                f"({entry.graph_name})"
+            )
+        return 0
+    info = inspect_snapshot(target)
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"{info['path']}: snapshot format v{info['format_version']}")
+    print(f"  graph: {info['graph_name']} @ version {info['version']}")
+    print(
+        f"  |V|={info['nodes']}, |E|={info['edges']}, |L|={info['labels']}"
+    )
+    print(
+        f"  file: {info['file_bytes']} bytes ({info['data_bytes']} data); "
+        f"name tables: {info['node_name_table_bytes']} node / "
+        f"{info['label_name_table_bytes']} label bytes"
+    )
+    print(
+        "  frozen PPR transition: "
+        + ("baked in" if info["has_transition"] else "absent (built at serve)")
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.engine import NCEngine
-    from repro.service.server import NCRequestHandler, create_server
+    from repro.service.server import NCRequestHandler, RegistryPoller, create_server
 
-    if args.snapshot is not None:
+    if args.snapshot is not None and args.snapshot_dir is not None:
+        print("--snapshot and --snapshot-dir are mutually exclusive")
+        return 2
+    if args.retain < 1:
+        print(f"--retain must be >= 1, got {args.retain}")
+        return 2
+    registry = None
+    if args.snapshot_dir is not None:
+        from repro.disk import SnapshotRegistry
+
+        registry = SnapshotRegistry(args.snapshot_dir, create=False)
+        latest = registry.latest()
+        if latest is None:
+            print(
+                f"registry {args.snapshot_dir} is empty — publish a version "
+                f"first: repro publish <dump|dataset> {args.snapshot_dir}"
+            )
+            return 1
+        graph = registry.open_view()
+        print(registry.summary())
+    elif args.snapshot is not None:
         from repro.disk import open_snapshot_view
 
         graph = open_snapshot_view(args.snapshot)
@@ -258,16 +449,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     engine.pin()  # compile + publish/freeze shared state before accepting traffic
     NCRequestHandler.quiet = not args.verbose
-    server = create_server(engine, host=args.host, port=args.port)
+    server = create_server(
+        engine, host=args.host, port=args.port, registry=registry, retain=args.retain
+    )
+    poller = None
+    if registry is not None and args.poll_interval > 0:
+        poller = RegistryPoller(
+            engine,
+            registry,
+            interval=args.poll_interval,
+            retain=args.retain,
+            lock=server.reload_lock,
+        )
+        poller.start()
     host, port = server.server_address[:2]
     print(f"serving {graph.summary()}")
     print(f"executor: {args.executor} ({args.workers} workers)")
-    print(f"listening on http://{host}:{port} (/search, /healthz, /stats)")
+    endpoints = "/search, /healthz, /stats" + (
+        ", /admin/reload" if registry is not None else ""
+    )
+    print(f"listening on http://{host}:{port} ({endpoints})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
+        if poller is not None:
+            poller.stop()
         server.server_close()
         engine.close()
     return 0
@@ -301,6 +509,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "experiment": _cmd_experiment,
         "datasets": _cmd_datasets,
         "compile": _cmd_compile,
+        "publish": _cmd_publish,
+        "inspect": _cmd_inspect,
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
     }

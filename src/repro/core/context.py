@@ -57,6 +57,7 @@ class ContextResult:
         return self.ranked_nodes[:k]
 
     def names(self, graph: KnowledgeGraph, k: int | None = None) -> list[str]:
+        """Display names of the ranked context nodes (top ``k`` when given)."""
         nodes = self.ranked_nodes if k is None else self.top(k)
         return [graph.node_name(n) for n in nodes]
 
@@ -88,6 +89,7 @@ class ContextSelector(ABC):
 
     @property
     def graph(self) -> KnowledgeGraph:
+        """The knowledge graph this selector draws context sets from."""
         return self._graph
 
     @abstractmethod
@@ -154,6 +156,7 @@ class RandomWalkContext(ContextSelector):
         return self._pagerank.transition()
 
     def select(self, query: Sequence[int], k: int) -> ContextResult:
+        """The top-``k`` PPR-ranked context for ``query`` (Section 3.1)."""
         query_tuple = _validate_query(self._graph, query)
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
@@ -299,6 +302,7 @@ class ContextRW(ContextSelector):
         return usable
 
     def select(self, query: Sequence[int], k: int) -> ContextResult:
+        """The top-``k`` metapath-ranked context (ContextRW, Section 3.2)."""
         query_tuple = _validate_query(self._graph, query)
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")

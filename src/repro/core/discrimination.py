@@ -50,6 +50,7 @@ class DiscriminationResult:
 
     @property
     def notable(self) -> bool:
+        """Whether either channel cleared the discriminator's bar."""
         return self.score > 0.0
 
     @property
@@ -234,6 +235,7 @@ class MultinomialDiscriminator(Discriminator):
         return none_count / context_total < self.min_none_share
 
     def score(self, distributions: CharacteristicDistributions) -> DiscriminationResult:
+        """Exact multinomial test per channel, maximized (Section 4.1)."""
         from repro.core.distributions import NONE_INSTANCE
 
         none_index = None
@@ -288,6 +290,7 @@ class KLDiscriminator(Discriminator):
         )
 
     def score(self, distributions: CharacteristicDistributions) -> DiscriminationResult:
+        """Smoothed KL divergence per channel, maximized."""
         inst = self._channel(distributions.inst_query, distributions.inst_context)
         card = self._channel(distributions.card_query, distributions.card_context)
         best = max(inst, card)
@@ -314,6 +317,7 @@ class EMDDiscriminator(Discriminator):
         self.threshold = threshold
 
     def score(self, distributions: CharacteristicDistributions) -> DiscriminationResult:
+        """Earth-mover's / total-variation distance per channel, maximized."""
         if distributions.inst_query.sum() > 0 and distributions.inst_context.sum() > 0:
             inst = total_variation_distance(
                 distributions.inst_query.astype(float),
@@ -359,6 +363,7 @@ class ChiSquareDiscriminator(Discriminator):
         return score, result.p_value
 
     def score(self, distributions: CharacteristicDistributions) -> DiscriminationResult:
+        """Chi-square significance test per channel, maximized."""
         inst_score, inst_p = self._channel(
             distributions.inst_query, distributions.inst_context
         )

@@ -199,17 +199,21 @@ class CorrelationResult:
 
     @property
     def notable(self) -> bool:
+        """Whether the pair's co-occurrence shift is significant (p <= 0.05)."""
         return self.p_value <= 0.05
 
     @property
     def label(self) -> str:
+        """The pair rendered as one characteristic name (``"a & b"``)."""
         return f"{self.first} & {self.second}"
 
     def query_joint_rate(self) -> float:
+        """Fraction of query entities carrying *both* labels."""
         total = sum(self.query_cells)
         return self.query_cells[0] / total if total else 0.0
 
     def context_joint_rate(self) -> float:
+        """Fraction of context entities carrying *both* labels."""
         total = sum(self.context_cells)
         return self.context_cells[0] / total if total else 0.0
 
@@ -259,6 +263,7 @@ class CorrelationFinder:
         self._rng = rng
 
     def candidate_pairs(self, query: Sequence[NodeRef]) -> list[tuple[str, str]]:
+        """Unordered label pairs incident to the query, capped at ``max_pairs``."""
         labels = sorted(
             label
             for label in self._graph.incident_labels(query)
@@ -273,6 +278,7 @@ class CorrelationFinder:
         first: str,
         second: str,
     ) -> CorrelationResult:
+        """Multinomial test of the pair's 2x2 existence table, query vs context."""
         query_cells = existence_cells(self._graph, query, first, second)
         context_cells = existence_cells(self._graph, context, first, second)
         context_arr = np.array(context_cells, dtype=float) + self.smoothing

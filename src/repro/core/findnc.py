@@ -113,9 +113,11 @@ class FindNCResult:
 
     @property
     def elapsed_total(self) -> float:
+        """Context-search plus discrimination wall time, in seconds."""
         return self.elapsed_context + self.elapsed_discrimination
 
     def result_for(self, label: str) -> DiscriminationResult:
+        """The discrimination result of ``label`` (KeyError if unevaluated)."""
         # Memoized {label: result} index instead of an O(n) scan per call.
         # ``results`` is a public mutable list, so the cache is re-keyed on
         # the elements' *identities*: replacing/removing/adding entries
@@ -143,6 +145,7 @@ class FindNCResult:
             raise KeyError(f"label {label!r} was not evaluated") from None
 
     def notable_labels(self) -> list[str]:
+        """The notable characteristics' labels, best score first."""
         return [n.label for n in self.notable]
 
     def significance_probabilities(self) -> dict[str, float]:
@@ -155,6 +158,7 @@ class FindNCResult:
         return out
 
     def summary(self, graph: KnowledgeGraph, *, limit: int = 10) -> str:
+        """A human-readable digest (query, context, top notable labels)."""
         lines = [
             f"query: {[graph.node_name(n) for n in self.query]}",
             f"context: {len(self.context)} nodes "
@@ -233,14 +237,17 @@ class FindNC:
 
     @property
     def graph(self) -> KnowledgeGraph:
+        """The graph (or frozen snapshot view) this finder searches."""
         return self._graph
 
     @property
     def selector(self) -> ContextSelector:
+        """The context-search strategy (Phase 1 of Algorithm 1)."""
         return self._selector
 
     @property
     def discriminator(self) -> Discriminator:
+        """The per-label discrimination test (Phase 2 of Algorithm 1)."""
         return self._discriminator
 
     @property

@@ -19,10 +19,17 @@ parsing dumps:
 * :func:`ingest_file` / :func:`ingest_triples` — the streaming bulk
   ingester behind ``repro compile``: N-Triples/TSV dumps compile
   directly into CSR arrays through two counting passes, never
-  materializing the dict graph.
+  materializing the dict graph;
+* :class:`SnapshotRegistry` (PR 5) — a *directory* of versioned
+  snapshot files with monotonic ids, an atomic manifest, and
+  retention GC: the publish side of multi-version hot-swap serving
+  (``repro publish`` / ``repro serve --snapshot-dir`` /
+  ``POST /admin/reload``);
+* :func:`inspect_snapshot` — the stored-header audit behind
+  ``repro inspect``.
 
 File-format details and the cold-start lifecycle live in
-``docs/ARCHITECTURE.md``.
+``docs/ARCHITECTURE.md``; the operator guide is ``docs/OPERATIONS.md``.
 """
 
 from repro.disk.ingest import (
@@ -33,11 +40,18 @@ from repro.disk.ingest import (
     ingest_file,
     ingest_triples,
 )
+from repro.disk.registry import (
+    RegistryEntry,
+    RegistryError,
+    SnapshotRegistry,
+    is_snapshot_file,
+)
 from repro.disk.store import (
     DiskSnapshot,
     DiskSnapshotHeader,
     DiskSnapshotPublication,
     SnapshotFormatError,
+    inspect_snapshot,
     open_snapshot,
     open_snapshot_view,
     save_graph_snapshot,
@@ -49,7 +63,12 @@ __all__ = [
     "DiskSnapshotHeader",
     "DiskSnapshotPublication",
     "IngestStats",
+    "RegistryEntry",
+    "RegistryError",
     "SnapshotFormatError",
+    "SnapshotRegistry",
+    "inspect_snapshot",
+    "is_snapshot_file",
     "StreamingCompiler",
     "compile_triples",
     "detect_format",

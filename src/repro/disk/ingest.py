@@ -309,6 +309,7 @@ def ingest_file(
     graph_name: "str | None" = None,
     add_inverse: bool = True,
     include_transition: bool = True,
+    version: int = 0,
 ) -> IngestStats:
     """Stream an N-Triples or YAGO-TSV dump into a snapshot file.
 
@@ -316,6 +317,9 @@ def ingest_file(
     exactly as :func:`~repro.graph.builder.graph_from_store` does, feed
     the :class:`StreamingCompiler` — never building the dict graph.
     ``fmt`` is ``"nt"``, ``"tsv"``, or ``"auto"`` (by extension).
+    ``version`` is stamped into the snapshot header — the registry
+    (:mod:`repro.disk.registry`) passes its monotonic id here so hot
+    swaps key result caches correctly.
     """
     import os as _os
 
@@ -340,4 +344,5 @@ def ingest_file(
         graph_name=graph_name or _os.fspath(dump_path),
         add_inverse=add_inverse,
         include_transition=include_transition,
+        version=version,
     )

@@ -397,6 +397,68 @@ def open_snapshot(path: "str | os.PathLike[str]") -> DiskSnapshot:
     return DiskSnapshot(path)
 
 
+def inspect_snapshot(path: "str | os.PathLike[str]") -> dict:
+    """The stored header of a snapshot file, as one JSON-ready dict.
+
+    The audit surface behind ``repro inspect``: format version, graph
+    identity (name / version / node / edge / label counts), name-table
+    sizes, whether the frozen PPR transition CSR is baked in, and the
+    per-block layout — everything an operator needs to check what a
+    registry actually holds, read without faulting in the data region
+    (one ``open`` + the header bytes; blocks are only *described*).
+    """
+    path = os.path.abspath(os.fspath(path))
+    with open(path, "rb") as handle:
+        preamble = handle.read(_PREAMBLE.size)
+        if len(preamble) < _PREAMBLE.size:
+            raise SnapshotFormatError(f"{path}: file too short for a snapshot")
+        magic, format_version, header_length = _PREAMBLE.unpack(preamble)
+        if magic != MAGIC:
+            raise SnapshotFormatError(f"{path}: not a snapshot file (bad magic)")
+        if format_version != FORMAT_VERSION:
+            raise SnapshotFormatError(
+                f"{path}: unsupported snapshot format version {format_version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        try:
+            meta = json.loads(handle.read(header_length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise SnapshotFormatError(f"{path}: corrupt snapshot header") from error
+    specs = dict(meta["blocks"])
+
+    def _block_bytes(name: str) -> int:
+        spec = specs[name]
+        return spec["length"] * np.dtype(spec["dtype"]).itemsize
+
+    return {
+        "path": path,
+        "format_version": format_version,
+        "graph_name": meta["graph_name"],
+        "version": meta["version"],
+        "nodes": meta["node_count"],
+        "edges": specs["targets"]["length"],
+        "labels": meta["label_count"],
+        "file_bytes": os.path.getsize(path),
+        "data_bytes": meta["data_bytes"],
+        "node_name_table_bytes": (
+            _block_bytes("node_name_offsets") + _block_bytes("node_name_blob")
+        ),
+        "label_name_table_bytes": (
+            _block_bytes("label_name_offsets") + _block_bytes("label_name_blob")
+        ),
+        "has_transition": all(name in specs for name in TRANSITION_FIELDS),
+        "blocks": [
+            {
+                "name": name,
+                "offset": spec["offset"],
+                "length": spec["length"],
+                "dtype": spec["dtype"],
+            }
+            for name, spec in meta["blocks"]
+        ],
+    }
+
+
 def open_snapshot_view(path: "str | os.PathLike[str]") -> SnapshotGraphView:
     """Open ``path`` and wrap it in the graph reader surface.
 

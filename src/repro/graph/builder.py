@@ -39,6 +39,7 @@ class GraphBuilder:
         return self
 
     def facts(self, triples: Iterable[tuple[str, str, str]]) -> "GraphBuilder":
+        """Add many ``(subject, label, object)`` statements; returns self."""
         for subject, label, obj in triples:
             self.fact(subject, label, obj)
         return self
@@ -56,6 +57,7 @@ class GraphBuilder:
         return self.fact(subject, label, str(value))
 
     def build(self) -> KnowledgeGraph:
+        """The accumulated graph (the builder's backing object, not a copy)."""
         return self._graph
 
 

@@ -91,6 +91,7 @@ class CompiledGraph:
 
     @property
     def edge_count(self) -> int:
+        """|E| of the snapshot (edge rows, inverse edges included)."""
         return int(self.targets.shape[0])
 
     def arrays(self) -> "dict[str, np.ndarray]":

@@ -71,6 +71,7 @@ class LabelTable:
         self._id_to_label: list[str] = []
 
     def intern(self, label: str) -> int:
+        """The id of ``label``, allocating the next dense id on first sight."""
         existing = self._label_to_id.get(label)
         if existing is not None:
             return existing
@@ -80,9 +81,11 @@ class LabelTable:
         return new_id
 
     def lookup(self, label: str) -> int | None:
+        """The id of ``label``, or ``None`` when it was never interned."""
         return self._label_to_id.get(label)
 
     def name(self, label_id: int) -> str:
+        """The label string of ``label_id`` (IndexError when out of range)."""
         if label_id < 0:
             raise IndexError(f"label id must be non-negative, got {label_id}")
         return self._id_to_label[label_id]

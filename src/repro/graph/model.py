@@ -103,12 +103,14 @@ class KnowledgeGraph:
         return self._names[node_id]
 
     def has_node(self, ref: NodeRef) -> bool:
+        """Whether ``ref`` (an id or an exact name) names a node."""
         if isinstance(ref, str):
             return ref in self._name_to_id
         return isinstance(ref, int) and 0 <= ref < len(self._names)
 
     @property
     def node_count(self) -> int:
+        """|V| — node ids are dense, so also the next id to be allocated."""
         return len(self._names)
 
     def nodes(self) -> range:
@@ -116,6 +118,7 @@ class KnowledgeGraph:
         return range(len(self._names))
 
     def node_names(self) -> Iterator[str]:
+        """Iterate phi over all nodes, in id order (Definition 1)."""
         return iter(self._names)
 
     # -- edges ------------------------------------------------------------
@@ -185,6 +188,7 @@ class KnowledgeGraph:
         return True
 
     def has_edge(self, source: NodeRef, label: str, target: NodeRef) -> bool:
+        """Whether the exact ``(source, label, target)`` edge exists."""
         try:
             src = self.node_id(source)
             dst = self.node_id(target)
@@ -252,6 +256,7 @@ class KnowledgeGraph:
                 yield (label_name, dst)
 
     def out_degree(self, node: NodeRef, label: str | None = None) -> int:
+        """Out-edges of ``node`` (restricted to ``label`` when given)."""
         node_id = self.node_id(node)
         if label is None:
             return sum(len(t) for t in self._out[node_id].values())
@@ -261,6 +266,7 @@ class KnowledgeGraph:
         return len(self._out[node_id].get(label_id, ()))
 
     def in_degree(self, node: NodeRef, label: str | None = None) -> int:
+        """In-edges of ``node`` (restricted to ``label`` when given)."""
         node_id = self.node_id(node)
         if label is None:
             return sum(len(s) for s in self._in[node_id].values())
@@ -296,6 +302,7 @@ class KnowledgeGraph:
         ]
 
     def has_edge_label(self, label: str) -> bool:
+        """Whether any *live* edge carries ``label`` (interned isn't enough)."""
         label_id = self._labels.lookup(label)
         return label_id is not None and label_id in self._label_edge_counts
 
@@ -348,6 +355,7 @@ class KnowledgeGraph:
         return self._compiled()
 
     def summary(self) -> str:
+        """One-line |V|/|E|/|L| digest for logs and the CLI."""
         return (
             f"{self.name}: |V|={self.node_count}, |E|={self.edge_count}, "
             f"|L|={len(self._label_edge_counts)}"

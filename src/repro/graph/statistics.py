@@ -24,6 +24,7 @@ class DegreeSummary:
 
     @classmethod
     def from_values(cls, values: list[int]) -> "DegreeSummary":
+        """Summarize a degree sample (min/max/mean/median; zeros when empty)."""
         if not values:
             return cls(0, 0, 0.0, 0.0)
         ordered = sorted(values)
@@ -72,6 +73,7 @@ class GraphStatistics:
         return dict(self._weights)
 
     def weight(self, label: str) -> float:
+        """Equation 1's informativeness weight ``1 - |E_l|/|E|`` of ``label``."""
         self._refresh()
         try:
             return self._weights[label]
@@ -79,6 +81,7 @@ class GraphStatistics:
             raise KeyError(f"unknown edge label: {label!r}") from None
 
     def most_frequent_labels(self, limit: int = 10) -> list[tuple[str, float]]:
+        """Top labels by edge share, as ``(label, frequency)`` pairs."""
         self._refresh()
         ordered = sorted(self._frequencies.items(), key=lambda kv: (-kv[1], kv[0]))
         return ordered[:limit]
@@ -92,6 +95,7 @@ class GraphStatistics:
     # -- degree statistics -----------------------------------------------------
 
     def out_degree_summary(self) -> DegreeSummary:
+        """Min/max/mean/median out-degree over all nodes."""
         graph = self._graph
         return DegreeSummary.from_values(
             [graph.out_degree(node) for node in graph.nodes()]

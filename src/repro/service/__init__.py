@@ -10,13 +10,22 @@ the engine's thread pool; ``executor="process"`` dispatches to a
 snapshot (:mod:`repro.parallel`), scaling distinct-query throughput with
 cores. The stdlib HTTP server (:mod:`repro.service.server`) exposes it
 as a JSON API (``repro serve``); :mod:`repro.service.bench` measures it
-(``repro bench-serve``). See ``src/repro/service/README.md`` and
-``docs/ARCHITECTURE.md``.
+(``repro bench-serve``). Snapshot-backed engines additionally hot-swap
+between registry versions while serving
+(:meth:`NCEngine.swap_snapshot`, ``POST /admin/reload``,
+``repro serve --snapshot-dir``). See ``src/repro/service/README.md``,
+``docs/ARCHITECTURE.md``, and the operator guide ``docs/OPERATIONS.md``.
 """
 
 from repro.service.cache import CacheStats, ResultCache
-from repro.service.engine import EngineStats, NCEngine, SearchOutcome
-from repro.service.server import NCServiceServer, create_server, outcome_to_json
+from repro.service.engine import EngineStats, NCEngine, SearchOutcome, SwapOutcome
+from repro.service.server import (
+    NCServiceServer,
+    RegistryPoller,
+    create_server,
+    outcome_to_json,
+    reload_from_registry,
+)
 from repro.service.workers import ProcessWorkerPool, WorkerPoolStats
 
 __all__ = [
@@ -25,9 +34,12 @@ __all__ = [
     "NCEngine",
     "NCServiceServer",
     "ProcessWorkerPool",
+    "RegistryPoller",
     "ResultCache",
     "SearchOutcome",
+    "SwapOutcome",
     "WorkerPoolStats",
     "create_server",
     "outcome_to_json",
+    "reload_from_registry",
 ]

@@ -39,12 +39,22 @@ the way API clients spell entities):
   engine over the mmapped snapshot *view* (no ``KnowledgeGraph`` in the
   process), asserted identical to the live-graph thread engine's
   results.
+* **hot swap** (PR 5) — the serve-v2-while-v1-drains scenario: two
+  content-identical versions published into a
+  :class:`~repro.disk.registry.SnapshotRegistry`, an engine booted on
+  v1 under sustained multi-client traffic, then
+  :meth:`~repro.service.engine.NCEngine.swap_snapshot` onto v2
+  mid-stream. Asserted: **zero** failed/dropped requests across the
+  swap, post-swap results byte-identical to a fresh engine opened on
+  the v2 file, and the drained v1 pin retired (old mapping closed,
+  version recorded in ``drained_versions``) after its last in-flight
+  request completed.
 * **single-flight coalescing** — N clients issuing one identical query
   concurrently must trigger exactly one computation.
 
 The CLI (``repro bench-serve``) and ``benchmarks/run_service_bench.py``
 both call :func:`run_service_benchmark` and write the report as
-``BENCH_PR4.json`` (see ``benchmarks/README.md`` for the field
+``BENCH_PR5.json`` (see ``benchmarks/README.md`` for the field
 reference).
 """
 
@@ -188,6 +198,161 @@ def _bench_cold_start(graph, *, repeat: int, snap_path: str) -> dict:
     return phase
 
 
+def _bench_hot_swap(
+    graph,
+    *,
+    context_size: int,
+    alpha: float,
+    seed: int,
+    workers: int,
+    queries: "list[tuple[str, ...]]",
+    clients: int = 4,
+    drain_timeout_s: float = 30.0,
+) -> dict:
+    """The PR-5 phase: swap registry versions under sustained traffic.
+
+    Publishes the same graph twice into a throwaway
+    :class:`~repro.disk.registry.SnapshotRegistry` (v1 and v2 — identical
+    content, distinct monotonic ids), serves v1 with ``clients``
+    threads hammering the distinct-query set, and hot-swaps to v2 while
+    they run. Acceptance (all asserted, this is the PR's bar):
+
+    * zero failed or dropped requests across the swap;
+    * post-swap results byte-identical to a fresh engine opened directly
+      on the v2 file (same parameters and seed);
+    * the drained v1 pin retired after its last in-flight request — the
+      swapped-out version must show up in ``drained_versions``.
+    """
+    import tempfile
+
+    from repro.disk import SnapshotRegistry, open_snapshot_view
+    from repro.service.engine import NCEngine as Engine
+
+    with tempfile.TemporaryDirectory(prefix="repro-hotswap-") as registry_dir:
+        registry = SnapshotRegistry(registry_dir)
+        entry_v1 = registry.publish_graph(graph)
+        entry_v2 = registry.publish_graph(graph)
+
+        with Engine(
+            registry.open_view(entry_v1.version),
+            context_size=context_size,
+            alpha=alpha,
+            max_workers=workers,
+            seed=seed,
+        ) as engine:
+            engine.pin()
+            engine.request(queries[0])  # warm the resolution index
+
+            stop = threading.Event()
+            barrier = threading.Barrier(clients + 1)
+            failures: "list[BaseException]" = []
+            served = [0] * clients
+
+            def client(slot: int) -> None:
+                """One sustained-traffic client cycling the query set."""
+                rng = random.Random(seed + slot)
+                try:
+                    barrier.wait()
+                    while not stop.is_set():
+                        engine.request(rng.choice(queries))
+                        served[slot] += 1
+                except BaseException as error:  # pragma: no cover - failure
+                    failures.append(error)
+
+            threads = [
+                threading.Thread(target=client, args=(slot,))
+                for slot in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            # Let traffic build up on v1, swap mid-stream, keep serving.
+            time.sleep(0.3)
+            served_before_swap = sum(served)
+            swap_s = _timed(
+                lambda: engine.swap_snapshot(registry.open_view(entry_v2.version))
+            )
+            time.sleep(0.3)
+            stop.set()
+            for thread in threads:
+                thread.join()
+            if failures:  # pragma: no cover - would be the acceptance bug
+                raise AssertionError(
+                    f"hot swap dropped/failed {len(failures)} request(s); "
+                    f"first: {failures[0]!r}"
+                )
+
+            # Post-swap traffic must compute at v2 and match a fresh
+            # engine booted directly on the v2 file.
+            engine.cache.clear()
+            post_swap = [engine.request(query) for query in queries]
+            assert all(
+                outcome.graph_version == entry_v2.version for outcome in post_swap
+            ), "post-swap requests still served from the old version"
+
+            # The drained v1 pin must retire once in-flight work finishes.
+            deadline = time.monotonic() + drain_timeout_s
+            drained: "tuple[int, ...]" = ()
+            while time.monotonic() < deadline:
+                drained = engine.stats().drained_versions
+                if entry_v1.version in drained:
+                    break
+                time.sleep(0.02)
+            if entry_v1.version not in drained:  # pragma: no cover - bug
+                raise AssertionError(
+                    f"swapped-out version {entry_v1.version} never drained "
+                    f"(drained={drained})"
+                )
+            stats = engine.stats()
+
+        fresh_view = open_snapshot_view(entry_v2.path)
+        try:
+            with Engine(
+                fresh_view,
+                context_size=context_size,
+                alpha=alpha,
+                max_workers=workers,
+                seed=seed,
+            ) as fresh_engine:
+                fresh_engine.pin()
+                fresh = [fresh_engine.request(query) for query in queries]
+        finally:
+            fresh_view.close()
+
+        def _fingerprint(result) -> "list[tuple[str, float]]":
+            return [(item.label, item.score) for item in result.results]
+
+        identical = all(
+            _fingerprint(a.result) == _fingerprint(b.result)
+            and a.result.notable_labels() == b.result.notable_labels()
+            for a, b in zip(post_swap, fresh)
+        )
+        if not identical:  # pragma: no cover - would be the acceptance bug
+            raise AssertionError(
+                "post-swap results differ from a fresh engine on the new "
+                "snapshot"
+            )
+        total = sum(served) + len(queries) + 1
+        return {
+            "clients": clients,
+            "requests": total,
+            "requests_before_swap": served_before_swap,
+            "failures": 0,
+            "swap_s": swap_s,
+            "old_version": entry_v1.version,
+            "new_version": entry_v2.version,
+            "drained_versions": list(stats.drained_versions),
+            "swaps": stats.swaps,
+            "identical_results": identical,
+            "note": (
+                "two content-identical registry versions; clients hammer the "
+                "engine across swap_snapshot(v2); zero failures, post-swap "
+                "parity vs a fresh v2 engine, and v1 retired after its last "
+                "in-flight request are all asserted"
+            ),
+        }
+
+
 def run_service_benchmark(
     *,
     snapshot_path: "str | None" = None,
@@ -239,7 +404,7 @@ def _run_service_benchmark(
     )
     report: dict = {
         "suite": "service_bench",
-        "pr": 4,
+        "pr": 5,
         "created_unix": int(time.time()),
         "machine": {
             "python": platform.python_version(),
@@ -485,6 +650,16 @@ def _run_service_benchmark(
                 "live-graph serving"
             )
 
+        # -- hot swap: registry versions under sustained traffic (PR 5) ----
+        report["hot_swap"] = _bench_hot_swap(
+            graph,
+            context_size=context_size,
+            alpha=alpha,
+            seed=seed,
+            workers=workers,
+            queries=queries,
+        )
+
         # -- single-flight coalescing --------------------------------------
         engine.cache.clear()
         stats_before = engine.stats()
@@ -575,6 +750,15 @@ def print_report(report: dict) -> None:
             f"snapshot serving: {snapshot_serving['throughput_rps']:.2f} req/s "
             f"off the mmap view (identical results: "
             f"{snapshot_serving['identical_results']})"
+        )
+    hot_swap = report.get("hot_swap")
+    if hot_swap:
+        print(
+            f"hot swap: v{hot_swap['old_version']} -> "
+            f"v{hot_swap['new_version']} in {hot_swap['swap_s'] * 1e3:.1f}ms "
+            f"under {hot_swap['clients']} clients "
+            f"({hot_swap['requests']} requests, {hot_swap['failures']} "
+            f"failures, drained: {hot_swap['drained_versions']})"
         )
     print(
         f"single-flight: {flight['clients']} clients -> "

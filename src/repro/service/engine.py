@@ -36,6 +36,16 @@ The engine turns the library pipeline into a servable primitive:
   mode workers mmap the same file instead of receiving a fresh shm
   publication — no :class:`KnowledgeGraph` exists anywhere in the
   serving topology.
+* **Multi-version hot swap.** A snapshot-backed engine re-pins onto a
+  newly published file *while serving*: :meth:`NCEngine.swap_snapshot`
+  atomically adopts the new version (new requests pin it immediately,
+  the version-keyed cache invalidates by unreachability) and drains the
+  old one — every request holds a per-pin in-flight reference, and the
+  superseded pin is retired (worker-pool segment handed to the
+  refcount/retire machinery, old mapping closed) exactly when its last
+  request completes. ``repro serve --snapshot-dir`` plus
+  ``POST /admin/reload`` drive this from a
+  :class:`~repro.disk.registry.SnapshotRegistry`.
 
 Determinism: each computation derives its RNG seed from the cache key, so
 identical requests produce identical results whether or not they hit the
@@ -50,11 +60,12 @@ requests — treat them as read-only.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 import time
 from collections.abc import Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.context import RandomWalkContext
 from repro.core.discrimination import MultinomialDiscriminator
@@ -68,6 +79,69 @@ from repro.service.cache import CacheStats, ResultCache
 from repro.service.workers import ProcessWorkerPool, WorkerConfig
 
 
+class _PinLifecycle:
+    """Drain bookkeeping for one pin: in-flight refcount + retire-once.
+
+    The mutable companion of the otherwise-immutable :class:`_PinnedState`.
+    Requests :meth:`acquire` the pin for their whole lifetime (resolution
+    included — the entity index may still lazily read the pinned view)
+    and :meth:`release` when done; :meth:`retire` marks the pin
+    superseded and fires the drain callback as soon as — and exactly
+    once — no request still references it. This is what lets
+    :meth:`NCEngine.swap_snapshot` re-pin atomically while in-flight
+    requests finish on the old version.
+    """
+
+    __slots__ = ("_lock", "_inflight", "_retired", "_on_drained")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._retired = False
+        self._on_drained: "list" = []
+
+    def acquire(self) -> None:
+        """Take one in-flight reference (a request entering the pin)."""
+        with self._lock:
+            self._inflight += 1
+
+    def release(self) -> None:
+        """Drop one reference; fires drain callbacks on the last one."""
+        with self._lock:
+            self._inflight -= 1
+            if self._retired and self._inflight <= 0:
+                callbacks, self._on_drained = self._on_drained, []
+            else:
+                callbacks = []
+        for callback in callbacks:
+            callback()
+
+    def retire(self, on_drained) -> None:
+        """Mark the pin superseded; run ``on_drained`` at last release.
+
+        Runs it immediately when nothing is in flight.
+        """
+        with self._lock:
+            self._retired = True
+            if self._inflight > 0:
+                self._on_drained.append(on_drained)
+                on_drained = None
+        if on_drained is not None:
+            on_drained()
+
+    @property
+    def inflight(self) -> int:
+        """The current in-flight reference count (introspection only)."""
+        with self._lock:
+            return self._inflight
+
+    @property
+    def retired(self) -> bool:
+        """Whether this pin has been superseded (swap/close happened)."""
+        with self._lock:
+            return self._retired
+
+
 @dataclass(frozen=True)
 class _PinnedState:
     """Everything one graph version's requests share, all immutable in use.
@@ -75,13 +149,24 @@ class _PinnedState:
     In process-executor mode the state additionally carries the published
     shared-memory segment (``shared``) workers attach the snapshot from;
     its lifecycle follows the pin's (retired when the pin is replaced,
-    unlinked once its last in-flight request completes).
+    unlinked once its last in-flight request completes). ``lifecycle``
+    is the pin's mutable drain bookkeeping (see :class:`_PinLifecycle`).
     """
 
     snapshot: CompiledGraph
     selector: RandomWalkContext
     entity_index: EntityIndex
     shared: "SharedSnapshot | None" = None
+    lifecycle: _PinLifecycle = field(default_factory=_PinLifecycle)
+
+
+@dataclass(frozen=True)
+class SwapOutcome:
+    """What one :meth:`NCEngine.swap_snapshot` call did."""
+
+    swapped: bool
+    old_version: int
+    new_version: int
 
 
 @dataclass(frozen=True)
@@ -110,6 +195,12 @@ class EngineStats:
     executor: str
     cache: CacheStats
     workers: "dict | None" = None
+    #: Completed hot swaps (:meth:`NCEngine.swap_snapshot`).
+    swaps: int = 0
+    #: Versions fully drained and retired after being swapped out.
+    drained_versions: "tuple[int, ...]" = ()
+    #: Versions swapped out but still finishing in-flight requests.
+    draining_versions: "tuple[int, ...]" = ()
 
     def as_dict(self) -> dict:
         """The JSON shape served by ``GET /stats``."""
@@ -119,7 +210,10 @@ class EngineStats:
             "coalesced": self.coalesced,
             "computed": self.computed,
             "repins": self.repins,
+            "swaps": self.swaps,
             "pinned_version": self.pinned_version,
+            "drained_versions": list(self.drained_versions),
+            "draining_versions": list(self.draining_versions),
             "inflight": self.inflight,
             "max_workers": self.max_workers,
             "executor": self.executor,
@@ -228,6 +322,10 @@ class NCEngine:
         self._coalesced = 0
         self._computed = 0
         self._repins = 0
+        self._swaps = 0
+        self._swap_lock = threading.Lock()
+        self._drained_versions: "list[int]" = []
+        self._draining: "dict[int, _PinnedState]" = {}
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -361,7 +459,7 @@ class NCEngine:
             ) from last_error
         return state
 
-    def _build_frozen_pin(self) -> _PinnedState:
+    def _build_frozen_pin(self, graph: "KnowledgeGraph | None" = None) -> _PinnedState:
         """The one-shot pin over a frozen snapshot view (no writers, ever).
 
         The cold-start fast path of ``repro serve --snapshot``: the
@@ -371,15 +469,21 @@ class NCEngine:
         nothing else. In process mode a disk-backed view is republished
         as its own *path* (workers mmap the same file); only a view with
         no path-publication falls back to an shm export.
+
+        ``graph`` defaults to the engine's current view;
+        :meth:`swap_snapshot` passes the incoming view so the replacement
+        pin is fully built before the engine atomically adopts it.
         """
-        snapshot = self._graph.compiled()
+        if graph is None:
+            graph = self._graph
+        snapshot = graph.compiled()
         selector = RandomWalkContext(
-            self._graph,
+            graph,
             damping=self.damping,
             iterations=self.iterations,
             pin=True,
         )
-        attached = getattr(self._graph, "_attached", None)
+        attached = getattr(graph, "_attached", None)
         stored = attached.transition() if attached is not None else None
         if stored is not None:
             selector.warm_from(stored)
@@ -394,7 +498,7 @@ class NCEngine:
         return _PinnedState(
             snapshot=snapshot,
             selector=selector,
-            entity_index=EntityIndex(self._graph),
+            entity_index=EntityIndex(graph),
             shared=shared,
         )
 
@@ -426,6 +530,134 @@ class NCEngine:
             graph_name=self._graph.name,
             transition=transition,
         )
+
+    # -- hot swap ----------------------------------------------------------
+
+    def swap_snapshot(
+        self,
+        graph: "KnowledgeGraph | str | os.PathLike[str]",
+        *,
+        close_drained: bool = True,
+    ) -> SwapOutcome:
+        """Atomically re-pin onto a newly published snapshot (hot swap).
+
+        The serve-v2-while-v1-drains primitive: ``graph`` is a *frozen*
+        snapshot view (``repro.disk.open_snapshot_view``) — or a snapshot
+        file path, opened here — holding a **newer** version than the
+        current pin (the registry's monotonic ids guarantee this for
+        registry-published files). The engine builds the replacement pin
+        off to the side, then swaps ``graph``/pin under the pin lock:
+
+        * new requests pin the new version immediately (the version-keyed
+          result cache invalidates by unreachability, exactly as for
+          live-graph mutations, and stale entries are purged eagerly);
+        * in-flight requests finish on the old pin — each request holds
+          an in-flight reference for its whole lifetime, and the old pin
+          is only *retired* (process-mode publication handed to the
+          worker pool's per-segment refcount/retire machinery, the old
+          view's mapping closed when ``close_drained``) once the last
+          one completes. Drained versions are recorded in
+          ``stats().drained_versions``.
+
+        Swapping to the version already pinned is an idempotent no-op
+        (``swapped=False``) — the ``POST /admin/reload`` handler leans on
+        this. Swapping *backwards* raises ``ValueError``: version ids key
+        the result cache, so re-serving an older id could resurface stale
+        entries. Only snapshot-backed (frozen) engines can swap; an
+        engine over a live :class:`KnowledgeGraph` re-pins through graph
+        mutations instead.
+
+        The engine takes ownership of an accepted view: it is closed when
+        its version drains (``close_drained=True``, the default). On
+        rejection (no-op or error) the caller keeps ownership of a view
+        *they* opened; a view the engine opened from a path argument is
+        closed here.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if not self._frozen:
+            raise ValueError(
+                "swap_snapshot requires a snapshot-backed engine (a frozen "
+                "view); live-graph engines re-pin on mutation instead"
+            )
+        opened_here = False
+        if isinstance(graph, (str, os.PathLike)):
+            from repro.disk import open_snapshot_view
+
+            graph = open_snapshot_view(graph)
+            opened_here = True
+        if not bool(getattr(graph, "frozen", False)):
+            raise ValueError(
+                "swap target must be a frozen snapshot view "
+                "(repro.disk.open_snapshot_view)"
+            )
+        new_version = graph.version
+        with self._swap_lock:
+            current = self._pinned
+            current_version = (
+                current.snapshot.version if current is not None else self._graph.version
+            )
+            if new_version == current_version:
+                if opened_here:
+                    graph.close()
+                return SwapOutcome(
+                    swapped=False,
+                    old_version=current_version,
+                    new_version=new_version,
+                )
+            if new_version < current_version:
+                if opened_here:
+                    graph.close()
+                raise ValueError(
+                    f"cannot swap from version {current_version} back to "
+                    f"{new_version}: snapshot versions must be monotonic "
+                    f"(they key the result cache)"
+                )
+            state = self._build_frozen_pin(graph)
+            with self._pin_lock:
+                previous = self._pinned
+                old_graph = self._graph
+                self._graph = graph
+                self._pinned = state
+                self._repins += 1
+                self._swaps += 1
+            self._cache.purge_versions(new_version)
+            if previous is not None:
+                self._retire_pin(
+                    previous, old_graph if close_drained else None
+                )
+        return SwapOutcome(
+            swapped=True, old_version=current_version, new_version=new_version
+        )
+
+    def _retire_pin(self, previous: _PinnedState, old_graph) -> None:
+        """Hand a superseded pin to the drain machinery.
+
+        The process-mode publication goes to the worker pool's
+        per-segment refcount (workers mmap'd on the old file finish their
+        jobs; the segment/file handle is unlinked at last completion — a
+        no-op for immutable disk files). The parent-side pin drains on
+        the engine's own in-flight refcount; at the last release the old
+        view's mapping is closed (when the engine owns it) and the
+        version is recorded as drained.
+        """
+        if previous.shared is not None:
+            if self._pool is not None:
+                self._pool.retire(previous.shared)
+            else:
+                previous.shared.unlink()
+        version = previous.snapshot.version
+        with self._flight_lock:
+            self._draining[version] = previous
+
+        def on_drained() -> None:
+            if old_graph is not None:
+                old_graph.close()
+            with self._flight_lock:
+                self._draining.pop(version, None)
+                self._drained_versions.append(version)
+
+        previous.lifecycle.retire(on_drained)
 
     # -- request plumbing --------------------------------------------------
 
@@ -465,6 +697,10 @@ class NCEngine:
         finally:
             with self._flight_lock:
                 self._inflight.pop(key, None)
+            # The request's in-flight reference, acquired in submit() and
+            # transferred to this computation: the last release of a
+            # swapped-out pin triggers its retirement.
+            state.lifecycle.release()
 
     def _compute_local(self, key: tuple, query_ids: tuple[int, ...], k: int,
                        alpha: float, state: _PinnedState) -> FindNCResult:
@@ -535,38 +771,62 @@ class NCEngine:
         """
         if self._closed:
             raise RuntimeError("engine is closed")
-        state = self.pin()
-        query_ids = self._resolve(state, query)
-        if not state.snapshot.covers(query_ids):
-            # The graph grew between pin() and resolution; retry once on
-            # a fresh pin (the new snapshot covers every current node).
+        # Hold the pin for the request's whole lifetime (resolution may
+        # still lazily read the pinned view's name table): a concurrent
+        # swap_snapshot retires this pin only after the last holder
+        # releases. Acquire-then-validate: a swap landing between pin()
+        # and acquire() could have already drained (and closed) the pin
+        # with zero holders, so a reference on a retired pin is given
+        # back and the new pin taken instead. The reference is
+        # transferred to _compute when a computation is scheduled, and
+        # dropped here on every other path.
+        while True:
             state = self.pin()
-        k = context_size if context_size is not None else self.context_size
-        a = alpha if alpha is not None else self.alpha
-        key = (
-            state.snapshot.version,
-            frozenset(query_ids),
-            k,
-            a,
-            self._discriminator_fingerprint,
-        )
-        with self._flight_lock:
-            self._requests += 1
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._hits += 1
-                future: Future = Future()
-                future.set_result(cached)
-                return future, True, False, state.snapshot.version
-            existing = self._inflight.get(key)
-            if existing is not None:
-                self._coalesced += 1
-                return existing, False, True, state.snapshot.version
-            future = self._executor.submit(
-                self._compute, key, query_ids, k, a, state
+            state.lifecycle.acquire()
+            if state is self._pinned or not state.lifecycle.retired:
+                break
+            state.lifecycle.release()
+        transferred = False
+        try:
+            query_ids = self._resolve(state, query)
+            if not state.snapshot.covers(query_ids):
+                # The graph grew between pin() and resolution; retry once
+                # on a fresh pin (the new snapshot covers every node).
+                fresh = self.pin()
+                if fresh is not state:
+                    fresh.lifecycle.acquire()
+                    state.lifecycle.release()
+                    state = fresh
+            k = context_size if context_size is not None else self.context_size
+            a = alpha if alpha is not None else self.alpha
+            key = (
+                state.snapshot.version,
+                frozenset(query_ids),
+                k,
+                a,
+                self._discriminator_fingerprint,
             )
-            self._inflight[key] = future
-            return future, False, False, state.snapshot.version
+            with self._flight_lock:
+                self._requests += 1
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._hits += 1
+                    future: Future = Future()
+                    future.set_result(cached)
+                    return future, True, False, state.snapshot.version
+                existing = self._inflight.get(key)
+                if existing is not None:
+                    self._coalesced += 1
+                    return existing, False, True, state.snapshot.version
+                future = self._executor.submit(
+                    self._compute, key, query_ids, k, a, state
+                )
+                transferred = True
+                self._inflight[key] = future
+                return future, False, False, state.snapshot.version
+        finally:
+            if not transferred:
+                state.lifecycle.release()
 
     def request(
         self,
@@ -609,6 +869,8 @@ class NCEngine:
             coalesced = self._coalesced
             computed = self._computed
             inflight = len(self._inflight)
+            drained = tuple(self._drained_versions)
+            draining = tuple(sorted(self._draining))
         pinned = self._pinned
         pool = self._pool
         return EngineStats(
@@ -623,4 +885,7 @@ class NCEngine:
             executor=self.executor,
             cache=self._cache.stats(),
             workers=pool.stats().as_dict() if pool is not None else None,
+            swaps=self._swaps,
+            drained_versions=drained,
+            draining_versions=draining,
         )

@@ -1,6 +1,6 @@
 """Stdlib HTTP JSON front-end for :class:`~repro.service.engine.NCEngine`.
 
-Endpoints
+Endpoints (full request/response reference: ``docs/OPERATIONS.md``)
 ---------
 
 ``GET /healthz``
@@ -9,13 +9,24 @@ Endpoints
         {"status": "ok", "graph_version": 3, "nodes": 2188, "edges": 15466}
 
 ``GET /stats``
-    Engine counters (requests, cache hits, coalescing, LRU stats).
+    Engine counters (requests, cache hits, coalescing, LRU stats; hot
+    swaps and drained versions when serving a snapshot registry).
 
 ``GET /search?query=Angela_Merkel&query=Barack_Obama[&context_size=50][&alpha=0.05]``
 ``POST /search`` with body ``{"query": [...], "context_size": 50, "alpha": 0.05}``
     Run FindNC and return the notable characteristics. ``query`` accepts
     node names (exact or fuzzy) or integer node ids; the GET form also
     accepts one comma-separated ``query`` parameter.
+
+``POST /admin/reload``
+    Hot-swap onto the newest registry version (``repro serve
+    --snapshot-dir`` only): re-reads the manifest, and when it names a
+    version newer than the pinned one, swaps the engine onto it while
+    in-flight requests drain on the old pin
+    (:meth:`~repro.service.engine.NCEngine.swap_snapshot`). Idempotent —
+    reloading with nothing new published answers ``{"swapped": false}``.
+    The same code path runs on a timer when ``--poll-interval`` is set
+    (:class:`RegistryPoller` watches the manifest mtime).
 
 Built on :class:`http.server.ThreadingHTTPServer` (one thread per
 connection, stdlib-only); actual query concurrency is bounded by the
@@ -25,6 +36,8 @@ engine's executor, and identical concurrent requests coalesce there.
 from __future__ import annotations
 
 import json
+import sys
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
@@ -32,6 +45,133 @@ from repro.errors import ReproError
 from repro.graph.model import KnowledgeGraph
 from repro.service.engine import NCEngine, SearchOutcome
 from repro.service.workers import RemoteQueryError, WorkerCrashError
+
+
+def reload_from_registry(
+    engine: NCEngine,
+    registry,
+    *,
+    retain: "int | None" = None,
+    lock: "threading.Lock | None" = None,
+) -> dict:
+    """Swap ``engine`` onto the registry's newest version, if newer.
+
+    The one reload path shared by ``POST /admin/reload`` and the
+    :class:`RegistryPoller`: refresh the manifest, compare the latest
+    version against the engine's pin, and — only when the registry moved
+    forward — open the new file and
+    :meth:`~repro.service.engine.NCEngine.swap_snapshot` onto it. With
+    ``retain`` set, drained-out versions beyond the newest ``retain``
+    are garbage-collected afterwards (the version still draining is kept
+    until a later reload finds it drained). Returns the JSON-ready
+    outcome dict; raises
+    :class:`~repro.disk.registry.RegistryError` for a broken registry
+    and ``ValueError`` for a backwards registry.
+    """
+    from repro.disk import open_snapshot_view
+
+    with lock if lock is not None else threading.Lock():
+        registry.refresh()
+        latest = registry.latest()
+        if latest is None:
+            return {"swapped": False, "reason": "registry is empty"}
+        current = engine.graph.version
+        if latest.version <= current:
+            return {
+                "swapped": False,
+                "version": current,
+                "latest_published": latest.version,
+            }
+        view = open_snapshot_view(latest.path)
+        try:
+            outcome = engine.swap_snapshot(view)
+        except BaseException:
+            view.close()
+            raise
+        if not outcome.swapped:  # pragma: no cover - raced reload
+            view.close()
+        # retain < 1 is rejected at the CLI; guard here too so a
+        # misconfigured embedder cannot turn a *successful* swap into a
+        # reported failure by raising inside post-swap GC.
+        if retain is not None and retain >= 1 and outcome.swapped:
+            stats = engine.stats()
+            keep = {outcome.new_version, *stats.draining_versions}
+            registry.gc(retain=retain, keep=keep)
+        return {
+            "swapped": outcome.swapped,
+            "old_version": outcome.old_version,
+            "new_version": outcome.new_version,
+            "file": latest.file,
+        }
+
+
+class RegistryPoller(threading.Thread):
+    """Watch a registry manifest and hot-swap when it advances.
+
+    The optional push-free deployment mode of ``repro serve
+    --snapshot-dir --poll-interval N``: every ``interval`` seconds the
+    manifest's ``(mtime, size)`` token is compared; on change the
+    poller runs the same :func:`reload_from_registry` path as
+    ``POST /admin/reload``. Reload failures are logged to stderr and
+    retried on the next tick (a half-published registry heals itself).
+    """
+
+    def __init__(
+        self,
+        engine: NCEngine,
+        registry,
+        *,
+        interval: float = 5.0,
+        retain: "int | None" = None,
+        lock: "threading.Lock | None" = None,
+    ) -> None:
+        super().__init__(name="nc-registry-poller", daemon=True)
+        if interval <= 0:
+            raise ValueError(f"poll interval must be > 0, got {interval}")
+        self.engine = engine
+        self.registry = registry
+        self.interval = interval
+        self.retain = retain
+        self._lock = lock
+        self._halt = threading.Event()
+        self._token = registry.mtime_token()
+        #: Reloads that swapped, for tests and ``/stats`` debugging.
+        self.swapped = 0
+
+    def run(self) -> None:
+        """Poll until :meth:`stop`; swallow (and log) reload failures."""
+        while not self._halt.wait(self.interval):
+            token = self.registry.mtime_token()
+            if token == self._token:
+                continue
+            try:
+                outcome = reload_from_registry(
+                    self.engine,
+                    self.registry,
+                    retain=self.retain,
+                    lock=self._lock,
+                )
+            except Exception as error:  # noqa: BLE001 - keep serving
+                # Token deliberately NOT advanced: a transient failure
+                # (unreadable manifest, fd pressure) is retried on the
+                # next tick instead of being skipped forever.
+                print(
+                    f"registry poll: reload failed: {error!r}", file=sys.stderr
+                )
+                continue
+            self._token = token
+            if outcome.get("swapped"):
+                self.swapped += 1
+                print(
+                    f"registry poll: swapped v{outcome['old_version']} -> "
+                    f"v{outcome['new_version']}",
+                    file=sys.stderr,
+                )
+
+    def stop(self, *, timeout: float = 5.0) -> None:
+        """Stop polling and join the thread."""
+        self._halt.set()
+        self.join(timeout=timeout)
 
 
 def outcome_to_json(outcome: SearchOutcome, graph: KnowledgeGraph) -> dict:
@@ -66,13 +206,29 @@ def outcome_to_json(outcome: SearchOutcome, graph: KnowledgeGraph) -> dict:
 
 
 class NCServiceServer(ThreadingHTTPServer):
-    """A threading HTTP server owning one engine."""
+    """A threading HTTP server owning one engine.
+
+    ``registry`` (a :class:`~repro.disk.registry.SnapshotRegistry`)
+    enables the ``POST /admin/reload`` hot-swap endpoint; ``retain``
+    is the registry's GC knob applied after each successful swap.
+    ``reload_lock`` serializes handler- and poller-initiated reloads.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], engine: NCEngine) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: NCEngine,
+        *,
+        registry=None,
+        retain: "int | None" = None,
+    ) -> None:
         super().__init__(address, NCRequestHandler)
         self.engine = engine
+        self.registry = registry
+        self.retain = retain
+        self.reload_lock = threading.Lock()
 
 
 class NCRequestHandler(BaseHTTPRequestHandler):
@@ -175,9 +331,40 @@ class NCRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send_error_json(404, f"unknown path {url.path!r}")
 
+    # -- admin -------------------------------------------------------------
+
+    def _admin_reload(self) -> None:
+        """``POST /admin/reload``: hot-swap onto the registry's newest
+        version (no-op when nothing newer is published)."""
+        registry = getattr(self.server, "registry", None)
+        if registry is None:
+            self._send_error_json(
+                400,
+                "no snapshot registry configured (serve with --snapshot-dir)",
+            )
+            return
+        try:
+            outcome = reload_from_registry(
+                self._engine(),
+                registry,
+                retain=getattr(self.server, "retain", None),
+                lock=getattr(self.server, "reload_lock", None),
+            )
+        except (ReproError, ValueError) as error:
+            # broken manifest / missing file / non-monotonic registry
+            self._send_error_json(500, str(error))
+            return
+        except RuntimeError as error:  # engine closed (server draining)
+            self._send_error_json(503, str(error))
+            return
+        self._send_json(outcome)
+
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        """Serve the JSON-body form of ``/search``."""
+        """Serve the JSON-body form of ``/search`` and ``/admin/reload``."""
         url = urlsplit(self.path)
+        if url.path == "/admin/reload":
+            self._admin_reload()
+            return
         if url.path != "/search":
             self._send_error_json(404, f"unknown path {url.path!r}")
             return
@@ -194,7 +381,16 @@ class NCRequestHandler(BaseHTTPRequestHandler):
 
 
 def create_server(
-    engine: NCEngine, *, host: str = "127.0.0.1", port: int = 8099
+    engine: NCEngine,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8099,
+    registry=None,
+    retain: "int | None" = None,
 ) -> NCServiceServer:
-    """Bind an :class:`NCServiceServer` (``port=0`` picks a free port)."""
-    return NCServiceServer((host, port), engine)
+    """Bind an :class:`NCServiceServer` (``port=0`` picks a free port).
+
+    Pass a :class:`~repro.disk.registry.SnapshotRegistry` as ``registry``
+    to enable ``POST /admin/reload`` (and ``retain`` for post-swap GC).
+    """
+    return NCServiceServer((host, port), engine, registry=registry, retain=retain)

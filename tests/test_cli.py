@@ -171,3 +171,113 @@ class TestCompileCommand:
         with open_snapshot(out) as snap:
             assert snap.compiled.node_count == 4
             assert snap.compiled.edge_count == 4  # inverse closure
+
+
+class TestPublishInspectParser:
+    def test_publish_args(self):
+        args = build_parser().parse_args(
+            ["publish", "dump.nt", "serving", "--name", "prod"]
+        )
+        assert args.command == "publish"
+        assert args.source == "dump.nt"
+        assert str(args.registry) == "serving"
+        assert args.name == "prod"
+
+    def test_inspect_args(self):
+        args = build_parser().parse_args(["inspect", "graph.snap", "--json"])
+        assert args.command == "inspect"
+        assert str(args.target) == "graph.snap"
+        assert args.json
+
+    def test_serve_snapshot_dir_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--snapshot-dir",
+                "serving",
+                "--poll-interval",
+                "2.5",
+                "--retain",
+                "3",
+            ]
+        )
+        assert str(args.snapshot_dir) == "serving"
+        assert args.poll_interval == 2.5
+        assert args.retain == 3
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.snapshot_dir is None
+        assert defaults.poll_interval == 0.0
+        assert defaults.retain == 2
+
+
+class TestPublishInspectCommands:
+    def test_publish_dataset_twice_is_two_versions(self, capsys, tmp_path):
+        registry_dir = tmp_path / "serving"
+        assert main(["publish", "figure1", str(registry_dir)]) == 0
+        assert main(["publish", "figure1", str(registry_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "as v1" in out and "as v2" in out
+        from repro.disk import SnapshotRegistry
+
+        registry = SnapshotRegistry(registry_dir, create=False)
+        assert [e.version for e in registry.versions()] == [1, 2]
+
+    def test_inspect_snapshot_file(self, capsys, tmp_path):
+        registry_dir = tmp_path / "serving"
+        assert main(["publish", "figure1", str(registry_dir)]) == 0
+        from repro.disk import SnapshotRegistry
+
+        entry = SnapshotRegistry(registry_dir, create=False).latest()
+        capsys.readouterr()
+        assert main(["inspect", entry.path]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot format v1" in out
+        assert f"version {entry.version}" in out
+        assert "frozen PPR transition: baked in" in out
+
+    def test_inspect_registry_directory(self, capsys, tmp_path):
+        registry_dir = tmp_path / "serving"
+        assert main(["publish", "figure1", str(registry_dir)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(registry_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot registry" in out
+        assert "v1: v000001.snap" in out
+
+    def test_inspect_json_mode(self, capsys, tmp_path):
+        import json as json_module
+
+        registry_dir = tmp_path / "serving"
+        assert main(["publish", "figure1", str(registry_dir)]) == 0
+        from repro.disk import SnapshotRegistry
+
+        entry = SnapshotRegistry(registry_dir, create=False).latest()
+        capsys.readouterr()
+        assert main(["inspect", entry.path, "--json"]) == 0
+        info = json_module.loads(capsys.readouterr().out)
+        assert info["version"] == 1
+        assert info["has_transition"] is True
+
+    def test_inspect_non_registry_directory_fails(self, capsys, tmp_path):
+        assert main(["inspect", str(tmp_path)]) == 1
+        assert "not a snapshot registry" in capsys.readouterr().out
+
+    def test_serve_rejects_snapshot_and_snapshot_dir(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve",
+                "--snapshot",
+                "a.snap",
+                "--snapshot-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().out
+
+    def test_serve_empty_registry_fails(self, capsys, tmp_path):
+        registry_dir = tmp_path / "serving"
+        registry_dir.mkdir()
+        code = main(["serve", "--snapshot-dir", str(registry_dir)])
+        assert code == 1
+        assert "empty" in capsys.readouterr().out

@@ -15,10 +15,11 @@ given (or the default doc set):
 
 **Docstring mode** (``--docstrings``) mirrors the CI ruff D100–D104 job
 without requiring ruff: every module in the given packages (default: the
-documented ``repro.service`` / ``repro.parallel`` / ``repro.disk``
-surface) must carry a module docstring, and every public class, method
-and function a docstring. ``tests/test_docs.py`` runs both modes, so the
-docs gate holds even where only pytest is installed.
+documented ``repro.service`` / ``repro.parallel`` / ``repro.disk`` /
+``repro.core`` / ``repro.graph`` surface) must carry a module docstring,
+and every public class, method and function a docstring.
+``tests/test_docs.py`` runs both modes, so the docs gate holds even
+where only pytest is installed.
 
 Exit status 0 when everything passes, 1 otherwise (one line per
 problem). Run from the repo root::
@@ -44,6 +45,7 @@ DEFAULT_DOC_SET = (
     "ROADMAP.md",
     "CHANGES.md",
     "docs/ARCHITECTURE.md",
+    "docs/OPERATIONS.md",
     "benchmarks/README.md",
     "src/repro/service/README.md",
 )
@@ -53,6 +55,8 @@ DEFAULT_DOCSTRING_PACKAGES = (
     "src/repro/service",
     "src/repro/parallel",
     "src/repro/disk",
+    "src/repro/core",
+    "src/repro/graph",
 )
 
 #: Inline markdown links: [text](target). Images share the syntax with a

@@ -2,19 +2,23 @@
 
 Thin wrapper over :func:`repro.service.bench.run_service_benchmark` (the
 same driver behind ``repro bench-serve``), defaulting the output to the
-repo-root ``BENCH_PR5.json`` so the service has a committed perf record
-alongside ``BENCH_PR1.json`` – ``BENCH_PR4.json``. Since PR 3 the suite
+repo-root ``BENCH_PR6.json`` so the service has a committed perf record
+alongside ``BENCH_PR1.json`` – ``BENCH_PR5.json``. Since PR 3 the suite
 includes the thread-vs-process backend comparison on distinct-query
 traffic; since PR 4 it also measures the snapshot-store cold start
 (parse+compile vs mmap open, asserted >= 10x) and snapshot-file serving
 parity; since PR 5 it exercises the multi-version **hot swap** (a
 registry version swap under sustained traffic — zero failed requests,
 post-swap result parity, and drain-then-retire of the old version all
-asserted; see ``benchmarks/README.md`` for the field reference).
+asserted); since PR 6 it runs the **fault storm** (crash-injected and
+SIGKILLed workers plus a mid-storm swap under sustained traffic — zero
+wrong answers, only structured errors, bounded error rate, and post-storm
+recovery to ``ok`` health all asserted; see ``benchmarks/README.md`` for
+the field reference).
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR5.json]
+    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR6.json]
                                                           [--scale 2.0] [--workers 4]
                                                           [--quick] [--snapshot PATH]
 
@@ -78,7 +82,7 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.quick:
         for name, value in QUICK_PRESET.items():
             setattr(args, name, value)
-    out = args.out if args.out is not None else REPO_ROOT / "BENCH_PR5.json"
+    out = args.out if args.out is not None else REPO_ROOT / "BENCH_PR6.json"
 
     report = run_service_benchmark(
         dataset=args.dataset,

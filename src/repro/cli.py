@@ -48,22 +48,27 @@ Subcommands
     cold-start it from a compiled snapshot (one mmap, no parse, no
     ``KnowledgeGraph`` in the serving process), or serve a snapshot
     registry with hot swaps (``POST /admin/reload``, optional mtime
-    polling)::
+    polling). Resilience knobs — a default request deadline, an
+    admission-control budget, and the crash-retry budget — are flags;
+    SIGTERM/SIGINT drain in-flight requests (bounded by
+    ``--drain-timeout``) before the process exits::
 
         repro serve --dataset yago --port 8099
         repro serve --snapshot yago-s2.snap --port 8099
         repro serve --snapshot-dir serving/ --poll-interval 5 --retain 2
         repro serve --executor process --workers 4   # scale with cores
+        repro serve --request-timeout 2.0 --max-pending 64 --retries 3
         curl 'http://127.0.0.1:8099/search?query=Angela_Merkel,Barack_Obama'
         curl -X POST 'http://127.0.0.1:8099/admin/reload'
 
 ``bench-serve``
     Run the service throughput/latency benchmark — including the
     thread-vs-process backend comparison, the snapshot-store cold-start
-    phase, and the multi-version hot-swap phase — and write the JSON
-    report (see ``benchmarks/README.md`` for the field reference)::
+    phase, the multi-version hot-swap phase, and the fault-injection
+    storm — and write the JSON report (see ``benchmarks/README.md`` for
+    the field reference)::
 
-        repro bench-serve --out BENCH_PR5.json
+        repro bench-serve --out BENCH_PR6.json
 """
 
 from __future__ import annotations
@@ -246,6 +251,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=11)
     serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds (expired requests "
+        "answer 504; per-request timeout_ms overrides; unset = no deadline)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="admission-control budget: distinct computations allowed in "
+        "flight before /search sheds with 503 + Retry-After (unset = "
+        "unbounded)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="per-request retry budget for worker crashes / stale "
+        "snapshots (process executor; retries back off with jitter)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for in-flight requests to finish on "
+        "SIGTERM/SIGINT before closing the engine",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request to stderr"
     )
 
@@ -408,16 +442,56 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_serve_args(args: argparse.Namespace) -> "str | None":
+    """The resilience/registry flag sanity checks; an error message or None.
+
+    Kept separate from :func:`_cmd_serve` so unit tests can cover every
+    rejection without binding sockets or loading datasets.
+    """
+    if args.snapshot is not None and args.snapshot_dir is not None:
+        return "--snapshot and --snapshot-dir are mutually exclusive"
+    if args.retain < 1:
+        return f"--retain must be >= 1, got {args.retain}"
+    if args.request_timeout is not None and args.request_timeout <= 0:
+        return f"--request-timeout must be positive, got {args.request_timeout}"
+    if args.max_pending is not None and args.max_pending < 1:
+        return f"--max-pending must be positive, got {args.max_pending}"
+    if args.retries < 0:
+        return f"--retries must be >= 0, got {args.retries}"
+    if args.drain_timeout < 0:
+        return f"--drain-timeout must be >= 0, got {args.drain_timeout}"
+    if args.poll_interval < 0:
+        return f"--poll-interval must be >= 0, got {args.poll_interval}"
+    if args.poll_interval > 0 and args.snapshot_dir is None:
+        return "--poll-interval requires --snapshot-dir (nothing to poll)"
+    if (
+        args.request_timeout is not None
+        and args.drain_timeout > 0
+        and args.drain_timeout < args.request_timeout
+    ):
+        return (
+            f"--drain-timeout ({args.drain_timeout}) must not be shorter "
+            f"than --request-timeout ({args.request_timeout}): draining "
+            f"would abandon requests that were promised a longer deadline"
+        )
+    return None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+    import time as time_module
+
+    from repro.service import faults
     from repro.service.engine import NCEngine
     from repro.service.server import NCRequestHandler, RegistryPoller, create_server
 
-    if args.snapshot is not None and args.snapshot_dir is not None:
-        print("--snapshot and --snapshot-dir are mutually exclusive")
+    problem = _validate_serve_args(args)
+    if problem is not None:
+        print(problem)
         return 2
-    if args.retain < 1:
-        print(f"--retain must be >= 1, got {args.retain}")
-        return 2
+    injector = faults.install_from_env()
+    if injector is not None:  # pragma: no cover - chaos runs only
+        print(f"fault injection armed: {faults.FAULTS_ENV} -> {injector.rules()}")
     registry = None
     if args.snapshot_dir is not None:
         from repro.disk import SnapshotRegistry
@@ -446,6 +520,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         executor=args.executor,
         seed=args.seed,
+        request_timeout=args.request_timeout,
+        max_pending=args.max_pending,
+        retries=args.retries,
     )
     engine.pin()  # compile + publish/freeze shared state before accepting traffic
     NCRequestHandler.quiet = not args.verbose
@@ -469,6 +546,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ", /admin/reload" if registry is not None else ""
     )
     print(f"listening on http://{host}:{port} ({endpoints})")
+
+    # Graceful shutdown: SIGTERM (the orchestrator's stop signal) and
+    # SIGINT both stop accepting connections, drain in-flight requests
+    # bounded by --drain-timeout, then close the pool and unlink shm
+    # segments. serve_forever() must be shut down from another thread:
+    # the handler runs *inside* its poll loop, and a same-thread
+    # shutdown() would deadlock waiting for the loop to acknowledge.
+    stopping = threading.Event()
+
+    def _request_stop(signum: int, _frame: object) -> None:
+        if stopping.is_set():  # pragma: no cover - repeated signal
+            return
+        stopping.set()
+        print(f"received signal {signum}: draining and shutting down")
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if threading.current_thread() is threading.main_thread():
+        import signal
+
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
@@ -476,8 +574,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if poller is not None:
             poller.stop()
+        drain_deadline = time_module.monotonic() + args.drain_timeout
+        while (
+            engine.stats().inflight > 0
+            and time_module.monotonic() < drain_deadline
+        ):
+            time_module.sleep(0.05)
+        abandoned = engine.stats().inflight
         server.server_close()
         engine.close()
+        if abandoned:  # pragma: no cover - drain timeout elapsed
+            print(f"drain timeout: abandoned {abandoned} in-flight requests")
+        print("shut down cleanly")
     return 0
 
 

@@ -181,7 +181,13 @@ class SnapshotRegistry:
 
     def refresh(self) -> None:
         """Re-read the manifest from disk (no-op for a fresh directory)."""
+        from repro.service import faults  # lazy: avoids a service<->disk cycle
+
         path = self.manifest_path
+        if faults.fire("registry.manifest"):
+            raise RegistryError(
+                f"fault injection: manifest {path} is corrupt"
+            )
         if not os.path.exists(path):
             self._entries = []
             return

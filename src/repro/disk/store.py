@@ -394,6 +394,12 @@ class DiskSnapshot:
 
 def open_snapshot(path: "str | os.PathLike[str]") -> DiskSnapshot:
     """Map a snapshot file written by :func:`save_snapshot` (zero-copy)."""
+    from repro.service import faults  # lazy: avoids a service<->disk cycle
+
+    if faults.fire("snapshot.vanish"):
+        raise FileNotFoundError(
+            f"fault injection: snapshot file {os.fspath(path)!r} vanished"
+        )
     return DiskSnapshot(path)
 
 

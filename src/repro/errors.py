@@ -75,3 +75,35 @@ class StatisticsError(ReproError):
 
 class ExperimentError(ReproError):
     """An evaluation experiment was misconfigured."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request's deadline expired before its computation completed.
+
+    Raised by the serving layer (:class:`~repro.service.engine.NCEngine`
+    and :class:`~repro.service.workers.ProcessWorkerPool`) when a
+    per-request deadline — ``timeout_ms`` over HTTP or the engine's
+    ``request_timeout`` default — runs out. The HTTP front-end maps it
+    to ``504 Gateway Timeout``. The underlying computation may still
+    complete in the background and populate the result cache.
+    """
+
+    def __init__(self, message: str, *, timeout: float | None = None) -> None:
+        self.timeout = timeout
+        super().__init__(message)
+
+
+class EngineSaturatedError(ReproError):
+    """The engine shed a request: its pending-work budget is exhausted.
+
+    Raised by :meth:`~repro.service.engine.NCEngine.submit` when
+    ``max_pending`` distinct computations are already in flight —
+    admission control that keeps queueing delay bounded instead of
+    letting latency grow without limit under overload. The HTTP
+    front-end maps it to ``503 Service Unavailable`` with a
+    ``Retry-After`` header (:attr:`retry_after`, seconds).
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)

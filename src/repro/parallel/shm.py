@@ -392,6 +392,12 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     bookkeeping. So registration is suppressed during attach; 3.13+ has
     ``track=False`` for exactly this.
     """
+    from repro.service import faults  # lazy: service imports this module
+
+    if faults.fire("shm.attach"):
+        raise StaleSnapshotError(
+            f"fault injection: attach of segment {name!r} failed"
+        )
     try:
         try:
             return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]

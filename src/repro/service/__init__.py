@@ -18,7 +18,14 @@ between registry versions while serving
 """
 
 from repro.service.cache import CacheStats, ResultCache
-from repro.service.engine import EngineStats, NCEngine, SearchOutcome, SwapOutcome
+from repro.service.engine import (
+    CircuitBreaker,
+    EngineStats,
+    NCEngine,
+    SearchOutcome,
+    SwapOutcome,
+)
+from repro.service.faults import FaultInjector, FaultRule
 from repro.service.server import (
     NCServiceServer,
     RegistryPoller,
@@ -30,7 +37,10 @@ from repro.service.workers import ProcessWorkerPool, WorkerPoolStats
 
 __all__ = [
     "CacheStats",
+    "CircuitBreaker",
     "EngineStats",
+    "FaultInjector",
+    "FaultRule",
     "NCEngine",
     "NCServiceServer",
     "ProcessWorkerPool",

@@ -49,12 +49,22 @@ the way API clients spell entities):
   the v2 file, and the drained v1 pin retired (old mapping closed,
   version recorded in ``drained_versions``) after its last in-flight
   request completed.
+* **fault storm** (PR 6) — the chaos phase: a process-backend engine
+  over a snapshot registry serves sustained multi-client traffic while
+  workers are crash-injected (``worker.crash`` via
+  :mod:`repro.service.faults`) *and* SIGKILLed outright *and* a hot
+  swap lands mid-storm. Asserted: every completed response is
+  byte-identical to a fault-free engine's answer for the same query,
+  every failure is a structured serving error (deadline / saturation /
+  crash — never a hang, never a wrong answer), the error rate stays
+  bounded, and after the storm ends the pool is revived and health
+  returns to ``ok``.
 * **single-flight coalescing** — N clients issuing one identical query
   concurrently must trigger exactly one computation.
 
 The CLI (``repro bench-serve``) and ``benchmarks/run_service_bench.py``
 both call :func:`run_service_benchmark` and write the report as
-``BENCH_PR5.json`` (see ``benchmarks/README.md`` for the field
+``BENCH_PR6.json`` (see ``benchmarks/README.md`` for the field
 reference).
 """
 
@@ -353,6 +363,273 @@ def _bench_hot_swap(
         }
 
 
+def _bench_fault_storm(
+    graph,
+    *,
+    context_size: int,
+    alpha: float,
+    seed: int,
+    workers: int,
+    queries: "list[tuple[str, ...]]",
+    clients: int = 4,
+    storm_s: float = 2.5,
+    crash_probability: float = 0.25,
+    recovery_timeout_s: float = 30.0,
+) -> dict:
+    """The PR-6 chaos phase: survive crash-injected workers + a hot swap.
+
+    Builds fault-free reference answers on a thread engine, then serves
+    the same queries from a **process**-backend engine over a snapshot
+    registry while three kinds of chaos run concurrently:
+
+    * every worker is spawned with ``worker.crash`` armed (probability
+      ``crash_probability`` per task, via the ``REPRO_FAULTS`` env var —
+      the only transport that crosses the spawn boundary);
+    * a killer thread SIGKILLs a random live worker every ~250ms;
+    * a hot swap (v1 → v2, content-identical registry versions) lands
+      mid-storm.
+
+    Acceptance (all asserted — this is the PR's bar):
+
+    * **zero wrong answers**: every completed response fingerprints
+      byte-identical to the fault-free reference for its query;
+    * **bounded, structured errors**: any client-visible failure is a
+      known serving error (deadline, saturation, stale snapshot, crash
+      surfaced after budget exhaustion) — never a hang or a foreign
+      exception — and the error rate stays under 20% (retries plus the
+      degraded local fallback absorb nearly everything);
+    * **recovery**: after the storm the faults are disarmed, the pool
+      revived, and one clean round of traffic brings health back to
+      ``ok`` with every worker slot alive.
+    """
+    import signal
+
+    from repro.disk import SnapshotRegistry
+    from repro.errors import DeadlineExceededError, EngineSaturatedError
+    from repro.parallel.shm import StaleSnapshotError
+    from repro.service import faults
+    from repro.service.workers import (
+        ProcessWorkerPool,
+        RemoteQueryError,
+        WorkerCrashError,
+    )
+
+    structured = (
+        DeadlineExceededError,
+        EngineSaturatedError,
+        StaleSnapshotError,
+        RemoteQueryError,
+        WorkerCrashError,
+    )
+
+    # Fault-free reference answers (thread backend; per-request RNG seeds
+    # derive from the version-independent part of the cache key, so these
+    # fingerprints are valid on both registry versions and both backends).
+    with NCEngine(
+        graph,
+        context_size=context_size,
+        alpha=alpha,
+        max_workers=workers,
+        seed=seed,
+    ) as reference_engine:
+        reference_engine.pin()
+        reference = {
+            query: _result_fingerprint(reference_engine.request(query).result)
+            for query in queries
+        }
+
+    with tempfile.TemporaryDirectory(prefix="repro-faultstorm-") as registry_dir:
+        registry = SnapshotRegistry(registry_dir)
+        entry_v1 = registry.publish_graph(graph)
+        entry_v2 = registry.publish_graph(graph)
+
+        previous_spec = os.environ.get(faults.FAULTS_ENV)
+        os.environ[faults.FAULTS_ENV] = f"worker.crash={crash_probability}"
+        try:
+            with NCEngine(
+                registry.open_view(entry_v1.version),
+                context_size=context_size,
+                alpha=alpha,
+                max_workers=workers,
+                executor="process",
+                seed=seed,
+                request_timeout=30.0,
+                retries=3,
+                retry_backoff=0.02,
+                breaker_threshold=5,
+                breaker_reset_s=0.5,
+            ) as engine:
+                engine.pin()
+                # Pre-build the pool with chaos-grade detection latency:
+                # the default 0.5s watchdog tick + 1s crash grace means a
+                # crashed job costs ~1.5s to surface, which under a 25%
+                # crash rate starves the whole storm. The pool spawns here
+                # (inside the armed-REPRO_FAULTS window) so every worker
+                # inherits the crash injection.
+                engine._pool = ProcessWorkerPool(  # noqa: SLF001 - chaos harness
+                    workers,
+                    watchdog_tick=0.05,
+                    crash_grace_s=0.25,
+                    respawn_limit=64,
+                )
+                engine.request(queries[0])  # warm the resolution index
+                stop = threading.Event()
+                barrier = threading.Barrier(clients + 2)
+                completed = [0] * clients
+                wrong: "list[tuple[tuple[str, ...], object]]" = []
+                errors: "list[BaseException]" = []
+                foreign: "list[BaseException]" = []
+                lock = threading.Lock()
+
+                def client(slot: int) -> None:
+                    """Sustained traffic; verifies every completed answer."""
+                    rng = random.Random(seed + slot)
+                    barrier.wait()
+                    while not stop.is_set():
+                        query = rng.choice(queries)
+                        try:
+                            outcome = engine.request(query)
+                        except structured as error:
+                            with lock:
+                                errors.append(error)
+                            continue
+                        except BaseException as error:  # pragma: no cover
+                            with lock:
+                                foreign.append(error)
+                            continue
+                        fingerprint = _result_fingerprint(outcome.result)
+                        if fingerprint != reference[query]:  # pragma: no cover
+                            with lock:
+                                wrong.append((query, fingerprint))
+                        completed[slot] += 1
+
+                def killer() -> None:
+                    """SIGKILL a random live worker every ~250ms."""
+                    rng = random.Random(seed + 997)
+                    barrier.wait()
+                    while not stop.wait(0.25):
+                        pool = engine._pool  # noqa: SLF001 - chaos harness
+                        if pool is None:
+                            continue
+                        with pool._lock:  # noqa: SLF001
+                            processes = list(pool._processes)  # noqa: SLF001
+                        alive = [p for p in processes if p.is_alive() and p.pid]
+                        if not alive:
+                            continue
+                        try:
+                            os.kill(rng.choice(alive).pid, signal.SIGKILL)
+                        except ProcessLookupError:  # pragma: no cover - raced
+                            pass
+
+                threads = [
+                    threading.Thread(target=client, args=(slot,))
+                    for slot in range(clients)
+                ]
+                threads.append(threading.Thread(target=killer))
+                for thread in threads:
+                    thread.start()
+                barrier.wait()
+                # First half of the storm on v1, swap, second half on v2.
+                time.sleep(storm_s / 2)
+                engine.swap_snapshot(registry.open_view(entry_v2.version))
+                time.sleep(storm_s / 2)
+                stop.set()
+                for thread in threads:
+                    thread.join()
+
+                # -- storm over: disarm, revive, verify recovery -----------
+                os.environ.pop(faults.FAULTS_ENV, None)
+                revived = engine.revive_workers()
+                recovered = False
+                deadline = time.monotonic() + recovery_timeout_s
+                while time.monotonic() < deadline:
+                    engine.cache.clear()
+                    try:
+                        post = [
+                            _result_fingerprint(engine.request(q).result)
+                            for q in queries
+                        ]
+                    except structured:  # pragma: no cover - lingering crash
+                        engine.revive_workers()
+                        time.sleep(0.05)
+                        continue
+                    worker_stats = engine.stats().workers or {}
+                    if (
+                        post == [reference[q] for q in queries]
+                        and worker_stats.get("alive") == workers
+                        and engine.health()["status"] == "ok"
+                    ):
+                        recovered = True
+                        break
+                stats = engine.stats()
+                health = engine.health()
+        finally:
+            if previous_spec is None:
+                os.environ.pop(faults.FAULTS_ENV, None)
+            else:  # pragma: no cover - nested chaos runs
+                os.environ[faults.FAULTS_ENV] = previous_spec
+
+    total = sum(completed) + len(errors) + len(foreign)
+    error_rate = (len(errors) + len(foreign)) / max(total, 1)
+    phase = {
+        "clients": clients,
+        "storm_s": storm_s,
+        "crash_probability": crash_probability,
+        "requests": total,
+        "completed": sum(completed),
+        "wrong_answers": len(wrong),
+        "structured_errors": len(errors),
+        "error_types": sorted({type(error).__name__ for error in errors}),
+        "foreign_errors": len(foreign),
+        "error_rate": error_rate,
+        "swapped_mid_storm": True,
+        "revived_workers": revived,
+        "recovered": recovered,
+        "health_after": health["status"],
+        "engine": {
+            "retries": stats.retries,
+            "fallbacks": stats.fallbacks,
+            "timeouts": stats.timeouts,
+            "breaker": stats.breaker,
+        },
+        "worker_pool": stats.workers,
+        "note": (
+            "workers crash-injected (REPRO_FAULTS) and SIGKILLed under "
+            "sustained traffic with a mid-storm hot swap; asserted: zero "
+            "wrong answers, only structured errors, bounded error rate, "
+            "health back to ok after revive"
+        ),
+    }
+    if wrong:  # pragma: no cover - would be the acceptance bug
+        raise AssertionError(
+            f"fault storm produced {len(wrong)} wrong answer(s); first "
+            f"query: {wrong[0][0]!r}"
+        )
+    if foreign:  # pragma: no cover - would be the acceptance bug
+        raise AssertionError(
+            f"fault storm leaked {len(foreign)} unstructured error(s); "
+            f"first: {foreign[0]!r}"
+        )
+    if error_rate > 0.20:  # pragma: no cover - would be the acceptance bug
+        raise AssertionError(
+            f"fault-storm error rate {error_rate:.1%} exceeds the 20% bound "
+            f"({len(errors)} errors / {total} requests)"
+        )
+    if not recovered:  # pragma: no cover - would be the acceptance bug
+        raise AssertionError(
+            f"pool did not return to ok health within {recovery_timeout_s}s "
+            f"after the storm (health={health})"
+        )
+    return phase
+
+
+def _result_fingerprint(result) -> "list[tuple[str, float]]":
+    """The byte-identity fingerprint used by the parity/chaos phases."""
+    return [(item.label, item.score) for item in result.results] + [
+        ("__notable__", 0.0)
+    ] + [(label, 0.0) for label in result.notable_labels()]
+
+
 def run_service_benchmark(
     *,
     snapshot_path: "str | None" = None,
@@ -404,7 +681,7 @@ def _run_service_benchmark(
     )
     report: dict = {
         "suite": "service_bench",
-        "pr": 5,
+        "pr": 6,
         "created_unix": int(time.time()),
         "machine": {
             "python": platform.python_version(),
@@ -660,6 +937,16 @@ def _run_service_benchmark(
             queries=queries,
         )
 
+        # -- fault storm: crash-injected workers + SIGKILLs (PR 6) ---------
+        report["fault_storm"] = _bench_fault_storm(
+            graph,
+            context_size=context_size,
+            alpha=alpha,
+            seed=seed,
+            workers=workers,
+            queries=queries,
+        )
+
         # -- single-flight coalescing --------------------------------------
         engine.cache.clear()
         stats_before = engine.stats()
@@ -759,6 +1046,21 @@ def print_report(report: dict) -> None:
             f"under {hot_swap['clients']} clients "
             f"({hot_swap['requests']} requests, {hot_swap['failures']} "
             f"failures, drained: {hot_swap['drained_versions']})"
+        )
+    fault_storm = report.get("fault_storm")
+    if fault_storm:
+        breaker = fault_storm["engine"]["breaker"] or {}
+        print(
+            f"fault storm: {fault_storm['requests']} requests under "
+            f"crash-injected + SIGKILLed workers "
+            f"({fault_storm['wrong_answers']} wrong answers, "
+            f"{fault_storm['structured_errors']} structured errors "
+            f"[{fault_storm['error_rate']:.1%}], "
+            f"{fault_storm['engine']['retries']} retries, "
+            f"{fault_storm['engine']['fallbacks']} fallbacks, "
+            f"{breaker.get('trips', 0)} breaker trip(s), recovered: "
+            f"{fault_storm['recovered']}, health: "
+            f"{fault_storm['health_after']})"
         )
     print(
         f"single-flight: {flight['clients']} clients -> "

@@ -61,22 +61,125 @@ from __future__ import annotations
 
 import hashlib
 import os
+import random
 import threading
 import time
 from collections.abc import Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 
 from repro.core.context import RandomWalkContext
 from repro.core.discrimination import MultinomialDiscriminator
 from repro.core.findnc import FindNC, FindNCResult
-from repro.errors import QueryError
+from repro.errors import DeadlineExceededError, EngineSaturatedError, QueryError
 from repro.graph.compiled import CompiledGraph
 from repro.graph.model import KnowledgeGraph, NodeRef
 from repro.graph.search import EntityIndex, resolve_node_refs
 from repro.parallel.shm import SharedSnapshot, StaleSnapshotError, publish_snapshot
+from repro.service import faults
 from repro.service.cache import CacheStats, ResultCache
-from repro.service.workers import ProcessWorkerPool, WorkerConfig
+from repro.service.workers import ProcessWorkerPool, WorkerConfig, WorkerCrashError
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker over the worker-pool backend.
+
+    ``record_failure`` on every :class:`WorkerCrashError`; ``threshold``
+    *consecutive* failures trip the breaker **open** — the engine stops
+    dispatching to the pool and serves the degraded thread-local
+    fallback instead (compute is pure, so answers stay identical; only
+    throughput degrades). After ``reset_s`` the breaker allows one
+    **half-open** probe per window; a probe success closes it, a probe
+    failure re-opens it. ``/healthz`` reports ``degraded`` with
+    :attr:`reason` whenever the breaker is not closed.
+
+    Thread-safe; ``clock`` is injectable for tests.
+    """
+
+    def __init__(
+        self, *, threshold: int = 5, reset_s: float = 30.0, clock=time.monotonic
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if reset_s <= 0:
+            raise ValueError(f"reset_s must be > 0, got {reset_s}")
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_at = 0.0
+        self._trips = 0
+        self._reason = ""
+
+    def allow(self) -> bool:
+        """Whether the protected backend may be tried right now."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            now = self._clock()
+            if self._state == "open":
+                if now - self._opened_at >= self.reset_s:
+                    self._state = "half_open"
+                    self._probe_at = now
+                    return True
+                return False
+            # half_open: one probe per reset window. Time-based (rather
+            # than a "probe in flight" flag) so a probe that ends in a
+            # neutral outcome can never wedge the breaker half-open.
+            if now - self._probe_at >= self.reset_s:
+                self._probe_at = now
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A backend call succeeded: close the breaker, clear the streak."""
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+            self._reason = ""
+
+    def record_failure(self, reason: str) -> None:
+        """A backend call failed; may trip the breaker open."""
+        with self._lock:
+            self._failures += 1
+            if self._state == "half_open" or self._failures >= self.threshold:
+                if self._state != "open":
+                    self._trips += 1
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._reason = reason
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"``."""
+        with self._lock:
+            return self._state
+
+    @property
+    def reason(self) -> str:
+        """The failure that tripped the breaker (empty when closed)."""
+        with self._lock:
+            return self._reason
+
+    @property
+    def trips(self) -> int:
+        """How many times the breaker has transitioned to open."""
+        with self._lock:
+            return self._trips
+
+    def as_dict(self) -> dict:
+        """The JSON shape embedded in ``/stats``."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "trips": self._trips,
+                "reason": self._reason,
+            }
 
 
 class _PinLifecycle:
@@ -201,6 +304,16 @@ class EngineStats:
     drained_versions: "tuple[int, ...]" = ()
     #: Versions swapped out but still finishing in-flight requests.
     draining_versions: "tuple[int, ...]" = ()
+    #: Requests whose deadline expired (504s).
+    timeouts: int = 0
+    #: Backend dispatches retried after a crash or stale segment.
+    retries: int = 0
+    #: Requests shed by admission control (503s).
+    shed: int = 0
+    #: Computations served by the degraded thread-local fallback.
+    fallbacks: int = 0
+    #: Circuit-breaker snapshot (process executor only).
+    breaker: "dict | None" = None
 
     def as_dict(self) -> dict:
         """The JSON shape served by ``GET /stats``."""
@@ -218,9 +331,15 @@ class EngineStats:
             "max_workers": self.max_workers,
             "executor": self.executor,
             "cache": self.cache.as_dict(),
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "shed": self.shed,
+            "fallbacks": self.fallbacks,
         }
         if self.workers is not None:
             out["workers"] = self.workers
+        if self.breaker is not None:
+            out["breaker"] = self.breaker
         return out
 
 
@@ -250,6 +369,27 @@ class NCEngine:
         (see :mod:`repro.service.workers`).
     seed:
         Base seed mixed into the per-request deterministic RNG derivation.
+    request_timeout:
+        Default per-request deadline in seconds (``None`` = no deadline).
+        Per-call ``timeout`` arguments override it; expiry raises
+        :class:`~repro.errors.DeadlineExceededError` (HTTP 504).
+    max_pending:
+        Admission-control budget: the maximum number of *distinct*
+        computations allowed in flight before :meth:`submit` sheds with
+        :class:`~repro.errors.EngineSaturatedError` (HTTP 503 +
+        ``Retry-After``). Cache hits and coalesced requests are always
+        admitted. ``None`` = unbounded (the pre-resilience behaviour).
+    retries:
+        Per-request retry budget for retriable backend failures
+        (:class:`~repro.service.workers.WorkerCrashError`, stale
+        segments) in process mode; compute is pure, so re-dispatch is
+        always safe. Crash retries back off exponentially from
+        ``retry_backoff`` seconds with ±50% jitter.
+    breaker_threshold / breaker_reset_s:
+        Circuit breaker over the worker pool: ``breaker_threshold``
+        consecutive crash failures trip it open and the engine serves
+        the degraded thread-local fallback; after ``breaker_reset_s``
+        one half-open probe per window decides recovery.
 
     ``search``/``submit``/``request`` are safe to call from many threads.
     Do not call them from inside the engine's own executor (a worker
@@ -272,6 +412,12 @@ class NCEngine:
         max_workers: int = 4,
         executor: str = "thread",
         seed: int = 0,
+        request_timeout: "float | None" = None,
+        max_pending: "int | None" = None,
+        retries: int = 2,
+        retry_backoff: float = 0.05,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 30.0,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -279,6 +425,16 @@ class NCEngine:
             raise ValueError(
                 f"executor must be 'thread' or 'process', got {executor!r}"
             )
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be > 0, got {request_timeout}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self._graph = graph
         #: A frozen graph (``SnapshotGraphView`` over an mmapped snapshot
         #: file or an attached shm segment) never mutates: the engine pins
@@ -317,11 +473,24 @@ class NCEngine:
         self._pinned: _PinnedState | None = None
         self._flight_lock = threading.Lock()
         self._inflight: dict[tuple, Future] = {}
+        self.request_timeout = request_timeout
+        self._max_pending = max_pending
+        self._retries = retries
+        self._retry_backoff = retry_backoff
+        self._retry_rng = random.Random(seed ^ 0x5EED_BACC)
+        self._retry_rng_lock = threading.Lock()
+        self._breaker = CircuitBreaker(
+            threshold=breaker_threshold, reset_s=breaker_reset_s
+        )
         self._requests = 0
         self._hits = 0
         self._coalesced = 0
         self._computed = 0
         self._repins = 0
+        self._timeouts = 0
+        self._backend_retries = 0
+        self._shed = 0
+        self._fallbacks = 0
         self._swaps = 0
         self._swap_lock = threading.Lock()
         self._drained_versions: "list[int]" = []
@@ -684,16 +853,28 @@ class NCEngine:
         return int.from_bytes(digest, "big") >> 1
 
     def _compute(self, key: tuple, query_ids: tuple[int, ...], k: int, alpha: float,
-                 state: _PinnedState) -> FindNCResult:
+                 state: _PinnedState, deadline: "float | None" = None) -> FindNCResult:
         try:
+            if deadline is not None and time.monotonic() >= deadline:
+                # The executor queue ate the whole budget: cancel before
+                # any work happens (the "queued-but-unstarted" path).
+                raise DeadlineExceededError(
+                    "request deadline expired while queued for execution"
+                )
             if self.executor == "process":
-                result = self._compute_remote(key, query_ids, k, alpha, state)
+                result = self._compute_remote(
+                    key, query_ids, k, alpha, state, deadline
+                )
             else:
                 result = self._compute_local(key, query_ids, k, alpha, state)
             self._cache.put(key, result)
             with self._flight_lock:
                 self._computed += 1
             return result
+        except DeadlineExceededError:
+            with self._flight_lock:
+                self._timeouts += 1
+            raise
         finally:
             with self._flight_lock:
                 self._inflight.pop(key, None)
@@ -705,6 +886,7 @@ class NCEngine:
     def _compute_local(self, key: tuple, query_ids: tuple[int, ...], k: int,
                        alpha: float, state: _PinnedState) -> FindNCResult:
         """Run the pipeline on the calling executor thread (thread backend)."""
+        faults.fire("engine.slow")  # chaos hook: the rule's delay applies here
         discriminator = MultinomialDiscriminator(
             alpha=alpha,
             rng=self._rng_seed(key),
@@ -723,37 +905,93 @@ class NCEngine:
         return finder.run(query_ids, snapshot=state.snapshot)
 
     def _compute_remote(self, key: tuple, query_ids: tuple[int, ...], k: int,
-                        alpha: float, state: _PinnedState) -> FindNCResult:
+                        alpha: float, state: _PinnedState,
+                        deadline: "float | None" = None) -> FindNCResult:
         """Dispatch the computation to the worker pool (process backend).
 
         The RNG seed derives from the cache key exactly as in the local
         path, and the worker replicates :meth:`_compute_local`'s
-        construction, so both backends return identical results. If the
-        pinned segment was retired between dispatch and the worker's
-        attach (a writer raced the request), retry once against the
-        current pin — the one situation where a request keyed at version
-        ``v`` is answered from ``v+1``; its cache entry is already
-        unreachable to new requests.
+        construction, so both backends return identical results — which
+        is also what makes the failure handling here safe:
+
+        * a **stale segment** (retired between dispatch and the
+          worker's attach — a writer or hot swap raced the request) is
+          re-pinned and re-dispatched immediately, the one situation
+          where a request keyed at version ``v`` is answered from
+          ``v+1``; its cache entry is already unreachable to new
+          requests;
+        * a **worker crash** is retried on a healthy worker with
+          exponential backoff + jitter, feeding the circuit breaker;
+        * an exhausted retry budget or an **open breaker** falls back
+          to the degraded thread-local compute — identical answers,
+          degraded throughput — instead of failing the request.
+
+        Deadline expiry is never retried: the pool already charged the
+        request's whole remaining budget.
         """
         pool = self._worker_pool()
-        for attempt in range(2):
+        attempts = self._retries + 1
+        backoff = self._retry_backoff
+        last_crash: "WorkerCrashError | None" = None
+        for attempt in range(attempts):
             shared = state.shared
             if shared is None:  # pragma: no cover - process pins always publish
                 raise RuntimeError("process executor is missing its shared segment")
+            if not self._breaker.allow():
+                break  # degraded mode: skip the pool entirely
             try:
-                return pool.run(
+                result = pool.run(
                     header=shared.header,
                     query_ids=query_ids,
                     context_size=k,
                     alpha=alpha,
                     rng_seed=self._rng_seed(key),
                     config=self._worker_config,
+                    deadline=deadline,
                 )
+                self._breaker.record_success()
+                return result
             except StaleSnapshotError:
-                if attempt:
+                # Not a backend fault: no breaker, no backoff — just
+                # re-pin onto the current version and go again.
+                if attempt + 1 >= attempts:
                     raise
+                with self._flight_lock:
+                    self._backend_retries += 1
                 state = self.pin()
-        raise AssertionError("unreachable")  # pragma: no cover
+            except WorkerCrashError as error:
+                self._breaker.record_failure(repr(error))
+                last_crash = error
+                if attempt + 1 >= attempts:
+                    break
+                with self._retry_rng_lock:
+                    jitter = self._retry_rng.uniform(0.5, 1.5)
+                sleep_s = backoff * jitter
+                backoff *= 2
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= sleep_s:
+                        # No budget left for another dispatch — surface
+                        # the timeout rather than a doomed retry.
+                        raise DeadlineExceededError(
+                            "request deadline expired during crash-retry "
+                            "backoff"
+                        ) from error
+                if sleep_s > 0:
+                    time.sleep(sleep_s)
+                with self._flight_lock:
+                    self._backend_retries += 1
+        # Retry budget exhausted or breaker open: degraded local fallback.
+        # Compute is pure, so the answer is byte-identical to a healthy
+        # worker's; only latency/throughput degrade.
+        with self._flight_lock:
+            self._fallbacks += 1
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError(
+                "request deadline expired before the degraded fallback "
+                "could run"
+            ) from last_crash
+        return self._compute_local(key, query_ids, k, alpha, state)
 
     def submit(
         self,
@@ -761,6 +999,7 @@ class NCEngine:
         *,
         context_size: int | None = None,
         alpha: float | None = None,
+        timeout: "float | None" = None,
     ) -> "tuple[Future, bool, bool, int]":
         """Enqueue one request; returns ``(future, cached, coalesced, version)``.
 
@@ -768,9 +1007,22 @@ class NCEngine:
         share the first one's future (single-flight). Name resolution and
         cache lookup happen synchronously on the caller's thread, so bad
         queries raise here rather than inside the future.
+
+        ``timeout`` (seconds; defaults to the engine's
+        ``request_timeout``) sets the computation's deadline — carried
+        into the worker pool in process mode. Admission control also
+        applies here: with ``max_pending`` configured, a request that
+        would start a new computation beyond the budget raises
+        :class:`~repro.errors.EngineSaturatedError` instead of queueing
+        (cache hits and coalesced requests are always admitted).
         """
         if self._closed:
             raise RuntimeError("engine is closed")
+        if timeout is None:
+            timeout = self.request_timeout
+        elif timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        deadline = time.monotonic() + timeout if timeout is not None else None
         # Hold the pin for the request's whole lifetime (resolution may
         # still lazily read the pinned view's name table): a concurrent
         # swap_snapshot retires this pin only after the last holder
@@ -818,8 +1070,18 @@ class NCEngine:
                 if existing is not None:
                     self._coalesced += 1
                     return existing, False, True, state.snapshot.version
+                if (
+                    self._max_pending is not None
+                    and len(self._inflight) >= self._max_pending
+                ):
+                    self._shed += 1
+                    raise EngineSaturatedError(
+                        f"engine is saturated: {len(self._inflight)} pending "
+                        f"computations (max_pending={self._max_pending})",
+                        retry_after=1.0,
+                    )
                 future = self._executor.submit(
-                    self._compute, key, query_ids, k, a, state
+                    self._compute, key, query_ids, k, a, state, deadline
                 )
                 transferred = True
                 self._inflight[key] = future
@@ -834,13 +1096,49 @@ class NCEngine:
         *,
         context_size: int | None = None,
         alpha: float | None = None,
+        timeout: "float | None" = None,
     ) -> SearchOutcome:
-        """Serve one request synchronously, with cache/coalescing provenance."""
+        """Serve one request synchronously, with cache/coalescing provenance.
+
+        With a ``timeout`` (or engine ``request_timeout``), the wait for
+        the computation is bounded: on expiry this raises
+        :class:`~repro.errors.DeadlineExceededError` — on the thread
+        backend immediately at the deadline (the pure computation cannot
+        be interrupted; it finishes in the background and populates the
+        cache), on the process backend within one watchdog tick (the
+        pool abandons the job itself and the future carries the error).
+        """
         started = time.perf_counter()
+        if timeout is None:
+            timeout = self.request_timeout
+        deadline = time.monotonic() + timeout if timeout is not None else None
         future, cached, coalesced, version = self.submit(
-            query, context_size=context_size, alpha=alpha
+            query, context_size=context_size, alpha=alpha, timeout=timeout
         )
-        result = future.result()
+        if deadline is None:
+            result = future.result()
+        else:
+            # Process mode: give the pool's own deadline machinery one
+            # watchdog tick of grace to resolve the future with a
+            # structured error (avoids double-counting the timeout).
+            # Thread mode: nothing will interrupt the compute, so stop
+            # waiting exactly at the deadline.
+            grace = 0.0
+            if self.executor == "process" and self._pool is not None:
+                grace = self._pool._watchdog_tick  # noqa: SLF001
+            try:
+                result = future.result(
+                    timeout=max(0.0, deadline - time.monotonic()) + grace
+                )
+            except FuturesTimeoutError:
+                with self._flight_lock:
+                    self._timeouts += 1
+                raise DeadlineExceededError(
+                    f"request did not complete within {timeout:.3f}s (the "
+                    f"computation continues in the background and will be "
+                    f"cached)",
+                    timeout=timeout,
+                ) from None
         return SearchOutcome(
             result=result,
             cached=cached,
@@ -855,11 +1153,50 @@ class NCEngine:
         *,
         context_size: int | None = None,
         alpha: float | None = None,
+        timeout: "float | None" = None,
     ) -> FindNCResult:
         """Serve one request synchronously; the drop-in ``FindNC.run``."""
-        return self.request(query, context_size=context_size, alpha=alpha).result
+        return self.request(
+            query, context_size=context_size, alpha=alpha, timeout=timeout
+        ).result
 
     # -- introspection -----------------------------------------------------
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The worker-pool circuit breaker (meaningful in process mode)."""
+        return self._breaker
+
+    def health(self) -> dict:
+        """Liveness summary for ``/healthz``: ``ok`` or ``degraded``.
+
+        ``degraded`` means the engine is still answering — cached
+        results, coalesced flights, and the thread-local fallback all
+        work — but the process backend is bypassed because its circuit
+        breaker is not closed. The ``reason`` field says why.
+        """
+        if self.executor == "process" and self._breaker.state != "closed":
+            return {
+                "status": "degraded",
+                "reason": (
+                    f"worker-pool circuit breaker is {self._breaker.state}: "
+                    f"{self._breaker.reason}"
+                ),
+            }
+        return {"status": "ok"}
+
+    def revive_workers(self) -> int:
+        """Respawn dead worker slots and reset the breaker to closed.
+
+        The operator recovery action (after a crash storm's cause is
+        fixed): brings suppressed slots back immediately and lets
+        traffic flow to the pool again. Returns the number of slots
+        revived; a no-op (0) without a process pool.
+        """
+        pool = self._pool
+        revived = pool.revive() if pool is not None else 0
+        self._breaker.record_success()
+        return revived
 
     def stats(self) -> EngineStats:
         """A point-in-time snapshot of the engine (and worker-pool) counters."""
@@ -871,6 +1208,10 @@ class NCEngine:
             inflight = len(self._inflight)
             drained = tuple(self._drained_versions)
             draining = tuple(sorted(self._draining))
+            timeouts = self._timeouts
+            retries = self._backend_retries
+            shed = self._shed
+            fallbacks = self._fallbacks
         pinned = self._pinned
         pool = self._pool
         return EngineStats(
@@ -888,4 +1229,11 @@ class NCEngine:
             swaps=self._swaps,
             drained_versions=drained,
             draining_versions=draining,
+            timeouts=timeouts,
+            retries=retries,
+            shed=shed,
+            fallbacks=fallbacks,
+            breaker=(
+                self._breaker.as_dict() if self.executor == "process" else None
+            ),
         )

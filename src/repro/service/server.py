@@ -12,11 +12,16 @@ Endpoints (full request/response reference: ``docs/OPERATIONS.md``)
     Engine counters (requests, cache hits, coalescing, LRU stats; hot
     swaps and drained versions when serving a snapshot registry).
 
-``GET /search?query=Angela_Merkel&query=Barack_Obama[&context_size=50][&alpha=0.05]``
-``POST /search`` with body ``{"query": [...], "context_size": 50, "alpha": 0.05}``
+``GET /search?query=Angela_Merkel&query=Barack_Obama[&context_size=50][&alpha=0.05][&timeout_ms=500]``
+``POST /search`` with body ``{"query": [...], "context_size": 50, "alpha": 0.05, "timeout_ms": 500}``
     Run FindNC and return the notable characteristics. ``query`` accepts
     node names (exact or fuzzy) or integer node ids; the GET form also
-    accepts one comma-separated ``query`` parameter.
+    accepts one comma-separated ``query`` parameter. ``timeout_ms``
+    bounds the request (overriding the engine's default deadline);
+    expiry answers ``504`` with ``code: "deadline_exceeded"``. A
+    saturated engine sheds with ``503``, ``code: "saturated"`` and a
+    ``Retry-After`` header; every error body carries a stable
+    machine-readable ``code`` next to the human-readable ``error``.
 
 ``POST /admin/reload``
     Hot-swap onto the newest registry version (``repro serve
@@ -41,10 +46,22 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import ReproError
+from repro.errors import DeadlineExceededError, EngineSaturatedError, ReproError
 from repro.graph.model import KnowledgeGraph
+from repro.parallel.shm import StaleSnapshotError
 from repro.service.engine import NCEngine, SearchOutcome
 from repro.service.workers import RemoteQueryError, WorkerCrashError
+
+#: Stable machine-readable error codes, keyed by HTTP status, used when
+#: a handler does not pass a more specific ``code``. Clients switch on
+#: ``code``, never on the human-readable ``error`` message.
+DEFAULT_ERROR_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    500: "internal_error",
+    503: "unavailable",
+    504: "deadline_exceeded",
+}
 
 
 def reload_from_registry(
@@ -243,16 +260,48 @@ class NCRequestHandler(BaseHTTPRequestHandler):
     def _engine(self) -> NCEngine:
         return self.server.engine  # type: ignore[attr-defined]
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: dict,
+        status: int = 200,
+        extra_headers: "dict[str, str] | None" = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_error_json(
+        self,
+        status: int,
+        message: str,
+        *,
+        code: "str | None" = None,
+        retry_after: "float | None" = None,
+    ) -> None:
+        """One JSON error shape for every failure: ``{"error", "code"}``.
+
+        ``code`` is the stable machine-readable identifier (defaulted
+        from the status via :data:`DEFAULT_ERROR_CODES`). Every 503
+        carries a ``Retry-After`` header — shedding without telling
+        clients when to come back just moves the retry storm earlier.
+        """
+        if code is None:
+            code = DEFAULT_ERROR_CODES.get(status, "error")
+        headers: "dict[str, str]" = {}
+        if status == 503 and retry_after is None:
+            retry_after = 1.0
+        if retry_after is not None:
+            headers["Retry-After"] = str(max(1, round(retry_after)))
+        self._send_json(
+            {"error": message, "code": code},
+            status=status,
+            extra_headers=headers or None,
+        )
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         """Per-request stderr logging, silenced unless ``--verbose``."""
@@ -271,11 +320,46 @@ class NCRequestHandler(BaseHTTPRequestHandler):
         try:
             context_size = params.get("context_size")
             alpha = params.get("alpha")
+            timeout_ms = params.get("timeout_ms")
+            timeout = None
+            if timeout_ms is not None:
+                try:
+                    timeout = float(timeout_ms) / 1000.0
+                except (TypeError, ValueError):
+                    timeout = -1.0  # rejected just below, same error shape
+                if timeout <= 0:
+                    self._send_error_json(
+                        400,
+                        f"timeout_ms must be a positive number, got {timeout_ms}",
+                        code="invalid_timeout",
+                    )
+                    return
             outcome = self._engine().request(
                 query,
                 context_size=int(context_size) if context_size is not None else None,
                 alpha=float(alpha) if alpha is not None else None,
+                timeout=timeout,
             )
+        except EngineSaturatedError as error:
+            # admission control shed the request: bounded queueing beats
+            # unbounded latency. Retry-After tells clients when.
+            self._send_error_json(
+                503,
+                str(error),
+                code="saturated",
+                retry_after=getattr(error, "retry_after", 1.0),
+            )
+            return
+        except DeadlineExceededError as error:
+            self._send_error_json(504, str(error), code="deadline_exceeded")
+            return
+        except StaleSnapshotError as error:
+            # the pinned snapshot was retired mid-request faster than the
+            # engine could re-pin (retry budget exhausted) — transient
+            self._send_error_json(
+                503, str(error), code="snapshot_retired", retry_after=1.0
+            )
+            return
         except (ReproError, ValueError, TypeError) as error:
             # bad query contents (unknown entity, float ids, bad numbers)
             self._send_error_json(400, str(error))
@@ -285,7 +369,9 @@ class NCRequestHandler(BaseHTTPRequestHandler):
             # not a retry-me 503 — and the remote traceback stays out of
             # the response body (it is in the exception for server logs).
             self._send_error_json(
-                500, "internal error while executing the query on a worker"
+                500,
+                "internal error while executing the query on a worker",
+                code="worker_error",
             )
             return
         except RuntimeError as error:
@@ -302,9 +388,12 @@ class NCRequestHandler(BaseHTTPRequestHandler):
         if url.path == "/healthz":
             engine = self._engine()
             graph = engine.graph
-            self._send_json(
+            # "degraded" still answers 200: the engine is alive and
+            # serving (cached + fallback paths) — load balancers should
+            # keep routing; operators watch the status/reason fields.
+            payload = dict(engine.health())
+            payload.update(
                 {
-                    "status": "ok",
                     "graph": graph.name,
                     "graph_version": graph.version,
                     "nodes": graph.node_count,
@@ -312,6 +401,7 @@ class NCRequestHandler(BaseHTTPRequestHandler):
                     "executor": engine.executor,
                 }
             )
+            self._send_json(payload)
         elif url.path == "/stats":
             self._send_json(self._engine().stats().as_dict())
         elif url.path == "/search":
@@ -327,6 +417,8 @@ class NCRequestHandler(BaseHTTPRequestHandler):
                 params["context_size"] = raw["context_size"][0]
             if "alpha" in raw:
                 params["alpha"] = raw["alpha"][0]
+            if "timeout_ms" in raw:
+                params["timeout_ms"] = raw["timeout_ms"][0]
             self._run_search(params)
         else:
             self._send_error_json(404, f"unknown path {url.path!r}")

@@ -36,12 +36,16 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing as mp
+import os
 import threading
+import time
 import traceback
+from collections import deque
 from dataclasses import dataclass
 
 from repro.core.discrimination import MultinomialDiscriminator
 from repro.core.findnc import FindNC, FindNCResult
+from repro.errors import DeadlineExceededError
 from repro.parallel.shm import (
     SharedSnapshot,
     SharedSnapshotHeader,
@@ -49,6 +53,7 @@ from repro.parallel.shm import (
     StaleSnapshotError,
     attach_snapshot,
 )
+from repro.service import faults
 
 
 def _attach_header(header):
@@ -154,6 +159,10 @@ def _worker_main(worker_index: int, task_queue, result_queue) -> None:
     """
     from repro.core.context import RandomWalkContext  # heavy import, worker-local
 
+    # Chaos-test transport: the env var is the only channel that crosses
+    # the spawn boundary, so workers arm their faults from it at startup.
+    faults.install_from_env()
+
     attached = None
     attached_segment: str | None = None
     view: SnapshotGraphView | None = None
@@ -163,6 +172,11 @@ def _worker_main(worker_index: int, task_queue, result_queue) -> None:
         task: WorkerTask | None = task_queue.get()
         if task is None:
             break
+        if faults.fire("worker.crash"):
+            # Simulated hard crash mid-job: no result message, no cleanup
+            # — exactly what the parent's watchdog must recover from.
+            os._exit(1)
+        faults.fire("worker.slow")  # the rule's delay models a hung worker
         segment = task.header.segment
         try:
             if attached_segment != segment:
@@ -246,6 +260,11 @@ class WorkerPoolStats:
     respawns: int
     inflight: int
     retired_segments: int
+    #: Jobs abandoned because their deadline expired mid-flight.
+    deadline_abandons: int = 0
+    #: Respawns refused by the rate limiter (slot left dead until
+    #: :meth:`ProcessWorkerPool.revive` or the window rolls over).
+    respawns_suppressed: int = 0
 
     def as_dict(self) -> dict:
         """The JSON shape embedded in the engine's ``/stats`` payload."""
@@ -258,6 +277,8 @@ class WorkerPoolStats:
             "respawns": self.respawns,
             "inflight": self.inflight,
             "retired_segments": self.retired_segments,
+            "deadline_abandons": self.deadline_abandons,
+            "respawns_suppressed": self.respawns_suppressed,
         }
 
 
@@ -271,9 +292,32 @@ class ProcessWorkerPool:
     "a few hundred bytes per request".
     """
 
-    def __init__(self, workers: int, *, start_method: str = "spawn") -> None:
+    def __init__(
+        self,
+        workers: int,
+        *,
+        start_method: str = "spawn",
+        watchdog_tick: float = 0.5,
+        crash_grace_s: float = 1.0,
+        respawn_limit: int = 8,
+        respawn_window_s: float = 30.0,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if watchdog_tick <= 0:
+            raise ValueError(f"watchdog_tick must be > 0, got {watchdog_tick}")
+        if crash_grace_s < 0:
+            raise ValueError(f"crash_grace_s must be >= 0, got {crash_grace_s}")
+        if respawn_limit < 1:
+            raise ValueError(f"respawn_limit must be >= 1, got {respawn_limit}")
+        if respawn_window_s <= 0:
+            raise ValueError(
+                f"respawn_window_s must be > 0, got {respawn_window_s}"
+            )
+        self._watchdog_tick = watchdog_tick
+        self._crash_grace_s = crash_grace_s
+        self._respawn_limit = respawn_limit
+        self._respawn_window_s = respawn_window_s
         self._ctx = mp.get_context(start_method)
         self._result_queue = self._ctx.SimpleQueue()
         self._processes: list = []
@@ -293,6 +337,9 @@ class ProcessWorkerPool:
         self._completed = 0
         self._stale_retries = 0
         self._respawns = 0
+        self._respawn_times: "deque[float]" = deque()
+        self._respawns_suppressed = 0
+        self._deadline_abandons = 0
         self._closed = False
         self._collector = threading.Thread(
             target=self._collect, name="nc-worker-collector", daemon=True
@@ -311,7 +358,7 @@ class ProcessWorkerPool:
         process.start()
         return process, task_queue
 
-    def _respawn(self, dead) -> None:
+    def _respawn(self, dead) -> bool:
         """Replace ``dead`` with a fresh worker so its slot keeps serving.
 
         Without this, a single worker crash would permanently fail every
@@ -320,20 +367,62 @@ class ProcessWorkerPool:
         :class:`WorkerCrashError`); new dispatches get the replacement.
         Idempotent under races: only the caller that still finds ``dead``
         in the slot table respawns.
+
+        Respawn storms are rate-limited: at most ``respawn_limit``
+        replacements per rolling ``respawn_window_s`` window. A crash
+        loop (bad snapshot, poisoned query, OOM killer) would otherwise
+        burn CPU fork-bombing replacements that die immediately; past
+        the limit the slot stays dead (``respawns_suppressed`` counts
+        it) until the window rolls over or :meth:`revive` is called —
+        the engine's circuit breaker observes the repeated
+        :class:`WorkerCrashError` and degrades instead. Returns whether
+        a replacement was actually started.
         """
         with self._lock:
             if self._closed:
-                return
+                return False
             try:
                 slot = self._processes.index(dead)
             except ValueError:  # another caller already replaced it
-                return
+                return True
             if self._processes[slot].is_alive():  # pragma: no cover - raced
-                return
+                return True
+            now = time.monotonic()
+            while self._respawn_times and now - self._respawn_times[0] > self._respawn_window_s:
+                self._respawn_times.popleft()
+            if len(self._respawn_times) >= self._respawn_limit:
+                self._respawns_suppressed += 1
+                return False
+            self._respawn_times.append(now)
             process, task_queue = self._spawn(slot)
             self._processes[slot] = process
             self._task_queues[slot] = task_queue
             self._respawns += 1
+            return True
+
+    def revive(self) -> int:
+        """Respawn every dead slot now, resetting the rate-limit window.
+
+        The operator/recovery escape hatch after a crash storm ends
+        (and what the engine's circuit breaker calls before a half-open
+        probe): suppressed slots come back immediately instead of
+        waiting out ``respawn_window_s``. Returns the number of slots
+        revived.
+        """
+        revived = 0
+        with self._lock:
+            if self._closed:
+                return 0
+            self._respawn_times.clear()
+            for slot, process in enumerate(self._processes):
+                if process.is_alive():
+                    continue
+                replacement, task_queue = self._spawn(slot)
+                self._processes[slot] = replacement
+                self._task_queues[slot] = task_queue
+                self._respawns += 1
+                revived += 1
+        return revived
 
     # -- dispatch ----------------------------------------------------------
 
@@ -346,14 +435,34 @@ class ProcessWorkerPool:
         alpha: float,
         rng_seed: int,
         config: WorkerConfig,
+        deadline: "float | None" = None,
     ) -> FindNCResult:
         """Execute one task on the next worker (round-robin); block for it.
+
+        ``deadline`` is an absolute :func:`time.monotonic` instant: an
+        already-expired deadline cancels the job before dispatch, and an
+        in-flight job whose deadline passes is abandoned (segment
+        refcount given back; a late worker result is dropped by the
+        collector's decrement-once bookkeeping) and surfaces
+        :class:`~repro.errors.DeadlineExceededError` within one watchdog
+        tick. The worker may still finish the computation — results are
+        pure, so the only cost is wasted work.
 
         Raises :class:`StaleSnapshotError` when the segment was retired
         before the worker attached (callers re-dispatch with the current
         header), :class:`RemoteQueryError` for worker-side failures, and
         :class:`WorkerCrashError` if the worker process died.
         """
+        if deadline is not None and time.monotonic() >= deadline:
+            # Expired before dispatch: never enqueue work nobody will wait
+            # for (this is the "queued-but-unstarted jobs are cancelled"
+            # path — the engine's executor queue delay already ate the
+            # whole budget).
+            with self._lock:
+                self._deadline_abandons += 1
+            raise DeadlineExceededError(
+                "request deadline expired before the job could be dispatched"
+            )
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker pool is closed")
@@ -386,19 +495,41 @@ class ProcessWorkerPool:
             self._abandon(job_id, header.segment)
             raise
         # Wait with a liveness watchdog: a worker killed mid-job would
-        # otherwise leave this job waiting forever.
-        while not job.event.wait(timeout=0.5):
+        # otherwise leave this job waiting forever. The wait is chunked
+        # by the watchdog tick and clipped to the deadline, so both a
+        # dead worker and an expired deadline surface within one tick.
+        while True:
+            wait_for = self._watchdog_tick
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._abandon(job_id, header.segment)
+                    with self._lock:
+                        self._deadline_abandons += 1
+                    raise DeadlineExceededError(
+                        f"job {job_id} missed its deadline while executing on "
+                        f"{job.process.name} (the job was abandoned)"
+                    )
+                wait_for = min(wait_for, remaining)
+            if job.event.wait(timeout=wait_for):
+                break
             if not job.process.is_alive():
                 # The worker may have finished the job (result already on
-                # the queue) and died afterwards — give the collector one
-                # chance to drain it before declaring the job lost.
-                if job.event.wait(timeout=1.0):
+                # the queue) and died afterwards — give the collector a
+                # grace window to drain it before declaring the job lost.
+                if job.event.wait(timeout=self._crash_grace_s):
                     break
                 self._abandon(job_id, header.segment)
-                self._respawn(job.process)
+                replaced = self._respawn(job.process)
                 raise WorkerCrashError(
                     f"worker {job.process.name} died while computing job "
-                    f"{job_id} (a replacement worker was started)"
+                    f"{job_id} ("
+                    + (
+                        "a replacement worker was started"
+                        if replaced
+                        else "replacement suppressed by the respawn rate limit"
+                    )
+                    + ")"
                 )
         if job.status == "ok":
             return job.payload  # type: ignore[return-value]
@@ -527,4 +658,6 @@ class ProcessWorkerPool:
                 respawns=self._respawns,
                 inflight=len(self._jobs),
                 retired_segments=len(self._retired),
+                deadline_abandons=self._deadline_abandons,
+                respawns_suppressed=self._respawns_suppressed,
             )

@@ -281,3 +281,60 @@ class TestPublishInspectCommands:
         code = main(["serve", "--snapshot-dir", str(registry_dir)])
         assert code == 1
         assert "empty" in capsys.readouterr().out
+
+
+class TestServeResilienceFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.request_timeout is None
+        assert args.max_pending is None
+        assert args.retries == 2
+        assert args.drain_timeout == 10.0
+
+    def test_custom_values_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--request-timeout",
+                "2.5",
+                "--max-pending",
+                "64",
+                "--retries",
+                "3",
+                "--drain-timeout",
+                "30",
+            ]
+        )
+        assert args.request_timeout == 2.5
+        assert args.max_pending == 64
+        assert args.retries == 3
+        assert args.drain_timeout == 30.0
+
+    @pytest.mark.parametrize(
+        ("argv", "message"),
+        [
+            (["--request-timeout", "0"], "--request-timeout must be positive"),
+            (["--request-timeout", "-1"], "--request-timeout must be positive"),
+            (["--max-pending", "0"], "--max-pending must be positive"),
+            (["--retries", "-1"], "--retries must be >= 0"),
+            (["--drain-timeout", "-1"], "--drain-timeout must be >= 0"),
+            (["--poll-interval", "-1"], "--poll-interval must be >= 0"),
+            (["--poll-interval", "5"], "--poll-interval requires --snapshot-dir"),
+            (
+                ["--request-timeout", "10", "--drain-timeout", "2"],
+                "must not be shorter than --request-timeout",
+            ),
+        ],
+    )
+    def test_nonsensical_flags_rejected(self, capsys, argv, message):
+        code = main(["serve", *argv])
+        assert code == 2
+        assert message in capsys.readouterr().out
+
+    def test_zero_drain_timeout_is_valid(self):
+        from repro.cli import _validate_serve_args
+
+        args = build_parser().parse_args(
+            ["serve", "--drain-timeout", "0", "--request-timeout", "5"]
+        )
+        assert _validate_serve_args(args) is None

@@ -1,5 +1,6 @@
 """Tests for the HTTP JSON front-end (and the `repro serve` wiring)."""
 
+import contextlib
 import json
 import threading
 import urllib.error
@@ -8,6 +9,7 @@ import urllib.request
 import pytest
 
 from repro.datasets.figure1 import figure1_graph
+from repro.service import faults
 from repro.service.engine import NCEngine
 from repro.service.server import create_server, outcome_to_json
 
@@ -197,6 +199,169 @@ class TestServeCommand:
         finally:
             process.terminate()
             process.wait(timeout=10)
+
+
+@contextlib.contextmanager
+def _serving(engine):
+    """A live server over ``engine`` on an ephemeral port."""
+    server = create_server(engine, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close()
+
+
+class TestResilienceSurface:
+    @pytest.fixture(autouse=True)
+    def _disarmed(self):
+        faults.reset()
+        yield
+        faults.reset()
+
+    def test_error_bodies_carry_stable_codes(self, service):
+        server, _, _ = service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/search")
+        assert json.loads(excinfo.value.read())["code"] == "bad_request"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/nope")
+        assert json.loads(excinfo.value.read())["code"] == "not_found"
+
+    @pytest.mark.parametrize("value", ["0", "-50", "soon"])
+    def test_invalid_timeout_ms_400(self, service, value):
+        server, _, _ = service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, f"/search?query=Angela_Merkel&timeout_ms={value}")
+        error = excinfo.value
+        assert error.code == 400
+        assert json.loads(error.read())["code"] == "invalid_timeout"
+
+    def test_stats_expose_resilience_counters(self, service):
+        server, _, _ = service
+        _, body = _get(server, "/stats")
+        for field in ("timeouts", "retries", "shed", "fallbacks"):
+            assert field in body
+
+    def test_deadline_expiry_is_504(self):
+        engine = NCEngine(figure1_graph(), context_size=3, max_workers=1, seed=5)
+        with _serving(engine) as server:
+            faults.set_injector(
+                faults.FaultInjector(
+                    [faults.FaultRule("engine.slow", delay_s=0.8, limit=1)]
+                )
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(
+                    server,
+                    "/search?query=Angela_Merkel,Barack_Obama&timeout_ms=150",
+                )
+            error = excinfo.value
+            assert error.code == 504
+            assert json.loads(error.read())["code"] == "deadline_exceeded"
+
+    def test_saturated_engine_sheds_503_with_retry_after(self):
+        engine = NCEngine(
+            figure1_graph(), context_size=3, max_workers=1, seed=5, max_pending=1
+        )
+        with _serving(engine) as server:
+            faults.set_injector(
+                faults.FaultInjector(
+                    [faults.FaultRule("engine.slow", delay_s=0.8, limit=1)]
+                )
+            )
+            blocker, *_ = engine.submit(["Angela_Merkel", "Barack_Obama"])
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server, "/search?query=Vladimir_Putin")
+            error = excinfo.value
+            assert error.code == 503
+            assert error.headers["Retry-After"] == "1"
+            assert json.loads(error.read())["code"] == "saturated"
+            blocker.result(timeout=5.0)
+
+    def test_degraded_breaker_reported_by_healthz(self):
+        # A tripped worker-pool breaker must surface on /healthz (still
+        # HTTP 200: the engine keeps answering from the fallback, so
+        # load balancers should keep routing).
+        engine = NCEngine(
+            figure1_graph(),
+            context_size=3,
+            max_workers=1,
+            executor="process",
+            seed=5,
+            breaker_threshold=1,
+        )
+        engine.breaker.record_failure("simulated crash storm")
+        with _serving(engine) as server:
+            status, body = _get(server, "/healthz")
+            assert status == 200
+            assert body["status"] == "degraded"
+            assert "circuit breaker is open" in body["reason"]
+            _, stats = _get(server, "/stats")
+            assert stats["breaker"]["state"] == "open"
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_and_exits_cleanly(self):
+        """SIGTERM to `repro serve`: drain, close, exit 0."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time as time_mod
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--dataset",
+                "figure1",
+                "--context-size",
+                "3",
+                "--port",
+                "0",
+                "--drain-timeout",
+                "5",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            port = None
+            deadline = time_mod.monotonic() + 60
+            while time_mod.monotonic() < deadline:
+                line = process.stdout.readline()
+                if "listening on" in line:
+                    port = int(
+                        line.split("http://", 1)[1]
+                        .split("(")[0]
+                        .strip()
+                        .rsplit(":", 1)[1]
+                    )
+                    break
+            assert port, "server did not report its port"
+            # One request proves the server is live before the signal.
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=30
+            ) as response:
+                assert response.status == 200
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=30)
+        except BaseException:
+            process.kill()
+            raise
+        assert process.returncode == 0
+        assert "draining and shutting down" in output
+        assert "shut down cleanly" in output
 
 
 class TestNonStringQueryItems:

@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 import glob
+import threading
+import time
 
 import pytest
 
 from repro.datasets.figure1 import figure1_graph
+from repro.errors import DeadlineExceededError
 from repro.parallel.shm import StaleSnapshotError, publish_graph
+from repro.service import faults
 from repro.service.engine import NCEngine
 from repro.service.workers import (
     ProcessWorkerPool,
@@ -143,6 +147,157 @@ class TestWorkerCrash:
         finally:
             pool.retire(shared)
             pool.close()
+
+    def test_sigkill_mid_job_recovers_slot_and_refcount(self, monkeypatch):
+        """SIGKILL a worker while it is computing: the watchdog abandons
+        the job, recovers the segment refcount, and replaces the worker."""
+        # The first task stalls for 30s inside the worker (worker.slow is
+        # read from the env at spawn), guaranteeing the SIGKILL lands
+        # mid-job; the variable is cleared before the respawn so the
+        # replacement worker is healthy.
+        monkeypatch.setenv(faults.FAULTS_ENV, "worker.slow=1:30:1")
+        pool = ProcessWorkerPool(1, watchdog_tick=0.05, crash_grace_s=0.2)
+        monkeypatch.delenv(faults.FAULTS_ENV)
+        shared = publish_graph(figure1_graph())
+        try:
+            victim = pool._processes[0]
+            killer = threading.Timer(0.3, victim.kill)
+            killer.start()
+            started = time.monotonic()
+            with pytest.raises(WorkerCrashError, match="replacement worker"):
+                pool.run(
+                    header=shared.header,
+                    query_ids=(1, 2),
+                    context_size=3,
+                    alpha=0.05,
+                    rng_seed=123,
+                    config=_config(),
+                )
+            # Surfaced within the kill delay + tick + grace, not the
+            # worker's 30s stall.
+            assert time.monotonic() - started < 5.0
+            killer.join()
+            stats = pool.stats()
+            assert stats.respawns == 1
+            assert stats.alive == 1
+            assert stats.inflight == 0  # _abandon gave the slot back
+            # The replacement worker serves the next job.
+            result = pool.run(
+                header=shared.header,
+                query_ids=(1, 2),
+                context_size=3,
+                alpha=0.05,
+                rng_seed=123,
+                config=_config(),
+            )
+            assert result.query == (1, 2)
+        finally:
+            # The abandoned job's refcount was recovered: retire unlinks
+            # the segment immediately instead of parking it forever.
+            pool.retire(shared)
+            assert f"/dev/shm/{shared.segment}" not in _segments()
+            pool.close()
+
+    def test_respawn_rate_limit_then_revive(self):
+        pool = ProcessWorkerPool(
+            1,
+            watchdog_tick=0.05,
+            crash_grace_s=0.2,
+            respawn_limit=1,
+            respawn_window_s=60.0,
+        )
+        shared = publish_graph(figure1_graph())
+
+        def crash_once() -> None:
+            pool._processes[0].kill()
+            pool._processes[0].join(timeout=10)
+
+        def run_once():
+            return pool.run(
+                header=shared.header,
+                query_ids=(1, 2),
+                context_size=3,
+                alpha=0.05,
+                rng_seed=123,
+                config=_config(),
+            )
+
+        try:
+            crash_once()
+            with pytest.raises(WorkerCrashError, match="replacement worker"):
+                run_once()
+            # Second crash inside the window: the respawn budget (1 per
+            # 60s) is spent, so the dead slot stays down.
+            crash_once()
+            with pytest.raises(WorkerCrashError, match="suppressed"):
+                run_once()
+            stats = pool.stats()
+            assert stats.respawns == 1
+            assert stats.respawns_suppressed == 1
+            assert stats.alive == 0
+            # revive() resets the window and brings the slot back now.
+            assert pool.revive() == 1
+            assert pool.stats().alive == 1
+            assert run_once().query == (1, 2)
+        finally:
+            pool.retire(shared)
+            pool.close()
+
+    def test_revive_on_closed_pool_is_a_noop(self):
+        pool = ProcessWorkerPool(1)
+        pool.close()
+        assert pool.revive() == 0
+
+
+class TestPoolDeadlines:
+    def test_expired_deadline_rejected_before_dispatch(self, pool):
+        shared = publish_graph(figure1_graph())
+        try:
+            dispatched_before = pool.stats().dispatched
+            with pytest.raises(DeadlineExceededError, match="before the job"):
+                pool.run(
+                    header=shared.header,
+                    query_ids=(1, 2),
+                    context_size=3,
+                    alpha=0.05,
+                    rng_seed=123,
+                    config=_config(),
+                    deadline=time.monotonic() - 0.01,
+                )
+            stats = pool.stats()
+            assert stats.dispatched == dispatched_before  # never enqueued
+            assert stats.deadline_abandons == 1
+        finally:
+            pool.retire(shared)
+
+    def test_generous_deadline_does_not_interfere(self, pool):
+        shared = publish_graph(figure1_graph())
+        try:
+            result = pool.run(
+                header=shared.header,
+                query_ids=(1, 2),
+                context_size=3,
+                alpha=0.05,
+                rng_seed=123,
+                config=_config(),
+                deadline=time.monotonic() + 30.0,
+            )
+            assert result.query == (1, 2)
+        finally:
+            pool.retire(shared)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"watchdog_tick": 0.0},
+            {"crash_grace_s": -0.1},
+            {"respawn_limit": 0},
+            {"respawn_window_s": 0.0},
+        ],
+    )
+    def test_rejects_bad_tuning_kwargs(self, kwargs):
+        with pytest.raises(ValueError):
+            ProcessWorkerPool(1, **kwargs)
 
 
 class TestProcessEngine:

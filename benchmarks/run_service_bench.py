@@ -2,8 +2,8 @@
 
 Thin wrapper over :func:`repro.service.bench.run_service_benchmark` (the
 same driver behind ``repro bench-serve``), defaulting the output to the
-repo-root ``BENCH_PR6.json`` so the service has a committed perf record
-alongside ``BENCH_PR1.json`` – ``BENCH_PR5.json``. Since PR 3 the suite
+repo-root ``BENCH_PR7.json`` so the service has a committed perf record
+alongside ``BENCH_PR1.json`` – ``BENCH_PR6.json``. Since PR 3 the suite
 includes the thread-vs-process backend comparison on distinct-query
 traffic; since PR 4 it also measures the snapshot-store cold start
 (parse+compile vs mmap open, asserted >= 10x) and snapshot-file serving
@@ -13,12 +13,16 @@ post-swap result parity, and drain-then-retire of the old version all
 asserted); since PR 6 it runs the **fault storm** (crash-injected and
 SIGKILLed workers plus a mid-storm swap under sustained traffic — zero
 wrong answers, only structured errors, bounded error rate, and post-storm
-recovery to ``ok`` health all asserted; see ``benchmarks/README.md`` for
-the field reference).
+recovery to ``ok`` health all asserted); since PR 7 it replays the
+**load profile** (Zipf-skewed, session-grouped open-loop traffic via
+:mod:`repro.service.loadgen`, latency quantiles with seeded bootstrap
+confidence intervals, raw samples embedded for
+``tools/bench_compare.py``; see ``benchmarks/README.md`` for the field
+reference).
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR6.json]
+    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR7.json]
                                                           [--scale 2.0] [--workers 4]
                                                           [--quick] [--snapshot PATH]
 
@@ -82,7 +86,7 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.quick:
         for name, value in QUICK_PRESET.items():
             setattr(args, name, value)
-    out = args.out if args.out is not None else REPO_ROOT / "BENCH_PR6.json"
+    out = args.out if args.out is not None else REPO_ROOT / "BENCH_PR7.json"
 
     report = run_service_benchmark(
         dataset=args.dataset,

@@ -47,8 +47,10 @@ Subcommands
     Run the concurrent NC query service over a built-in dataset,
     cold-start it from a compiled snapshot (one mmap, no parse, no
     ``KnowledgeGraph`` in the serving process), or serve a snapshot
-    registry with hot swaps (``POST /admin/reload``, optional mtime
-    polling). Resilience knobs — a default request deadline, an
+    registry with hot swaps (``POST /v1/admin/reload``, optional mtime
+    polling). The HTTP surface lives under ``/v1/`` (unprefixed paths
+    stay as deprecated aliases); ``GET /v1/metrics`` exports Prometheus
+    text. Resilience knobs — a default request deadline, an
     admission-control budget, and the crash-retry budget — are flags;
     SIGTERM/SIGINT drain in-flight requests (bounded by
     ``--drain-timeout``) before the process exits::
@@ -58,17 +60,29 @@ Subcommands
         repro serve --snapshot-dir serving/ --poll-interval 5 --retain 2
         repro serve --executor process --workers 4   # scale with cores
         repro serve --request-timeout 2.0 --max-pending 64 --retries 3
-        curl 'http://127.0.0.1:8099/search?query=Angela_Merkel,Barack_Obama'
-        curl -X POST 'http://127.0.0.1:8099/admin/reload'
+        curl 'http://127.0.0.1:8099/v1/search?query=Angela_Merkel,Barack_Obama'
+        curl -X POST 'http://127.0.0.1:8099/v1/admin/reload'
+        curl 'http://127.0.0.1:8099/v1/metrics'
+
+``loadgen``
+    Replay Zipf-skewed, entity-centric traffic against a running
+    service (open-loop Poisson arrivals or closed-loop fixed
+    concurrency) and print latency quantiles::
+
+        repro loadgen --url http://127.0.0.1:8099 --mode open \\
+            --rate 50 --duration 10 --zipf-s 1.1
+        repro loadgen --url http://127.0.0.1:8099 --mode closed \\
+            --requests 500 --concurrency 8
 
 ``bench-serve``
     Run the service throughput/latency benchmark — including the
     thread-vs-process backend comparison, the snapshot-store cold-start
-    phase, the multi-version hot-swap phase, and the fault-injection
-    storm — and write the JSON report (see ``benchmarks/README.md`` for
-    the field reference)::
+    phase, the multi-version hot-swap phase, the fault-injection storm,
+    and the Zipf load profile — and write the JSON report (see
+    ``benchmarks/README.md`` for the field reference; compare two
+    reports with ``tools/bench_compare.py``)::
 
-        repro bench-serve --out BENCH_PR6.json
+        repro bench-serve --out BENCH_PR7.json
 """
 
 from __future__ import annotations
@@ -283,6 +297,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log each HTTP request to stderr"
     )
 
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay Zipf-skewed load against a running service",
+    )
+    loadgen.add_argument(
+        "--url",
+        default="http://127.0.0.1:8099",
+        help="base URL of a running `repro serve` instance",
+    )
+    loadgen.add_argument(
+        "--mode",
+        default="open",
+        choices=("open", "closed"),
+        help="'open': Poisson arrivals at --rate for --duration seconds "
+        "(latency measured from scheduled arrival — no coordinated "
+        "omission); 'closed': --concurrency workers draining --requests",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=20.0, help="open-loop arrival rate (req/s)"
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=10.0, help="open-loop run length (s)"
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=200, help="closed-loop request count"
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=4, help="closed-loop worker threads"
+    )
+    loadgen.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        help="Zipf skew exponent for entity popularity (larger = hotter head)",
+    )
+    loadgen.add_argument(
+        "--session-length",
+        type=int,
+        default=4,
+        help="mean queries per entity-centric session",
+    )
+    loadgen.add_argument(
+        "--dataset",
+        default="yago",
+        choices=dataset_names(),
+        help="dataset the target service is serving (used to build the "
+        "popularity-ranked entity pool locally)",
+    )
+    loadgen.add_argument("--scale", type=float, default=2.0)
+    loadgen.add_argument(
+        "--entities",
+        type=int,
+        default=128,
+        help="popularity-ranked entity pool size drawn from --dataset",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request HTTP timeout (s)"
+    )
+    loadgen.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+
     bench = sub.add_parser(
         "bench-serve", help="benchmark the query service (latency/throughput)"
     )
@@ -482,7 +559,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import time as time_module
 
     from repro.service import faults
-    from repro.service.engine import NCEngine
+    from repro.service.engine import EngineConfig, NCEngine
     from repro.service.server import NCRequestHandler, RegistryPoller, create_server
 
     problem = _validate_serve_args(args)
@@ -512,8 +589,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         graph = open_snapshot_view(args.snapshot)
     else:
         graph = load_dataset(args.dataset, scale=args.scale)
-    engine = NCEngine(
-        graph,
+    if args.snapshot_dir is not None:
+        snapshot_source = f"registry:{args.snapshot_dir}"
+    elif args.snapshot is not None:
+        snapshot_source = f"snapshot:{args.snapshot}"
+    else:
+        snapshot_source = f"dataset:{args.dataset}@{args.scale}"
+    config = EngineConfig(
         context_size=args.context_size,
         alpha=args.alpha,
         cache_size=args.cache_size,
@@ -523,7 +605,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.request_timeout,
         max_pending=args.max_pending,
         retries=args.retries,
+        snapshot_source=snapshot_source,
     )
+    engine = NCEngine(graph, config=config)
     engine.pin()  # compile + publish/freeze shared state before accepting traffic
     NCRequestHandler.quiet = not args.verbose
     server = create_server(
@@ -542,8 +626,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     host, port = server.server_address[:2]
     print(f"serving {graph.summary()}")
     print(f"executor: {args.executor} ({args.workers} workers)")
-    endpoints = "/search, /healthz, /stats" + (
-        ", /admin/reload" if registry is not None else ""
+    endpoints = "/v1/search, /v1/healthz, /v1/stats, /v1/metrics" + (
+        ", /v1/admin/reload" if registry is not None else ""
     )
     print(f"listening on http://{host}:{port} ({endpoints})")
 
@@ -589,6 +673,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import (
+        LoadProfile,
+        build_schedule,
+        entity_ranking,
+        http_target,
+        run_load,
+    )
+
+    try:
+        profile = LoadProfile(
+            mode=args.mode,
+            requests=args.requests,
+            duration_s=args.duration,
+            rate=args.rate,
+            concurrency=args.concurrency,
+            zipf_s=args.zipf_s,
+            session_length=args.session_length,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(error)
+        return 2
+    graph = load_dataset(args.dataset, scale=args.scale)
+    entities = entity_ranking(graph, limit=args.entities)
+    schedule, skew = build_schedule(entities, profile)
+    target = http_target(args.url, timeout_s=args.timeout)
+    # With --json, stdout is reserved for the report so it pipes cleanly.
+    print(
+        f"replaying {len(schedule)} {args.mode}-loop requests against "
+        f"{args.url} (zipf_s={args.zipf_s}, "
+        f"{skew['distinct_pairs']} distinct pairs, "
+        f"top pair {skew['top_pair_share']:.1%} of traffic)",
+        file=sys.stderr if args.json else sys.stdout,
+    )
+    report = run_load(target, schedule, profile)
+    summary = report.summary()
+    if args.json:
+        payload = dict(summary)
+        payload["skew"] = skew
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if report.completed else 1
+    latency = summary["latency_s"]
+    print(
+        f"completed {report.completed}/{report.requests} in "
+        f"{report.duration_s:.2f}s ({report.achieved_rps:.1f} req/s)"
+    )
+    print(
+        f"latency_s: mean={latency['mean']:.4f} p50={latency['p50']:.4f} "
+        f"p90={latency['p90']:.4f} p99={latency['p99']:.4f} "
+        f"max={latency['max']:.4f}"
+    )
+    if report.errors:
+        print(f"errors: {dict(report.errors)}")
+    return 0 if report.completed else 1
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.service.bench import print_report, run_service_benchmark
 
@@ -620,6 +761,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "publish": _cmd_publish,
         "inspect": _cmd_inspect,
         "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "bench-serve": _cmd_bench_serve,
     }
     return handlers[args.command](args)

@@ -1,5 +1,6 @@
-"""Evaluation: metrics, per-figure/table experiment runners, reporting."""
+"""Evaluation: metrics, experiment runners, bootstrap CIs, reporting."""
 
+from repro.eval.bootstrap import bootstrap_quantile_ci, quantile, quantile_report
 from repro.eval.metrics import (
     best_f1,
     f1_at,
@@ -28,6 +29,7 @@ __all__ = [
     "ExperimentSetting",
     "authors_testcase",
     "best_f1",
+    "bootstrap_quantile_ci",
     "context_size_sweep",
     "dataset_comparison",
     "distribution_figure",
@@ -39,6 +41,8 @@ __all__ = [
     "metrics_comparison",
     "path_count_sweep",
     "precision_at",
+    "quantile",
+    "quantile_report",
     "query_size_sweep",
     "recall_at",
     "significance_comparison",

@@ -1,0 +1,103 @@
+"""Seeded bootstrap confidence intervals for latency quantiles.
+
+The statistical backbone of the load-profile bench phase and of
+``tools/bench_compare.py``: latency distributions are heavy-tailed and
+small-sample, so single-number quantiles move run to run even when
+nothing changed. The percentile bootstrap (resample with replacement,
+re-estimate, take the empirical interval of the re-estimates) puts an
+honest uncertainty band around each quantile without assuming a
+distribution — two runs "differ" only when their bands do not overlap.
+
+Everything here is deterministic for a fixed ``seed`` (plain
+``random.Random``, no global state), so bench reports and comparison
+verdicts are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+def quantile(samples: "list[float]", q: float) -> float:
+    """The ``q``-quantile (0..1) by linear interpolation on sorted data.
+
+    Matches ``statistics.quantiles(..., method="inclusive")`` at the
+    interior cut points and extends cleanly to q=0/q=1. NaN on empty
+    input rather than raising — bench phases with zero completed
+    requests should render as missing, not crash the report.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile q must be in [0, 1], got {q}")
+    if not samples:
+        return math.nan
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def bootstrap_quantile_ci(
+    samples: "list[float]",
+    q: float,
+    *,
+    iterations: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> "tuple[float, float, float]":
+    """``(point, lo, hi)``: the ``q``-quantile and its bootstrap interval.
+
+    Percentile bootstrap: ``iterations`` resamples (with replacement,
+    same size as ``samples``), the ``q``-quantile of each, and the
+    ``(1-confidence)/2`` / ``1-(1-confidence)/2`` quantiles of those
+    re-estimates as the band. Deterministic for a fixed ``seed``.
+
+    With fewer than two samples the band collapses onto the point
+    estimate (there is nothing to resample); NaN point on empty input.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    point = quantile(samples, q)
+    if len(samples) < 2:
+        return point, point, point
+    rng = random.Random(seed)
+    size = len(samples)
+    estimates = []
+    for _ in range(iterations):
+        resample = [samples[rng.randrange(size)] for _ in range(size)]
+        estimates.append(quantile(resample, q))
+    tail = (1.0 - confidence) / 2.0
+    return point, quantile(estimates, tail), quantile(estimates, 1.0 - tail)
+
+
+def quantile_report(
+    samples: "list[float]",
+    *,
+    quantiles: "tuple[float, ...]" = (0.50, 0.90, 0.99),
+    iterations: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> dict:
+    """The JSON-ready ``{"p50": {"value", "ci_lo", "ci_hi"}, ...}`` block.
+
+    One bootstrap per quantile, seeds offset per quantile index so the
+    bands are independent draws yet the whole block is deterministic.
+    """
+    block = {}
+    for index, q in enumerate(quantiles):
+        point, lo, hi = bootstrap_quantile_ci(
+            samples,
+            q,
+            iterations=iterations,
+            confidence=confidence,
+            seed=seed + index,
+        )
+        label = f"p{round(q * 100):02d}" if q < 1.0 else "p100"
+        block[label] = {"value": point, "ci_lo": lo, "ci_hi": hi}
+    return block

@@ -59,13 +59,22 @@ the way API clients spell entities):
   crash — never a hang, never a wrong answer), the error rate stays
   bounded, and after the storm ends the pool is revived and health
   returns to ``ok``.
+* **load profile** (PR 7) — :mod:`repro.service.loadgen` traffic shaped
+  like production: Zipf-skewed entity popularity, entity-centric
+  sessions, **open-loop** Poisson arrivals (latency charged from the
+  scheduled arrival, so queue buildup is measured, not hidden — no
+  coordinated omission) plus a closed-loop companion run. Latency
+  quantiles are reported with seeded bootstrap confidence intervals
+  (:mod:`repro.eval.bootstrap`), and the raw latency samples are
+  embedded so ``tools/bench_compare.py`` can re-bootstrap a
+  two-report comparison.
 * **single-flight coalescing** — N clients issuing one identical query
   concurrently must trigger exactly one computation.
 
 The CLI (``repro bench-serve``) and ``benchmarks/run_service_bench.py``
 both call :func:`run_service_benchmark` and write the report as
-``BENCH_PR6.json`` (see ``benchmarks/README.md`` for the field
-reference).
+``BENCH_PR7.json`` (see ``benchmarks/README.md`` for the field
+reference; diff two reports with ``tools/bench_compare.py``).
 """
 
 from __future__ import annotations
@@ -623,6 +632,93 @@ def _bench_fault_storm(
     return phase
 
 
+def _bench_load_profile(
+    engine,
+    *,
+    seed: int,
+    rate: float = 40.0,
+    duration_s: float = 3.0,
+    zipf_s: float = 1.1,
+    entity_pool: int = 64,
+    closed_requests: int = 120,
+    concurrency: int = 4,
+) -> dict:
+    """The PR-7 phase: Zipf-skewed open-loop load with bootstrap CIs.
+
+    Replays :mod:`repro.service.loadgen` traffic against the live
+    engine: an **open-loop** run (Poisson arrivals at ``rate`` req/s for
+    ``duration_s``; latency charged from each request's *scheduled*
+    arrival so dispatch lag counts — the coordinated-omission-safe
+    number) and a closed-loop companion (``concurrency`` workers
+    draining ``closed_requests``) for the classic saturated-throughput
+    view. Entity popularity is Zipf(``zipf_s``) over the graph's first
+    ``entity_pool`` nodes, grouped into entity-centric sessions — the
+    skewed, bursty shape real per-entity traffic has, which is exactly
+    what the result cache and single-flight layers are for.
+
+    Each run's latency quantiles carry seeded percentile-bootstrap
+    confidence intervals (:func:`repro.eval.bootstrap.quantile_report`),
+    and the raw per-request samples are embedded (rounded, completion
+    order) so ``tools/bench_compare.py`` can bootstrap a *two-report*
+    comparison later without re-running anything.
+    """
+    from repro.eval.bootstrap import quantile_report
+    from repro.service.loadgen import (
+        LoadProfile,
+        build_schedule,
+        engine_target,
+        entity_ranking,
+        run_load,
+    )
+
+    entities = entity_ranking(engine.graph, limit=entity_pool)
+    target = engine_target(engine)
+    phase: dict = {
+        "zipf_s": zipf_s,
+        "entity_pool": len(entities),
+        "note": (
+            "open-loop latency is charged from the scheduled Poisson "
+            "arrival (queue buildup counts; no coordinated omission); "
+            "quantile CIs are seeded percentile bootstraps; latencies_s "
+            "holds the raw samples for tools/bench_compare.py"
+        ),
+    }
+    profiles = {
+        "open": LoadProfile(
+            mode="open",
+            rate=rate,
+            duration_s=duration_s,
+            zipf_s=zipf_s,
+            seed=seed,
+        ),
+        "closed": LoadProfile(
+            mode="closed",
+            requests=closed_requests,
+            concurrency=concurrency,
+            zipf_s=zipf_s,
+            seed=seed,
+        ),
+    }
+    for name, profile in profiles.items():
+        engine.cache.clear()
+        schedule, skew = build_schedule(entities, profile)
+        report = run_load(target, schedule, profile)
+        summary = report.summary()
+        summary["skew"] = skew
+        summary["quantiles"] = quantile_report(
+            list(report.latencies_s), seed=seed
+        )
+        summary["latencies_s"] = [
+            round(value, 6) for value in report.latencies_s
+        ]
+        if report.errors:  # pragma: no cover - would be the acceptance bug
+            raise AssertionError(
+                f"load profile ({name}) hit errors: {dict(report.errors)}"
+            )
+        phase[name] = summary
+    return phase
+
+
 def _result_fingerprint(result) -> "list[tuple[str, float]]":
     """The byte-identity fingerprint used by the parity/chaos phases."""
     return [(item.label, item.score) for item in result.results] + [
@@ -681,7 +777,7 @@ def _run_service_benchmark(
     )
     report: dict = {
         "suite": "service_bench",
-        "pr": 6,
+        "pr": 7,
         "created_unix": int(time.time()),
         "machine": {
             "python": platform.python_version(),
@@ -947,6 +1043,9 @@ def _run_service_benchmark(
             queries=queries,
         )
 
+        # -- load profile: Zipf open-loop traffic + bootstrap CIs (PR 7) ---
+        report["load_profile"] = _bench_load_profile(engine, seed=seed)
+
         # -- single-flight coalescing --------------------------------------
         engine.cache.clear()
         stats_before = engine.stats()
@@ -1061,6 +1160,17 @@ def print_report(report: dict) -> None:
             f"{breaker.get('trips', 0)} breaker trip(s), recovered: "
             f"{fault_storm['recovered']}, health: "
             f"{fault_storm['health_after']})"
+        )
+    load_profile = report.get("load_profile")
+    if load_profile:
+        open_run = load_profile["open"]
+        p99 = open_run["quantiles"]["p99"]
+        print(
+            f"load profile (open loop, zipf_s={load_profile['zipf_s']}): "
+            f"{open_run['completed']}/{open_run['requests']} requests at "
+            f"{open_run['achieved_rps']:.1f} req/s, p99 "
+            f"{p99['value'] * 1e3:.1f}ms "
+            f"[{p99['ci_lo'] * 1e3:.1f}, {p99['ci_hi'] * 1e3:.1f}]"
         )
     print(
         f"single-flight: {flight['clients']} clients -> "

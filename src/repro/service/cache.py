@@ -65,18 +65,33 @@ class ResultCache:
     True
     >>> cache.stats().evictions
     1
+
+    ``on_event`` is an optional instrumentation callback
+    ``(event: str, count: int)`` invoked *outside* the cache lock for
+    ``"hit"``, ``"miss"``, ``"eviction"`` and ``"purged"`` events (the
+    engine wires it to its metrics registry); a raising callback is
+    swallowed — instrumentation must never break the serving path.
     """
 
-    def __init__(self, maxsize: int = 256) -> None:
+    def __init__(self, maxsize: int = 256, on_event=None) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
+        self._on_event = on_event
         self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._purged = 0
+
+    def _emit(self, event: str, count: int = 1) -> None:
+        if self._on_event is None or count <= 0:
+            return
+        try:
+            self._on_event(event, count)
+        except Exception:  # noqa: BLE001 - observability is best-effort
+            pass
 
     def get(self, key: Hashable) -> object | None:
         """The cached value for ``key`` (marking it most-recent), or None."""
@@ -85,19 +100,26 @@ class ResultCache:
                 value = self._entries[key]
             except KeyError:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return value
+                hit = False
+                value = None
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                hit = True
+        self._emit("hit" if hit else "miss")
+        return value
 
     def put(self, key: Hashable, value: object) -> None:
         """Insert (or refresh) ``key``, evicting LRU entries over capacity."""
+        evicted = 0
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+        self._emit("eviction", evicted)
 
     def purge_versions(self, keep_version: int) -> int:
         """Drop every entry whose key's version field != ``keep_version``.
@@ -116,7 +138,8 @@ class ResultCache:
             for key in stale:
                 del self._entries[key]
             self._purged += len(stale)
-            return len(stale)
+        self._emit("purged", len(stale))
+        return len(stale)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""

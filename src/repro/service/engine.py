@@ -79,6 +79,7 @@ from repro.graph.search import EntityIndex, resolve_node_refs
 from repro.parallel.shm import SharedSnapshot, StaleSnapshotError, publish_snapshot
 from repro.service import faults
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.metrics import ServiceMetrics
 from repro.service.workers import ProcessWorkerPool, WorkerConfig, WorkerCrashError
 
 
@@ -180,6 +181,119 @@ class CircuitBreaker:
                 "trips": self._trips,
                 "reason": self._reason,
             }
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every :class:`NCEngine` tuning knob, validated in one place.
+
+    The engine's constructor historically grew one keyword argument per
+    PR (pipeline defaults, cache size, executor choice, resilience
+    budgets, breaker tuning); this dataclass is their single home. The
+    CLI's ``serve`` flags build one (:func:`repro.cli.main`), embedders
+    construct one directly — ``NCEngine(graph, config=cfg)`` — and the
+    legacy per-kwarg form ``NCEngine(graph, max_workers=8, ...)`` still
+    works: the engine assembles the config from the kwargs itself.
+
+    Fields mirror the pre-consolidation constructor arguments exactly
+    (same names, same defaults, same validation messages), plus
+    ``snapshot_source`` — a human-readable description of where the
+    served graph came from (``"dataset:yago"``, ``"snapshot:/path"``,
+    ``"registry:/dir"``), surfaced by ``/v1/healthz`` so pollers and the
+    load generator can assert which snapshot served a run. When unset it
+    defaults to ``"snapshot"`` for frozen views and ``"live-graph"``
+    otherwise.
+
+    Instances are frozen: engine behaviour cannot be reconfigured after
+    construction (use :func:`dataclasses.replace` to derive variants).
+    """
+
+    context_size: int = 100
+    alpha: float = 0.05
+    damping: float = 0.8
+    iterations: int = 10
+    discriminator_params: "dict | None" = None
+    excluded_labels: "frozenset[str] | None" = None
+    include_inverse_labels: bool = False
+    none_bucket: bool = True
+    cache_size: int = 256
+    max_workers: int = 4
+    executor: str = "thread"
+    seed: int = 0
+    request_timeout: "float | None" = None
+    max_pending: "int | None" = None
+    retries: int = 2
+    retry_backoff: float = 0.05
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 30.0
+    snapshot_source: "str | None" = None
+
+    def __post_init__(self) -> None:
+        """Validate every knob; raises ``ValueError`` with a field-named message."""
+        if self.context_size < 1:
+            raise ValueError(
+                f"context_size must be >= 1, got {self.context_size}"
+            )
+        if self.cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {self.cache_size}")
+        if self.max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {self.executor!r}"
+            )
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be > 0, got {self.request_timeout}"
+            )
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_reset_s <= 0:
+            raise ValueError(
+                f"breaker_reset_s must be > 0, got {self.breaker_reset_s}"
+            )
+
+    def as_dict(self) -> dict:
+        """A JSON-ready dump of every knob (introspection / debugging)."""
+        return {
+            "context_size": self.context_size,
+            "alpha": self.alpha,
+            "damping": self.damping,
+            "iterations": self.iterations,
+            "discriminator_params": dict(self.discriminator_params or {}),
+            "excluded_labels": (
+                sorted(self.excluded_labels)
+                if self.excluded_labels is not None
+                else None
+            ),
+            "include_inverse_labels": self.include_inverse_labels,
+            "none_bucket": self.none_bucket,
+            "cache_size": self.cache_size,
+            "max_workers": self.max_workers,
+            "executor": self.executor,
+            "seed": self.seed,
+            "request_timeout": self.request_timeout,
+            "max_pending": self.max_pending,
+            "retries": self.retries,
+            "retry_backoff": self.retry_backoff,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_reset_s": self.breaker_reset_s,
+            "snapshot_source": self.snapshot_source,
+        }
 
 
 class _PinLifecycle:
@@ -347,8 +461,17 @@ class NCEngine:
     """Serve concurrent FindNC requests over one :class:`KnowledgeGraph`.
 
     >>> # engine = NCEngine(graph, context_size=50, max_workers=4)
+    >>> # engine = NCEngine(graph, config=EngineConfig(executor="process"))
     >>> # result = engine.search(["Angela_Merkel", "Barack_Obama"])
     >>> # engine.stats().cache_hits
+
+    Construction takes either ``config=`` (an :class:`EngineConfig`,
+    the canonical form) or the individual keyword arguments below
+    (the back-compat form — the engine assembles the config itself);
+    mixing both raises ``ValueError``. Validation lives in
+    :meth:`EngineConfig.__post_init__` either way. Every engine also
+    owns a :class:`~repro.service.metrics.ServiceMetrics` bundle
+    (``engine.metrics``) the HTTP server renders at ``GET /v1/metrics``.
 
     Parameters
     ----------
@@ -400,41 +523,43 @@ class NCEngine:
         self,
         graph: KnowledgeGraph,
         *,
-        context_size: int = 100,
-        alpha: float = 0.05,
-        damping: float = 0.8,
-        iterations: int = 10,
-        discriminator_params: dict | None = None,
-        excluded_labels: "frozenset[str] | None" = None,
-        include_inverse_labels: bool = False,
-        none_bucket: bool = True,
-        cache_size: int = 256,
-        max_workers: int = 4,
-        executor: str = "thread",
-        seed: int = 0,
-        request_timeout: "float | None" = None,
-        max_pending: "int | None" = None,
-        retries: int = 2,
-        retry_backoff: float = 0.05,
-        breaker_threshold: int = 5,
-        breaker_reset_s: float = 30.0,
+        config: "EngineConfig | None" = None,
+        **kwargs,
     ) -> None:
-        if max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        if executor not in ("thread", "process"):
-            raise ValueError(
-                f"executor must be 'thread' or 'process', got {executor!r}"
-            )
-        if request_timeout is not None and request_timeout <= 0:
-            raise ValueError(
-                f"request_timeout must be > 0, got {request_timeout}"
-            )
-        if max_pending is not None and max_pending < 1:
-            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
-        if retries < 0:
-            raise ValueError(f"retries must be >= 0, got {retries}")
-        if retry_backoff < 0:
-            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        if config is not None:
+            if kwargs:
+                raise ValueError(
+                    "pass either config= or individual engine kwargs, not "
+                    f"both (got config plus {sorted(kwargs)})"
+                )
+            if not isinstance(config, EngineConfig):
+                raise TypeError(
+                    f"config must be an EngineConfig, got {type(config).__name__}"
+                )
+        else:
+            # Back-compat kwargs path: NCEngine(graph, max_workers=8, ...)
+            # assembles (and validates) the config itself. Unknown kwargs
+            # raise TypeError from the dataclass constructor, as before.
+            config = EngineConfig(**kwargs)
+        self.config = config
+        context_size = config.context_size
+        alpha = config.alpha
+        damping = config.damping
+        iterations = config.iterations
+        discriminator_params = config.discriminator_params
+        excluded_labels = config.excluded_labels
+        include_inverse_labels = config.include_inverse_labels
+        none_bucket = config.none_bucket
+        cache_size = config.cache_size
+        max_workers = config.max_workers
+        executor = config.executor
+        seed = config.seed
+        request_timeout = config.request_timeout
+        max_pending = config.max_pending
+        retries = config.retries
+        retry_backoff = config.retry_backoff
+        breaker_threshold = config.breaker_threshold
+        breaker_reset_s = config.breaker_reset_s
         self._graph = graph
         #: A frozen graph (``SnapshotGraphView`` over an mmapped snapshot
         #: file or an attached shm segment) never mutates: the engine pins
@@ -454,7 +579,14 @@ class NCEngine:
         self._include_inverse_labels = include_inverse_labels
         self._none_bucket = none_bucket
         self._seed = seed
-        self._cache = ResultCache(maxsize=cache_size)
+        self._started_monotonic = time.monotonic()
+        self.snapshot_source = config.snapshot_source or (
+            "snapshot" if self._frozen else "live-graph"
+        )
+        self.metrics = ServiceMetrics()
+        self._cache = ResultCache(
+            maxsize=cache_size, on_event=self.metrics.cache_event
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="nc-query"
         )
@@ -496,6 +628,37 @@ class NCEngine:
         self._drained_versions: "list[int]" = []
         self._draining: "dict[int, _PinnedState]" = {}
         self._closed = False
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Scrape-time gauges over live engine state (no push per change)."""
+        registry = self.metrics.registry
+        registry.gauge(
+            "nc_engine_inflight",
+            "Distinct computations currently in flight.",
+        ).set_function(lambda: len(self._inflight))
+        registry.gauge(
+            "nc_engine_pinned_version",
+            "The graph version new requests pin (0 before the first pin).",
+        ).set_function(
+            lambda: (
+                self._pinned.snapshot.version if self._pinned is not None else 0
+            )
+        )
+        breaker_levels = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+        registry.gauge(
+            "nc_breaker_state",
+            "Worker-pool circuit breaker state "
+            "(0 closed, 1 half-open, 2 open).",
+        ).set_function(lambda: breaker_levels.get(self._breaker.state, 2.0))
+        registry.gauge(
+            "nc_engine_uptime_seconds",
+            "Seconds since this engine was constructed.",
+        ).set_function(lambda: time.monotonic() - self._started_monotonic)
+        registry.gauge(
+            "nc_cache_entries",
+            "Entries currently held by the result cache.",
+        ).set_function(lambda: len(self._cache))
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -551,6 +714,7 @@ class NCEngine:
                 state = self._build_pin()
                 self._pinned = state
                 self._repins += 1
+                self.metrics.repins.inc()
                 self._cache.purge_versions(state.snapshot.version)
                 if previous is not None and previous.shared is not None:
                     # Superseded segment: unlink now if idle, else when
@@ -566,7 +730,9 @@ class NCEngine:
     def _worker_pool(self) -> ProcessWorkerPool:
         """The process pool (created lazily on the first process-mode pin)."""
         if self._pool is None:
-            self._pool = ProcessWorkerPool(self.max_workers)
+            self._pool = ProcessWorkerPool(
+                self.max_workers, on_event=self.metrics.worker_event
+            )
         return self._pool
 
     def _build_pin(self) -> _PinnedState:
@@ -790,6 +956,8 @@ class NCEngine:
                 self._pinned = state
                 self._repins += 1
                 self._swaps += 1
+            self.metrics.repins.inc()
+            self.metrics.swaps.inc()
             self._cache.purge_versions(new_version)
             if previous is not None:
                 self._retire_pin(
@@ -825,6 +993,7 @@ class NCEngine:
             with self._flight_lock:
                 self._draining.pop(version, None)
                 self._drained_versions.append(version)
+            self.metrics.drains.inc()
 
         previous.lifecycle.retire(on_drained)
 
@@ -861,6 +1030,7 @@ class NCEngine:
                 raise DeadlineExceededError(
                     "request deadline expired while queued for execution"
                 )
+            started = time.perf_counter()
             if self.executor == "process":
                 result = self._compute_remote(
                     key, query_ids, k, alpha, state, deadline
@@ -870,10 +1040,15 @@ class NCEngine:
             self._cache.put(key, result)
             with self._flight_lock:
                 self._computed += 1
+            self.metrics.computed.inc(backend=self.executor)
+            self.metrics.compute_latency.observe(
+                time.perf_counter() - started, backend=self.executor
+            )
             return result
         except DeadlineExceededError:
             with self._flight_lock:
                 self._timeouts += 1
+            self.metrics.timeouts.inc()
             raise
         finally:
             with self._flight_lock:
@@ -958,6 +1133,7 @@ class NCEngine:
                     raise
                 with self._flight_lock:
                     self._backend_retries += 1
+                self.metrics.backend_retries.inc()
                 state = self.pin()
             except WorkerCrashError as error:
                 self._breaker.record_failure(repr(error))
@@ -981,11 +1157,13 @@ class NCEngine:
                     time.sleep(sleep_s)
                 with self._flight_lock:
                     self._backend_retries += 1
+                self.metrics.backend_retries.inc()
         # Retry budget exhausted or breaker open: degraded local fallback.
         # Compute is pure, so the answer is byte-identical to a healthy
         # worker's; only latency/throughput degrade.
         with self._flight_lock:
             self._fallbacks += 1
+        self.metrics.fallbacks.inc()
         if deadline is not None and time.monotonic() >= deadline:
             raise DeadlineExceededError(
                 "request deadline expired before the degraded fallback "
@@ -1058,6 +1236,7 @@ class NCEngine:
                 a,
                 self._discriminator_fingerprint,
             )
+            self.metrics.engine_requests.inc(executor=self.executor)
             with self._flight_lock:
                 self._requests += 1
                 cached = self._cache.get(key)
@@ -1069,12 +1248,14 @@ class NCEngine:
                 existing = self._inflight.get(key)
                 if existing is not None:
                     self._coalesced += 1
+                    self.metrics.coalesced.inc()
                     return existing, False, True, state.snapshot.version
                 if (
                     self._max_pending is not None
                     and len(self._inflight) >= self._max_pending
                 ):
                     self._shed += 1
+                    self.metrics.shed.inc()
                     raise EngineSaturatedError(
                         f"engine is saturated: {len(self._inflight)} pending "
                         f"computations (max_pending={self._max_pending})",
@@ -1133,6 +1314,7 @@ class NCEngine:
             except FuturesTimeoutError:
                 with self._flight_lock:
                     self._timeouts += 1
+                self.metrics.timeouts.inc()
                 raise DeadlineExceededError(
                     f"request did not complete within {timeout:.3f}s (the "
                     f"computation continues in the background and will be "
@@ -1166,6 +1348,17 @@ class NCEngine:
     def breaker(self) -> CircuitBreaker:
         """The worker-pool circuit breaker (meaningful in process mode)."""
         return self._breaker
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since this engine was constructed."""
+        return time.monotonic() - self._started_monotonic
+
+    @property
+    def pinned_version(self) -> "int | None":
+        """The graph version new requests pin (None before the first pin)."""
+        pinned = self._pinned
+        return pinned.snapshot.version if pinned is not None else None
 
     def health(self) -> dict:
         """Liveness summary for ``/healthz``: ``ok`` or ``degraded``.

@@ -1,19 +1,37 @@
 """Stdlib HTTP JSON front-end for :class:`~repro.service.engine.NCEngine`.
 
+The API lives under a versioned prefix — ``/v1/...`` is canonical, and
+every pre-v1 unprefixed path (``/search``, ``/healthz``, ``/stats``,
+``/admin/reload``) is kept as an **alias** that answers byte-identically
+plus a ``Deprecation: true`` response header (RFC 8594 style), so
+existing clients keep working while new ones migrate. Routing is
+data-driven: :data:`ROUTES` declares ``(method, canonical path, alias,
+handler)`` tuples and the dispatch table is derived from it — adding a
+namespaced multi-tenant surface later (ROADMAP item 5) means adding
+rows, not ``if/elif`` arms.
+
 Endpoints (full request/response reference: ``docs/OPERATIONS.md``)
 ---------
 
-``GET /healthz``
+``GET /v1/healthz``
     Liveness + graph summary::
 
-        {"status": "ok", "graph_version": 3, "nodes": 2188, "edges": 15466}
+        {"status": "ok", "version_id": 3, "uptime_s": 12.5,
+         "snapshot_source": "registry:/srv/serving", "graph_version": 3,
+         "nodes": 2188, "edges": 15466, ...}
 
-``GET /stats``
+``GET /v1/stats``
     Engine counters (requests, cache hits, coalescing, LRU stats; hot
     swaps and drained versions when serving a snapshot registry).
 
-``GET /search?query=Angela_Merkel&query=Barack_Obama[&context_size=50][&alpha=0.05][&timeout_ms=500]``
-``POST /search`` with body ``{"query": [...], "context_size": 50, "alpha": 0.05, "timeout_ms": 500}``
+``GET /v1/metrics``
+    Prometheus text exposition (``text/plain; version=0.0.4``) of every
+    layer's counters, latency histograms and gauges
+    (:mod:`repro.service.metrics`). The one route that answers text,
+    not JSON.
+
+``GET /v1/search?query=Angela_Merkel&query=Barack_Obama[&context_size=50][&alpha=0.05][&timeout_ms=500]``
+``POST /v1/search`` with body ``{"query": [...], "context_size": 50, "alpha": 0.05, "timeout_ms": 500}``
     Run FindNC and return the notable characteristics. ``query`` accepts
     node names (exact or fuzzy) or integer node ids; the GET form also
     accepts one comma-separated ``query`` parameter. ``timeout_ms``
@@ -23,7 +41,7 @@ Endpoints (full request/response reference: ``docs/OPERATIONS.md``)
     ``Retry-After`` header; every error body carries a stable
     machine-readable ``code`` next to the human-readable ``error``.
 
-``POST /admin/reload``
+``POST /v1/admin/reload``
     Hot-swap onto the newest registry version (``repro serve
     --snapshot-dir`` only): re-reads the manifest, and when it names a
     version newer than the pinned one, swaps the engine onto it while
@@ -32,6 +50,11 @@ Endpoints (full request/response reference: ``docs/OPERATIONS.md``)
     reloading with nothing new published answers ``{"swapped": false}``.
     The same code path runs on a timer when ``--poll-interval`` is set
     (:class:`RegistryPoller` watches the manifest mtime).
+
+Every request is recorded in the engine's metrics registry
+(``nc_http_requests_total{route,method,status}`` and the per-route
+latency histogram), labeled by *canonical* route name whichever spelling
+the client used.
 
 Built on :class:`http.server.ThreadingHTTPServer` (one thread per
 connection, stdlib-only); actual query concurrency is bounded by the
@@ -43,12 +66,15 @@ from __future__ import annotations
 import json
 import sys
 import threading
+import time
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import DeadlineExceededError, EngineSaturatedError, ReproError
 from repro.graph.model import KnowledgeGraph
 from repro.parallel.shm import StaleSnapshotError
+from repro.service import metrics as metrics_mod
 from repro.service.engine import NCEngine, SearchOutcome
 from repro.service.workers import RemoteQueryError, WorkerCrashError
 
@@ -64,6 +90,58 @@ DEFAULT_ERROR_CODES = {
 }
 
 
+@dataclass(frozen=True)
+class RouteSpec:
+    """One row of the route table: canonical path, legacy alias, handler.
+
+    ``name`` is the stable route label used by the HTTP metrics series
+    (and the OPERATIONS.md reference); ``handler`` names the
+    :class:`NCRequestHandler` method invoked with the split URL.
+    ``alias`` is the pre-v1 unprefixed path that must answer
+    byte-identically (plus the ``Deprecation`` header), or ``None``
+    for routes born under ``/v1/``.
+    """
+
+    method: str
+    path: str
+    alias: "str | None"
+    name: str
+    handler: str
+
+
+#: The service's full HTTP surface. Dispatch is derived from this table;
+#: extend it (rather than the verb methods) to add endpoints.
+ROUTES: "tuple[RouteSpec, ...]" = (
+    RouteSpec("GET", "/v1/healthz", "/healthz", "healthz", "_handle_healthz"),
+    RouteSpec("GET", "/v1/stats", "/stats", "stats", "_handle_stats"),
+    RouteSpec("GET", "/v1/metrics", "/metrics", "metrics", "_handle_metrics"),
+    RouteSpec("GET", "/v1/search", "/search", "search", "_handle_search_get"),
+    RouteSpec("POST", "/v1/search", "/search", "search", "_handle_search_post"),
+    RouteSpec(
+        "POST",
+        "/v1/admin/reload",
+        "/admin/reload",
+        "admin_reload",
+        "_handle_admin_reload",
+    ),
+)
+
+
+def _build_dispatch(
+    routes: "tuple[RouteSpec, ...]",
+) -> "dict[tuple[str, str], tuple[RouteSpec, bool]]":
+    """``(method, path) -> (route, is_deprecated_alias)`` lookup table."""
+    table: "dict[tuple[str, str], tuple[RouteSpec, bool]]" = {}
+    for spec in routes:
+        table[(spec.method, spec.path)] = (spec, False)
+        if spec.alias is not None:
+            table[(spec.method, spec.alias)] = (spec, True)
+    return table
+
+
+_DISPATCH = _build_dispatch(ROUTES)
+
+
 def reload_from_registry(
     engine: NCEngine,
     registry,
@@ -73,7 +151,7 @@ def reload_from_registry(
 ) -> dict:
     """Swap ``engine`` onto the registry's newest version, if newer.
 
-    The one reload path shared by ``POST /admin/reload`` and the
+    The one reload path shared by ``POST /v1/admin/reload`` and the
     :class:`RegistryPoller`: refresh the manifest, compare the latest
     version against the engine's pin, and — only when the registry moved
     forward — open the new file and
@@ -129,7 +207,7 @@ class RegistryPoller(threading.Thread):
     --snapshot-dir --poll-interval N``: every ``interval`` seconds the
     manifest's ``(mtime, size)`` token is compared; on change the
     poller runs the same :func:`reload_from_registry` path as
-    ``POST /admin/reload``. Reload failures are logged to stderr and
+    ``POST /v1/admin/reload``. Reload failures are logged to stderr and
     retried on the next tick (a half-published registry heals itself).
     """
 
@@ -226,7 +304,7 @@ class NCServiceServer(ThreadingHTTPServer):
     """A threading HTTP server owning one engine.
 
     ``registry`` (a :class:`~repro.disk.registry.SnapshotRegistry`)
-    enables the ``POST /admin/reload`` hot-swap endpoint; ``retain``
+    enables the ``POST /v1/admin/reload`` hot-swap endpoint; ``retain``
     is the registry's GC knob applied after each successful swap.
     ``reload_lock`` serializes handler- and poller-initiated reloads.
     """
@@ -249,7 +327,7 @@ class NCServiceServer(ThreadingHTTPServer):
 
 
 class NCRequestHandler(BaseHTTPRequestHandler):
-    """Routes ``/search``, ``/healthz`` and ``/stats`` onto the engine."""
+    """Dispatches the :data:`ROUTES` table onto the engine."""
 
     server_version = "repro-nc-service/1.0"
     #: Silenced by default; ``repro serve --verbose`` re-enables it.
@@ -260,6 +338,32 @@ class NCRequestHandler(BaseHTTPRequestHandler):
     def _engine(self) -> NCEngine:
         return self.server.engine  # type: ignore[attr-defined]
 
+    def _send_body(
+        self,
+        body: bytes,
+        content_type: str,
+        status: int = 200,
+        extra_headers: "dict[str, str] | None" = None,
+    ) -> None:
+        """The one response writer: every route answers through here.
+
+        Records the status for the HTTP metrics and — when the request
+        arrived on a deprecated unprefixed alias — adds the
+        ``Deprecation: true`` header without touching the body, which is
+        what keeps alias responses byte-identical to their ``/v1/``
+        counterparts.
+        """
+        self._response_status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_deprecated_alias", False):
+            self.send_header("Deprecation", "true")
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
     def _send_json(
         self,
         payload: dict,
@@ -267,13 +371,12 @@ class NCRequestHandler(BaseHTTPRequestHandler):
         extra_headers: "dict[str, str] | None" = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (extra_headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        self._send_body(
+            body,
+            "application/json; charset=utf-8",
+            status,
+            extra_headers,
+        )
 
     def _send_error_json(
         self,
@@ -307,6 +410,134 @@ class NCRequestHandler(BaseHTTPRequestHandler):
         """Per-request stderr logging, silenced unless ``--verbose``."""
         if not self.quiet:  # pragma: no cover - exercised only with --verbose
             super().log_message(format, *args)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, method: str) -> None:
+        """Route one request through the table; record HTTP metrics."""
+        url = urlsplit(self.path)
+        entry = _DISPATCH.get((method, url.path))
+        self._deprecated_alias = entry is not None and entry[1]
+        route_name = entry[0].name if entry is not None else "unknown"
+        self._response_status = 0
+        started = time.perf_counter()
+        try:
+            if entry is None:
+                self._send_error_json(404, f"unknown path {url.path!r}")
+            else:
+                getattr(self, entry[0].handler)(url)
+        finally:
+            bundle = getattr(self._engine(), "metrics", None)
+            if bundle is not None:
+                bundle.http_requests.inc(
+                    route=route_name,
+                    method=method,
+                    status=str(self._response_status),
+                )
+                bundle.http_latency.observe(
+                    time.perf_counter() - started, route=route_name
+                )
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """Dispatch GET routes (healthz, stats, metrics, search)."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """Dispatch POST routes (search, admin/reload)."""
+        self._dispatch("POST")
+
+    # -- route handlers ----------------------------------------------------
+
+    def _handle_healthz(self, url) -> None:
+        """``GET /v1/healthz``: liveness, provenance, and graph summary."""
+        engine = self._engine()
+        graph = engine.graph
+        # "degraded" still answers 200: the engine is alive and
+        # serving (cached + fallback paths) — load balancers should
+        # keep routing; operators watch the status/reason fields.
+        payload = dict(engine.health())
+        version_id = engine.pinned_version
+        payload.update(
+            {
+                "version_id": (
+                    version_id if version_id is not None else graph.version
+                ),
+                "uptime_s": round(engine.uptime_s, 3),
+                "snapshot_source": engine.snapshot_source,
+                "graph": graph.name,
+                "graph_version": graph.version,
+                "nodes": graph.node_count,
+                "edges": graph.edge_count,
+                "executor": engine.executor,
+            }
+        )
+        self._send_json(payload)
+
+    def _handle_stats(self, url) -> None:
+        """``GET /v1/stats``: the engine's counter snapshot as JSON."""
+        self._send_json(self._engine().stats().as_dict())
+
+    def _handle_metrics(self, url) -> None:
+        """``GET /v1/metrics``: Prometheus text exposition of the registry."""
+        text = self._engine().metrics.registry.render()
+        self._send_body(text.encode("utf-8"), metrics_mod.CONTENT_TYPE)
+
+    def _handle_search_get(self, url) -> None:
+        """``GET /v1/search``: query params → the shared search path."""
+        raw = parse_qs(url.query)
+        query = [
+            part
+            for value in raw.get("query", [])
+            for part in value.split(",")
+            if part
+        ]
+        params: dict = {"query": query}
+        if "context_size" in raw:
+            params["context_size"] = raw["context_size"][0]
+        if "alpha" in raw:
+            params["alpha"] = raw["alpha"][0]
+        if "timeout_ms" in raw:
+            params["timeout_ms"] = raw["timeout_ms"][0]
+        self._run_search(params)
+
+    def _handle_search_post(self, url) -> None:
+        """``POST /v1/search``: JSON body → the shared search path."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            params = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError):
+            self._send_error_json(400, "request body is not valid JSON")
+            return
+        if not isinstance(params, dict):
+            self._send_error_json(400, "request body must be a JSON object")
+            return
+        self._run_search(params)
+
+    def _handle_admin_reload(self, url) -> None:
+        """``POST /v1/admin/reload``: hot-swap onto the registry's newest
+        version (no-op when nothing newer is published)."""
+        registry = getattr(self.server, "registry", None)
+        if registry is None:
+            self._send_error_json(
+                400,
+                "no snapshot registry configured (serve with --snapshot-dir)",
+            )
+            return
+        try:
+            outcome = reload_from_registry(
+                self._engine(),
+                registry,
+                retain=getattr(self.server, "retain", None),
+                lock=getattr(self.server, "reload_lock", None),
+            )
+        except (ReproError, ValueError) as error:
+            # broken manifest / missing file / non-monotonic registry
+            self._send_error_json(500, str(error))
+            return
+        except RuntimeError as error:  # engine closed (server draining)
+            self._send_error_json(503, str(error))
+            return
+        self._send_json(outcome)
 
     # -- search ------------------------------------------------------------
 
@@ -380,97 +611,6 @@ class NCRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_json(outcome_to_json(outcome, self._engine().graph))
 
-    # -- HTTP verbs --------------------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        """Serve ``/healthz``, ``/stats`` and the GET form of ``/search``."""
-        url = urlsplit(self.path)
-        if url.path == "/healthz":
-            engine = self._engine()
-            graph = engine.graph
-            # "degraded" still answers 200: the engine is alive and
-            # serving (cached + fallback paths) — load balancers should
-            # keep routing; operators watch the status/reason fields.
-            payload = dict(engine.health())
-            payload.update(
-                {
-                    "graph": graph.name,
-                    "graph_version": graph.version,
-                    "nodes": graph.node_count,
-                    "edges": graph.edge_count,
-                    "executor": engine.executor,
-                }
-            )
-            self._send_json(payload)
-        elif url.path == "/stats":
-            self._send_json(self._engine().stats().as_dict())
-        elif url.path == "/search":
-            raw = parse_qs(url.query)
-            query = [
-                part
-                for value in raw.get("query", [])
-                for part in value.split(",")
-                if part
-            ]
-            params: dict = {"query": query}
-            if "context_size" in raw:
-                params["context_size"] = raw["context_size"][0]
-            if "alpha" in raw:
-                params["alpha"] = raw["alpha"][0]
-            if "timeout_ms" in raw:
-                params["timeout_ms"] = raw["timeout_ms"][0]
-            self._run_search(params)
-        else:
-            self._send_error_json(404, f"unknown path {url.path!r}")
-
-    # -- admin -------------------------------------------------------------
-
-    def _admin_reload(self) -> None:
-        """``POST /admin/reload``: hot-swap onto the registry's newest
-        version (no-op when nothing newer is published)."""
-        registry = getattr(self.server, "registry", None)
-        if registry is None:
-            self._send_error_json(
-                400,
-                "no snapshot registry configured (serve with --snapshot-dir)",
-            )
-            return
-        try:
-            outcome = reload_from_registry(
-                self._engine(),
-                registry,
-                retain=getattr(self.server, "retain", None),
-                lock=getattr(self.server, "reload_lock", None),
-            )
-        except (ReproError, ValueError) as error:
-            # broken manifest / missing file / non-monotonic registry
-            self._send_error_json(500, str(error))
-            return
-        except RuntimeError as error:  # engine closed (server draining)
-            self._send_error_json(503, str(error))
-            return
-        self._send_json(outcome)
-
-    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        """Serve the JSON-body form of ``/search`` and ``/admin/reload``."""
-        url = urlsplit(self.path)
-        if url.path == "/admin/reload":
-            self._admin_reload()
-            return
-        if url.path != "/search":
-            self._send_error_json(404, f"unknown path {url.path!r}")
-            return
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-            params = json.loads(self.rfile.read(length) or b"{}")
-        except (ValueError, json.JSONDecodeError):
-            self._send_error_json(400, "request body is not valid JSON")
-            return
-        if not isinstance(params, dict):
-            self._send_error_json(400, "request body must be a JSON object")
-            return
-        self._run_search(params)
-
 
 def create_server(
     engine: NCEngine,
@@ -483,6 +623,6 @@ def create_server(
     """Bind an :class:`NCServiceServer` (``port=0`` picks a free port).
 
     Pass a :class:`~repro.disk.registry.SnapshotRegistry` as ``registry``
-    to enable ``POST /admin/reload`` (and ``retain`` for post-swap GC).
+    to enable ``POST /v1/admin/reload`` (and ``retain`` for post-swap GC).
     """
     return NCServiceServer((host, port), engine, registry=registry, retain=retain)

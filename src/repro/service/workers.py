@@ -290,6 +290,12 @@ class ProcessWorkerPool:
     The pool never sees the graph — only snapshot headers and task
     parameters — which is what keeps the serialization boundary at
     "a few hundred bytes per request".
+
+    ``on_event`` is an optional instrumentation callback ``(event: str,
+    count: int)`` invoked outside the pool lock for ``"dispatch"``,
+    ``"complete"``, ``"stale"``, ``"crash"``, ``"deadline_abandon"``,
+    ``"respawn"`` and ``"respawn_suppressed"`` events (the engine wires
+    it to its metrics registry); a raising callback is swallowed.
     """
 
     def __init__(
@@ -301,6 +307,7 @@ class ProcessWorkerPool:
         crash_grace_s: float = 1.0,
         respawn_limit: int = 8,
         respawn_window_s: float = 30.0,
+        on_event=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -318,6 +325,7 @@ class ProcessWorkerPool:
         self._crash_grace_s = crash_grace_s
         self._respawn_limit = respawn_limit
         self._respawn_window_s = respawn_window_s
+        self._on_event = on_event
         self._ctx = mp.get_context(start_method)
         self._result_queue = self._ctx.SimpleQueue()
         self._processes: list = []
@@ -345,6 +353,15 @@ class ProcessWorkerPool:
             target=self._collect, name="nc-worker-collector", daemon=True
         )
         self._collector.start()
+
+    def _emit(self, event: str, count: int = 1) -> None:
+        """Fire the instrumentation callback; never let it break dispatch."""
+        if self._on_event is None or count <= 0:
+            return
+        try:
+            self._on_event(event, count)
+        except Exception:  # noqa: BLE001 - observability is best-effort
+            pass
 
     def _spawn(self, index: int):
         """Start one worker process with its private task queue."""
@@ -378,27 +395,34 @@ class ProcessWorkerPool:
         :class:`WorkerCrashError` and degrades instead. Returns whether
         a replacement was actually started.
         """
-        with self._lock:
-            if self._closed:
-                return False
-            try:
-                slot = self._processes.index(dead)
-            except ValueError:  # another caller already replaced it
+        event: "str | None" = None
+        try:
+            with self._lock:
+                if self._closed:
+                    return False
+                try:
+                    slot = self._processes.index(dead)
+                except ValueError:  # another caller already replaced it
+                    return True
+                if self._processes[slot].is_alive():  # pragma: no cover - raced
+                    return True
+                now = time.monotonic()
+                while self._respawn_times and now - self._respawn_times[0] > self._respawn_window_s:
+                    self._respawn_times.popleft()
+                if len(self._respawn_times) >= self._respawn_limit:
+                    self._respawns_suppressed += 1
+                    event = "respawn_suppressed"
+                    return False
+                self._respawn_times.append(now)
+                process, task_queue = self._spawn(slot)
+                self._processes[slot] = process
+                self._task_queues[slot] = task_queue
+                self._respawns += 1
+                event = "respawn"
                 return True
-            if self._processes[slot].is_alive():  # pragma: no cover - raced
-                return True
-            now = time.monotonic()
-            while self._respawn_times and now - self._respawn_times[0] > self._respawn_window_s:
-                self._respawn_times.popleft()
-            if len(self._respawn_times) >= self._respawn_limit:
-                self._respawns_suppressed += 1
-                return False
-            self._respawn_times.append(now)
-            process, task_queue = self._spawn(slot)
-            self._processes[slot] = process
-            self._task_queues[slot] = task_queue
-            self._respawns += 1
-            return True
+        finally:
+            if event is not None:
+                self._emit(event)
 
     def revive(self) -> int:
         """Respawn every dead slot now, resetting the rate-limit window.
@@ -422,6 +446,7 @@ class ProcessWorkerPool:
                 self._task_queues[slot] = task_queue
                 self._respawns += 1
                 revived += 1
+        self._emit("respawn", revived)
         return revived
 
     # -- dispatch ----------------------------------------------------------
@@ -460,6 +485,7 @@ class ProcessWorkerPool:
             # whole budget).
             with self._lock:
                 self._deadline_abandons += 1
+            self._emit("deadline_abandon")
             raise DeadlineExceededError(
                 "request deadline expired before the job could be dispatched"
             )
@@ -476,6 +502,7 @@ class ProcessWorkerPool:
                 self._inflight_by_segment.get(header.segment, 0) + 1
             )
             self._dispatched += 1
+        self._emit("dispatch")
         task = WorkerTask(
             job_id=job_id,
             header=header,
@@ -506,6 +533,7 @@ class ProcessWorkerPool:
                     self._abandon(job_id, header.segment)
                     with self._lock:
                         self._deadline_abandons += 1
+                    self._emit("deadline_abandon")
                     raise DeadlineExceededError(
                         f"job {job_id} missed its deadline while executing on "
                         f"{job.process.name} (the job was abandoned)"
@@ -520,6 +548,7 @@ class ProcessWorkerPool:
                 if job.event.wait(timeout=self._crash_grace_s):
                     break
                 self._abandon(job_id, header.segment)
+                self._emit("crash")
                 replaced = self._respawn(job.process)
                 raise WorkerCrashError(
                     f"worker {job.process.name} died while computing job "
@@ -536,6 +565,7 @@ class ProcessWorkerPool:
         if job.status == "stale":
             with self._lock:
                 self._stale_retries += 1
+            self._emit("stale")
             raise StaleSnapshotError(
                 f"segment {header.segment!r} was retired before the worker attached"
             )
@@ -585,6 +615,7 @@ class ProcessWorkerPool:
                 job.status = status
                 job.payload = payload
                 job.event.set()
+                self._emit("complete")
 
     def _decrement_segment_locked(self, segment: str) -> "SharedSnapshot | None":
         """Drop one in-flight ref; return a retired segment now ready to unlink."""

@@ -1,0 +1,99 @@
+"""Tests for tools/bench_compare.py and the bootstrap CI primitives."""
+
+import importlib.util
+import json
+import math
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.eval.bootstrap import (
+    bootstrap_quantile_ci,
+    quantile,
+    quantile_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def bench_compare():
+    """The tools/bench_compare.py module, loaded from its file path."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", REPO_ROOT / "tools" / "bench_compare.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_compare", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBootstrap:
+    def test_quantile_interpolates(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+        assert quantile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+        assert math.isnan(quantile([], 0.9))
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    def test_ci_is_deterministic_and_brackets_point(self):
+        samples = [float(i % 13) for i in range(100)]
+        first = bootstrap_quantile_ci(samples, 0.9, iterations=200, seed=3)
+        assert first == bootstrap_quantile_ci(samples, 0.9, iterations=200, seed=3)
+        point, lo, hi = first
+        assert lo <= point <= hi
+
+    def test_tiny_samples_collapse_band(self):
+        point, lo, hi = bootstrap_quantile_ci([2.0], 0.5)
+        assert point == lo == hi == 2.0
+
+    def test_quantile_report_shape(self):
+        block = quantile_report([0.01 * i for i in range(50)], iterations=100)
+        assert set(block) == {"p50", "p90", "p99"}
+        for entry in block.values():
+            assert entry["ci_lo"] <= entry["value"] <= entry["ci_hi"]
+
+
+class TestCompare:
+    def test_self_check_passes(self, bench_compare, capsys):
+        assert bench_compare.self_check() == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_detected_end_to_end(self, bench_compare, tmp_path):
+        base = [0.010 + (i % 10) * 0.0002 for i in range(150)]
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(
+            json.dumps({"pr": 6, "load_profile": {"open": {"latencies_s": base}}})
+        )
+        new.write_text(
+            json.dumps(
+                {
+                    "pr": 7,
+                    "load_profile": {
+                        "open": {"latencies_s": [v * 3 for v in base]}
+                    },
+                }
+            )
+        )
+        assert bench_compare.main([str(old), str(new), "--iterations", "200"]) == 1
+        assert bench_compare.main([str(new), str(old), "--iterations", "200"]) == 0
+        assert bench_compare.main([str(old), str(old), "--json"]) == 0
+
+    def test_malformed_input_is_exit_2(self, bench_compare, tmp_path):
+        junk = tmp_path / "junk.json"
+        junk.write_text("{not json")
+        assert bench_compare.main([str(junk), str(junk)]) == 2
+
+    def test_committed_bench_report_has_load_profile(self, bench_compare):
+        report = bench_compare.load_report(str(REPO_ROOT / "BENCH_PR7.json"))
+        assert report["pr"] == 7
+        samples = bench_compare.latency_samples(report)
+        assert len(samples) >= 30
+        for run in ("open", "closed"):
+            block = report["load_profile"][run]["quantiles"]
+            assert block["p99"]["ci_lo"] <= block["p99"]["value"]

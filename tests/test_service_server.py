@@ -379,3 +379,117 @@ class TestNonStringQueryItems:
         status, body = _get(server, f"/search?query={node_id}")
         assert status == 200
         assert body["query"] == ["Angela_Merkel"]
+
+
+def _raw(server, path, *, method="GET", payload=None):
+    """(status, headers, raw body bytes) — for parity/header assertions."""
+    port = server.server_address[1]
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+class TestV1Api:
+    """The versioned surface: /v1 canonical, unprefixed deprecated aliases."""
+
+    def test_v1_routes_answer(self, service):
+        server, _, graph = service
+        status, body = _get(server, "/v1/healthz")
+        assert status == 200
+        assert body["nodes"] == graph.node_count
+        status, body = _get(server, "/v1/stats")
+        assert status == 200
+        assert "requests" in body
+        status, body = _get(server, "/v1/search?query=Angela_Merkel,Barack_Obama")
+        assert status == 200
+        assert len(body["query"]) == 2
+
+    def test_healthz_serving_metadata(self, service):
+        server, engine, graph = service
+        _, body = _get(server, "/v1/healthz")
+        assert body["version_id"] == graph.version
+        assert body["uptime_s"] > 0
+        assert body["snapshot_source"] == "live-graph"
+        assert body["uptime_s"] == pytest.approx(engine.uptime_s, abs=5.0)
+
+    def test_alias_parity_error_bodies_byte_identical(self, service):
+        server, _, _ = service
+        status_alias, _, body_alias = _raw(server, "/search")
+        status_v1, _, body_v1 = _raw(server, "/v1/search")
+        assert status_alias == status_v1 == 400
+        assert body_alias == body_v1
+
+    def test_alias_parity_healthz(self, service):
+        server, _, _ = service
+        _, _, alias_bytes = _raw(server, "/healthz")
+        _, _, v1_bytes = _raw(server, "/v1/healthz")
+        alias_body = json.loads(alias_bytes)
+        v1_body = json.loads(v1_bytes)
+        # uptime_s advances between the two calls; all else must match
+        alias_body.pop("uptime_s")
+        v1_body.pop("uptime_s")
+        assert alias_body == v1_body
+
+    def test_alias_parity_search_payload(self, service):
+        server, _, _ = service
+        payload = {"query": ["Angela_Merkel", "Barack_Obama"], "context_size": 3}
+        _, _, v1_bytes = _raw(server, "/v1/search", method="POST", payload=payload)
+        _, _, alias_bytes = _raw(server, "/search", method="POST", payload=payload)
+        v1_body = json.loads(v1_bytes)
+        alias_body = json.loads(alias_bytes)
+        # per-request timing differs; the result payload must not
+        v1_body.pop("elapsed")
+        alias_body.pop("elapsed")
+        v1_body.pop("cached")
+        alias_body.pop("cached")
+        assert v1_body == alias_body
+
+    def test_deprecation_header_only_on_aliases(self, service):
+        server, _, _ = service
+        for alias, canonical in (
+            ("/healthz", "/v1/healthz"),
+            ("/stats", "/v1/stats"),
+            ("/metrics", "/v1/metrics"),
+        ):
+            _, alias_headers, _ = _raw(server, alias)
+            _, v1_headers, _ = _raw(server, canonical)
+            assert alias_headers.get("Deprecation") == "true", alias
+            assert "Deprecation" not in v1_headers, canonical
+
+    def test_deprecation_header_on_error_responses_too(self, service):
+        server, _, _ = service
+        _, headers, _ = _raw(server, "/search")  # 400: missing query
+        assert headers.get("Deprecation") == "true"
+
+    def test_metrics_route_serves_prometheus_text(self, service):
+        from repro.service.metrics import CONTENT_TYPE, validate_exposition
+
+        server, _, _ = service
+        status, headers, body = _raw(server, "/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == CONTENT_TYPE
+        families = validate_exposition(body.decode("utf-8"))
+        assert "nc_http_requests_total" in families
+
+    def test_unknown_v1_path_is_404(self, service):
+        server, _, _ = service
+        status, _, body = _raw(server, "/v1/nope")
+        assert status == 404
+        assert json.loads(body)["code"] == "not_found"
+
+    def test_route_table_aliases_are_complete(self):
+        from repro.service.server import ROUTES
+
+        for spec in ROUTES:
+            assert spec.path.startswith("/v1/")
+            if spec.alias is not None:
+                assert spec.alias == spec.path[len("/v1") :]

@@ -1,0 +1,302 @@
+"""Statistical comparison of two service-bench JSON reports.
+
+``BENCH_PR*.json`` numbers wobble run to run — scheduler noise, cache
+warmth, CPU frequency — so "p99 went from 41ms to 44ms" alone says
+nothing. This tool puts seeded bootstrap confidence intervals
+(:mod:`repro.eval.bootstrap`) around the latency quantiles of each
+report's ``load_profile`` phase (which embeds its raw per-request
+samples for exactly this purpose) and calls a **regression** only when
+the intervals separate: the candidate's lower CI bound must exceed the
+baseline's upper bound *and* the point estimate must be more than
+``--threshold`` (default 10%) worse. Throughput-style scalar metrics
+(req/s phases) are compared by relative delta against the same
+threshold, flagged — not failed — because single numbers carry no
+uncertainty estimate.
+
+Exit status: 0 when no latency regression is detected, 1 when one is,
+2 for malformed input. CI runs ``--self-check`` (deterministic internal
+tests of the bootstrap + verdict logic, no input files needed) so the
+comparator itself cannot bitrot silently.
+
+Usage (from the repo root)::
+
+    python tools/bench_compare.py BENCH_PR6.json BENCH_PR7.json
+    python tools/bench_compare.py old.json new.json --threshold 0.15 --json
+    python tools/bench_compare.py --self-check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.bootstrap import bootstrap_quantile_ci, quantile  # noqa: E402
+
+#: ``(report key, sub-key, label)`` of scalar throughput metrics worth a
+#: delta line. Missing keys are skipped — older reports lack newer phases.
+SCALAR_METRICS = (
+    ("sequential", "throughput_rps", "sequential req/s"),
+    ("concurrent", "throughput_rps", "concurrent req/s"),
+    ("backends", "process_throughput_rps", "process backend req/s"),
+    ("snapshot_serving", "throughput_rps", "snapshot serving req/s"),
+    ("cold_start", "speedup", "cold-start speedup"),
+)
+
+#: Latency quantiles compared with bootstrap CIs (label, q).
+QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+
+def load_report(path: str) -> dict:
+    """Read one bench JSON; raises ``ValueError`` with the path on junk."""
+    try:
+        report = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValueError(f"{path}: cannot read bench report: {error}") from None
+    if not isinstance(report, dict):
+        raise ValueError(f"{path}: bench report must be a JSON object")
+    return report
+
+
+def latency_samples(report: dict, run: str = "open") -> "list[float]":
+    """The raw load-profile latency samples, or ``[]`` when absent."""
+    samples = (
+        report.get("load_profile", {}).get(run, {}).get("latencies_s", [])
+    )
+    return [float(value) for value in samples]
+
+
+def compare_quantiles(
+    baseline: "list[float]",
+    candidate: "list[float]",
+    *,
+    threshold: float = 0.10,
+    iterations: int = 1000,
+    seed: int = 0,
+) -> "list[dict]":
+    """Per-quantile verdicts for two latency sample sets.
+
+    A quantile **regressed** when the candidate's CI lower bound clears
+    the baseline's CI upper bound (the intervals separate — not noise)
+    *and* the point estimate moved more than ``threshold`` relative.
+    The symmetric condition reports an improvement; everything else is
+    a wash. Deterministic for fixed ``seed``.
+    """
+    rows = []
+    for index, (label, q) in enumerate(QUANTILES):
+        base_point, base_lo, base_hi = bootstrap_quantile_ci(
+            baseline, q, iterations=iterations, seed=seed + index
+        )
+        cand_point, cand_lo, cand_hi = bootstrap_quantile_ci(
+            candidate, q, iterations=iterations, seed=seed + index
+        )
+        if math.isnan(base_point) or math.isnan(cand_point):
+            verdict = "no-data"
+            delta = math.nan
+        else:
+            delta = (cand_point - base_point) / base_point if base_point else 0.0
+            if cand_lo > base_hi and delta > threshold:
+                verdict = "regression"
+            elif cand_hi < base_lo and delta < -threshold:
+                verdict = "improvement"
+            else:
+                verdict = "unchanged"
+        rows.append(
+            {
+                "quantile": label,
+                "baseline": {"value": base_point, "ci_lo": base_lo, "ci_hi": base_hi},
+                "candidate": {"value": cand_point, "ci_lo": cand_lo, "ci_hi": cand_hi},
+                "delta_rel": delta,
+                "verdict": verdict,
+            }
+        )
+    return rows
+
+
+def compare_scalars(baseline: dict, candidate: dict, *, threshold: float = 0.10):
+    """Relative-delta rows for the scalar throughput metrics (flag-only)."""
+    rows = []
+    for key, sub, label in SCALAR_METRICS:
+        old = baseline.get(key, {}).get(sub)
+        new = candidate.get(key, {}).get(sub)
+        if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+            continue
+        delta = (new - old) / old if old else 0.0
+        # Throughput-style: lower is worse. One sample each, so this is
+        # advisory — only the CI-backed latency rows drive the verdict.
+        flag = "slower" if delta < -threshold else ("faster" if delta > threshold else "~")
+        rows.append(
+            {
+                "metric": label,
+                "baseline": old,
+                "candidate": new,
+                "delta_rel": delta,
+                "flag": flag,
+            }
+        )
+    return rows
+
+
+def compare_reports(
+    baseline: dict,
+    candidate: dict,
+    *,
+    threshold: float = 0.10,
+    iterations: int = 1000,
+    seed: int = 0,
+) -> dict:
+    """The full comparison document; ``regressed`` drives the exit code."""
+    quantile_rows = compare_quantiles(
+        latency_samples(baseline),
+        latency_samples(candidate),
+        threshold=threshold,
+        iterations=iterations,
+        seed=seed,
+    )
+    return {
+        "baseline_pr": baseline.get("pr"),
+        "candidate_pr": candidate.get("pr"),
+        "threshold": threshold,
+        "load_profile_open": quantile_rows,
+        "scalars": compare_scalars(baseline, candidate, threshold=threshold),
+        "regressed": any(r["verdict"] == "regression" for r in quantile_rows),
+    }
+
+
+def print_comparison(result: dict) -> None:
+    """Human-readable rendering of :func:`compare_reports`."""
+    print(
+        f"bench compare: PR {result['baseline_pr']} -> "
+        f"PR {result['candidate_pr']} "
+        f"(threshold {result['threshold']:.0%})"
+    )
+    for row in result["load_profile_open"]:
+        base, cand = row["baseline"], row["candidate"]
+        if row["verdict"] == "no-data":
+            print(f"  {row['quantile']}: no load-profile samples to compare")
+            continue
+        print(
+            f"  {row['quantile']}: {base['value'] * 1e3:.2f}ms "
+            f"[{base['ci_lo'] * 1e3:.2f}, {base['ci_hi'] * 1e3:.2f}] -> "
+            f"{cand['value'] * 1e3:.2f}ms "
+            f"[{cand['ci_lo'] * 1e3:.2f}, {cand['ci_hi'] * 1e3:.2f}]  "
+            f"{row['delta_rel']:+.1%}  {row['verdict']}"
+        )
+    for row in result["scalars"]:
+        print(
+            f"  {row['metric']}: {row['baseline']:.2f} -> "
+            f"{row['candidate']:.2f}  {row['delta_rel']:+.1%}  {row['flag']}"
+        )
+    print("verdict: " + ("REGRESSION" if result["regressed"] else "ok"))
+
+
+def self_check() -> int:
+    """Deterministic internal tests of the bootstrap + verdict logic.
+
+    No input files needed; CI runs this so the comparator cannot bitrot.
+    Returns 0 on success, raises ``AssertionError`` otherwise.
+    """
+    # quantile: interpolation + edges
+    assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+    assert quantile([5.0], 0.99) == 5.0
+    assert math.isnan(quantile([], 0.5))
+
+    # bootstrap: deterministic, ordered, brackets the point estimate
+    samples = [float(i % 17) / 16.0 + 0.01 for i in range(120)]
+    first = bootstrap_quantile_ci(samples, 0.9, iterations=300, seed=7)
+    second = bootstrap_quantile_ci(samples, 0.9, iterations=300, seed=7)
+    assert first == second, "bootstrap must be deterministic for a fixed seed"
+    point, lo, hi = first
+    assert lo <= point <= hi, f"CI must bracket the estimate: {first}"
+    shifted = bootstrap_quantile_ci(samples, 0.9, iterations=300, seed=8)
+    assert first != shifted, "different seeds should resample differently"
+
+    # verdicts: a clear 2x slowdown regresses, noise does not
+    base = [0.010 + (i % 10) * 0.0002 for i in range(200)]
+    slow = [value * 2.0 for value in base]
+    rows = compare_quantiles(base, slow, threshold=0.10, iterations=300)
+    assert all(r["verdict"] == "regression" for r in rows), rows
+    rows = compare_quantiles(slow, base, threshold=0.10, iterations=300)
+    assert all(r["verdict"] == "improvement" for r in rows), rows
+    jitter = [value * 1.001 for value in base]
+    rows = compare_quantiles(base, jitter, threshold=0.10, iterations=300)
+    assert all(r["verdict"] == "unchanged" for r in rows), rows
+    rows = compare_quantiles([], base, iterations=10)
+    assert all(r["verdict"] == "no-data" for r in rows), rows
+
+    # end-to-end over synthetic reports, including missing-phase scalars
+    baseline = {
+        "pr": 6,
+        "sequential": {"throughput_rps": 100.0},
+        "load_profile": {"open": {"latencies_s": base}},
+    }
+    candidate = {
+        "pr": 7,
+        "sequential": {"throughput_rps": 50.0},
+        "load_profile": {"open": {"latencies_s": slow}},
+    }
+    result = compare_reports(baseline, candidate, threshold=0.10, iterations=300)
+    assert result["regressed"] is True
+    assert result["scalars"][0]["flag"] == "slower"
+    result = compare_reports(baseline, baseline, threshold=0.10, iterations=300)
+    assert result["regressed"] is False
+    print("bench_compare self-check: ok")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Parse arguments; compare two reports or run the self-check."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="baseline bench JSON")
+    parser.add_argument("candidate", nargs="?", help="candidate bench JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative change below which differences are ignored (0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=1000, help="bootstrap resamples"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json", action="store_true", help="emit the comparison as JSON"
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="run the deterministic internal tests and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.self_check:
+        return self_check()
+    if not args.baseline or not args.candidate:
+        parser.error("need BASELINE and CANDIDATE report paths (or --self-check)")
+    try:
+        baseline = load_report(args.baseline)
+        candidate = load_report(args.candidate)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    result = compare_reports(
+        baseline,
+        candidate,
+        threshold=args.threshold,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print_comparison(result)
+    return 1 if result["regressed"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,8 +2,8 @@
 
 Thin wrapper over :func:`repro.service.bench.run_service_benchmark` (the
 same driver behind ``repro bench-serve``), defaulting the output to the
-repo-root ``BENCH_PR7.json`` so the service has a committed perf record
-alongside ``BENCH_PR1.json`` – ``BENCH_PR6.json``. Since PR 3 the suite
+repo-root ``BENCH_PR8.json`` so the service has a committed perf record
+alongside ``BENCH_PR1.json`` – ``BENCH_PR7.json``. Since PR 3 the suite
 includes the thread-vs-process backend comparison on distinct-query
 traffic; since PR 4 it also measures the snapshot-store cold start
 (parse+compile vs mmap open, asserted >= 10x) and snapshot-file serving
@@ -18,11 +18,14 @@ recovery to ``ok`` health all asserted); since PR 7 it replays the
 :mod:`repro.service.loadgen`, latency quantiles with seeded bootstrap
 confidence intervals, raw samples embedded for
 ``tools/bench_compare.py``; see ``benchmarks/README.md`` for the field
-reference).
+reference); since PR 8 it runs the **saturated batch** phase
+(micro-batched vs per-query process workers on saturated distinct-query
+traffic, byte-identical results asserted, throughput ratio gated >= 2x
+by ``tools/bench_compare.py --saturated``).
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR7.json]
+    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR8.json]
                                                           [--scale 2.0] [--workers 4]
                                                           [--quick] [--snapshot PATH]
 
@@ -55,6 +58,9 @@ QUICK_PRESET = {
     "distinct": 6,
     "repeat": 1,
     "workers": 2,
+    "saturated_scale": 1.0,
+    "saturated_distinct": 4,
+    "saturated_max_batch": 4,
 }
 
 
@@ -69,6 +75,10 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--distinct", type=int, default=12)
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--saturated-scale", type=float, default=32.0)
+    parser.add_argument("--saturated-distinct", type=int, default=16)
+    parser.add_argument("--saturated-max-batch", type=int, default=16)
+    parser.add_argument("--saturated-window-ms", type=float, default=30.0)
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -86,7 +96,7 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.quick:
         for name, value in QUICK_PRESET.items():
             setattr(args, name, value)
-    out = args.out if args.out is not None else REPO_ROOT / "BENCH_PR7.json"
+    out = args.out if args.out is not None else REPO_ROOT / "BENCH_PR8.json"
 
     report = run_service_benchmark(
         dataset=args.dataset,
@@ -96,6 +106,10 @@ def main(argv: "list[str] | None" = None) -> int:
         distinct=args.distinct,
         repeat=args.repeat,
         seed=args.seed,
+        saturated_scale=args.saturated_scale,
+        saturated_distinct=args.saturated_distinct,
+        saturated_max_batch=args.saturated_max_batch,
+        saturated_window_ms=args.saturated_window_ms,
         snapshot_path=str(args.snapshot) if args.snapshot is not None else None,
     )
     print_report(report)

@@ -263,6 +263,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(shared-memory worker processes; distinct-query throughput "
         "scales with cores)",
     )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=0.0,
+        help="process executor only: gather concurrent same-snapshot "
+        "requests for up to this many milliseconds into one worker "
+        "micro-batch (0 = dispatch whatever is already queued)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=1,
+        help="process executor only: members per worker micro-batch; 1 "
+        "(default) disables micro-batching, higher values amortize the "
+        "power-iteration sweep across concurrent distinct queries",
+    )
     serve.add_argument("--seed", type=int, default=11)
     serve.add_argument(
         "--request-timeout",
@@ -537,6 +553,12 @@ def _validate_serve_args(args: argparse.Namespace) -> "str | None":
         return f"--retries must be >= 0, got {args.retries}"
     if args.drain_timeout < 0:
         return f"--drain-timeout must be >= 0, got {args.drain_timeout}"
+    if args.batch_window_ms < 0:
+        return f"--batch-window-ms must be >= 0, got {args.batch_window_ms}"
+    if args.max_batch < 1:
+        return f"--max-batch must be >= 1, got {args.max_batch}"
+    if args.max_batch > 1 and args.executor != "process":
+        return "--max-batch > 1 requires --executor process (micro-batching is a worker-pool feature)"
     if args.poll_interval < 0:
         return f"--poll-interval must be >= 0, got {args.poll_interval}"
     if args.poll_interval > 0 and args.snapshot_dir is None:
@@ -606,6 +628,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         retries=args.retries,
         snapshot_source=snapshot_source,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
     )
     engine = NCEngine(graph, config=config)
     engine.pin()  # compile + publish/freeze shared state before accepting traffic

@@ -171,6 +171,39 @@ class RandomWalkContext(ContextSelector):
             algorithm=self.name,
         )
 
+    def select_many(
+        self, queries: "Sequence[Sequence[int]]", k: int
+    ) -> list[ContextResult]:
+        """Batched :meth:`select`: one shared power iteration for all queries.
+
+        The micro-batch entry point used by process workers. Every query's
+        personalization columns join a single
+        :func:`~repro.walk.pagerank.power_iteration_batch` sweep
+        (:meth:`PersonalizedPageRank.top_k_many`), so the per-step sparse
+        matmat cost is paid once for the whole batch. Results are
+        bit-identical to calling :meth:`select` once per query.
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        query_tuples = [_validate_query(self._graph, query) for query in queries]
+        started = time.perf_counter()
+        rankings = self._pagerank.top_k_many(
+            query_tuples,
+            [k] * len(query_tuples),
+            excludes=[set(query_tuple) for query_tuple in query_tuples],
+        )
+        elapsed = time.perf_counter() - started
+        return [
+            ContextResult(
+                query=query_tuple,
+                ranked_nodes=[node for node, _ in ranked],
+                scores={node: score for node, score in ranked},
+                elapsed_seconds=elapsed,
+                algorithm=self.name,
+            )
+            for query_tuple, ranked in zip(query_tuples, rankings)
+        ]
+
 
 class ContextRW(ContextSelector):
     """The paper's context algorithm: PathMining + metapath-constrained scores.

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.graph.model import KnowledgeGraph, NodeRef
 from repro.stats.histograms import align_count_maps
+from repro.walk import kernels
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.graph.compiled import CompiledGraph
@@ -222,28 +223,73 @@ class _SweepCounts:
         "members_with_label",
     )
 
-    def __init__(self, compiled, members: "Sequence[int]") -> None:
-        self.size = len(members)
-        label_count = compiled.label_count
+    def __init__(
+        self,
+        compiled,
+        members: "Sequence[int]",
+        label_mask: "np.ndarray | None" = None,
+    ) -> None:
         rows, owners = compiled.gather_rows(np.asarray(members, dtype=np.int64))
         labels = compiled.label_ids[rows]
         targets = compiled.targets[rows]
+        if label_mask is not None:
+            # Rows of labels the caller will never ask about (excluded /
+            # inverse labels — often most of the adjacency) can be
+            # dropped before the sort: counts for the surviving labels
+            # are untouched, and the dropped labels' count_maps must not
+            # be consulted (their members_with_label reads zero).
+            keep = label_mask[labels]
+            labels = labels[keep]
+            targets = targets[keep]
+            owners = owners[keep]
         # Instance channel: occurrences per (label, target) pair.
         node_count = max(compiled.node_count, 1)
         inst_key = labels * node_count + targets
-        inst_unique, self.inst_counts = np.unique(inst_key, return_counts=True)
+        inst_unique, inst_counts = kernels.unique_counts(inst_key)
+        # Cardinality channel: degree of each (member, label) pair.
+        width = max(compiled.label_count, 1)
+        pair_key = owners * width + labels
+        pair_unique, pair_degree = kernels.unique_counts(pair_key)
+        self._fill(
+            len(members),
+            compiled.label_count,
+            node_count,
+            inst_unique,
+            inst_counts,
+            pair_unique,
+            pair_degree,
+        )
+
+    def _fill(
+        self,
+        size: int,
+        label_count: int,
+        node_count: int,
+        inst_unique: np.ndarray,
+        inst_counts: np.ndarray,
+        pair_unique: np.ndarray,
+        pair_degree: np.ndarray,
+    ) -> None:
+        """Finish construction from the two keyed channels.
+
+        ``inst_unique`` holds sorted ``label * node_count + target`` keys
+        with their occurrence counts; ``pair_unique`` sorted
+        ``owner * label_count + label`` keys with each pair's edge count
+        (= the member's degree under that label). Shared by
+        :meth:`__init__` and the fused multi-set pass of
+        :func:`sweep_counts_many`, so both land on identical state.
+        """
+        self.size = size
+        self.inst_counts = inst_counts
         self.inst_labels = inst_unique // node_count
         self.inst_targets = inst_unique - self.inst_labels * node_count
-        # Cardinality channel: degree of each (member, label) pair ...
         width = max(label_count, 1)
-        pair_key = owners * width + labels
-        pair_unique, pair_degree = np.unique(pair_key, return_counts=True)
         pair_label = pair_unique % width
         self.members_with_label = np.bincount(pair_label, minlength=label_count)
-        # ... histogrammed into member counts per (label, degree).
+        # Degrees histogrammed into member counts per (label, degree).
         degree_width = int(pair_degree.max()) + 1 if pair_degree.size else 1
         card_key = pair_label * degree_width + pair_degree
-        card_unique, self.card_counts = np.unique(card_key, return_counts=True)
+        card_unique, self.card_counts = kernels.unique_counts(card_key)
         self.card_labels = card_unique // degree_width
         self.card_degrees = card_unique - self.card_labels * degree_width
 
@@ -280,6 +326,129 @@ class _SweepCounts:
         return instances, cardinalities
 
 
+def sweep_counts_many(
+    compiled: "CompiledGraph",
+    node_sets: "Sequence[Sequence[int]]",
+    label_mask: "np.ndarray | None" = None,
+) -> "list[_SweepCounts]":
+    """One :class:`_SweepCounts` per node set, from a single fused pass.
+
+    The micro-batch worker path calls this with every batch member's query
+    and context sets at once: one ``gather_rows`` and one keyed
+    ``unique_counts`` per channel replace the per-member pairs, amortising
+    the fixed sort/gather overhead across the batch. Each set's keys are
+    offset into a disjoint range (``set_index * span``) so one sorted
+    unique pass yields every member's slice; subtracting the offset
+    recovers exactly the keys :meth:`_SweepCounts.__init__` derives, and
+    the shared :meth:`_SweepCounts._fill` tail does the rest — the
+    returned counters are interchangeable with per-set construction
+    (``tests/test_batch_parity.py`` pins equality).
+    """
+    sets = [np.asarray(list(node_set), dtype=np.int64) for node_set in node_sets]
+    if not sets:
+        return []
+    empty = np.empty(0, dtype=np.int64)
+    # Saturated batches share their heaviest nodes: the same high-PPR
+    # hubs headline nearly every member's context. Gather and sort each
+    # distinct node's edges once, then assemble per-set counters from
+    # the per-node slices — integer count sums, so exactly the counters
+    # a per-set gather would produce, at a fraction of the sort volume.
+    distinct, inverse = np.unique(np.concatenate(sets), return_inverse=True)
+    rows, owners = compiled.gather_rows(distinct)
+    labels = compiled.label_ids[rows].astype(np.int64, copy=False)
+    targets = compiled.targets[rows].astype(np.int64, copy=False)
+    if label_mask is not None:
+        # Same row filter as _SweepCounts.__init__: drop edges of labels
+        # the consumer will never query (excluded / inverse labels).
+        keep = label_mask[labels]
+        labels = labels[keep]
+        targets = targets[keep]
+        owners = owners[keep]
+    node_count = max(compiled.node_count, 1)
+    label_count = compiled.label_count
+    width = max(label_count, 1)
+    # One sort keyed (node, label, target): per-node instance slices are
+    # contiguous runs, sorted by the same inner key _SweepCounts uses.
+    span = width * node_count
+    key = owners * span + labels * node_count + targets
+    key_unique, key_counts = kernels.unique_counts(key)
+    key_owner = key_unique // span
+    inner_unique = key_unique - key_owner * span
+    bounds = np.arange(distinct.shape[0] + 1, dtype=np.int64)
+    node_slices = np.searchsorted(key_unique, bounds * span)
+    # Per-node (label, degree) pairs fall out of the same sorted pass:
+    # (node, label) runs are contiguous, and a run's total count is the
+    # node's degree under that label — no second full sort.
+    pair_full = key_owner * width + inner_unique // node_count
+    if pair_full.size:
+        run_starts = np.flatnonzero(
+            np.concatenate((np.ones(1, dtype=bool), pair_full[1:] != pair_full[:-1]))
+        )
+        pair_keys = pair_full[run_starts]
+        pair_counts = np.add.reduceat(key_counts, run_starts)
+    else:
+        pair_keys = pair_counts = empty
+    pair_slices = np.searchsorted(pair_keys, bounds * width)
+    out: "list[_SweepCounts]" = []
+    position = 0
+    for node_ids in sets:
+        size = int(node_ids.shape[0])
+        members = inverse[position : position + size]
+        position += size
+        # Instance channel: merge the member nodes' sorted key slices.
+        # A stable argsort over pre-sorted runs is cheap, and summing
+        # counts of equal keys matches a raw multiset count exactly.
+        if size:
+            keys = np.concatenate(
+                [inner_unique[node_slices[d] : node_slices[d + 1]] for d in members]
+            )
+            counts = np.concatenate(
+                [key_counts[node_slices[d] : node_slices[d + 1]] for d in members]
+            )
+        else:
+            keys = counts = empty
+        if keys.size:
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            counts = counts[order]
+            starts = np.flatnonzero(
+                np.concatenate((np.ones(1, dtype=bool), keys[1:] != keys[:-1]))
+            )
+            inst_unique = keys[starts]
+            inst_counts = np.add.reduceat(counts, starts)
+        else:
+            inst_unique = inst_counts = empty
+        # Cardinality channel: re-key each member node's (label, degree)
+        # pairs to its set-local owner index. Owners ascend in set order
+        # and labels ascend within each node, so the result is already
+        # the sorted ``owner * width + label`` array __init__ derives.
+        if size:
+            pair_unique = np.concatenate(
+                [
+                    pair_keys[pair_slices[d] : pair_slices[d + 1]]
+                    + (local * width - int(d) * width)
+                    for local, d in enumerate(members)
+                ]
+            )
+            pair_degree = np.concatenate(
+                [pair_counts[pair_slices[d] : pair_slices[d + 1]] for d in members]
+            )
+        else:
+            pair_unique = pair_degree = empty
+        sweep = object.__new__(_SweepCounts)
+        sweep._fill(  # noqa: SLF001 - same-module constructor tail
+            size,
+            label_count,
+            node_count,
+            inst_unique,
+            inst_counts,
+            pair_unique,
+            pair_degree,
+        )
+        out.append(sweep)
+    return out
+
+
 def build_all_distributions(
     graph: KnowledgeGraph,
     query: Sequence[NodeRef],
@@ -288,6 +457,7 @@ def build_all_distributions(
     *,
     none_bucket: bool = True,
     compiled: "CompiledGraph | None" = None,
+    sweep_cache: "dict[tuple[int, ...], _SweepCounts] | None" = None,
 ) -> dict[str, CharacteristicDistributions]:
     """Build every label's distributions in one sweep over ``Q`` and ``C``.
 
@@ -308,6 +478,14 @@ def build_all_distributions(
     pins one per request so the sweep stays consistent while writers
     mutate the graph); by default the graph's current snapshot is used.
     All member ids must be covered by the snapshot.
+
+    ``sweep_cache`` maps node-id tuples to counters precomputed by
+    :func:`sweep_counts_many` against the same snapshot (the micro-batch
+    worker builds one fused pass for every batch member). Cached
+    counters must cover every requested label (i.e. be built with no
+    label mask, or a mask admitting all of ``labels``). A set missing
+    from the cache is simply swept here — the cache is an amortisation,
+    never a behaviour change.
     """
     label_list = list(labels)
     query_ids = graph.node_ids(query)
@@ -322,8 +500,23 @@ def build_all_distributions(
     table = graph._label_table()  # noqa: SLF001 - internal fast path
     names = graph._node_names_list()  # noqa: SLF001 - internal fast path
 
-    query_sweep = _SweepCounts(compiled, query_ids)
-    context_sweep = _SweepCounts(compiled, context_ids)
+    query_sweep = context_sweep = None
+    if sweep_cache is not None:
+        query_sweep = sweep_cache.get(tuple(query_ids))
+        context_sweep = sweep_cache.get(tuple(context_ids))
+    if query_sweep is None or context_sweep is None:
+        # Only the requested labels' rows matter: sweeping the rest of
+        # the adjacency (often most of it, once inverse and excluded
+        # labels are off the table) would be sorted and then never read.
+        label_mask = np.zeros(max(compiled.label_count, 1), dtype=bool)
+        for label in label_list:
+            label_id = table.lookup(label)
+            if label_id is not None:
+                label_mask[label_id] = True
+        if query_sweep is None:
+            query_sweep = _SweepCounts(compiled, query_ids, label_mask)
+        if context_sweep is None:
+            context_sweep = _SweepCounts(compiled, context_ids, label_mask)
 
     out: dict[str, CharacteristicDistributions] = {}
     for label in label_list:

@@ -33,6 +33,8 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.core.context import ContextResult, ContextRW, ContextSelector, RandomWalkContext
 from repro.core.discrimination import (
     DiscriminationResult,
@@ -289,6 +291,10 @@ class FindNC:
                 table.name(int(label_id))
                 for label_id in snapshot.incident_label_ids(list(nodes))
             )
+        return self._filter_candidates(labels)
+
+    def _filter_candidates(self, labels: "list[str]") -> list[str]:
+        """Apply the exclusion and inverse-label policy to sorted names."""
         out = []
         for label in labels:
             if label in self.excluded_labels:
@@ -305,6 +311,7 @@ class FindNC:
         context_size: int | None = None,
         context: ContextResult | None = None,
         snapshot: "CompiledGraph | None" = None,
+        sweep_cache: "dict | None" = None,
     ) -> FindNCResult:
         """Execute the full pipeline for ``query``.
 
@@ -319,6 +326,14 @@ class FindNC:
         consistent against concurrent writers. The query must be covered
         by the snapshot; pinning requires the batch path
         (``batch_distributions=True``).
+
+        ``sweep_cache`` hands the batch distribution builder counters
+        precomputed by
+        :func:`repro.core.distributions.sweep_counts_many` against the
+        same snapshot, keyed by node-id tuple (the micro-batch worker
+        sweeps every batch member's query and context sets in one fused
+        pass). Sets missing from the cache are swept normally, so a
+        cache miss costs only the amortisation, never correctness.
         """
         query_ids = self.resolve_query(query)
         k = context_size if context_size is not None else self.context_size
@@ -350,7 +365,26 @@ class FindNC:
                 "context references nodes newer than the pinned snapshot; "
                 "pin the context selector to the same graph version"
             )
-        labels = self.candidate_labels(members, snapshot=snapshot)
+        cached_sweeps = None
+        if sweep_cache is not None and self.batch_distributions:
+            query_sweep = sweep_cache.get(tuple(query_ids))
+            context_sweep = sweep_cache.get(tuple(context.nodes))
+            if query_sweep is not None and context_sweep is not None:
+                cached_sweeps = (query_sweep, context_sweep)
+        if cached_sweeps is not None:
+            # The fused sweeps already counted every member's edges, so
+            # the candidate set (labels incident to Q ∪ C) falls out of
+            # their per-label member counts — no third edge gather.
+            table = self._graph._label_table()  # noqa: SLF001 - label ids only grow
+            incident = np.flatnonzero(
+                cached_sweeps[0].members_with_label
+                + cached_sweeps[1].members_with_label
+            )
+            labels = self._filter_candidates(
+                sorted(table.name(int(label_id)) for label_id in incident)
+            )
+        else:
+            labels = self.candidate_labels(members, snapshot=snapshot)
         if self.batch_distributions:
             distribution_map = build_all_distributions(
                 self._graph,
@@ -359,6 +393,7 @@ class FindNC:
                 labels,
                 none_bucket=self.none_bucket,
                 compiled=snapshot,
+                sweep_cache=sweep_cache,
             )
         else:  # reference path: one adjacency scan per candidate label
             distribution_map = {

@@ -68,12 +68,21 @@ the way API clients spell entities):
   (:mod:`repro.eval.bootstrap`), and the raw latency samples are
   embedded so ``tools/bench_compare.py`` can re-bootstrap a
   two-report comparison.
+* **saturated batch** (PR 8) — the micro-batching phase: the same
+  saturated burst of *distinct* width-2 queries (sampled over the whole
+  graph, so neither the cache nor single-flight can absorb it) served
+  by two single-worker process engines — per-query dispatch
+  (``max_batch=1``) vs micro-batched (``max_batch``,
+  ``batch_window_ms``), where each worker runs one shared multi-column
+  power iteration and one fused distribution sweep per batch. Results
+  are asserted byte-identical between the arms; the throughput ratio is
+  gated by ``tools/bench_compare.py --saturated`` (acceptance: >= 2x).
 * **single-flight coalescing** — N clients issuing one identical query
   concurrently must trigger exactly one computation.
 
 The CLI (``repro bench-serve``) and ``benchmarks/run_service_bench.py``
 both call :func:`run_service_benchmark` and write the report as
-``BENCH_PR7.json`` (see ``benchmarks/README.md`` for the field
+``BENCH_PR8.json`` (see ``benchmarks/README.md`` for the field
 reference; diff two reports with ``tools/bench_compare.py``).
 """
 
@@ -719,6 +728,145 @@ def _bench_load_profile(
     return phase
 
 
+def saturated_queries(
+    graph, count: int, width: int, *, seed: int = 11
+) -> "list[tuple[str, ...]]":
+    """``count`` distinct ``width``-entity queries sampled across the graph.
+
+    The Table-1 seed sets are too few and too hub-adjacent to saturate a
+    worker pool with *distinct* traffic, so this samples entity names
+    uniformly (seeded, deterministic) over the whole node space — the
+    "every request is a different customer" traffic class that neither
+    the result cache nor single-flight coalescing can absorb, which is
+    exactly the class micro-batching exists for.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    ids = rng.choice(graph.node_count, size=count * width * 3, replace=False)
+    names: "list[str]" = []
+    seen: "set[str]" = set()
+    for node in ids:
+        name = graph.node_name(int(node))
+        if name and name not in seen:
+            seen.add(name)
+            names.append(name)
+    if len(names) < count * width:  # pragma: no cover - tiny graphs only
+        raise ValueError(
+            f"graph too small for {count} x {width} distinct query entities"
+        )
+    return [tuple(names[i * width : (i + 1) * width]) for i in range(count)]
+
+
+def _bench_saturated_batch(
+    *,
+    alpha: float,
+    seed: int,
+    repeat: int,
+    dataset: str = "yago",
+    scale: float = 32.0,
+    context_size: int = 5,
+    distinct: int = 16,
+    width: int = 2,
+    max_batch: int = 16,
+    batch_window_ms: float = 30.0,
+) -> dict:
+    """The PR-8 phase: micro-batched vs per-query process workers.
+
+    Serves the same saturated distinct-query burst (``distinct`` seeded
+    ``width``-entity queries, all submitted at once, caches cleared per
+    round) through two process-backend engines on one worker process:
+    the **per-query** arm dispatches one task per request
+    (``max_batch=1``, the pre-PR-8 backend) while the **batched** arm
+    gathers the burst into micro-batches (``max_batch``,
+    ``batch_window_ms``) so each worker runs one shared multi-column
+    power iteration and one fused distribution sweep for the whole
+    batch. One worker isolates the batching effect — extra workers
+    multiply both arms alike.
+
+    Results are asserted byte-identical between the arms (the engine's
+    differential guarantee; ``tests/test_batch_parity.py`` pins the
+    same property per kernel). The throughput ratio is the phase's
+    headline number; ``tools/bench_compare.py --saturated`` turns it
+    into the PR's accept/reject verdict.
+    """
+    graph = load_dataset(dataset, scale=scale)
+    queries = saturated_queries(graph, distinct, width, seed=seed)
+
+    def serve(engine_kwargs: dict) -> "tuple[float, list, dict]":
+        with NCEngine(
+            graph,
+            context_size=context_size,
+            alpha=alpha,
+            max_workers=1,
+            executor="process",
+            seed=seed,
+            **engine_kwargs,
+        ) as engine:
+            engine.pin()
+
+            def drain() -> None:
+                futures = [engine.submit(query)[0] for query in queries]
+                for future in futures:
+                    future.result()
+
+            drain()  # warmup: worker attach + transition adoption
+            best = float("inf")
+            for _ in range(repeat):
+                engine.cache.clear()
+                best = min(best, _timed(drain))
+            # Stats before the parity pass: the one-at-a-time re-requests
+            # below would dilute the recorded mean batch size.
+            stats = engine.stats().workers or {}
+            engine.cache.clear()
+            results = [engine.request(query).result for query in queries]
+        return best, results, stats
+
+    per_query_s, per_query_results, _ = serve({})
+    batched_s, batched_results, batched_stats = serve(
+        {"max_batch": max_batch, "batch_window_ms": batch_window_ms}
+    )
+
+    identical = all(
+        _result_fingerprint(a) == _result_fingerprint(b)
+        for a, b in zip(per_query_results, batched_results)
+    )
+    if not identical:  # pragma: no cover - would be a correctness bug
+        raise AssertionError(
+            "micro-batched execution returned different results than the "
+            "per-query process backend on the same queries"
+        )
+    batches = int(batched_stats.get("batches", 0))
+    members = int(batched_stats.get("batched_members", 0))
+    return {
+        "traffic": (
+            f"{distinct} distinct width-{width} queries sampled over the "
+            f"whole graph (seed {seed}), all submitted concurrently"
+        ),
+        "graph": {"dataset": dataset, "scale": scale, "nodes": graph.node_count,
+                  "edges": graph.edge_count},
+        "context_size": context_size,
+        "workers": 1,
+        "max_batch": max_batch,
+        "batch_window_ms": batch_window_ms,
+        "per_query_elapsed_s": per_query_s,
+        "per_query_rps": len(queries) / per_query_s,
+        "batched_elapsed_s": batched_s,
+        "batched_rps": len(queries) / batched_s,
+        "ratio": per_query_s / batched_s,
+        "batches": batches,
+        "mean_batch_size": members / batches if batches else 0.0,
+        "identical_results": identical,
+        "note": (
+            "same burst through two single-worker process engines: "
+            "max_batch=1 (per-query dispatch) vs micro-batched; one shared "
+            "power iteration + fused distribution sweep per batch; result "
+            "parity asserted; tools/bench_compare.py --saturated gates on "
+            "the ratio"
+        ),
+    }
+
+
 def _result_fingerprint(result) -> "list[tuple[str, float]]":
     """The byte-identity fingerprint used by the parity/chaos phases."""
     return [(item.label, item.score) for item in result.results] + [
@@ -766,6 +914,11 @@ def _run_service_benchmark(
     alpha: float = 0.05,
     seed: int = 11,
     repeat: int = 3,
+    saturated_scale: float = 32.0,
+    saturated_context: int = 5,
+    saturated_distinct: int = 16,
+    saturated_max_batch: int = 16,
+    saturated_window_ms: float = 30.0,
     snap_path: str = "",
 ) -> dict:
     """The benchmark body; ``snap_path`` is owned (created/cleaned) by the
@@ -777,7 +930,7 @@ def _run_service_benchmark(
     )
     report: dict = {
         "suite": "service_bench",
-        "pr": 7,
+        "pr": 8,
         "created_unix": int(time.time()),
         "machine": {
             "python": platform.python_version(),
@@ -801,6 +954,11 @@ def _run_service_benchmark(
             "coalesce_clients": coalesce_clients,
             "alpha": alpha,
             "repeat": repeat,
+            "saturated_scale": saturated_scale,
+            "saturated_context": saturated_context,
+            "saturated_distinct": saturated_distinct,
+            "saturated_max_batch": saturated_max_batch,
+            "saturated_window_ms": saturated_window_ms,
         },
     }
 
@@ -1046,6 +1204,22 @@ def _run_service_benchmark(
         # -- load profile: Zipf open-loop traffic + bootstrap CIs (PR 7) ---
         report["load_profile"] = _bench_load_profile(engine, seed=seed)
 
+        # -- saturated batch: micro-batched vs per-query workers (PR 8) ----
+        # Runs on its own (larger, shallower-context) graph where a
+        # worker's per-query fixed cost dominates — the regime the
+        # batched multi-column kernels exist for.
+        report["saturated_batch"] = _bench_saturated_batch(
+            alpha=alpha,
+            seed=seed,
+            repeat=repeat,
+            dataset=dataset,
+            scale=saturated_scale,
+            context_size=saturated_context,
+            distinct=saturated_distinct,
+            max_batch=saturated_max_batch,
+            batch_window_ms=saturated_window_ms,
+        )
+
         # -- single-flight coalescing --------------------------------------
         engine.cache.clear()
         stats_before = engine.stats()
@@ -1171,6 +1345,16 @@ def print_report(report: dict) -> None:
             f"{open_run['achieved_rps']:.1f} req/s, p99 "
             f"{p99['value'] * 1e3:.1f}ms "
             f"[{p99['ci_lo'] * 1e3:.1f}, {p99['ci_hi'] * 1e3:.1f}]"
+        )
+    saturated = report.get("saturated_batch")
+    if saturated:
+        print(
+            f"saturated batch (distinct traffic, 1 process worker): "
+            f"per-query {saturated['per_query_rps']:.2f} req/s | "
+            f"micro-batched {saturated['batched_rps']:.2f} req/s "
+            f"({saturated['ratio']:.2f}x, mean batch "
+            f"{saturated['mean_batch_size']:.1f}, identical results: "
+            f"{saturated['identical_results']})"
         )
     print(
         f"single-flight: {flight['clients']} clients -> "

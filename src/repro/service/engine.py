@@ -227,6 +227,12 @@ class EngineConfig:
     breaker_threshold: int = 5
     breaker_reset_s: float = 30.0
     snapshot_source: "str | None" = None
+    #: Micro-batching (process executor only): gather up to ``max_batch``
+    #: concurrent requests pinned to the same snapshot for at most
+    #: ``batch_window_ms`` and execute them with one shared power
+    #: iteration per worker round-trip. ``max_batch=1`` disables batching.
+    batch_window_ms: float = 0.0
+    max_batch: int = 1
 
     def __post_init__(self) -> None:
         """Validate every knob; raises ``ValueError`` with a field-named message."""
@@ -266,6 +272,12 @@ class EngineConfig:
             raise ValueError(
                 f"breaker_reset_s must be > 0, got {self.breaker_reset_s}"
             )
+        if self.batch_window_ms < 0:
+            raise ValueError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
 
     def as_dict(self) -> dict:
         """A JSON-ready dump of every knob (introspection / debugging)."""
@@ -293,6 +305,8 @@ class EngineConfig:
             "breaker_threshold": self.breaker_threshold,
             "breaker_reset_s": self.breaker_reset_s,
             "snapshot_source": self.snapshot_source,
+            "batch_window_ms": self.batch_window_ms,
+            "max_batch": self.max_batch,
         }
 
 
@@ -587,12 +601,21 @@ class NCEngine:
         self._cache = ResultCache(
             maxsize=cache_size, on_event=self.metrics.cache_event
         )
+        # In process mode with micro-batching, the thread pool only parks
+        # dispatching threads while their batch members wait on workers —
+        # widen it so a full batch per worker can be in flight at once
+        # (otherwise the dispatch layer itself would cap batch sizes at
+        # max_workers).
+        dispatch_width = max_workers
+        if executor == "process" and config.max_batch > 1:
+            dispatch_width = max_workers * config.max_batch
         self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="nc-query"
+            max_workers=dispatch_width, thread_name_prefix="nc-query"
         )
         self.max_workers = max_workers
         self.executor = executor
         self._pool: ProcessWorkerPool | None = None
+        self._pool_lock = threading.Lock()
         self._worker_config = WorkerConfig(
             damping=self.damping,
             iterations=self.iterations,
@@ -728,11 +751,24 @@ class NCEngine:
         return state
 
     def _worker_pool(self) -> ProcessWorkerPool:
-        """The process pool (created lazily on the first process-mode pin)."""
+        """The process pool (created lazily on the first process-mode pin).
+
+        Creation is locked: with micro-batching the dispatch executor is
+        wider than the worker count, so a burst of first requests reaches
+        this point on many threads at once — unlocked, each would spawn
+        its own pool and all but the last would leak worker processes
+        (and split the dispatch counters across pools).
+        """
         if self._pool is None:
-            self._pool = ProcessWorkerPool(
-                self.max_workers, on_event=self.metrics.worker_event
-            )
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ProcessWorkerPool(
+                        self.max_workers,
+                        batch_window_ms=self.config.batch_window_ms,
+                        max_batch=self.config.max_batch,
+                        on_event=self.metrics.worker_event,
+                        on_batch=self.metrics.observe_worker_batch,
+                    )
         return self._pool
 
     def _build_pin(self) -> _PinnedState:

@@ -658,9 +658,30 @@ class ServiceMetrics:
         self.worker_events = reg.counter(
             "nc_worker_events_total",
             "Worker-pool lifecycle events (dispatch, complete, stale, crash, "
-            "deadline_abandon, respawn, respawn_suppressed).",
+            "deadline_abandon, respawn, respawn_suppressed, batch_dispatch).",
             ("event",),
         )
+        self.worker_batch_size = reg.histogram(
+            "nc_worker_batch_size",
+            "Members per dispatched worker micro-batch (only populated when "
+            "the pool runs with max_batch > 1).",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+        )
+        self.kernel_active = reg.gauge(
+            "nc_kernel_active",
+            "The compute kernel in use (REPRO_KERNEL seam): 1 for the active "
+            "kernel series, 0 for the others.",
+            ("kernel",),
+        )
+        self._sync_kernel_gauge()
+
+    def _sync_kernel_gauge(self) -> None:
+        """Publish the resolved REPRO_KERNEL selection as a one-hot gauge."""
+        from repro.walk import kernels
+
+        active = kernels.active_kernel()
+        for name in kernels.KNOWN_KERNELS:
+            self.kernel_active.set(1.0 if name == active else 0.0, kernel=name)
 
     def cache_event(self, event: str, count: int = 1) -> None:
         """:class:`~repro.service.cache.ResultCache`'s ``on_event`` hook."""
@@ -669,6 +690,10 @@ class ServiceMetrics:
     def worker_event(self, event: str, count: int = 1) -> None:
         """:class:`~repro.service.workers.ProcessWorkerPool`'s ``on_event`` hook."""
         self.worker_events.inc(count, event=event)
+
+    def observe_worker_batch(self, size: int) -> None:
+        """:class:`~repro.service.workers.ProcessWorkerPool`'s ``on_batch`` hook."""
+        self.worker_batch_size.observe(float(size))
 
     def render(self) -> str:
         """The registry's full Prometheus text exposition."""

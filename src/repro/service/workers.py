@@ -20,6 +20,21 @@ snapshot published by :mod:`repro.parallel.shm`:
   over one shared queue drained by a collector thread that resolves the
   parent-side jobs.
 
+Micro-batching (``max_batch > 1``): instead of sending each task the
+moment ``run`` is called, tasks queue in a parent-side pending deque and a
+dispatcher thread drains them into bounded micro-batches — up to
+``max_batch`` tasks pinned to the *same* snapshot segment, gathered for at
+most ``batch_window_ms``. A whole batch ships as one
+:class:`WorkerBatchTask` pickle, the worker answers every member's context
+search with a single shared multi-column power iteration
+(:meth:`~repro.core.context.RandomWalkContext.select_many`), and all
+member results return as one list message — per-step sparse-matmat cost
+and result-transport overhead are amortized across the batch. Results are
+bit-identical to per-task execution (the differential suite in
+``tests/test_batch_parity.py`` pins this), and a member whose deadline
+expires while waiting in the batch window is shed alone — its batchmates
+still execute.
+
 Segment lifecycle: the pool refcounts in-flight jobs per segment.
 :meth:`ProcessWorkerPool.retire` unlinks a segment immediately when idle,
 or defers the unlink until its last in-flight job completes. A worker
@@ -43,9 +58,13 @@ import traceback
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.discrimination import MultinomialDiscriminator
-from repro.core.findnc import FindNC, FindNCResult
+from repro.core.distributions import sweep_counts_many
+from repro.core.findnc import FindNC, FindNCResult, default_excluded_labels
 from repro.errors import DeadlineExceededError
+from repro.graph.labels import is_inverse_label
 from repro.parallel.shm import (
     SharedSnapshot,
     SharedSnapshotHeader,
@@ -123,12 +142,35 @@ class WorkerTask:
     config: WorkerConfig
 
 
-def _execute_task(view: SnapshotGraphView, selector, task: WorkerTask) -> FindNCResult:
+@dataclass(frozen=True)
+class WorkerBatchTask:
+    """A micro-batch of tasks pinned to one snapshot segment.
+
+    All members share ``members[0].header`` (the dispatcher groups by
+    segment), so the worker attaches once and answers every member's
+    context search with a single shared power-iteration sweep.
+    """
+
+    members: "tuple[WorkerTask, ...]"
+
+
+def _execute_task(
+    view: SnapshotGraphView,
+    selector,
+    task: WorkerTask,
+    context=None,
+    sweep_cache=None,
+) -> FindNCResult:
     """Run one FindNC computation against the attached snapshot view.
 
     Mirrors ``NCEngine._compute`` exactly — same discriminator
     construction, same pinned-snapshot ``FindNC.run`` — so a process
     worker and a parent thread produce identical results for one task.
+    ``context`` injects a precomputed
+    :class:`~repro.core.context.ContextResult` (the micro-batch shared
+    phase); ``FindNC.run`` skips its own selection when one is given.
+    ``sweep_cache`` likewise injects the batch's fused distribution
+    counters (see :func:`~repro.core.distributions.sweep_counts_many`).
     """
     config = task.config
     discriminator = MultinomialDiscriminator(
@@ -145,7 +187,116 @@ def _execute_task(view: SnapshotGraphView, selector, task: WorkerTask) -> FindNC
         include_inverse_labels=config.include_inverse_labels,
         none_bucket=config.none_bucket,
     )
-    return finder.run(task.query_ids, snapshot=view._compiled())  # noqa: SLF001
+    return finder.run(
+        task.query_ids,
+        context=context,
+        snapshot=view._compiled(),  # noqa: SLF001 - pinned per attach
+        sweep_cache=sweep_cache,
+    )
+
+
+def _member_entry(view, selector, task: WorkerTask, context, sweep_cache=None):
+    """One member's result entry, with per-member error attribution."""
+    try:
+        result = _execute_task(view, selector, task, context, sweep_cache)
+        return (task.job_id, task.header.segment, "ok", result)
+    except StaleSnapshotError:
+        raise
+    except BaseException as error:  # noqa: BLE001 - forwarded to the parent
+        payload = (repr(error), traceback.format_exc())
+        return (task.job_id, task.header.segment, "error", payload)
+
+
+def _candidate_label_mask(view, compiled, config: WorkerConfig):
+    """Boolean mask over label ids admitting exactly the candidate labels.
+
+    Mirrors ``FindNC._filter_candidates`` for ``config``'s policy: the
+    fused batch sweep drops excluded/inverse labels' edge rows up front
+    (they are often most of the adjacency), and ``FindNC.run`` derives
+    the same candidate list from the masked counters that an unmasked
+    enumeration plus filtering would produce.
+    """
+    excluded = (
+        config.excluded_labels
+        if config.excluded_labels is not None
+        else default_excluded_labels()
+    )
+    table = view._label_table()  # noqa: SLF001 - label ids only grow
+    mask = np.zeros(max(compiled.label_count, 1), dtype=bool)
+    for label_id in range(compiled.label_count):
+        name = table.name(label_id)
+        if name in excluded:
+            continue
+        if not config.include_inverse_labels and is_inverse_label(name):
+            continue
+        mask[label_id] = True
+    return mask
+
+
+def _execute_batch(view, selector, members: "tuple[WorkerTask, ...]") -> list:
+    """Run a micro-batch with one shared PPR sweep; per-member entries back.
+
+    The shared phase pools every member's personalization columns into a
+    single multi-column power iteration
+    (:meth:`~repro.core.context.RandomWalkContext.select_many`); the
+    per-member discrimination phase then reuses each precomputed context
+    through the same ``FindNC`` construction ``_execute_task`` performs —
+    results are bit-identical to running the members one at a time.
+
+    Attribution stays per member: a member whose discrimination raises
+    gets an ``"error"`` entry without poisoning its batchmates, and if the
+    shared phase itself fails (e.g. one member's query ids are invalid)
+    the group falls back to independent per-member runs so the failure
+    lands only on the members that caused it. ``StaleSnapshotError``
+    propagates — staleness is a property of the shared segment, hence of
+    the whole batch.
+    """
+    entries: list = []
+    # Members usually share one context size (the engine's is fixed), but
+    # the pool API does not require it — one shared sweep per size.
+    groups: dict[int, list[WorkerTask]] = {}
+    for member in members:
+        groups.setdefault(member.context_size, []).append(member)
+    for context_size, group in groups.items():
+        try:
+            contexts = selector.select_many(
+                [member.query_ids for member in group], context_size
+            )
+            # Second shared pass: sweep every member's query and context
+            # sets for the distribution builder in one fused gather.
+            # Query keys are deduped order-preserving, matching what
+            # ``FindNC.resolve_query`` derives from the (already
+            # id-resolved) task ids, so ``run`` gets cache hits.
+            node_sets = [
+                tuple(dict.fromkeys(member.query_ids)) for member in group
+            ] + [tuple(context.nodes) for context in contexts]
+            compiled = view._compiled()  # noqa: SLF001 - pinned per attach
+            # When the whole group shares one candidate-label policy
+            # (the engine ships a uniform config), the sweep can drop
+            # excluded/inverse labels' rows before sorting. Mixed
+            # policies just sweep unmasked — slower, never wrong.
+            policies = {
+                (member.config.excluded_labels, member.config.include_inverse_labels)
+                for member in group
+            }
+            label_mask = (
+                _candidate_label_mask(view, compiled, group[0].config)
+                if len(policies) == 1
+                else None
+            )
+            sweeps = sweep_counts_many(compiled, node_sets, label_mask)
+            sweep_cache = dict(zip(node_sets, sweeps))
+        except StaleSnapshotError:
+            raise
+        except Exception:
+            for member in group:
+                entries.append(_member_entry(view, selector, member, None))
+            continue
+        for member, context in zip(group, contexts):
+            entries.append(
+                _member_entry(view, selector, member, context, sweep_cache)
+            )
+    return entries
 
 
 def _worker_main(worker_index: int, task_queue, result_queue) -> None:
@@ -169,14 +320,20 @@ def _worker_main(worker_index: int, task_queue, result_queue) -> None:
     selector = None
 
     while True:
-        task: WorkerTask | None = task_queue.get()
-        if task is None:
+        message: "WorkerTask | WorkerBatchTask | None" = task_queue.get()
+        if message is None:
             break
         if faults.fire("worker.crash"):
             # Simulated hard crash mid-job: no result message, no cleanup
-            # — exactly what the parent's watchdog must recover from.
+            # — exactly what the parent's watchdog must recover from. For
+            # a batch message the whole batch is lost; every member's
+            # watchdog surfaces the crash and the engine's per-request
+            # retries re-dispatch (and re-batch) them independently.
             os._exit(1)
         faults.fire("worker.slow")  # the rule's delay models a hung worker
+        batched = isinstance(message, WorkerBatchTask)
+        members = message.members if batched else (message,)
+        task = members[0]
         segment = task.header.segment
         try:
             if attached_segment != segment:
@@ -214,20 +371,38 @@ def _worker_main(worker_index: int, task_queue, result_queue) -> None:
                 else:
                     selector.warm()
                 attached_segment = segment
-            result = _execute_task(view, selector, task)
-            result_queue.put((task.job_id, segment, "ok", result))
+            if batched:
+                # One list message for the whole batch: result pickling
+                # and queue transport are paid once per batch, not per
+                # member.
+                result_queue.put(_execute_batch(view, selector, members))
+            else:
+                result = _execute_task(view, selector, task)
+                result_queue.put((task.job_id, segment, "ok", result))
         except StaleSnapshotError:
             attached = None
             attached_segment = None
             view = None
             selector = None
-            result_queue.put((task.job_id, segment, "stale", None))
+            if batched:
+                result_queue.put(
+                    [(member.job_id, segment, "stale", None) for member in members]
+                )
+            else:
+                result_queue.put((task.job_id, segment, "stale", None))
         except BaseException as error:  # noqa: BLE001 - forwarded to the parent
             payload = (repr(error), traceback.format_exc())
             try:
-                result_queue.put((task.job_id, segment, "error", payload))
+                replies = [
+                    (member.job_id, segment, "error", payload) for member in members
+                ]
+                result_queue.put(replies if batched else replies[0])
             except Exception:  # pragma: no cover - unpicklable payload
-                result_queue.put((task.job_id, segment, "error", (repr(error), "")))
+                replies = [
+                    (member.job_id, segment, "error", (repr(error), ""))
+                    for member in members
+                ]
+                result_queue.put(replies if batched else replies[0])
 
     # Orderly shutdown: release the mapping before the interpreter exits.
     selector = None
@@ -237,11 +412,16 @@ def _worker_main(worker_index: int, task_queue, result_queue) -> None:
 
 
 class _Job:
-    """Parent-side slot one in-flight task resolves into."""
+    """Parent-side slot one in-flight task resolves into.
+
+    ``process`` is ``None`` while the task waits in the batch window (the
+    dispatcher thread assigns it at batch send time); the waiter's
+    liveness watchdog only engages once a process is attached.
+    """
 
     __slots__ = ("event", "status", "payload", "process")
 
-    def __init__(self, process) -> None:
+    def __init__(self, process=None) -> None:
         self.event = threading.Event()
         self.status: str | None = None
         self.payload: object = None
@@ -265,6 +445,10 @@ class WorkerPoolStats:
     #: Respawns refused by the rate limiter (slot left dead until
     #: :meth:`ProcessWorkerPool.revive` or the window rolls over).
     respawns_suppressed: int = 0
+    #: Micro-batches dispatched (0 unless the pool runs with max_batch > 1).
+    batches: int = 0
+    #: Members across those batches; mean batch size = members / batches.
+    batched_members: int = 0
 
     def as_dict(self) -> dict:
         """The JSON shape embedded in the engine's ``/stats`` payload."""
@@ -279,6 +463,8 @@ class WorkerPoolStats:
             "retired_segments": self.retired_segments,
             "deadline_abandons": self.deadline_abandons,
             "respawns_suppressed": self.respawns_suppressed,
+            "batches": self.batches,
+            "batched_members": self.batched_members,
         }
 
 
@@ -294,8 +480,17 @@ class ProcessWorkerPool:
     ``on_event`` is an optional instrumentation callback ``(event: str,
     count: int)`` invoked outside the pool lock for ``"dispatch"``,
     ``"complete"``, ``"stale"``, ``"crash"``, ``"deadline_abandon"``,
-    ``"respawn"`` and ``"respawn_suppressed"`` events (the engine wires
-    it to its metrics registry); a raising callback is swallowed.
+    ``"respawn"``, ``"respawn_suppressed"`` and ``"batch_dispatch"``
+    events (the engine wires it to its metrics registry); a raising
+    callback is swallowed.
+
+    Micro-batching: with ``max_batch > 1``, ``run`` enqueues tasks onto a
+    pending deque and a dispatcher thread groups them by snapshot segment
+    into batches of up to ``max_batch``, waiting at most
+    ``batch_window_ms`` for stragglers once a task is pending. The default
+    (``max_batch=1``) keeps the original direct per-task dispatch path.
+    ``on_batch`` is an optional callback ``(size: int)`` fired per
+    dispatched batch (the engine wires it to a batch-size histogram).
     """
 
     def __init__(
@@ -307,7 +502,10 @@ class ProcessWorkerPool:
         crash_grace_s: float = 1.0,
         respawn_limit: int = 8,
         respawn_window_s: float = 30.0,
+        batch_window_ms: float = 0.0,
+        max_batch: int = 1,
         on_event=None,
+        on_batch=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -321,6 +519,10 @@ class ProcessWorkerPool:
             raise ValueError(
                 f"respawn_window_s must be > 0, got {respawn_window_s}"
             )
+        if batch_window_ms < 0:
+            raise ValueError(f"batch_window_ms must be >= 0, got {batch_window_ms}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self._watchdog_tick = watchdog_tick
         self._crash_grace_s = crash_grace_s
         self._respawn_limit = respawn_limit
@@ -349,6 +551,19 @@ class ProcessWorkerPool:
         self._respawns_suppressed = 0
         self._deadline_abandons = 0
         self._closed = False
+        self._max_batch = max_batch
+        self._batch_window_s = batch_window_ms / 1000.0
+        self._on_batch = on_batch
+        self._batches = 0
+        self._batched_members = 0
+        self._pending: "deque[tuple[int, WorkerTask]]" = deque()
+        self._batch_cond = threading.Condition(self._lock)
+        self._dispatcher: "threading.Thread | None" = None
+        if max_batch > 1:
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_batches, name="nc-batch-dispatcher", daemon=True
+            )
+            self._dispatcher.start()
         self._collector = threading.Thread(
             target=self._collect, name="nc-worker-collector", daemon=True
         )
@@ -489,38 +704,49 @@ class ProcessWorkerPool:
             raise DeadlineExceededError(
                 "request deadline expired before the job could be dispatched"
             )
+        batching = self._max_batch > 1
+        slot = -1
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker pool is closed")
             job_id = next(self._job_ids)
-            slot = self._round_robin % self.workers
-            self._round_robin += 1
-            process = self._processes[slot]
-            job = _Job(process)
-            self._jobs[job_id] = job
+            task = WorkerTask(
+                job_id=job_id,
+                header=header,
+                query_ids=tuple(query_ids),
+                context_size=context_size,
+                alpha=alpha,
+                rng_seed=rng_seed,
+                config=config,
+            )
+            if batching:
+                # The dispatcher thread assigns the worker at batch send
+                # time; until then the job has no process and the liveness
+                # watchdog below stays out of the way.
+                job = _Job(None)
+                self._jobs[job_id] = job
+                self._pending.append((job_id, task))
+                self._batch_cond.notify()
+            else:
+                slot = self._round_robin % self.workers
+                self._round_robin += 1
+                job = _Job(self._processes[slot])
+                self._jobs[job_id] = job
             self._inflight_by_segment[header.segment] = (
                 self._inflight_by_segment.get(header.segment, 0) + 1
             )
             self._dispatched += 1
         self._emit("dispatch")
-        task = WorkerTask(
-            job_id=job_id,
-            header=header,
-            query_ids=tuple(query_ids),
-            context_size=context_size,
-            alpha=alpha,
-            rng_seed=rng_seed,
-            config=config,
-        )
-        try:
-            self._task_queues[slot].put(task)
-        except BaseException:
-            # put() pickles the task on the calling thread; a failure here
-            # (e.g. an unpicklable discriminator param) must give back the
-            # job slot and the segment refcount or retired segments could
-            # never unlink.
-            self._abandon(job_id, header.segment)
-            raise
+        if not batching:
+            try:
+                self._task_queues[slot].put(task)
+            except BaseException:
+                # put() pickles the task on the calling thread; a failure
+                # here (e.g. an unpicklable discriminator param) must give
+                # back the job slot and the segment refcount or retired
+                # segments could never unlink.
+                self._abandon(job_id, header.segment)
+                raise
         # Wait with a liveness watchdog: a worker killed mid-job would
         # otherwise leave this job waiting forever. The wait is chunked
         # by the watchdog tick and clipped to the deadline, so both a
@@ -530,10 +756,21 @@ class ProcessWorkerPool:
             if deadline is not None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
+                    still_queued = job.process is None
                     self._abandon(job_id, header.segment)
                     with self._lock:
                         self._deadline_abandons += 1
                     self._emit("deadline_abandon")
+                    if still_queued:
+                        # Shed THIS member only: the pending entry stays in
+                        # the deque but the dispatcher drops job ids that
+                        # are no longer registered, so batchmates still
+                        # dispatch and execute untouched.
+                        raise DeadlineExceededError(
+                            f"job {job_id} missed its deadline while queued "
+                            "in the batch window (the member was shed; its "
+                            "batchmates were not)"
+                        )
                     raise DeadlineExceededError(
                         f"job {job_id} missed its deadline while executing on "
                         f"{job.process.name} (the job was abandoned)"
@@ -541,7 +778,8 @@ class ProcessWorkerPool:
                 wait_for = min(wait_for, remaining)
             if job.event.wait(timeout=wait_for):
                 break
-            if not job.process.is_alive():
+            process = job.process
+            if process is not None and not process.is_alive():
                 # The worker may have finished the job (result already on
                 # the queue) and died afterwards — give the collector a
                 # grace window to drain it before declaring the job lost.
@@ -549,9 +787,9 @@ class ProcessWorkerPool:
                     break
                 self._abandon(job_id, header.segment)
                 self._emit("crash")
-                replaced = self._respawn(job.process)
+                replaced = self._respawn(process)
                 raise WorkerCrashError(
-                    f"worker {job.process.name} died while computing job "
+                    f"worker {process.name} died while computing job "
                     f"{job_id} ("
                     + (
                         "a replacement worker was started"
@@ -590,6 +828,106 @@ class ProcessWorkerPool:
         if unlink_now is not None:
             unlink_now.unlink()
 
+    # -- micro-batch dispatch ----------------------------------------------
+
+    def _resolve_local_error(self, job_id: int, segment: str, payload) -> None:
+        """Fail a job from the parent side (batch pickling broke)."""
+        unlink_now: SharedSnapshot | None = None
+        with self._lock:
+            job = self._jobs.pop(job_id, None)
+            if job is not None:
+                unlink_now = self._decrement_segment_locked(segment)
+        if unlink_now is not None:
+            unlink_now.unlink()
+        if job is not None:
+            job.status = "error"
+            job.payload = payload
+            job.event.set()
+
+    def _dispatch_batches(self) -> None:
+        """Drain pending tasks into segment-grouped micro-batches.
+
+        Runs on the dedicated dispatcher thread (only started when
+        ``max_batch > 1``). Once a task is pending, up to
+        ``batch_window_ms`` is spent gathering same-segment companions —
+        the window caps queueing latency, ``max_batch`` caps batch size.
+        Entries whose job id is no longer registered were shed by their
+        caller's deadline while queued; they are dropped member-by-member
+        without disturbing the rest of the batch. Tasks pinned to a
+        different segment than the batch head keep their arrival order
+        and form the next batch.
+        """
+        while True:
+            with self._batch_cond:
+                while not self._pending and not self._closed:
+                    self._batch_cond.wait()
+                if self._closed:
+                    return
+                window_until = time.monotonic() + self._batch_window_s
+                while True:
+                    live = deque(
+                        entry for entry in self._pending if entry[0] in self._jobs
+                    )
+                    self._pending = live
+                    if not live:
+                        break
+                    head_segment = live[0][1].header.segment
+                    ready = sum(
+                        1
+                        for _, task in live
+                        if task.header.segment == head_segment
+                    )
+                    remaining = window_until - time.monotonic()
+                    if ready >= self._max_batch or remaining <= 0:
+                        break
+                    self._batch_cond.wait(timeout=remaining)
+                    if self._closed:
+                        return
+                if not self._pending:
+                    continue
+                picked: list = []
+                kept: "deque[tuple[int, WorkerTask]]" = deque()
+                head_segment = self._pending[0][1].header.segment
+                for entry in self._pending:
+                    if (
+                        len(picked) < self._max_batch
+                        and entry[1].header.segment == head_segment
+                    ):
+                        picked.append(entry)
+                    else:
+                        kept.append(entry)
+                self._pending = kept
+                slot = self._round_robin % self.workers
+                self._round_robin += 1
+                process = self._processes[slot]
+                for job_id, _task in picked:
+                    job = self._jobs.get(job_id)
+                    if job is not None:
+                        job.process = process
+                self._batches += 1
+                self._batched_members += len(picked)
+            self._emit("batch_dispatch")
+            if self._on_batch is not None:
+                try:
+                    self._on_batch(len(picked))
+                except Exception:  # noqa: BLE001 - observability is best-effort
+                    pass
+            if len(picked) == 1:
+                # A lone task ships as a plain WorkerTask: the worker's
+                # single-task path is the batch path's parity oracle, so a
+                # batch of one must be indistinguishable from no batching.
+                message: "WorkerTask | WorkerBatchTask" = picked[0][1]
+            else:
+                message = WorkerBatchTask(
+                    members=tuple(task for _, task in picked)
+                )
+            try:
+                self._task_queues[slot].put(message)
+            except BaseException as error:  # noqa: BLE001 - resolve all members
+                payload = (repr(error), traceback.format_exc())
+                for job_id, task in picked:
+                    self._resolve_local_error(job_id, task.header.segment, payload)
+
     # -- collection --------------------------------------------------------
 
     def _collect(self) -> None:
@@ -597,25 +935,29 @@ class ProcessWorkerPool:
             message = self._result_queue.get()
             if message is None:
                 break
-            job_id, segment, status, payload = message
-            unlink_now: SharedSnapshot | None = None
-            with self._lock:
-                job = self._jobs.pop(job_id, None)
+            # A batch answers with one list of per-member entries (one
+            # pickle for the whole batch); each entry resolves exactly
+            # like a standalone result message.
+            entries = message if isinstance(message, list) else [message]
+            for job_id, segment, status, payload in entries:
+                unlink_now: SharedSnapshot | None = None
+                with self._lock:
+                    job = self._jobs.pop(job_id, None)
+                    if job is not None:
+                        # Decrement exactly once per job: an abandoned job
+                        # (crash watchdog) already gave its refcount back in
+                        # _abandon, and its late message must not decrement
+                        # the segment a second time — that could unlink a
+                        # retired segment while another job still reads it.
+                        unlink_now = self._decrement_segment_locked(segment)
+                        self._completed += 1
+                if unlink_now is not None:
+                    unlink_now.unlink()
                 if job is not None:
-                    # Decrement exactly once per job: an abandoned job
-                    # (crash watchdog) already gave its refcount back in
-                    # _abandon, and its late message must not decrement
-                    # the segment a second time — that could unlink a
-                    # retired segment while another job still reads it.
-                    unlink_now = self._decrement_segment_locked(segment)
-                    self._completed += 1
-            if unlink_now is not None:
-                unlink_now.unlink()
-            if job is not None:
-                job.status = status
-                job.payload = payload
-                job.event.set()
-                self._emit("complete")
+                    job.status = status
+                    job.payload = payload
+                    job.event.set()
+                    self._emit("complete")
 
     def _decrement_segment_locked(self, segment: str) -> "SharedSnapshot | None":
         """Drop one in-flight ref; return a retired segment now ready to unlink."""
@@ -657,6 +999,12 @@ class ProcessWorkerPool:
             job.status = "error"
             job.payload = ("RuntimeError('worker pool closed')", "")
             job.event.set()
+        if self._dispatcher is not None:
+            # Wake the dispatcher so it observes _closed and exits before
+            # the worker queues receive their shutdown sentinels.
+            with self._batch_cond:
+                self._batch_cond.notify_all()
+            self._dispatcher.join(timeout=timeout)
         for task_queue in self._task_queues:
             task_queue.put(None)
         for process in self._processes:
@@ -691,4 +1039,6 @@ class ProcessWorkerPool:
                 retired_segments=len(self._retired),
                 deadline_abandons=self._deadline_abandons,
                 respawns_suppressed=self._respawns_suppressed,
+                batches=self._batches,
+                batched_members=self._batched_members,
             )

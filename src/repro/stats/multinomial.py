@@ -87,15 +87,17 @@ def _validate(pi: np.ndarray, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         )
     if pi.size == 0:
         raise StatisticsError("empty support")
-    if np.any(pi < 0):
+    if (pi < 0).any():
         raise StatisticsError("pi must be non-negative")
     total = float(pi.sum())
     if total <= 0:
         raise StatisticsError("pi must have positive mass")
     if abs(total - 1.0) > 1e-6:
         raise StatisticsError(f"pi must sum to 1 (got {total}); normalize first")
-    if np.any(x < 0):
+    if (x < 0).any():
         raise StatisticsError("observed counts must be non-negative")
+    if total == 1.0:  # x / 1.0 == x bitwise: skip the identity pass
+        return pi, x
     return pi / total, x
 
 
@@ -103,7 +105,7 @@ def log_multinomial_pmf(pi: np.ndarray, x: np.ndarray) -> float:
     """``log Pr(X = x)`` for ``X ~ Mult(sum(x), pi)``; ``-inf`` if impossible."""
     pi = np.asarray(pi, dtype=np.float64)
     x = np.asarray(x, dtype=np.int64)
-    if np.any((pi == 0) & (x > 0)):
+    if ((pi == 0) & (x > 0)).any():
         return float("-inf")
     n = int(x.sum())
     log_p = math.lgamma(n + 1)
@@ -297,8 +299,15 @@ def exact_multinomial_test(
     if n == 0:
         # No observations: the test is vacuous, never significant.
         return MultinomialTestResult(1.0, alpha, 0, pi_arr.size, "degenerate")
-    if np.any((pi_arr == 0) & (x_arr > 0)):
+    if ((pi_arr == 0) & (x_arr > 0)).any():
         return MultinomialTestResult(0.0, alpha, n, pi_arr.size, "exact")
+    return _exact_validated(pi_arr, x_arr, n, alpha)
+
+
+def _exact_validated(
+    pi_arr: np.ndarray, x_arr: np.ndarray, n: int, alpha: float
+) -> MultinomialTestResult:
+    """Exact-test core on pre-validated inputs (see :func:`multinomial_test`)."""
     support = np.flatnonzero(pi_arr > 0)
     pi_pos = pi_arr[support]
     x_pos = x_arr[support]
@@ -339,7 +348,7 @@ def montecarlo_multinomial_test(
     n = int(x_arr.sum())
     if n == 0:
         return MultinomialTestResult(1.0, alpha, 0, pi_arr.size, "degenerate")
-    if np.any((pi_arr == 0) & (x_arr > 0)):
+    if ((pi_arr == 0) & (x_arr > 0)).any():
         return MultinomialTestResult(0.0, alpha, n, pi_arr.size, "montecarlo")
     generator = ensure_numpy_rng(rng)
     log_px = log_multinomial_pmf(pi_arr, x_arr)
@@ -386,10 +395,10 @@ def multinomial_test(
     k = int(np.count_nonzero(pi_arr > 0))
     if n == 0:
         return MultinomialTestResult(1.0, alpha, 0, pi_arr.size, "degenerate")
-    if k == 0 or np.any((pi_arr == 0) & (x_arr > 0)):
+    if k == 0 or ((pi_arr == 0) & (x_arr > 0)).any():
         return MultinomialTestResult(0.0, alpha, n, pi_arr.size, "exact")
     if number_of_compositions(n, k) <= max_exact_outcomes:
-        return exact_multinomial_test(pi_arr, x_arr, alpha=alpha)
+        return _exact_validated(pi_arr, x_arr, n, alpha)
     return montecarlo_multinomial_test(
         pi_arr, x_arr, alpha=alpha, samples=samples, rng=rng
     )

@@ -1,0 +1,169 @@
+"""Optional compiled kernels behind the ``REPRO_KERNEL`` seam.
+
+The FindNC hot path spends nearly all of its time in two inner loops: the
+CSR power-iteration sweep (``T @ P`` inside
+:func:`repro.walk.pagerank.power_iteration_batch`) and the key/count
+accumulation of the distribution sweep
+(:class:`repro.core.distributions._SweepCounts`). Both run on pure
+numpy/scipy by default; setting ``REPRO_KERNEL=numba`` swaps in
+numba-compiled versions when numba is importable, and silently (but
+observably — see :func:`kernel_status`) falls back to numpy when it is not.
+
+The seam contract, pinned by ``tests/test_batch_parity.py``:
+
+* A kernel may change *how fast* a result is produced, never its bits.
+  The numba sweep replicates scipy's ``csr_matvecs`` accumulation order
+  exactly (row -> nnz -> trailing columns, C-order output), and
+  ``unique_counts`` returns precisely ``np.unique(keys,
+  return_counts=True)`` — sorted unique keys plus integer counts.
+* Kernel selection is process-wide and read from the environment, so
+  process workers inherit the parent's choice through ``spawn``.
+* Unknown ``REPRO_KERNEL`` values and broken numba installs degrade to
+  numpy with the reason recorded; they never raise on the query path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+ENV_VAR = "REPRO_KERNEL"
+
+#: Kernel names the seam recognises. Anything else falls back to numpy.
+KNOWN_KERNELS = ("numpy", "numba")
+
+
+@dataclass(frozen=True)
+class KernelStatus:
+    """Resolved kernel selection: what was asked for, what actually runs."""
+
+    requested: str
+    active: str
+    reason: str
+
+    def as_dict(self) -> dict[str, str]:
+        return {"requested": self.requested, "active": self.active, "reason": self.reason}
+
+
+_status_cache: dict[str, KernelStatus] = {}
+_numba_matmat = None
+_numba_unique = None
+
+
+def _build_numba_kernels(numba):
+    """Compile (and warm) the numba kernels; raises if compilation fails."""
+
+    @numba.njit(cache=False)
+    def csr_matmat(data, indices, indptr, n_rows, dense):
+        # Replicates scipy's csr_matvecs loop nest bit-for-bit: for each
+        # row, walk its nonzeros in storage order and axpy into the
+        # C-order output row. Same adds in the same order as ``T @ P``.
+        width = dense.shape[1]
+        out = np.zeros((n_rows, width), dtype=np.float64)
+        for i in range(n_rows):
+            for jj in range(indptr[i], indptr[i + 1]):
+                a = data[jj]
+                col = indices[jj]
+                for k in range(width):
+                    out[i, k] += a * dense[col, k]
+        return out
+
+    @numba.njit(cache=False)
+    def unique_counts(keys):
+        # Sorted-unique + run-length encode == np.unique(return_counts=True)
+        # for integer keys (integer outputs, so bitwise parity is free).
+        ordered = np.sort(keys)
+        n = ordered.shape[0]
+        unique = np.empty(n, dtype=ordered.dtype)
+        counts = np.empty(n, dtype=np.int64)
+        size = 0
+        i = 0
+        while i < n:
+            value = ordered[i]
+            run = 1
+            while i + run < n and ordered[i + run] == value:
+                run += 1
+            unique[size] = value
+            counts[size] = run
+            size += 1
+            i += run
+        return unique[:size].copy(), counts[:size].copy()
+
+    # Warm-compile on tiny inputs so a broken toolchain surfaces at
+    # resolution time (where the fallback guard is) rather than mid-query.
+    tiny = np.array([1.0], dtype=np.float64)
+    csr_matmat(tiny, np.array([0], dtype=np.int32), np.array([0, 1], dtype=np.int32), 1,
+               np.ones((1, 1), dtype=np.float64))
+    unique_counts(np.array([3, 1, 3], dtype=np.int64))
+    return csr_matmat, unique_counts
+
+
+def _resolve(requested: str) -> KernelStatus:
+    global _numba_matmat, _numba_unique
+    if requested not in KNOWN_KERNELS:
+        return KernelStatus(
+            requested, "numpy", f"unknown kernel {requested!r}; falling back to numpy"
+        )
+    if requested == "numpy":
+        return KernelStatus(requested, "numpy", "pure-numpy kernels (default)")
+    try:
+        import numba
+    except Exception as exc:  # pragma: no cover - depends on environment
+        return KernelStatus(
+            requested,
+            "numpy",
+            f"numba unavailable ({type(exc).__name__}: {exc}); falling back to numpy",
+        )
+    try:  # pragma: no cover - requires a working numba install
+        _numba_matmat, _numba_unique = _build_numba_kernels(numba)
+    except Exception as exc:
+        return KernelStatus(
+            requested,
+            "numpy",
+            f"numba kernel compilation failed ({type(exc).__name__}: {exc}); "
+            "falling back to numpy",
+        )
+    return KernelStatus(  # pragma: no cover - requires a working numba install
+        requested, "numba", f"numba {numba.__version__} kernels active"
+    )
+
+
+def kernel_status() -> KernelStatus:
+    """The resolved kernel selection for the current ``REPRO_KERNEL`` value.
+
+    Resolution (including the numba import/compile attempt) is cached per
+    environment value, so flipping the variable between calls re-resolves.
+    """
+    requested = os.environ.get(ENV_VAR, "numpy").strip().lower() or "numpy"
+    cached = _status_cache.get(requested)
+    if cached is None:
+        cached = _resolve(requested)
+        _status_cache[requested] = cached
+    return cached
+
+
+def active_kernel() -> str:
+    """``"numpy"`` or ``"numba"`` — whichever will actually execute."""
+    return kernel_status().active
+
+
+def csr_matmat(transition, dense: np.ndarray) -> np.ndarray:
+    """``transition @ dense`` through the active kernel (bit-identical)."""
+    if kernel_status().active == "numba":  # pragma: no cover - needs numba
+        return _numba_matmat(
+            transition.data,
+            transition.indices,
+            transition.indptr,
+            transition.shape[0],
+            np.ascontiguousarray(dense),
+        )
+    return transition @ dense
+
+
+def unique_counts(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``np.unique(keys, return_counts=True)`` through the active kernel."""
+    if kernel_status().active == "numba":  # pragma: no cover - needs numba
+        return _numba_unique(np.ascontiguousarray(keys))
+    return np.unique(keys, return_counts=True)

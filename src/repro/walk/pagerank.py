@@ -42,6 +42,37 @@ from repro.graph.matrix import (
     weighted_adjacency,
 )
 from repro.graph.model import KnowledgeGraph
+from repro.walk import kernels
+
+
+def _dangling_columns(transition: sparse.csr_matrix) -> np.ndarray:
+    """Indices of the dangling nodes (zero columns of ``T``).
+
+    The dangling leak of one step is the mass currently sitting on these
+    nodes: ``sum(T @ p) = sum(p) - sum(p[dangling])`` because every other
+    column of the (column-stochastic) transition transports its mass.
+    Summing ``p`` over this usually-small index set replaces a full pass
+    over the iterate — the dominant non-matmul cost of the batched sweep.
+    """
+    return np.flatnonzero(np.asarray(transition.sum(axis=0)).ravel() == 0.0)
+
+
+def _damped_transition(
+    transition: sparse.csr_matrix, damping: float
+) -> sparse.csr_matrix:
+    """``damping * T`` as a CSR sharing ``T``'s index arrays.
+
+    Folding the damping factor into the matrix data once per call turns
+    the per-iteration update into ``p <- (cT) @ p + teleport`` — one
+    sparse multiply and one dense add — instead of scaling the dense
+    ``(n, q)`` iterate by ``c`` every step. Only the data vector is
+    copied (one pass over ``nnz``); ``indices``/``indptr`` are shared.
+    """
+    return sparse.csr_matrix(
+        (transition.data * damping, transition.indices, transition.indptr),
+        shape=transition.shape,
+        copy=False,
+    )
 
 
 def power_iteration(
@@ -55,9 +86,10 @@ def power_iteration(
     """Iterate ``p <- c*T*p + (1-c)*v`` from ``p = v``.
 
     Mass lost through dangling nodes (zero columns of ``T``) is re-injected
-    through ``v``, the standard correction keeping ``p`` a distribution.
-    When ``tolerance`` is given, iteration stops early once the L1 change
-    falls below it.
+    through ``v``, the standard correction keeping ``p`` a distribution; the
+    leak is measured directly as ``p``'s mass on the dangling set (see
+    :func:`_dangling_columns`). When ``tolerance`` is given, iteration
+    stops early once the L1 change falls below it.
     """
     if not 0.0 <= damping <= 1.0:
         raise ValueError(f"damping must be in [0, 1], got {damping}")
@@ -69,17 +101,42 @@ def power_iteration(
     total = v.sum()
     if total <= 0:
         raise ValueError("personalization vector must have positive mass")
-    v = v / total
-    p = v.copy()
+    if total != 1.0:  # x / 1.0 == x bitwise: skip the identity pass
+        v = v / total
+    dangling = _dangling_columns(transition)
+    walk = _damped_transition(transition, damping)
+    teleport = (1.0 - damping) * v  # loop-invariant
+    v_damped = damping * v if dangling.size else None
+    # Every step rebinds ``p`` to the fresh matmul output, never writes
+    # into it, so the personalization vector needs no defensive copy.
+    p = v
     for _ in range(iterations):
-        walked = transition @ p
-        lost = 1.0 - walked.sum()  # dangling leak
-        new_p = damping * (walked + lost * v) + (1.0 - damping) * v
+        new_p = walk @ p
+        if dangling.size:  # dangling leak: p's mass on the dangling set
+            new_p += v_damped * p[dangling].sum()
+        new_p += teleport
         if tolerance is not None and np.abs(new_p - p).sum() < tolerance:
             p = new_p
             break
         p = new_p
     return p
+
+
+def _column_sums(matrix: np.ndarray) -> np.ndarray:
+    """Per-column sums whose bit pattern does not depend on matrix width.
+
+    Whole-matrix reductions (``sum(axis=0)``, ``ones @ M``, ``einsum``) pick
+    their pairwise-summation blocking from the memory layout, so a column's
+    sum changes at the last ulp depending on how many other columns ride
+    along in the same C-order matrix. Reducing each column from a contiguous
+    1-D copy makes the blocking a function of ``n`` alone — which is what
+    lets cross-request micro-batches (extra columns appended by other
+    queries) stay bit-identical to a solo run of the same columns.
+    """
+    out = np.empty(matrix.shape[1], dtype=np.float64)
+    for j in range(matrix.shape[1]):
+        out[j] = np.ascontiguousarray(matrix[:, j]).sum()
+    return out
 
 
 def power_iteration_batch(
@@ -109,28 +166,66 @@ def power_iteration_batch(
     v = np.asarray(personalizations, dtype=np.float64)
     if v.ndim != 2 or v.shape[0] != transition.shape[0]:
         raise ValueError("personalization matrix shape mismatch")
-    totals = v.sum(axis=0)
+    restart_rows, restart_cols = np.nonzero(v)
+    width = v.shape[1]
+    column_nnz = np.bincount(restart_cols, minlength=width)
+    sparse_restarts = int(column_nnz.max(initial=0)) <= 2
+    if sparse_restarts:
+        # Personalization columns are almost always one or two restart
+        # nodes in a sea of exact zeros. Adding zero is exact and a sum
+        # of <= 2 nonzeros has one order, so accumulating just the
+        # nonzero entries lands on the same bits as the per-column
+        # pairwise sums — skipping _column_sums's per-column strided
+        # copies (np.add.at visits entries in row-major = in-column
+        # order).
+        totals = np.zeros(width, dtype=np.float64)
+        np.add.at(totals, restart_cols, v[restart_rows, restart_cols])
+    else:
+        totals = _column_sums(v)
     if np.any(totals <= 0):
         raise ValueError("every personalization column must have positive mass")
-    v = v / totals
-    p = v.copy()
-    frozen = np.zeros(v.shape[1], dtype=bool)
-    ones = np.ones(v.shape[0], dtype=np.float64)  # BLAS column sums
+    if not np.all(totals == 1.0):  # x / 1.0 == x bitwise: skip the pass
+        v = v / totals
+    dangling = _dangling_columns(transition)
+    walk = _damped_transition(transition, damping)
+    # No iteration writes into ``p`` (each step binds it to the fresh
+    # matmat output), so the initial personalizations need no copy.
+    p = v
+    if sparse_restarts and tolerance is None and not dangling.size:
+        # The serving path: no dangling mass to re-inject, no per-column
+        # convergence bookkeeping, and a teleport matrix that is zero
+        # everywhere but the restart entries. Every walk value is
+        # non-negative (probabilities), so adding teleport's zeros is the
+        # identity bit-for-bit — scattering just the restart entries
+        # replaces a dense (n, q) read-add-write per step with a handful
+        # of element updates, leaving ``T @ P`` as the whole iteration
+        # (the dense teleport matrix is never materialised).
+        values = (1.0 - damping) * v[restart_rows, restart_cols]
+        for _ in range(iterations):
+            walked = kernels.csr_matmat(walk, p)
+            walked[restart_rows, restart_cols] += values
+            p = walked
+        return p
+    frozen = np.zeros(width, dtype=bool)
     teleport = (1.0 - damping) * v  # loop-invariant
+    v_damped = damping * v if dangling.size else None
     scratch = np.empty_like(v)
     for _ in range(iterations):
-        walked = transition @ p
-        lost = 1.0 - ones @ walked  # dangling leak, per column
-        np.multiply(v, lost, out=scratch)
-        walked += scratch
-        walked *= damping
+        walked = kernels.csr_matmat(walk, p)
+        if dangling.size:
+            # Dangling leak per column: p's mass on the dangling set. The
+            # (d, q) gather keeps the reduction shape a function of d
+            # alone, so each column's sum is bit-identical to the width-1
+            # run of the same column — no full-matrix reduction needed.
+            np.multiply(v_damped, _column_sums(p[dangling]), out=scratch)
+            walked += scratch
         walked += teleport
         if tolerance is not None:
             if frozen.any():
                 walked[:, frozen] = p[:, frozen]
             np.subtract(walked, p, out=scratch)
             np.abs(scratch, out=scratch)
-            deltas = ones @ scratch
+            deltas = _column_sums(scratch)
             p = walked
             frozen |= deltas < tolerance
             if frozen.all():
@@ -263,6 +358,29 @@ def _top_order(scores: np.ndarray, m: int) -> np.ndarray:
         # scores are candidates (consumers ignore the rest anyway).
         candidates = np.nonzero(scores > 0)[0]
     return candidates[np.argsort(-scores[candidates], kind="stable")]
+
+
+def _rank_top_k(
+    scores: np.ndarray, k: int, excluded: "set[int] | frozenset[int]"
+) -> list[tuple[int, float]]:
+    """Rank ``scores`` into the top-``k`` list, skipping ``excluded``.
+
+    Shared by :meth:`PersonalizedPageRank.top_k` and
+    :meth:`PersonalizedPageRank.top_k_many` so the solo and micro-batched
+    paths rank through literally the same code.
+    """
+    order = _top_order(scores, k + len(excluded))
+    out: list[tuple[int, float]] = []
+    for node in order:
+        node = int(node)
+        if node in excluded:
+            continue
+        if scores[node] <= 0:
+            break
+        out.append((node, float(scores[node])))
+        if len(out) == k:
+            break
+    return out
 
 
 class PersonalizedPageRank:
@@ -399,15 +517,104 @@ class PersonalizedPageRank:
             return []
         scores = self.scores_per_node(nodes) if per_node else self.scores(nodes)
         excluded = exclude if exclude is not None else set(nodes)
-        order = _top_order(scores, k + len(excluded))
-        out: list[tuple[int, float]] = []
-        for node in order:
-            node = int(node)
-            if node in excluded:
+        return _rank_top_k(scores, k, excluded)
+
+    def top_k_many(
+        self,
+        node_groups: "list[list[int] | tuple[int, ...]]",
+        ks: "list[int]",
+        *,
+        excludes: "list[set[int] | frozenset[int] | None] | None" = None,
+    ) -> list[list[tuple[int, float]]]:
+        """Batched :meth:`top_k`: one shared power iteration for many queries.
+
+        Concatenates the per-query-node personalization columns of every
+        group into a single :func:`power_iteration_batch` call — one sparse
+        ``T @ P`` sweep per step regardless of how many queries ride along —
+        then ranks each group independently through :func:`_rank_top_k`.
+        On the scipy backend the result is bit-identical to calling
+        :meth:`top_k` once per group (see :func:`_column_sums` for why the
+        extra columns cannot perturb a member's scores).
+        """
+        if len(ks) != len(node_groups):
+            raise ValueError("node_groups and ks must have the same length")
+        if excludes is None:
+            excludes = [None] * len(node_groups)
+        elif len(excludes) != len(node_groups):
+            raise ValueError("node_groups and excludes must have the same length")
+        for k in ks:
+            if k < 0:
+                raise ValueError(f"k must be >= 0, got {k}")
+        if not node_groups:
+            return []
+        if self.backend == "python":
+            return [
+                self.top_k(group, k, exclude=exclude)
+                for group, k, exclude in zip(node_groups, ks, excludes)
+            ]
+        transition = self.transition()
+        n = transition.shape[0]
+        # k == 0 groups contribute no columns: top_k answers them without
+        # computing scores, and the batch must not pay for them either.
+        spans: list[tuple[int, int] | None] = []
+        pooled_nodes: list[tuple[int, list[int]]] = []
+        offset = 0
+        for group, k in zip(node_groups, ks):
+            if k == 0:
+                spans.append(None)
                 continue
-            if scores[node] <= 0:
-                break
-            out.append((node, float(scores[node])))
-            if len(out) == k:
-                break
-        return out
+            nodes = list(group)
+            if len(nodes) == 0:
+                raise ValueError("need at least one personalization node")
+            pooled_nodes.append((offset, nodes))
+            spans.append((offset, offset + len(nodes)))
+            offset += len(nodes)
+        if offset:
+            # Fill the pooled personalization matrix directly — same
+            # entries as per-group _personalization_columns stacked with
+            # np.concatenate, without materialising the copies twice.
+            pooled = np.zeros((n, offset), dtype=np.float64)
+            for start, nodes in pooled_nodes:
+                for column, node in enumerate(nodes):
+                    if not 0 <= node < n:
+                        raise ValueError(f"node id out of range: {node}")
+                    pooled[node, start + column] = 1.0
+            p = power_iteration_batch(
+                transition,
+                pooled,
+                damping=self.damping,
+                iterations=self.iterations,
+                tolerance=self.tolerance,
+            )
+        results: list[list[tuple[int, float]]] = []
+        for span, group, k, exclude in zip(spans, node_groups, ks, excludes):
+            if span is None:
+                results.append([])
+                continue
+            lo, hi = span
+            if hi - lo == 1:
+                # Row sums of an (n, 1) matrix are the column itself, so
+                # the single-node case (the common service query) skips
+                # the reduction pass entirely — bit pattern unchanged.
+                scores = np.ascontiguousarray(p[:, lo])
+            elif hi - lo == 2:
+                # Two addends have a single summation order, so the
+                # binary add equals the row-sum bit-for-bit — and a
+                # strided binary add runs ~4x faster than numpy's
+                # strided reduction over the same cache lines.
+                scores = p[:, lo] + p[:, lo + 1]
+            elif hi - lo <= 8:
+                # Up to 8 addends sit below numpy's pairwise block size,
+                # so reducing the strided view row-by-row adds the same
+                # elements in the same order as a contiguous copy would —
+                # without materialising the copy (whose strided gather
+                # from the wide batch matrix costs a cache line per
+                # element, a batch-only penalty a solo run never pays).
+                scores = p[:, lo:hi].sum(axis=1)
+            else:
+                # The contiguous copy makes the row-sum blocking match a
+                # solo run's C-contiguous (n, |Q|) result exactly.
+                scores = np.ascontiguousarray(p[:, lo:hi]).sum(axis=1)
+            excluded = exclude if exclude is not None else set(group)
+            results.append(_rank_top_k(scores, k, excluded))
+        return results

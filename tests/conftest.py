@@ -9,6 +9,43 @@ from repro.datasets.loader import load_dataset
 from repro.graph.builder import GraphBuilder
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    """Opt-in switches for the test tiers excluded from tier-1 runs.
+
+    ``slow``/``chaos`` marked cases are subprocess-heavy (worker pools,
+    crash storms, HTTP servers); a plain ``pytest -x -q`` skips them to
+    keep the tier-1 wall clock bounded, and CI's dedicated steps re-enable
+    them explicitly. Options (rather than ``-m`` expressions) survive any
+    ``-m`` filter the caller adds.
+    """
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="run tests marked @pytest.mark.slow",
+    )
+    parser.addoption(
+        "--run-chaos",
+        action="store_true",
+        default=False,
+        help="run tests marked @pytest.mark.chaos",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: "list[pytest.Item]"
+) -> None:
+    skip_slow = pytest.mark.skip(reason="slow tier: pass --run-slow to enable")
+    skip_chaos = pytest.mark.skip(reason="chaos tier: pass --run-chaos to enable")
+    run_slow = config.getoption("--run-slow")
+    run_chaos = config.getoption("--run-chaos")
+    for item in items:
+        if not run_slow and "slow" in item.keywords:
+            item.add_marker(skip_slow)
+        if not run_chaos and "chaos" in item.keywords:
+            item.add_marker(skip_chaos)
+
+
 @pytest.fixture()
 def toy_graph():
     """A small hand-built leaders graph used across unit tests."""

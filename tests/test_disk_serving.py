@@ -78,6 +78,7 @@ class TestEngineParity:
             assert cold.graph is view
             assert cold.stats().pinned_version == graph.version
 
+    @pytest.mark.slow
     def test_process_backend_identical(self, graph, snapshot_path):
         """Workers mmap the file themselves — no shm publish for the boot
         version — and still match live-graph serving bit-for-bit."""

@@ -182,6 +182,8 @@ class TestSwapThreadBackend:
 
 
 class TestSwapProcessBackend:
+    pytestmark = pytest.mark.slow
+
     def test_swap_under_traffic_no_failures(self, registry):
         with NCEngine(
             registry.open_view(1),

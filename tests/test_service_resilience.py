@@ -6,11 +6,14 @@ import time
 
 import pytest
 
+import threading
+
 from repro.datasets.figure1 import figure1_graph
 from repro.errors import DeadlineExceededError, EngineSaturatedError
+from repro.parallel.shm import publish_graph
 from repro.service import faults
 from repro.service.engine import CircuitBreaker, NCEngine
-from repro.service.workers import ProcessWorkerPool
+from repro.service.workers import ProcessWorkerPool, WorkerConfig
 
 QUERY = ["Angela_Merkel", "Barack_Obama"]
 
@@ -223,18 +226,23 @@ class TestAdmissionControl:
             blocker.result(timeout=5.0)
 
 
-def _fast_pool(engine: NCEngine, workers: int) -> ProcessWorkerPool:
+def _fast_pool(engine: NCEngine, workers: int, **kwargs) -> ProcessWorkerPool:
     """Pre-build the engine's pool with chaos-grade detection latency.
 
     Building it here (rather than at first dispatch) also pins *when*
     the workers spawn — i.e. which ``REPRO_FAULTS`` value they inherit.
+    ``kwargs`` pass through (e.g. the micro-batching knobs).
     """
-    pool = ProcessWorkerPool(workers, watchdog_tick=0.05, crash_grace_s=0.2)
+    pool = ProcessWorkerPool(
+        workers, watchdog_tick=0.05, crash_grace_s=0.2, **kwargs
+    )
     engine._pool = pool  # noqa: SLF001 - test harness
     return pool
 
 
 class TestProcessResilience:
+    pytestmark = pytest.mark.chaos
+
     def test_crash_retried_on_a_healthy_worker(self, graph, monkeypatch):
         with NCEngine(graph, context_size=3, max_workers=1, seed=5) as thread_engine:
             expected = thread_engine.search(QUERY)
@@ -338,3 +346,143 @@ class TestProcessResilience:
             outcome = engine.request(QUERY)
             assert outcome.result.results
             assert pool.stats().inflight == 0
+
+
+def _worker_config() -> WorkerConfig:
+    return WorkerConfig(
+        damping=0.8,
+        iterations=10,
+        excluded_labels=None,
+        include_inverse_labels=False,
+        none_bucket=True,
+        discriminator_params=(),
+    )
+
+
+class TestBatchWindowDeadlines:
+    """A deadline expiring inside the batch window sheds only that member."""
+
+    def test_expiry_in_the_window_sheds_that_member_only(self, graph):
+        shared = publish_graph(graph)
+        try:
+            with ProcessWorkerPool(
+                1, watchdog_tick=0.05, batch_window_ms=600.0, max_batch=8
+            ) as pool:
+                survivor: dict = {}
+
+                def _survivor() -> None:
+                    survivor["result"] = pool.run(
+                        header=shared.header,
+                        query_ids=(2,),
+                        context_size=3,
+                        alpha=0.05,
+                        rng_seed=123,
+                        config=_worker_config(),
+                    )
+
+                thread = threading.Thread(target=_survivor)
+                thread.start()
+                time.sleep(0.1)  # the survivor is queued, the window is open
+                started = time.monotonic()
+                with pytest.raises(
+                    DeadlineExceededError, match="queued in the batch window"
+                ):
+                    pool.run(
+                        header=shared.header,
+                        query_ids=(3,),
+                        context_size=3,
+                        alpha=0.05,
+                        rng_seed=123,
+                        config=_worker_config(),
+                        deadline=time.monotonic() + 0.15,
+                    )
+                # Surfaced at its own deadline, not at window close.
+                assert time.monotonic() - started < 0.45
+                thread.join(timeout=15)
+                stats = pool.stats()
+        finally:
+            shared.unlink()
+        # The batchmate was not shed with it: it dispatched (alone) and
+        # completed after the window closed.
+        assert survivor["result"].query == (2,)
+        assert stats.deadline_abandons == 1
+        assert stats.batches == 1
+        assert stats.batched_members == 1  # the shed member never dispatched
+        assert stats.completed == 1
+        assert stats.inflight == 0
+
+
+class TestBatchChaos:
+    """Fault injection against the micro-batched process backend."""
+
+    pytestmark = pytest.mark.chaos
+
+    def test_crash_mid_batch_retries_every_member_correctly(
+        self, graph, monkeypatch
+    ):
+        queries = [["Angela_Merkel"], ["Barack_Obama"], ["Vladimir_Putin"]]
+        with NCEngine(graph, context_size=3, max_workers=1, seed=5) as thread_engine:
+            expected = [thread_engine.search(q) for q in queries]
+        monkeypatch.setenv(faults.FAULTS_ENV, "worker.crash=1")
+        with NCEngine(
+            graph,
+            context_size=3,
+            max_workers=1,
+            executor="process",
+            seed=5,
+            retries=3,
+            retry_backoff=0.05,
+            batch_window_ms=80.0,
+            max_batch=4,
+        ) as engine:
+            pool = _fast_pool(
+                engine, 1, batch_window_ms=80.0, max_batch=4
+            )  # spawns the (armed) worker now
+            monkeypatch.delenv(faults.FAULTS_ENV)
+            # The whole first batch dies with its worker; every member is
+            # retried on the (healthy) replacement and must answer exactly
+            # what a solo thread engine computes — zero wrong answers.
+            futures = [engine.submit(q)[0] for q in queries]
+            results = [future.result(timeout=30) for future in futures]
+            for got, exp in zip(results, expected):
+                assert [r.score for r in got.results] == [
+                    r.score for r in exp.results
+                ]
+                assert got.notable_labels() == exp.notable_labels()
+            stats = engine.stats()
+            assert stats.retries >= 1
+            assert stats.fallbacks == 0
+            pool_stats = pool.stats()
+            assert pool_stats.respawns >= 1
+            assert pool_stats.inflight == 0
+
+    def test_slow_batch_timeout_accounted_per_member(self, graph, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "worker.slow=1:1.2:1")
+        with NCEngine(
+            graph,
+            context_size=3,
+            max_workers=1,
+            executor="process",
+            seed=5,
+            batch_window_ms=250.0,
+            max_batch=4,
+        ) as engine:
+            pool = _fast_pool(
+                engine, 1, batch_window_ms=250.0, max_batch=4
+            )
+            monkeypatch.delenv(faults.FAULTS_ENV)
+            # Both members join one batch; the worker stalls 1.2s on it.
+            # The victim's 0.4s deadline expires mid-batch: it must 504
+            # (timeouts + deadline_abandons move by exactly one) while its
+            # batchmate rides out the stall and completes normally.
+            victim, *_ = engine.submit(QUERY, timeout=0.4)
+            survivor, *_ = engine.submit(["Vladimir_Putin"])
+            with pytest.raises(DeadlineExceededError):
+                victim.result(timeout=10)
+            assert survivor.result(timeout=10).results
+            stats = engine.stats()
+            assert stats.timeouts == 1
+            assert stats.workers["deadline_abandons"] == 1
+            assert stats.workers["batches"] == 1
+            assert stats.workers["batched_members"] == 2
+            assert stats.workers["completed"] == 1

@@ -152,6 +152,8 @@ class TestSerialization:
 
 
 class TestServeCommand:
+    pytestmark = pytest.mark.slow
+
     def test_serve_subprocess_answers_search(self, tmp_path):
         """`repro serve` end-to-end: spawn the CLI, hit /search over HTTP."""
         import os
@@ -305,6 +307,8 @@ class TestResilienceSurface:
 
 
 class TestGracefulShutdown:
+    pytestmark = pytest.mark.slow
+
     def test_sigterm_drains_and_exits_cleanly(self):
         """SIGTERM to `repro serve`: drain, close, exit 0."""
         import os

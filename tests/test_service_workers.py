@@ -114,6 +114,8 @@ class TestProcessWorkerPool:
 
 
 class TestWorkerCrash:
+    pytestmark = pytest.mark.chaos
+
     def test_dead_worker_raises_then_slot_recovers(self):
         pool = ProcessWorkerPool(1)
         shared = publish_graph(figure1_graph())
@@ -305,6 +307,7 @@ class TestProcessEngine:
     def graph(self):
         return figure1_graph()
 
+    @pytest.mark.slow
     def test_parity_lifecycle_and_no_segment_leaks(self, graph):
         before = _segments()
         with NCEngine(graph, context_size=3, max_workers=2, seed=5) as thread_engine:

@@ -18,10 +18,20 @@ Exit status: 0 when no latency regression is detected, 1 when one is,
 tests of the bootstrap + verdict logic, no input files needed) so the
 comparator itself cannot bitrot silently.
 
+``--saturated`` is the single-report mode for the PR-8 acceptance gate:
+it reads one report's ``saturated_batch`` phase (micro-batched vs
+per-query process workers on the same saturated distinct-query traffic,
+same machine, same run) and prints ``verdict: improvement`` when the
+throughput ratio clears ``--min-ratio`` (default 2.0) *and* the phase's
+result-parity assertion held; anything else is ``verdict: regression``
+(exit 1). Within one run both arms see identical noise conditions, so
+the ratio is a paired comparison rather than a cross-run scalar.
+
 Usage (from the repo root)::
 
-    python tools/bench_compare.py BENCH_PR6.json BENCH_PR7.json
+    python tools/bench_compare.py BENCH_PR7.json BENCH_PR8.json
     python tools/bench_compare.py old.json new.json --threshold 0.15 --json
+    python tools/bench_compare.py --saturated BENCH_PR8.json
     python tools/bench_compare.py --self-check
 """
 
@@ -47,6 +57,8 @@ SCALAR_METRICS = (
     ("backends", "process_throughput_rps", "process backend req/s"),
     ("snapshot_serving", "throughput_rps", "snapshot serving req/s"),
     ("cold_start", "speedup", "cold-start speedup"),
+    ("saturated_batch", "batched_rps", "micro-batched req/s"),
+    ("saturated_batch", "ratio", "micro-batch speedup ratio"),
 )
 
 #: Latency quantiles compared with bootstrap CIs (label, q).
@@ -169,6 +181,62 @@ def compare_reports(
     }
 
 
+def check_saturated(report: dict, *, min_ratio: float = 2.0) -> dict:
+    """The PR-8 gate over one report's ``saturated_batch`` phase.
+
+    ``improvement`` when batched throughput beat the per-query process
+    backend by at least ``min_ratio`` with byte-identical results;
+    ``regression`` when the phase ran but missed either bar; ``no-data``
+    when the report predates the phase. The two arms come from the same
+    run on the same machine, so the ratio is already a paired
+    comparison — no cross-run bootstrap needed.
+    """
+    phase = report.get("saturated_batch")
+    if not isinstance(phase, dict):
+        return {
+            "pr": report.get("pr"),
+            "min_ratio": min_ratio,
+            "verdict": "no-data",
+        }
+    ratio = phase.get("ratio")
+    identical = phase.get("identical_results")
+    ok = (
+        isinstance(ratio, (int, float))
+        and ratio >= min_ratio
+        and identical is True
+    )
+    return {
+        "pr": report.get("pr"),
+        "min_ratio": min_ratio,
+        "ratio": ratio,
+        "per_query_rps": phase.get("per_query_rps"),
+        "batched_rps": phase.get("batched_rps"),
+        "mean_batch_size": phase.get("mean_batch_size"),
+        "identical_results": identical,
+        "verdict": "improvement" if ok else "regression",
+    }
+
+
+def print_saturated(result: dict) -> None:
+    """Human-readable rendering of :func:`check_saturated`."""
+    if result["verdict"] == "no-data":
+        print(
+            f"saturated batch (PR {result['pr']}): no saturated_batch phase "
+            f"in this report"
+        )
+        print("verdict: no-data")
+        return
+    print(
+        f"saturated batch (PR {result['pr']}): "
+        f"per-query {result['per_query_rps']:.2f} req/s -> "
+        f"micro-batched {result['batched_rps']:.2f} req/s "
+        f"({result['ratio']:.2f}x, need >= {result['min_ratio']:.2f}x, "
+        f"mean batch {result['mean_batch_size']:.1f}, identical results: "
+        f"{result['identical_results']})"
+    )
+    print("verdict: " + result["verdict"])
+
+
 def print_comparison(result: dict) -> None:
     """Human-readable rendering of :func:`compare_reports`."""
     print(
@@ -246,6 +314,25 @@ def self_check() -> int:
     assert result["scalars"][0]["flag"] == "slower"
     result = compare_reports(baseline, baseline, threshold=0.10, iterations=300)
     assert result["regressed"] is False
+
+    # saturated gate: ratio + parity both required; old reports are no-data
+    good = {
+        "pr": 8,
+        "saturated_batch": {
+            "ratio": 2.3,
+            "per_query_rps": 40.0,
+            "batched_rps": 92.0,
+            "mean_batch_size": 8.0,
+            "identical_results": True,
+        },
+    }
+    assert check_saturated(good)["verdict"] == "improvement"
+    assert check_saturated(good, min_ratio=2.5)["verdict"] == "regression"
+    slow_phase = dict(good["saturated_batch"], ratio=1.4)
+    assert check_saturated({"saturated_batch": slow_phase})["verdict"] == "regression"
+    broken = dict(good["saturated_batch"], identical_results=False)
+    assert check_saturated({"saturated_batch": broken})["verdict"] == "regression"
+    assert check_saturated({"pr": 7})["verdict"] == "no-data"
     print("bench_compare self-check: ok")
     return 0
 
@@ -273,9 +360,37 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="run the deterministic internal tests and exit",
     )
+    parser.add_argument(
+        "--saturated",
+        action="store_true",
+        help="single-report mode: gate BASELINE's saturated_batch phase "
+        "(micro-batched vs per-query workers) on --min-ratio + parity",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=2.0,
+        help="minimum micro-batch throughput ratio for --saturated (2.0 = 2x)",
+    )
     args = parser.parse_args(argv)
     if args.self_check:
         return self_check()
+    if args.saturated:
+        if not args.baseline:
+            parser.error("--saturated needs one report path")
+        if args.candidate:
+            parser.error("--saturated takes a single report, not two")
+        try:
+            report = load_report(args.baseline)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        result = check_saturated(report, min_ratio=args.min_ratio)
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+        else:
+            print_saturated(result)
+        return 0 if result["verdict"] == "improvement" else 1
     if not args.baseline or not args.candidate:
         parser.error("need BASELINE and CANDIDATE report paths (or --self-check)")
     try:

@@ -2,8 +2,8 @@
 
 Thin wrapper over :func:`repro.service.bench.run_service_benchmark` (the
 same driver behind ``repro bench-serve``), defaulting the output to the
-repo-root ``BENCH_PR8.json`` so the service has a committed perf record
-alongside ``BENCH_PR1.json`` – ``BENCH_PR7.json``. Since PR 3 the suite
+repo-root ``BENCH_PR9.json`` so the service has a committed perf record
+alongside ``BENCH_PR1.json`` – ``BENCH_PR8.json``. Since PR 3 the suite
 includes the thread-vs-process backend comparison on distinct-query
 traffic; since PR 4 it also measures the snapshot-store cold start
 (parse+compile vs mmap open, asserted >= 10x) and snapshot-file serving
@@ -21,11 +21,16 @@ confidence intervals, raw samples embedded for
 reference); since PR 8 it runs the **saturated batch** phase
 (micro-batched vs per-query process workers on saturated distinct-query
 traffic, byte-identical results asserted, throughput ratio gated >= 2x
-by ``tools/bench_compare.py --saturated``).
+by ``tools/bench_compare.py --saturated``); since PR 9 it measures the
+**trace overhead** (1%-head-sampled tracing vs tracing disabled on the
+same saturated-batch workload, gated within the no-regression threshold
+by ``tools/bench_compare.py --trace-overhead``, plus a forced slow-query
+capture whose worker-side PPR/sweep spans must sum to at most the
+request span).
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR8.json]
+    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR9.json]
                                                           [--scale 2.0] [--workers 4]
                                                           [--quick] [--snapshot PATH]
 
@@ -96,7 +101,7 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.quick:
         for name, value in QUICK_PRESET.items():
             setattr(args, name, value)
-    out = args.out if args.out is not None else REPO_ROOT / "BENCH_PR8.json"
+    out = args.out if args.out is not None else REPO_ROOT / "BENCH_PR9.json"
 
     report = run_service_benchmark(
         dataset=args.dataset,

@@ -312,6 +312,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request to stderr"
     )
+    serve.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        help="head-sampling probability for request tracing (0 disables; "
+        "sampled traces land in GET /v1/debug/traces)",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        help="tail capture: every request records spans, and any that "
+        "errors or takes at least this many milliseconds is retained "
+        "even when the sampling coin said no (unset = head sampling only)",
+    )
+    serve.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=256,
+        help="retained traces kept in the in-memory ring buffer "
+        "served by /v1/debug/traces",
+    )
+    serve.add_argument(
+        "--metrics-exemplars",
+        action="store_true",
+        help="attach trace-id exemplars to latency histogram buckets "
+        "in GET /v1/metrics (OpenMetrics-style '# {trace_id=...}')",
+    )
+    serve.add_argument(
+        "--log-format",
+        default="text",
+        choices=("text", "json"),
+        help="structured log line format for request/swap/crash/breaker "
+        "events ('json' stamps trace_id on every line)",
+    )
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -371,6 +406,14 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument(
         "--timeout", type=float, default=30.0, help="per-request HTTP timeout (s)"
+    )
+    loadgen.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        help="fraction of requests sent with a sampled W3C traceparent "
+        "header; the server echoes X-Trace-Id, and the slowest traced "
+        "requests are reported with their trace ids for triage",
     )
     loadgen.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
@@ -563,6 +606,15 @@ def _validate_serve_args(args: argparse.Namespace) -> "str | None":
         return f"--poll-interval must be >= 0, got {args.poll_interval}"
     if args.poll_interval > 0 and args.snapshot_dir is None:
         return "--poll-interval requires --snapshot-dir (nothing to poll)"
+    if not 0.0 <= args.trace_sample_rate <= 1.0:
+        return (
+            f"--trace-sample-rate must be within [0, 1], "
+            f"got {args.trace_sample_rate}"
+        )
+    if args.slow_query_ms is not None and args.slow_query_ms <= 0:
+        return f"--slow-query-ms must be positive, got {args.slow_query_ms}"
+    if args.trace_buffer < 1:
+        return f"--trace-buffer must be >= 1, got {args.trace_buffer}"
     if (
         args.request_timeout is not None
         and args.drain_timeout > 0
@@ -583,11 +635,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import faults
     from repro.service.engine import EngineConfig, NCEngine
     from repro.service.server import NCRequestHandler, RegistryPoller, create_server
+    from repro.service.tracing import set_log_format
 
     problem = _validate_serve_args(args)
     if problem is not None:
         print(problem)
         return 2
+    set_log_format(args.log_format)
     injector = faults.install_from_env()
     if injector is not None:  # pragma: no cover - chaos runs only
         print(f"fault injection armed: {faults.FAULTS_ENV} -> {injector.rules()}")
@@ -630,6 +684,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         snapshot_source=snapshot_source,
         batch_window_ms=args.batch_window_ms,
         max_batch=args.max_batch,
+        trace_sample_rate=args.trace_sample_rate,
+        slow_query_ms=args.slow_query_ms,
+        trace_buffer=args.trace_buffer,
+        metrics_exemplars=args.metrics_exemplars,
     )
     engine = NCEngine(graph, config=config)
     engine.pin()  # compile + publish/freeze shared state before accepting traffic
@@ -650,8 +708,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     host, port = server.server_address[:2]
     print(f"serving {graph.summary()}")
     print(f"executor: {args.executor} ({args.workers} workers)")
-    endpoints = "/v1/search, /v1/healthz, /v1/stats, /v1/metrics" + (
-        ", /v1/admin/reload" if registry is not None else ""
+    endpoints = (
+        "/v1/search, /v1/healthz, /v1/stats, /v1/metrics"
+        + (", /v1/debug/traces" if engine.tracer.enabled else "")
+        + (", /v1/admin/reload" if registry is not None else "")
     )
     print(f"listening on http://{host}:{port} ({endpoints})")
 
@@ -720,10 +780,21 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(error)
         return 2
+    if not 0.0 <= args.trace_sample_rate <= 1.0:
+        print(
+            f"--trace-sample-rate must be within [0, 1], "
+            f"got {args.trace_sample_rate}"
+        )
+        return 2
     graph = load_dataset(args.dataset, scale=args.scale)
     entities = entity_ranking(graph, limit=args.entities)
     schedule, skew = build_schedule(entities, profile)
-    target = http_target(args.url, timeout_s=args.timeout)
+    target = http_target(
+        args.url,
+        timeout_s=args.timeout,
+        trace_sample_rate=args.trace_sample_rate,
+        seed=args.seed,
+    )
     # With --json, stdout is reserved for the report so it pipes cleanly.
     print(
         f"replaying {len(schedule)} {args.mode}-loop requests against "
@@ -751,6 +822,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     )
     if report.errors:
         print(f"errors: {dict(report.errors)}")
+    if report.slowest:
+        print("slowest traced requests (GET /v1/debug/traces/<trace_id>):")
+        for entry in report.slowest:
+            print(f"  {entry['latency_s']:.4f}s  {entry['trace_id']}")
     return 0 if report.completed else 1
 
 

@@ -77,6 +77,12 @@ the way API clients spell entities):
   power iteration and one fused distribution sweep per batch. Results
   are asserted byte-identical between the arms; the throughput ratio is
   gated by ``tools/bench_compare.py --saturated`` (acceptance: >= 2x).
+* **trace overhead** (PR 9) — the same saturated burst served with
+  request tracing disabled vs 1% head sampling; throughput and p99 are
+  gated by ``tools/bench_compare.py --trace-overhead`` (acceptance:
+  no regression beyond noise tolerance), and a forced-slow run asserts
+  the captured trace carries the worker-side ``worker.ppr`` +
+  ``worker.sweep`` spans with durations bounded by the request span.
 * **single-flight coalescing** — N clients issuing one identical query
   concurrently must trigger exactly one computation.
 
@@ -867,6 +873,161 @@ def _bench_saturated_batch(
     }
 
 
+def _bench_trace_overhead(
+    *,
+    alpha: float,
+    seed: int,
+    repeat: int,
+    dataset: str = "yago",
+    scale: float = 32.0,
+    context_size: int = 5,
+    distinct: int = 16,
+    width: int = 2,
+    max_batch: int = 16,
+    batch_window_ms: float = 30.0,
+    sample_rate: float = 0.01,
+) -> dict:
+    """The PR-9 phase: request tracing must be ~free at 1% sampling.
+
+    Serves the saturated-batch burst through two single-worker
+    micro-batching process engines — tracing **disabled** vs **1% head
+    sampling** (every request pays the coin flip; ~1% also record and
+    retain spans) — and reports throughput plus per-request p99 for
+    both arms. ``tools/bench_compare.py --trace-overhead`` turns the
+    pair into the accept/reject verdict (no throughput/p99 regression
+    beyond noise tolerance).
+
+    A third short run with an absurdly low ``slow_query_ms`` forces
+    tail capture on every request and asserts the captured slow trace
+    is *complete across the pickle boundary*: the worker-side power
+    iteration (``worker.ppr``) and fused distribution sweep
+    (``worker.sweep``) spans are present, and their durations sum to no
+    more than the request span — rebasing worker-local offsets can
+    never make children outgrow their parent.
+    """
+    graph = load_dataset(dataset, scale=scale)
+    queries = saturated_queries(graph, distinct, width, seed=seed)
+
+    def serve(trace_kwargs: dict) -> "tuple[float, list[float]]":
+        """Best-round elapsed + per-request latencies across all rounds."""
+        with NCEngine(
+            graph,
+            context_size=context_size,
+            alpha=alpha,
+            max_workers=1,
+            executor="process",
+            seed=seed,
+            max_batch=max_batch,
+            batch_window_ms=batch_window_ms,
+            **trace_kwargs,
+        ) as engine:
+            engine.pin()
+            tracer = engine.tracer
+
+            def drain() -> "list[float]":
+                pending = []
+                for query in queries:
+                    trace = (
+                        tracer.begin("bench.request") if tracer.enabled else None
+                    )
+                    started = time.perf_counter()
+                    future = engine.submit(query, trace=trace)[0]
+                    pending.append((future, started, trace))
+                latencies = []
+                for future, started, trace in pending:
+                    future.result()
+                    latencies.append(time.perf_counter() - started)
+                    tracer.finish(trace)
+                return latencies
+
+            drain()  # warmup: worker attach + transition adoption
+            best = float("inf")
+            all_latencies: "list[float]" = []
+            for _ in range(repeat):
+                engine.cache.clear()
+                round_started = time.perf_counter()
+                all_latencies.extend(drain())
+                best = min(best, time.perf_counter() - round_started)
+        return best, all_latencies
+
+    def p99(latencies: "list[float]") -> float:
+        ordered = sorted(latencies)
+        return ordered[min(len(ordered) - 1, round(0.99 * (len(ordered) - 1)))]
+
+    disabled_s, disabled_lat = serve({})
+    sampled_s, sampled_lat = serve({"trace_sample_rate": sample_rate})
+
+    # -- forced slow-query capture: one request, full span tree ------------
+    with NCEngine(
+        graph,
+        context_size=context_size,
+        alpha=alpha,
+        max_workers=1,
+        executor="process",
+        seed=seed,
+        max_batch=max_batch,
+        batch_window_ms=batch_window_ms,
+        slow_query_ms=0.001,  # everything is "slow": tail capture always fires
+    ) as engine:
+        engine.pin()
+        trace = engine.tracer.begin("bench.request")
+        engine.request(queries[0], trace=trace)
+        retained = engine.tracer.finish(trace)
+        if not retained:  # pragma: no cover - would be a tracer bug
+            raise AssertionError(
+                "slow-query tail capture did not retain the forced-slow trace"
+            )
+        captured = engine.tracer.buffer.get(trace.trace_id)
+    span_names = {span["name"] for span in captured["spans"]}
+    worker_ms = sum(
+        span["duration_ms"]
+        for span in captured["spans"]
+        if span["name"] in ("worker.ppr", "worker.sweep")
+    )
+    request_ms = captured["duration_ms"]
+    if not {"worker.ppr", "worker.sweep"} <= span_names:  # pragma: no cover
+        raise AssertionError(
+            f"slow trace is missing worker-side phase spans "
+            f"(got {sorted(span_names)})"
+        )
+    if worker_ms > request_ms:  # pragma: no cover - would be a stitch bug
+        raise AssertionError(
+            f"worker ppr+sweep spans ({worker_ms:.3f}ms) exceed the request "
+            f"span ({request_ms:.3f}ms): cross-process rebasing is broken"
+        )
+    return {
+        "traffic": (
+            f"{distinct} distinct width-{width} queries, all submitted "
+            f"concurrently (the saturated-batch workload)"
+        ),
+        "workers": 1,
+        "max_batch": max_batch,
+        "batch_window_ms": batch_window_ms,
+        "sample_rate": sample_rate,
+        "disabled_elapsed_s": disabled_s,
+        "disabled_rps": len(queries) / disabled_s,
+        "disabled_p99_s": p99(disabled_lat),
+        "sampled_elapsed_s": sampled_s,
+        "sampled_rps": len(queries) / sampled_s,
+        "sampled_p99_s": p99(sampled_lat),
+        "throughput_ratio": disabled_s / sampled_s,
+        "slow_trace": {
+            "trace_id": captured["trace_id"],
+            "spans": len(captured["spans"]),
+            "phases": sorted(span_names),
+            "worker_ppr_sweep_ms": worker_ms,
+            "request_ms": request_ms,
+        },
+        "note": (
+            "same saturated burst, tracing off vs 1% head sampling; "
+            "tools/bench_compare.py --trace-overhead gates on throughput "
+            "and p99; the forced-slow run asserts the captured trace "
+            "carries worker.ppr + worker.sweep spans bounded by the "
+            "request span"
+        ),
+    }
+
+
 def _result_fingerprint(result) -> "list[tuple[str, float]]":
     """The byte-identity fingerprint used by the parity/chaos phases."""
     return [(item.label, item.score) for item in result.results] + [
@@ -930,7 +1091,7 @@ def _run_service_benchmark(
     )
     report: dict = {
         "suite": "service_bench",
-        "pr": 8,
+        "pr": 9,
         "created_unix": int(time.time()),
         "machine": {
             "python": platform.python_version(),
@@ -1220,6 +1381,19 @@ def _run_service_benchmark(
             batch_window_ms=saturated_window_ms,
         )
 
+        # -- trace overhead: 1% sampling on the saturated workload (PR 9) --
+        report["trace_overhead"] = _bench_trace_overhead(
+            alpha=alpha,
+            seed=seed,
+            repeat=repeat,
+            dataset=dataset,
+            scale=saturated_scale,
+            context_size=saturated_context,
+            distinct=saturated_distinct,
+            max_batch=saturated_max_batch,
+            batch_window_ms=saturated_window_ms,
+        )
+
         # -- single-flight coalescing --------------------------------------
         engine.cache.clear()
         stats_before = engine.stats()
@@ -1355,6 +1529,17 @@ def print_report(report: dict) -> None:
             f"({saturated['ratio']:.2f}x, mean batch "
             f"{saturated['mean_batch_size']:.1f}, identical results: "
             f"{saturated['identical_results']})"
+        )
+    trace_overhead = report.get("trace_overhead")
+    if trace_overhead:
+        print(
+            f"trace overhead ({trace_overhead['sample_rate']:.0%} sampling): "
+            f"off {trace_overhead['disabled_rps']:.2f} req/s | "
+            f"on {trace_overhead['sampled_rps']:.2f} req/s "
+            f"({trace_overhead['throughput_ratio']:.2f}x), slow trace "
+            f"{trace_overhead['slow_trace']['spans']} spans, worker "
+            f"ppr+sweep {trace_overhead['slow_trace']['worker_ppr_sweep_ms']:.1f}ms "
+            f"of {trace_overhead['slow_trace']['request_ms']:.1f}ms request"
         )
     print(
         f"single-flight: {flight['clients']} clients -> "

@@ -80,6 +80,7 @@ from repro.parallel.shm import SharedSnapshot, StaleSnapshotError, publish_snaps
 from repro.service import faults
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.metrics import ServiceMetrics
+from repro.service.tracing import Tracer, log_event
 from repro.service.workers import ProcessWorkerPool, WorkerConfig, WorkerCrashError
 
 
@@ -233,6 +234,17 @@ class EngineConfig:
     #: iteration per worker round-trip. ``max_batch=1`` disables batching.
     batch_window_ms: float = 0.0
     max_batch: int = 1
+    #: Request tracing (see :mod:`repro.service.tracing`):
+    #: ``trace_sample_rate`` head-samples that fraction of requests into
+    #: full span trees; ``slow_query_ms`` additionally records *every*
+    #: request and force-retains any that errors or runs at least this
+    #: long; retained traces live in a ``trace_buffer``-deep ring served
+    #: at ``GET /v1/debug/traces``. ``metrics_exemplars`` links latency
+    #: histogram buckets to trace ids in the ``/v1/metrics`` exposition.
+    trace_sample_rate: float = 0.0
+    slow_query_ms: "float | None" = None
+    trace_buffer: int = 256
+    metrics_exemplars: bool = False
 
     def __post_init__(self) -> None:
         """Validate every knob; raises ``ValueError`` with a field-named message."""
@@ -278,6 +290,19 @@ class EngineConfig:
             )
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError(
+                f"trace_sample_rate must be within [0, 1], got "
+                f"{self.trace_sample_rate}"
+            )
+        if self.slow_query_ms is not None and self.slow_query_ms <= 0:
+            raise ValueError(
+                f"slow_query_ms must be > 0, got {self.slow_query_ms}"
+            )
+        if self.trace_buffer < 1:
+            raise ValueError(
+                f"trace_buffer must be >= 1, got {self.trace_buffer}"
+            )
 
     def as_dict(self) -> dict:
         """A JSON-ready dump of every knob (introspection / debugging)."""
@@ -307,6 +332,10 @@ class EngineConfig:
             "snapshot_source": self.snapshot_source,
             "batch_window_ms": self.batch_window_ms,
             "max_batch": self.max_batch,
+            "trace_sample_rate": self.trace_sample_rate,
+            "slow_query_ms": self.slow_query_ms,
+            "trace_buffer": self.trace_buffer,
+            "metrics_exemplars": self.metrics_exemplars,
         }
 
 
@@ -597,7 +626,15 @@ class NCEngine:
         self.snapshot_source = config.snapshot_source or (
             "snapshot" if self._frozen else "live-graph"
         )
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(exemplars=config.metrics_exemplars)
+        #: Per-request span recording + the /v1/debug/traces ring buffer.
+        #: The seeded RNG keeps head-sampling decisions reproducible.
+        self.tracer = Tracer(
+            sample_rate=config.trace_sample_rate,
+            slow_query_ms=config.slow_query_ms,
+            capacity=config.trace_buffer,
+            seed=seed ^ 0x7ACE,
+        )
         self._cache = ResultCache(
             maxsize=cache_size, on_event=self.metrics.cache_event
         )
@@ -1058,7 +1095,9 @@ class NCEngine:
         return int.from_bytes(digest, "big") >> 1
 
     def _compute(self, key: tuple, query_ids: tuple[int, ...], k: int, alpha: float,
-                 state: _PinnedState, deadline: "float | None" = None) -> FindNCResult:
+                 state: _PinnedState, deadline: "float | None" = None,
+                 trace=None) -> FindNCResult:
+        compute_span = None
         try:
             if deadline is not None and time.monotonic() >= deadline:
                 # The executor queue ate the whole budget: cancel before
@@ -1066,10 +1105,18 @@ class NCEngine:
                 raise DeadlineExceededError(
                     "request deadline expired while queued for execution"
                 )
+            if trace is not None:
+                # Opened on the executor thread: the gap between the
+                # engine.submit span's end and this start is executor
+                # queueing delay, visible in the tree.
+                compute_span = trace.start_span(
+                    "engine.compute", backend=self.executor
+                )
             started = time.perf_counter()
             if self.executor == "process":
                 result = self._compute_remote(
-                    key, query_ids, k, alpha, state, deadline
+                    key, query_ids, k, alpha, state, deadline,
+                    trace=trace, trace_span=compute_span,
                 )
             else:
                 result = self._compute_local(key, query_ids, k, alpha, state)
@@ -1078,7 +1125,11 @@ class NCEngine:
                 self._computed += 1
             self.metrics.computed.inc(backend=self.executor)
             self.metrics.compute_latency.observe(
-                time.perf_counter() - started, backend=self.executor
+                time.perf_counter() - started,
+                exemplar=(
+                    {"trace_id": trace.trace_id} if trace is not None else None
+                ),
+                backend=self.executor,
             )
             return result
         except DeadlineExceededError:
@@ -1087,6 +1138,8 @@ class NCEngine:
             self.metrics.timeouts.inc()
             raise
         finally:
+            if compute_span is not None:
+                compute_span.end()
             with self._flight_lock:
                 self._inflight.pop(key, None)
             # The request's in-flight reference, acquired in submit() and
@@ -1117,7 +1170,8 @@ class NCEngine:
 
     def _compute_remote(self, key: tuple, query_ids: tuple[int, ...], k: int,
                         alpha: float, state: _PinnedState,
-                        deadline: "float | None" = None) -> FindNCResult:
+                        deadline: "float | None" = None,
+                        trace=None, trace_span=None) -> FindNCResult:
         """Dispatch the computation to the worker pool (process backend).
 
         The RNG seed derives from the cache key exactly as in the local
@@ -1159,6 +1213,8 @@ class NCEngine:
                     rng_seed=self._rng_seed(key),
                     config=self._worker_config,
                     deadline=deadline,
+                    trace=trace,
+                    trace_span=trace_span,
                 )
                 self._breaker.record_success()
                 return result
@@ -1173,6 +1229,19 @@ class NCEngine:
                 state = self.pin()
             except WorkerCrashError as error:
                 self._breaker.record_failure(repr(error))
+                log_event(
+                    "worker_crash",
+                    trace_id=trace.trace_id if trace is not None else None,
+                    attempt=attempt + 1,
+                    breaker_state=self._breaker.state,
+                    error=repr(error),
+                )
+                if trace is not None:
+                    trace.start_span(
+                        "engine.crash_retry",
+                        parent=trace_span,
+                        attempt=attempt + 1,
+                    ).end()
                 last_crash = error
                 if attempt + 1 >= attempts:
                     break
@@ -1200,12 +1269,28 @@ class NCEngine:
         with self._flight_lock:
             self._fallbacks += 1
         self.metrics.fallbacks.inc()
+        log_event(
+            "breaker_fallback",
+            trace_id=trace.trace_id if trace is not None else None,
+            breaker_state=self._breaker.state,
+        )
         if deadline is not None and time.monotonic() >= deadline:
             raise DeadlineExceededError(
                 "request deadline expired before the degraded fallback "
                 "could run"
             ) from last_crash
-        return self._compute_local(key, query_ids, k, alpha, state)
+        fallback_span = (
+            trace.start_span(
+                "engine.fallback", parent=trace_span, backend="thread-fallback"
+            )
+            if trace is not None
+            else None
+        )
+        try:
+            return self._compute_local(key, query_ids, k, alpha, state)
+        finally:
+            if fallback_span is not None:
+                fallback_span.end()
 
     def submit(
         self,
@@ -1214,6 +1299,7 @@ class NCEngine:
         context_size: int | None = None,
         alpha: float | None = None,
         timeout: "float | None" = None,
+        trace=None,
     ) -> "tuple[Future, bool, bool, int]":
         """Enqueue one request; returns ``(future, cached, coalesced, version)``.
 
@@ -1229,6 +1315,13 @@ class NCEngine:
         would start a new computation beyond the budget raises
         :class:`~repro.errors.EngineSaturatedError` instead of queueing
         (cache hits and coalesced requests are always admitted).
+
+        ``trace`` (a :class:`~repro.service.tracing.Trace`, usually begun
+        by the HTTP layer) opts the request into span recording: this
+        method records ``engine.submit`` (resolution + cache/coalescing
+        decision, with the ``cache=hit|miss|coalesced`` and ``version_id``
+        attributes stamped on the trace root) and threads the trace down
+        through the computation and — in process mode — the worker pool.
         """
         if self._closed:
             raise RuntimeError("engine is closed")
@@ -1253,6 +1346,11 @@ class NCEngine:
                 break
             state.lifecycle.release()
         transferred = False
+        submit_span = (
+            trace.start_span("engine.submit", executor=self.executor)
+            if trace is not None
+            else None
+        )
         try:
             query_ids = self._resolve(state, query)
             if not state.snapshot.covers(query_ids):
@@ -1273,11 +1371,15 @@ class NCEngine:
                 self._discriminator_fingerprint,
             )
             self.metrics.engine_requests.inc(executor=self.executor)
+            if trace is not None:
+                trace.root.set(version_id=state.snapshot.version)
             with self._flight_lock:
                 self._requests += 1
                 cached = self._cache.get(key)
                 if cached is not None:
                     self._hits += 1
+                    if trace is not None:
+                        trace.root.set(cache="hit")
                     future: Future = Future()
                     future.set_result(cached)
                     return future, True, False, state.snapshot.version
@@ -1285,6 +1387,8 @@ class NCEngine:
                 if existing is not None:
                     self._coalesced += 1
                     self.metrics.coalesced.inc()
+                    if trace is not None:
+                        trace.root.set(cache="coalesced")
                     return existing, False, True, state.snapshot.version
                 if (
                     self._max_pending is not None
@@ -1292,18 +1396,24 @@ class NCEngine:
                 ):
                     self._shed += 1
                     self.metrics.shed.inc()
+                    if trace is not None:
+                        trace.root.set(shed=True)
                     raise EngineSaturatedError(
                         f"engine is saturated: {len(self._inflight)} pending "
                         f"computations (max_pending={self._max_pending})",
                         retry_after=1.0,
                     )
+                if trace is not None:
+                    trace.root.set(cache="miss")
                 future = self._executor.submit(
-                    self._compute, key, query_ids, k, a, state, deadline
+                    self._compute, key, query_ids, k, a, state, deadline, trace
                 )
                 transferred = True
                 self._inflight[key] = future
                 return future, False, False, state.snapshot.version
         finally:
+            if submit_span is not None:
+                submit_span.end()
             if not transferred:
                 state.lifecycle.release()
 
@@ -1314,6 +1424,7 @@ class NCEngine:
         context_size: int | None = None,
         alpha: float | None = None,
         timeout: "float | None" = None,
+        trace=None,
     ) -> SearchOutcome:
         """Serve one request synchronously, with cache/coalescing provenance.
 
@@ -1330,7 +1441,8 @@ class NCEngine:
             timeout = self.request_timeout
         deadline = time.monotonic() + timeout if timeout is not None else None
         future, cached, coalesced, version = self.submit(
-            query, context_size=context_size, alpha=alpha, timeout=timeout
+            query, context_size=context_size, alpha=alpha, timeout=timeout,
+            trace=trace,
         )
         if deadline is None:
             result = future.result()

@@ -49,6 +49,11 @@ import urllib.request
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
+from repro.service.tracing import SpanContext, new_span_id, new_trace_id
+
+#: Slowest traced requests surfaced per run (latency + server trace id).
+SLOWEST_REPORTED = 5
+
 
 @dataclass(frozen=True)
 class LoadProfile:
@@ -222,6 +227,9 @@ class LoadReport:
     dispatch_lag_p99_s: float = 0.0
     events_fired: "tuple[str, ...]" = ()
     event_errors: "dict[str, str]" = field(default_factory=dict)
+    #: slowest traced requests: ``{"latency_s", "trace_id"}`` dicts,
+    #: slowest first — paste the id into GET /v1/debug/traces/<id>
+    slowest: "tuple[dict, ...]" = ()
 
     def quantile(self, q: float) -> float:
         """The ``q``-quantile (0..1) of the completed-request latencies."""
@@ -251,6 +259,7 @@ class LoadReport:
             "dispatch_lag_p99_s": self.dispatch_lag_p99_s,
             "events_fired": list(self.events_fired),
             "event_errors": dict(self.event_errors),
+            "slowest": [dict(entry) for entry in self.slowest],
         }
 
 
@@ -265,23 +274,50 @@ def engine_target(engine, *, context_size=None, alpha=None, timeout=None):
     return call
 
 
-def http_target(base_url: str, *, timeout_s: float = 30.0):
+def http_target(
+    base_url: str,
+    *,
+    timeout_s: float = 30.0,
+    trace_sample_rate: float = 0.0,
+    seed: int = 0,
+):
     """A :func:`run_load` target POSTing ``/v1/search`` on a live server.
 
     Non-2xx answers raise (urllib's ``HTTPError``), so HTTP failures land
     in the report's error counts under ``HTTPError``.
-    """
-    url = base_url.rstrip("/") + "/v1/search"
 
-    def call(query: "tuple[str, ...]") -> None:
+    With ``trace_sample_rate`` > 0 a seeded coin marks that fraction of
+    requests with a sampled W3C ``traceparent`` header — the server
+    force-retains those traces and echoes the id in ``X-Trace-Id``,
+    which the target returns so the report can list trace ids for its
+    slowest requests (``repro loadgen --trace-sample-rate``).
+    """
+    if not 0.0 <= trace_sample_rate <= 1.0:
+        raise ValueError(
+            f"trace_sample_rate must be within [0, 1], got {trace_sample_rate}"
+        )
+    url = base_url.rstrip("/") + "/v1/search"
+    rng = random.Random(seed ^ 0x7ACE) if trace_sample_rate > 0.0 else None
+    rng_lock = threading.Lock()
+
+    def call(query: "tuple[str, ...]") -> "str | None":
+        headers = {"Content-Type": "application/json"}
+        if rng is not None:
+            with rng_lock:
+                sampled = rng.random() < trace_sample_rate
+            if sampled:
+                headers["traceparent"] = SpanContext(
+                    new_trace_id(), new_span_id(), True
+                ).to_traceparent()
         request = urllib.request.Request(
             url,
             data=json.dumps({"query": list(query)}).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
+            headers=headers,
             method="POST",
         )
         with urllib.request.urlopen(request, timeout=timeout_s) as response:
             response.read()
+            return response.headers.get("X-Trace-Id")
 
     return call
 
@@ -294,13 +330,22 @@ class _RunState:
         self.latencies: "list[float]" = []
         self.errors: "dict[str, int]" = {}
         self.dispatch_lags: "list[float]" = []
+        self.traced: "list[tuple[float, str]]" = []
         self.completed = 0
 
-    def record(self, latency_s: float, error: "str | None", lag_s: float) -> None:
+    def record(
+        self,
+        latency_s: float,
+        error: "str | None",
+        lag_s: float,
+        trace_id: "str | None" = None,
+    ) -> None:
         with self.lock:
             if error is None:
                 self.completed += 1
                 self.latencies.append(latency_s)
+                if trace_id is not None:
+                    self.traced.append((latency_s, trace_id))
             else:
                 self.errors[error] = self.errors.get(error, 0) + 1
             self.dispatch_lags.append(lag_s)
@@ -372,6 +417,12 @@ def run_load(
         event_thread.join(timeout=5.0)
     lags = sorted(state.dispatch_lags)
     lag_p99 = lags[min(len(lags) - 1, round(0.99 * (len(lags) - 1)))] if lags else 0.0
+    slowest = tuple(
+        {"latency_s": round(latency, 6), "trace_id": trace_id}
+        for latency, trace_id in sorted(state.traced, reverse=True)[
+            :SLOWEST_REPORTED
+        ]
+    )
     return LoadReport(
         mode=profile.mode,
         requests=len(schedule),
@@ -383,6 +434,7 @@ def run_load(
         dispatch_lag_p99_s=lag_p99 if profile.mode == "open" else 0.0,
         events_fired=tuple(fired),
         event_errors=event_errors,
+        slowest=slowest,
     )
 
 
@@ -391,11 +443,16 @@ def _call_one(target, request: ScheduledRequest, state: _RunState,
     """Issue one request; charge latency from ``reference`` when given."""
     started = time.monotonic() if reference is None else reference
     error: "str | None" = None
+    trace_id: "str | None" = None
     try:
-        target(request.query)
+        returned = target(request.query)
+        # Targets may return the server-echoed trace id (http_target);
+        # anything else a target returns is not one.
+        if isinstance(returned, str):
+            trace_id = returned
     except Exception as exc:  # noqa: BLE001 - counted, not raised
         error = type(exc).__name__
-    state.record(time.monotonic() - started, error, lag_s)
+    state.record(time.monotonic() - started, error, lag_s, trace_id)
 
 
 def _run_open_loop(target, schedule, profile: LoadProfile, state: _RunState,

@@ -189,13 +189,15 @@ class Counter(_Instrument):
 
 
 class _HistogramSeries:
-    __slots__ = ("lock", "bucket_counts", "total", "count")
+    __slots__ = ("lock", "bucket_counts", "total", "count", "exemplars")
 
     def __init__(self, buckets: int) -> None:
         self.lock = threading.Lock()
         self.bucket_counts = [0] * (buckets + 1)  # + the +Inf bucket
         self.total = 0.0
         self.count = 0
+        #: bucket index -> (label dict, observed value); latest wins.
+        self.exemplars: "dict[int, tuple[dict, float]]" = {}
 
 
 class Histogram(_Instrument):
@@ -206,6 +208,13 @@ class Histogram(_Instrument):
     Observations are binned with one bisect; bucket counts are stored
     *non*-cumulative and accumulated at render time, so ``observe``
     touches exactly one integer.
+
+    When :attr:`emit_exemplars` is enabled, ``observe(..., exemplar=...)``
+    attaches the exemplar labels (e.g. ``{"trace_id": ...}``) to the
+    bucket the observation fell into — latest observation wins — and the
+    renderer appends an OpenMetrics-style `` # {labels} value`` clause to
+    that ``_bucket`` line, linking the aggregate to one concrete trace in
+    ``/v1/debug/traces``.
     """
 
     kind = "histogram"
@@ -227,18 +236,27 @@ class Histogram(_Instrument):
         if bounds[-1] == math.inf:
             bounds = bounds[:-1]  # +Inf is implicit
         self.buckets = bounds
+        self.emit_exemplars = False
 
     def _make_series(self) -> _HistogramSeries:
         return _HistogramSeries(len(self.buckets))
 
-    def observe(self, value: float, **labels: str) -> None:
-        """Record one observation into the labeled series."""
+    def observe(
+        self, value: float, *, exemplar: "dict[str, str] | None" = None, **labels: str
+    ) -> None:
+        """Record one observation into the labeled series.
+
+        ``exemplar`` (e.g. ``{"trace_id": ...}``) is kept only while the
+        histogram has :attr:`emit_exemplars` enabled.
+        """
         index = bisect_left(self.buckets, value)
         series = self._get_series(labels)
         with series.lock:
             series.bucket_counts[index] += 1
             series.total += value
             series.count += 1
+            if exemplar is not None and self.emit_exemplars:
+                series.exemplars[index] = (dict(exemplar), value)
 
     def snapshot(self, **labels: str) -> "dict":
         """``{"count", "sum", "buckets": {le: cumulative}}`` for tests/UI."""
@@ -261,14 +279,23 @@ class Histogram(_Instrument):
             counts = list(series.bucket_counts)
             total = series.total
             count = series.count
+            exemplars = dict(series.exemplars) if self.emit_exemplars else {}
         lines = []
         running = 0
-        for bound, bucket_count in zip((*self.buckets, math.inf), counts):
+        for index, (bound, bucket_count) in enumerate(
+            zip((*self.buckets, math.inf), counts)
+        ):
             running += bucket_count
             bucket_labels = (*labels, ("le", _format_value(bound)))
-            lines.append(
-                f"{self.name}_bucket{_format_labels(bucket_labels)} {running}"
-            )
+            line = f"{self.name}_bucket{_format_labels(bucket_labels)} {running}"
+            exemplar = exemplars.get(index)
+            if exemplar is not None:
+                exemplar_labels = tuple(sorted(exemplar[0].items()))
+                line += (
+                    f" # {_format_labels(exemplar_labels)}"
+                    f" {_format_value(exemplar[1])}"
+                )
+            lines.append(line)
         lines.append(
             f"{self.name}_sum{_format_labels(labels)} {_format_value(total)}"
         )
@@ -433,7 +460,8 @@ _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?P<labels>\{[^{}]*\})?"
     r" (?P<value>[^ ]+)"
-    r"( (?P<timestamp>-?[0-9]+))?$"
+    r"( (?P<timestamp>-?[0-9]+))?"
+    r"( # (?P<exemplar_labels>\{[^{}]*\}) (?P<exemplar_value>[^ ]+))?$"
 )
 _LABEL_PAIR_RE = re.compile(
     r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"$'
@@ -448,8 +476,11 @@ def validate_exposition(text: str) -> "dict[str, str]":
     syntax, parseable values), that every sample belongs to a ``# TYPE``d
     metric family declared *before* it, that histogram families expose
     ``_bucket``/``_sum``/``_count`` with a ``+Inf`` bucket, and that
-    cumulative bucket counts never decrease. Returns the
-    ``{family: type}`` mapping for further assertions.
+    cumulative bucket counts never decrease. OpenMetrics-style exemplars
+    (`` # {trace_id="..."} 0.064``) are accepted — but only on histogram
+    ``_bucket`` lines, and their label pairs and value must themselves be
+    well-formed. Returns the ``{family: type}`` mapping for further
+    assertions.
     """
     families: "dict[str, str]" = {}
     bucket_state: "dict[tuple, float]" = {}
@@ -504,6 +535,25 @@ def validate_exposition(text: str) -> "dict[str, str]":
             raise ValueError(
                 f"line {line_number}: sample {name!r} has no preceding # TYPE"
             )
+        exemplar_blob = match.group("exemplar_labels")
+        if exemplar_blob is not None:
+            if families[family] != "histogram" or not name.endswith("_bucket"):
+                raise ValueError(
+                    f"line {line_number}: exemplar on non-bucket sample {name!r}"
+                )
+            for pair in _split_label_pairs(exemplar_blob[1:-1], line_number):
+                if not _LABEL_PAIR_RE.match(pair):
+                    raise ValueError(
+                        f"line {line_number}: malformed exemplar label {pair!r}"
+                    )
+            raw_exemplar = match.group("exemplar_value")
+            try:
+                float(raw_exemplar)
+            except ValueError as error:
+                raise ValueError(
+                    f"line {line_number}: unparseable exemplar value "
+                    f"{raw_exemplar!r}"
+                ) from error
         if families[family] == "histogram" and name.endswith("_bucket"):
             if "le" not in labels:
                 raise ValueError(f"line {line_number}: bucket without le label")
@@ -587,7 +637,12 @@ class ServiceMetrics:
     ``docs/OPERATIONS.md`` ("Metrics reference").
     """
 
-    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+    def __init__(
+        self,
+        registry: "MetricsRegistry | None" = None,
+        *,
+        exemplars: bool = False,
+    ) -> None:
         reg = registry if registry is not None else MetricsRegistry()
         self.registry = reg
         self.http_requests = reg.counter(
@@ -673,6 +728,11 @@ class ServiceMetrics:
             "kernel series, 0 for the others.",
             ("kernel",),
         )
+        # Latency histograms carry trace-id exemplars only when the
+        # operator opts in (--metrics-exemplars): classic Prometheus
+        # scrapers tolerate the clause, but the default stays 0.0.4-pure.
+        self.http_latency.emit_exemplars = exemplars
+        self.compute_latency.emit_exemplars = exemplars
         self._sync_kernel_gauge()
 
     def _sync_kernel_gauge(self) -> None:

@@ -41,6 +41,14 @@ Endpoints (full request/response reference: ``docs/OPERATIONS.md``)
     ``Retry-After`` header; every error body carries a stable
     machine-readable ``code`` next to the human-readable ``error``.
 
+``GET /v1/debug/traces`` and ``GET /v1/debug/traces/<trace-id>``
+    The tracer's ring buffer: recent retained-trace summaries (newest
+    first, ``?limit=N``) and one full span tree as nested JSON. Empty
+    unless tracing is on (``--trace-sample-rate`` / ``--slow-query-ms``).
+    Every response echoes the request's trace id in an ``X-Trace-Id``
+    header when a trace is being recorded, and inbound W3C
+    ``traceparent`` headers are adopted (sampled flag forces capture).
+
 ``POST /v1/admin/reload``
     Hot-swap onto the newest registry version (``repro serve
     --snapshot-dir`` only): re-reads the manifest, and when it names a
@@ -64,7 +72,6 @@ engine's executor, and identical concurrent requests coalesce there.
 from __future__ import annotations
 
 import json
-import sys
 import threading
 import time
 from dataclasses import dataclass
@@ -76,7 +83,14 @@ from repro.graph.model import KnowledgeGraph
 from repro.parallel.shm import StaleSnapshotError
 from repro.service import metrics as metrics_mod
 from repro.service.engine import NCEngine, SearchOutcome
+from repro.service.tracing import (
+    get_log_format,
+    log_event,
+    parse_traceparent,
+    trace_tree,
+)
 from repro.service.workers import RemoteQueryError, WorkerCrashError
+from repro.walk.kernels import kernel_status
 
 #: Stable machine-readable error codes, keyed by HTTP status, used when
 #: a handler does not pass a more specific ``code``. Clients switch on
@@ -99,7 +113,9 @@ class RouteSpec:
     :class:`NCRequestHandler` method invoked with the split URL.
     ``alias`` is the pre-v1 unprefixed path that must answer
     byte-identically (plus the ``Deprecation`` header), or ``None``
-    for routes born under ``/v1/``.
+    for routes born under ``/v1/``. ``prefix`` routes match any path
+    that *starts with* ``path`` (the trace-detail route embeds the
+    trace id in the path), so they live outside the exact-match table.
     """
 
     method: str
@@ -107,6 +123,7 @@ class RouteSpec:
     alias: "str | None"
     name: str
     handler: str
+    prefix: bool = False
 
 
 #: The service's full HTTP surface. Dispatch is derived from this table;
@@ -124,15 +141,36 @@ ROUTES: "tuple[RouteSpec, ...]" = (
         "admin_reload",
         "_handle_admin_reload",
     ),
+    RouteSpec(
+        "GET",
+        "/v1/debug/traces",
+        None,
+        "debug_traces",
+        "_handle_debug_traces",
+    ),
+    RouteSpec(
+        "GET",
+        "/v1/debug/traces/",
+        None,
+        "debug_trace",
+        "_handle_debug_trace",
+        prefix=True,
+    ),
 )
 
 
 def _build_dispatch(
     routes: "tuple[RouteSpec, ...]",
 ) -> "dict[tuple[str, str], tuple[RouteSpec, bool]]":
-    """``(method, path) -> (route, is_deprecated_alias)`` lookup table."""
+    """``(method, path) -> (route, is_deprecated_alias)`` lookup table.
+
+    Prefix routes are excluded: they cannot be keyed by exact path and
+    are scanned by :meth:`NCRequestHandler._dispatch` as a fallback.
+    """
     table: "dict[tuple[str, str], tuple[RouteSpec, bool]]" = {}
     for spec in routes:
+        if spec.prefix:
+            continue
         table[(spec.method, spec.path)] = (spec, False)
         if spec.alias is not None:
             table[(spec.method, spec.alias)] = (spec, True)
@@ -140,6 +178,9 @@ def _build_dispatch(
 
 
 _DISPATCH = _build_dispatch(ROUTES)
+_PREFIX_ROUTES: "tuple[RouteSpec, ...]" = tuple(
+    spec for spec in ROUTES if spec.prefix
+)
 
 
 def reload_from_registry(
@@ -192,6 +233,13 @@ def reload_from_registry(
             stats = engine.stats()
             keep = {outcome.new_version, *stats.draining_versions}
             registry.gc(retain=retain, keep=keep)
+        if outcome.swapped:
+            log_event(
+                "snapshot_swap",
+                old_version=outcome.old_version,
+                new_version=outcome.new_version,
+                file=latest.file,
+            )
         return {
             "swapped": outcome.swapped,
             "old_version": outcome.old_version,
@@ -250,17 +298,15 @@ class RegistryPoller(threading.Thread):
                 # Token deliberately NOT advanced: a transient failure
                 # (unreadable manifest, fd pressure) is retried on the
                 # next tick instead of being skipped forever.
-                print(
-                    f"registry poll: reload failed: {error!r}", file=sys.stderr
-                )
+                log_event("registry_poll_failed", error=repr(error))
                 continue
             self._token = token
             if outcome.get("swapped"):
                 self.swapped += 1
-                print(
-                    f"registry poll: swapped v{outcome['old_version']} -> "
-                    f"v{outcome['new_version']}",
-                    file=sys.stderr,
+                log_event(
+                    "registry_poll_swapped",
+                    old_version=outcome["old_version"],
+                    new_version=outcome["new_version"],
                 )
 
     def stop(self, *, timeout: float = 5.0) -> None:
@@ -357,6 +403,9 @@ class NCRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace = getattr(self, "_trace", None)
+        if trace is not None:
+            self.send_header("X-Trace-Id", trace.trace_id)
         if getattr(self, "_deprecated_alias", False):
             self.send_header("Deprecation", "true")
         for name, value in (extra_headers or {}).items():
@@ -414,12 +463,33 @@ class NCRequestHandler(BaseHTTPRequestHandler):
     # -- dispatch ----------------------------------------------------------
 
     def _dispatch(self, method: str) -> None:
-        """Route one request through the table; record HTTP metrics."""
+        """Route one request through the table; record HTTP metrics.
+
+        Exact-path routes resolve through :data:`_DISPATCH`; prefix
+        routes (the trace-detail endpoint) are scanned as a fallback.
+        The handler owns the request's root span: an inbound
+        ``traceparent`` is adopted as the remote parent, the trace id
+        is echoed via ``X-Trace-Id`` (:meth:`_send_body`), and the
+        trace is finished — and retained when sampled, slow, or
+        errored — after the response is written.
+        """
         url = urlsplit(self.path)
         entry = _DISPATCH.get((method, url.path))
+        if entry is None:
+            for spec in _PREFIX_ROUTES:
+                if spec.method == method and url.path.startswith(spec.path):
+                    entry = (spec, False)
+                    break
         self._deprecated_alias = entry is not None and entry[1]
         route_name = entry[0].name if entry is not None else "unknown"
         self._response_status = 0
+        tracer = getattr(self._engine(), "tracer", None)
+        self._trace = None
+        if tracer is not None and tracer.enabled and entry is not None:
+            inbound = parse_traceparent(self.headers.get("traceparent"))
+            self._trace = tracer.begin(f"http.{route_name}", parent=inbound)
+            if self._trace is not None:
+                self._trace.root.set(method=method, path=url.path)
         started = time.perf_counter()
         try:
             if entry is None:
@@ -427,15 +497,36 @@ class NCRequestHandler(BaseHTTPRequestHandler):
             else:
                 getattr(self, entry[0].handler)(url)
         finally:
+            status = self._response_status
+            elapsed = time.perf_counter() - started
+            trace, self._trace = self._trace, None
             bundle = getattr(self._engine(), "metrics", None)
             if bundle is not None:
                 bundle.http_requests.inc(
                     route=route_name,
                     method=method,
-                    status=str(self._response_status),
+                    status=str(status),
                 )
                 bundle.http_latency.observe(
-                    time.perf_counter() - started, route=route_name
+                    elapsed,
+                    route=route_name,
+                    exemplar=(
+                        {"trace_id": trace.trace_id}
+                        if trace is not None
+                        else None
+                    ),
+                )
+            if trace is not None:
+                trace.root.set(status=status)
+                tracer.finish(trace, error=status >= 500)
+            if get_log_format() == "json":
+                log_event(
+                    "http_request",
+                    trace_id=trace.trace_id if trace is not None else None,
+                    route=route_name,
+                    method=method,
+                    status=status,
+                    latency_ms=round(elapsed * 1000.0, 3),
                 )
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
@@ -469,6 +560,9 @@ class NCRequestHandler(BaseHTTPRequestHandler):
                 "nodes": graph.node_count,
                 "edges": graph.edge_count,
                 "executor": engine.executor,
+                # surfaced so silent numba -> numpy degradation is
+                # visible on the liveness probe, not just in metrics
+                "kernel": kernel_status().as_dict(),
             }
         )
         self._send_json(payload)
@@ -539,6 +633,43 @@ class NCRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_json(outcome)
 
+    def _handle_debug_traces(self, url) -> None:
+        """``GET /v1/debug/traces``: recent retained-trace summaries."""
+        raw = parse_qs(url.query)
+        limit = 50
+        if "limit" in raw:
+            try:
+                limit = int(raw["limit"][0])
+            except (TypeError, ValueError):
+                limit = -1
+            if limit < 1:
+                self._send_error_json(
+                    400,
+                    f"limit must be a positive integer, got {raw['limit'][0]!r}",
+                )
+                return
+        tracer = self._engine().tracer
+        self._send_json(
+            {
+                "traces": tracer.buffer.summaries(limit=limit),
+                **tracer.stats(),
+            }
+        )
+
+    def _handle_debug_trace(self, url) -> None:
+        """``GET /v1/debug/traces/<id>``: one full span tree as JSON."""
+        trace_id = url.path[len("/v1/debug/traces/"):]
+        exported = self._engine().tracer.buffer.get(trace_id)
+        if exported is None:
+            self._send_error_json(
+                404,
+                f"no retained trace {trace_id!r} (buffer is bounded; "
+                "only sampled, slow, or errored requests are kept)",
+                code="trace_not_found",
+            )
+            return
+        self._send_json({**exported, "tree": trace_tree(exported)})
+
     # -- search ------------------------------------------------------------
 
     def _run_search(self, params: dict) -> None:
@@ -570,6 +701,7 @@ class NCRequestHandler(BaseHTTPRequestHandler):
                 context_size=int(context_size) if context_size is not None else None,
                 alpha=float(alpha) if alpha is not None else None,
                 timeout=timeout,
+                trace=getattr(self, "_trace", None),
             )
         except EngineSaturatedError as error:
             # admission control shed the request: bounded queueing beats

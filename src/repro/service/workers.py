@@ -73,6 +73,8 @@ from repro.parallel.shm import (
     attach_snapshot,
 )
 from repro.service import faults
+from repro.service.tracing import WorkerSpanRecorder
+from repro.walk.kernels import active_kernel
 
 
 def _attach_header(header):
@@ -131,7 +133,15 @@ class WorkerConfig:
 
 @dataclass(frozen=True)
 class WorkerTask:
-    """One FindNC computation order, as pickled onto a worker queue."""
+    """One FindNC computation order, as pickled onto a worker queue.
+
+    ``trace`` is the request's trace id when the parent is recording
+    spans for it — the worker then times its phases through a
+    :class:`~repro.service.tracing.WorkerSpanRecorder` and ships them
+    back by wrapping the ``"ok"`` payload as ``(result, spans)``; with
+    ``trace=None`` the payload is the bare result and the worker records
+    nothing.
+    """
 
     job_id: int
     header: SharedSnapshotHeader
@@ -140,6 +150,7 @@ class WorkerTask:
     alpha: float
     rng_seed: int
     config: WorkerConfig
+    trace: "str | None" = None
 
 
 @dataclass(frozen=True)
@@ -195,10 +206,47 @@ def _execute_task(
     )
 
 
-def _member_entry(view, selector, task: WorkerTask, context, sweep_cache=None):
-    """One member's result entry, with per-member error attribution."""
+def _member_entry(
+    view,
+    selector,
+    task: WorkerTask,
+    context,
+    sweep_cache=None,
+    recorder: "WorkerSpanRecorder | None" = None,
+    shared_spans: "list[dict] | None" = None,
+):
+    """One member's result entry, with per-member error attribution.
+
+    A traced member's ``"ok"`` payload is ``(result, spans)``: the
+    message-level spans (transition adoption), this member's group's
+    shared-phase spans (``shared_spans``: PPR + fused sweep), and one
+    span for this member's own work — ``worker.discriminate`` when the
+    shared phase precomputed its context, ``worker.execute`` when it ran
+    the full pipeline itself (lone task or per-member fallback).
+    """
+    traced = recorder is not None and task.trace is not None
     try:
+        start = recorder.now() if traced else 0
         result = _execute_task(view, selector, task, context, sweep_cache)
+        if traced:
+            spans = recorder.export()
+            spans.extend(shared_spans or ())
+            spans.append(
+                {
+                    "name": (
+                        "worker.discriminate"
+                        if context is not None
+                        else "worker.execute"
+                    ),
+                    "start": start,
+                    "end": recorder.now(),
+                    "attrs": {
+                        "queries": len(task.query_ids),
+                        "kernel": active_kernel(),
+                    },
+                }
+            )
+            return (task.job_id, task.header.segment, "ok", (result, spans))
         return (task.job_id, task.header.segment, "ok", result)
     except StaleSnapshotError:
         raise
@@ -233,7 +281,12 @@ def _candidate_label_mask(view, compiled, config: WorkerConfig):
     return mask
 
 
-def _execute_batch(view, selector, members: "tuple[WorkerTask, ...]") -> list:
+def _execute_batch(
+    view,
+    selector,
+    members: "tuple[WorkerTask, ...]",
+    recorder: "WorkerSpanRecorder | None" = None,
+) -> list:
     """Run a micro-batch with one shared PPR sweep; per-member entries back.
 
     The shared phase pools every member's personalization columns into a
@@ -258,10 +311,28 @@ def _execute_batch(view, selector, members: "tuple[WorkerTask, ...]") -> list:
     for member in members:
         groups.setdefault(member.context_size, []).append(member)
     for context_size, group in groups.items():
+        # Shared-phase spans for this group (PPR + fused sweep) are built
+        # as offset dicts and attached to *every* traced member — each of
+        # them did spend that wall-clock waiting on the shared work.
+        shared_spans: "list[dict]" = []
         try:
+            ppr_start = recorder.now() if recorder is not None else 0
             contexts = selector.select_many(
                 [member.query_ids for member in group], context_size
             )
+            if recorder is not None:
+                shared_spans.append(
+                    {
+                        "name": "worker.ppr",
+                        "start": ppr_start,
+                        "end": recorder.now(),
+                        "attrs": {
+                            "batch_size": len(group),
+                            "context_size": context_size,
+                            "kernel": active_kernel(),
+                        },
+                    }
+                )
             # Second shared pass: sweep every member's query and context
             # sets for the distribution builder in one fused gather.
             # Query keys are deduped order-preserving, matching what
@@ -284,17 +355,41 @@ def _execute_batch(view, selector, members: "tuple[WorkerTask, ...]") -> list:
                 if len(policies) == 1
                 else None
             )
+            sweep_start = recorder.now() if recorder is not None else 0
             sweeps = sweep_counts_many(compiled, node_sets, label_mask)
             sweep_cache = dict(zip(node_sets, sweeps))
+            if recorder is not None:
+                shared_spans.append(
+                    {
+                        "name": "worker.sweep",
+                        "start": sweep_start,
+                        "end": recorder.now(),
+                        "attrs": {
+                            "batch_size": len(group),
+                            "node_sets": len(node_sets),
+                            "kernel": active_kernel(),
+                        },
+                    }
+                )
         except StaleSnapshotError:
             raise
         except Exception:
             for member in group:
-                entries.append(_member_entry(view, selector, member, None))
+                entries.append(
+                    _member_entry(view, selector, member, None, recorder=recorder)
+                )
             continue
         for member, context in zip(group, contexts):
             entries.append(
-                _member_entry(view, selector, member, context, sweep_cache)
+                _member_entry(
+                    view,
+                    selector,
+                    member,
+                    context,
+                    sweep_cache,
+                    recorder=recorder,
+                    shared_spans=shared_spans,
+                )
             )
     return entries
 
@@ -335,6 +430,13 @@ def _worker_main(worker_index: int, task_queue, result_queue) -> None:
         members = message.members if batched else (message,)
         task = members[0]
         segment = task.header.segment
+        # One recorder per received message: its origin (message receipt)
+        # is what the parent rebases span offsets against at stitch time.
+        recorder = (
+            WorkerSpanRecorder()
+            if any(member.trace is not None for member in members)
+            else None
+        )
         try:
             if attached_segment != segment:
                 # New graph version: drop the old mapping (views first —
@@ -353,6 +455,7 @@ def _worker_main(worker_index: int, task_queue, result_queue) -> None:
                 if attached is not None:
                     attached.close()
                     attached = None
+                attach_start = recorder.now() if recorder is not None else 0
                 attached = _attach_header(task.header)
                 view = SnapshotGraphView(attached)
                 selector = RandomWalkContext(
@@ -371,14 +474,25 @@ def _worker_main(worker_index: int, task_queue, result_queue) -> None:
                 else:
                     selector.warm()
                 attached_segment = segment
+                if recorder is not None:
+                    recorder.record(
+                        "worker.attach",
+                        attach_start,
+                        segment=segment,
+                        shared_transition=shared_transition is not None,
+                    )
             if batched:
                 # One list message for the whole batch: result pickling
                 # and queue transport are paid once per batch, not per
                 # member.
-                result_queue.put(_execute_batch(view, selector, members))
+                result_queue.put(_execute_batch(view, selector, members, recorder))
             else:
-                result = _execute_task(view, selector, task)
-                result_queue.put((task.job_id, segment, "ok", result))
+                # Same reply shapes as before: _member_entry produces the
+                # identical ok/error tuples the inline path did, plus the
+                # (result, spans) payload wrap for traced tasks.
+                result_queue.put(
+                    _member_entry(view, selector, task, None, recorder=recorder)
+                )
         except StaleSnapshotError:
             attached = None
             attached_segment = None
@@ -417,15 +531,19 @@ class _Job:
     ``process`` is ``None`` while the task waits in the batch window (the
     dispatcher thread assigns it at batch send time); the waiter's
     liveness watchdog only engages once a process is attached.
+    ``dispatched_ns`` is stamped at the same moment — the boundary between
+    the trace's ``pool.gather`` span (batch-window wait) and its
+    ``pool.worker`` span (dispatch through result).
     """
 
-    __slots__ = ("event", "status", "payload", "process")
+    __slots__ = ("event", "status", "payload", "process", "dispatched_ns")
 
     def __init__(self, process=None) -> None:
         self.event = threading.Event()
         self.status: str | None = None
         self.payload: object = None
         self.process = process
+        self.dispatched_ns: "int | None" = None
 
 
 @dataclass(frozen=True)
@@ -676,8 +794,18 @@ class ProcessWorkerPool:
         rng_seed: int,
         config: WorkerConfig,
         deadline: "float | None" = None,
+        trace=None,
+        trace_span=None,
     ) -> FindNCResult:
         """Execute one task on the next worker (round-robin); block for it.
+
+        ``trace`` (a :class:`~repro.service.tracing.Trace`) opts this job
+        into span recording: the task ships the trace id across the
+        pickle boundary, the worker times its phases locally, and on
+        completion this method stitches the result under ``trace_span``
+        as ``pool.gather`` (batch-window wait, batching only) and
+        ``pool.worker`` (dispatch → result, carrying the worker-recorded
+        phase spans rebased onto the dispatch instant).
 
         ``deadline`` is an absolute :func:`time.monotonic` instant: an
         already-expired deadline cancels the job before dispatch, and an
@@ -706,6 +834,7 @@ class ProcessWorkerPool:
             )
         batching = self._max_batch > 1
         slot = -1
+        enqueued_ns = time.monotonic_ns()
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker pool is closed")
@@ -718,6 +847,7 @@ class ProcessWorkerPool:
                 alpha=alpha,
                 rng_seed=rng_seed,
                 config=config,
+                trace=trace.trace_id if trace is not None else None,
             )
             if batching:
                 # The dispatcher thread assigns the worker at batch send
@@ -731,6 +861,7 @@ class ProcessWorkerPool:
                 slot = self._round_robin % self.workers
                 self._round_robin += 1
                 job = _Job(self._processes[slot])
+                job.dispatched_ns = enqueued_ns
                 self._jobs[job_id] = job
             self._inflight_by_segment[header.segment] = (
                 self._inflight_by_segment.get(header.segment, 0) + 1
@@ -799,7 +930,47 @@ class ProcessWorkerPool:
                     + ")"
                 )
         if job.status == "ok":
-            return job.payload  # type: ignore[return-value]
+            payload = job.payload
+            if trace is not None:
+                # A traced task's ok payload is (result, worker spans).
+                result, worker_spans = payload  # type: ignore[misc]
+                done_ns = time.monotonic_ns()
+                dispatched_ns = (
+                    job.dispatched_ns
+                    if job.dispatched_ns is not None
+                    else enqueued_ns
+                )
+                if batching and dispatched_ns > enqueued_ns:
+                    trace.add_span(
+                        "pool.gather",
+                        start_ns=enqueued_ns,
+                        end_ns=dispatched_ns,
+                        parent=trace_span,
+                        attributes={
+                            "window_ms": self._batch_window_s * 1000.0,
+                            "max_batch": self._max_batch,
+                        },
+                    )
+                process = job.process
+                worker_span = trace.add_span(
+                    "pool.worker",
+                    start_ns=dispatched_ns,
+                    end_ns=done_ns,
+                    parent=trace_span,
+                    attributes={
+                        "worker_id": (
+                            process.name if process is not None else "unknown"
+                        ),
+                    },
+                )
+                # Worker offsets count from message receipt, which is
+                # after the dispatch instant; rebasing on dispatched_ns
+                # keeps every remote span inside pool.worker.
+                trace.add_remote_spans(
+                    worker_spans, base_ns=dispatched_ns, parent=worker_span
+                )
+                return result
+            return payload  # type: ignore[return-value]
         if job.status == "stale":
             with self._lock:
                 self._stale_retries += 1
@@ -856,12 +1027,20 @@ class ProcessWorkerPool:
         without disturbing the rest of the batch. Tasks pinned to a
         different segment than the batch head keep their arrival order
         and form the next batch.
+
+        Graceful drain: ``close()`` sets ``_closed`` and joins this
+        thread *before* sending worker shutdown sentinels. Observing
+        ``_closed`` here cuts the gather window short but still flushes
+        every already-gathered member to the worker queues — the thread
+        only exits once the pending deque is empty, so a request accepted
+        before ``close()`` completes instead of being dropped
+        (regression-pinned in ``tests/test_service_workers.py``).
         """
         while True:
             with self._batch_cond:
                 while not self._pending and not self._closed:
                     self._batch_cond.wait()
-                if self._closed:
+                if self._closed and not self._pending:
                     return
                 window_until = time.monotonic() + self._batch_window_s
                 while True:
@@ -878,11 +1057,9 @@ class ProcessWorkerPool:
                         if task.header.segment == head_segment
                     )
                     remaining = window_until - time.monotonic()
-                    if ready >= self._max_batch or remaining <= 0:
+                    if ready >= self._max_batch or remaining <= 0 or self._closed:
                         break
                     self._batch_cond.wait(timeout=remaining)
-                    if self._closed:
-                        return
                 if not self._pending:
                     continue
                 picked: list = []
@@ -900,10 +1077,12 @@ class ProcessWorkerPool:
                 slot = self._round_robin % self.workers
                 self._round_robin += 1
                 process = self._processes[slot]
+                dispatched_ns = time.monotonic_ns()
                 for job_id, _task in picked:
                     job = self._jobs.get(job_id)
                     if job is not None:
                         job.process = process
+                        job.dispatched_ns = dispatched_ns
                 self._batches += 1
                 self._batched_members += len(picked)
             self._emit("batch_dispatch")
@@ -912,10 +1091,13 @@ class ProcessWorkerPool:
                     self._on_batch(len(picked))
                 except Exception:  # noqa: BLE001 - observability is best-effort
                     pass
-            if len(picked) == 1:
+            if len(picked) == 1 and picked[0][1].trace is None:
                 # A lone task ships as a plain WorkerTask: the worker's
                 # single-task path is the batch path's parity oracle, so a
                 # batch of one must be indistinguishable from no batching.
+                # A *traced* lone task takes the batch path anyway — same
+                # bit-identical result (pinned by tests/test_batch_parity)
+                # but with the per-phase PPR/sweep spans recorded.
                 message: "WorkerTask | WorkerBatchTask" = picked[0][1]
             else:
                 message = WorkerBatchTask(
@@ -986,22 +1168,27 @@ class ProcessWorkerPool:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self, *, timeout: float = 10.0) -> None:
-        """Stop workers and the collector; unlink any parked segments."""
+        """Drain in-flight work, stop workers and the collector, unlink
+        parked segments.
+
+        Graceful-drain ordering: setting ``_closed`` rejects *new* ``run``
+        calls, then the dispatcher is joined so it flushes every
+        already-gathered batch member onto the worker queues (it exits
+        only once its pending deque is empty), then the shutdown
+        sentinels go out *behind* that flushed work — queues are FIFO, so
+        workers answer everything queued before exiting, and the
+        collector resolves those jobs before draining its own sentinel.
+        Only jobs still unresolved after all of that (e.g. lost to a dead
+        worker) are failed as ``worker pool closed``.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            pending = list(self._jobs.values())
-            self._jobs.clear()
-            retired = list(self._retired.values())
-            self._retired.clear()
-        for job in pending:  # unblock callers of run()
-            job.status = "error"
-            job.payload = ("RuntimeError('worker pool closed')", "")
-            job.event.set()
         if self._dispatcher is not None:
-            # Wake the dispatcher so it observes _closed and exits before
-            # the worker queues receive their shutdown sentinels.
+            # Wake the dispatcher so it observes _closed, flushes its
+            # pending members, and exits before the worker queues receive
+            # their shutdown sentinels.
             with self._batch_cond:
                 self._batch_cond.notify_all()
             self._dispatcher.join(timeout=timeout)
@@ -1014,6 +1201,15 @@ class ProcessWorkerPool:
                 process.join(timeout=timeout)
         self._result_queue.put(None)
         self._collector.join(timeout=timeout)
+        with self._lock:
+            leftover = list(self._jobs.values())
+            self._jobs.clear()
+            retired = list(self._retired.values())
+            self._retired.clear()
+        for job in leftover:  # unblock callers whose results never arrived
+            job.status = "error"
+            job.payload = ("RuntimeError('worker pool closed')", "")
+            job.event.set()
         for shared in retired:
             shared.unlink()
 

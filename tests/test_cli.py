@@ -338,3 +338,69 @@ class TestServeResilienceFlags:
             ["serve", "--drain-timeout", "0", "--request-timeout", "5"]
         )
         assert _validate_serve_args(args) is None
+
+
+class TestServeTracingFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.trace_sample_rate == 0.0
+        assert args.slow_query_ms is None
+        assert args.trace_buffer == 256
+        assert args.metrics_exemplars is False
+        assert args.log_format == "text"
+
+    def test_custom_values_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--trace-sample-rate",
+                "0.05",
+                "--slow-query-ms",
+                "250",
+                "--trace-buffer",
+                "64",
+                "--metrics-exemplars",
+                "--log-format",
+                "json",
+            ]
+        )
+        assert args.trace_sample_rate == 0.05
+        assert args.slow_query_ms == 250.0
+        assert args.trace_buffer == 64
+        assert args.metrics_exemplars is True
+        assert args.log_format == "json"
+
+    @pytest.mark.parametrize(
+        ("argv", "message"),
+        [
+            (
+                ["--trace-sample-rate", "1.5"],
+                "--trace-sample-rate must be within [0, 1]",
+            ),
+            (
+                ["--trace-sample-rate", "-0.1"],
+                "--trace-sample-rate must be within [0, 1]",
+            ),
+            (["--slow-query-ms", "0"], "--slow-query-ms must be positive"),
+            (["--trace-buffer", "0"], "--trace-buffer must be >= 1"),
+        ],
+    )
+    def test_nonsensical_flags_rejected(self, capsys, argv, message):
+        code = main(["serve", *argv])
+        assert code == 2
+        assert message in capsys.readouterr().out
+
+    def test_loadgen_trace_sample_rate_validated(self, capsys):
+        code = main(
+            [
+                "loadgen",
+                "--url",
+                "http://127.0.0.1:1",
+                "--trace-sample-rate",
+                "2.0",
+            ]
+        )
+        assert code == 2
+        assert "--trace-sample-rate must be within [0, 1]" in (
+            capsys.readouterr().out
+        )

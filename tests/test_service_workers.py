@@ -302,6 +302,63 @@ class TestPoolDeadlines:
             ProcessWorkerPool(1, **kwargs)
 
 
+class TestDispatcherDrain:
+    def test_close_flushes_gathered_batch_members(self):
+        """Members sitting in the gather window survive ``close()``.
+
+        Regression: the dispatcher used to exit as soon as ``_closed``
+        was observed, dropping already-accepted tasks still waiting out
+        the batch window — their callers then failed with "worker pool
+        closed" even though the pool had acknowledged the work. The
+        window here is far longer than the test, so every member is
+        still gathered (not dispatched) when ``close()`` lands.
+        """
+        pool = ProcessWorkerPool(1, max_batch=8, batch_window_ms=60_000.0)
+        shared = publish_graph(figure1_graph())
+        results: "list" = []
+        errors: "list[BaseException]" = []
+
+        def submit() -> None:
+            try:
+                results.append(
+                    pool.run(
+                        header=shared.header,
+                        query_ids=(1, 2),
+                        context_size=3,
+                        alpha=0.05,
+                        rng_seed=123,
+                        config=_config(),
+                    )
+                )
+            except BaseException as error:  # noqa: BLE001 - asserted below
+                errors.append(error)
+
+        threads = [threading.Thread(target=submit) for _ in range(3)]
+        try:
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                with pool._lock:
+                    gathered = len(pool._pending)
+                if gathered == len(threads):
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("members never reached the gather window")
+
+            pool.close()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert not any(thread.is_alive() for thread in threads)
+            assert not errors, f"flushed members failed: {errors!r}"
+            assert len(results) == len(threads)
+            assert all(result.query == (1, 2) for result in results)
+            assert all(result.results for result in results)
+        finally:
+            shared.unlink()
+
+
 class TestProcessEngine:
     @pytest.fixture()
     def graph(self):

@@ -27,11 +27,18 @@ result-parity assertion held; anything else is ``verdict: regression``
 (exit 1). Within one run both arms see identical noise conditions, so
 the ratio is a paired comparison rather than a cross-run scalar.
 
+``--trace-overhead`` is the matching single-report gate for the PR-9
+``trace_overhead`` phase: 1% head sampling must cost neither throughput
+nor p99 more than ``--threshold`` vs the tracing-disabled arm of the
+same run, and the forced-slow trace must carry the worker-side
+``worker.ppr``/``worker.sweep`` spans bounded by the request span.
+
 Usage (from the repo root)::
 
     python tools/bench_compare.py BENCH_PR7.json BENCH_PR8.json
     python tools/bench_compare.py old.json new.json --threshold 0.15 --json
     python tools/bench_compare.py --saturated BENCH_PR8.json
+    python tools/bench_compare.py --trace-overhead BENCH_PR9.json
     python tools/bench_compare.py --self-check
 """
 
@@ -59,6 +66,7 @@ SCALAR_METRICS = (
     ("cold_start", "speedup", "cold-start speedup"),
     ("saturated_batch", "batched_rps", "micro-batched req/s"),
     ("saturated_batch", "ratio", "micro-batch speedup ratio"),
+    ("trace_overhead", "sampled_rps", "traced (sampled) req/s"),
 )
 
 #: Latency quantiles compared with bootstrap CIs (label, q).
@@ -217,6 +225,85 @@ def check_saturated(report: dict, *, min_ratio: float = 2.0) -> dict:
     }
 
 
+def check_trace_overhead(report: dict, *, threshold: float = 0.10) -> dict:
+    """The PR-9 gate over one report's ``trace_overhead`` phase.
+
+    ``ok`` when 1% head sampling cost neither throughput nor p99 more
+    than ``threshold`` relative to the tracing-disabled arm of the same
+    run, *and* the forced-slow trace carried the worker-side
+    ``worker.ppr``/``worker.sweep`` spans with durations bounded by the
+    request span. ``regression`` when any bar is missed; ``no-data``
+    for reports that predate the phase. Both arms come from the same
+    run on the same machine — a paired comparison, like --saturated.
+    """
+    phase = report.get("trace_overhead")
+    if not isinstance(phase, dict):
+        return {
+            "pr": report.get("pr"),
+            "threshold": threshold,
+            "verdict": "no-data",
+        }
+    disabled_rps = phase.get("disabled_rps")
+    sampled_rps = phase.get("sampled_rps")
+    disabled_p99 = phase.get("disabled_p99_s")
+    sampled_p99 = phase.get("sampled_p99_s")
+    slow_trace = phase.get("slow_trace") or {}
+    numbers = (disabled_rps, sampled_rps, disabled_p99, sampled_p99)
+    if not all(isinstance(v, (int, float)) for v in numbers):
+        return {
+            "pr": report.get("pr"),
+            "threshold": threshold,
+            "verdict": "no-data",
+        }
+    throughput_ok = sampled_rps >= disabled_rps * (1.0 - threshold)
+    p99_ok = sampled_p99 <= disabled_p99 * (1.0 + threshold)
+    phases = set(slow_trace.get("phases") or ())
+    worker_ms = slow_trace.get("worker_ppr_sweep_ms")
+    request_ms = slow_trace.get("request_ms")
+    trace_ok = (
+        {"worker.ppr", "worker.sweep"} <= phases
+        and isinstance(worker_ms, (int, float))
+        and isinstance(request_ms, (int, float))
+        and worker_ms <= request_ms
+    )
+    return {
+        "pr": report.get("pr"),
+        "threshold": threshold,
+        "disabled_rps": disabled_rps,
+        "sampled_rps": sampled_rps,
+        "disabled_p99_s": disabled_p99,
+        "sampled_p99_s": sampled_p99,
+        "throughput_ok": throughput_ok,
+        "p99_ok": p99_ok,
+        "slow_trace_ok": trace_ok,
+        "verdict": (
+            "ok" if throughput_ok and p99_ok and trace_ok else "regression"
+        ),
+    }
+
+
+def print_trace_overhead(result: dict) -> None:
+    """Human-readable rendering of :func:`check_trace_overhead`."""
+    if result["verdict"] == "no-data":
+        print(
+            f"trace overhead (PR {result['pr']}): no trace_overhead phase "
+            f"in this report"
+        )
+        print("verdict: no-data")
+        return
+    print(
+        f"trace overhead (PR {result['pr']}, tolerance "
+        f"{result['threshold']:.0%}): "
+        f"off {result['disabled_rps']:.2f} req/s / "
+        f"p99 {result['disabled_p99_s'] * 1e3:.1f}ms -> "
+        f"on {result['sampled_rps']:.2f} req/s / "
+        f"p99 {result['sampled_p99_s'] * 1e3:.1f}ms "
+        f"(throughput ok: {result['throughput_ok']}, p99 ok: "
+        f"{result['p99_ok']}, slow trace ok: {result['slow_trace_ok']})"
+    )
+    print("verdict: " + result["verdict"])
+
+
 def print_saturated(result: dict) -> None:
     """Human-readable rendering of :func:`check_saturated`."""
     if result["verdict"] == "no-data":
@@ -333,6 +420,43 @@ def self_check() -> int:
     broken = dict(good["saturated_batch"], identical_results=False)
     assert check_saturated({"saturated_batch": broken})["verdict"] == "regression"
     assert check_saturated({"pr": 7})["verdict"] == "no-data"
+
+    # trace-overhead gate: throughput, p99, and slow-trace bars all required
+    traced = {
+        "pr": 9,
+        "trace_overhead": {
+            "disabled_rps": 100.0,
+            "sampled_rps": 98.0,
+            "disabled_p99_s": 0.050,
+            "sampled_p99_s": 0.052,
+            "slow_trace": {
+                "phases": ["bench.request", "worker.ppr", "worker.sweep"],
+                "worker_ppr_sweep_ms": 30.0,
+                "request_ms": 50.0,
+            },
+        },
+    }
+    assert check_trace_overhead(traced)["verdict"] == "ok"
+    slow_arm = dict(traced["trace_overhead"], sampled_rps=80.0)
+    assert (
+        check_trace_overhead({"trace_overhead": slow_arm})["verdict"]
+        == "regression"
+    )
+    fat_p99 = dict(traced["trace_overhead"], sampled_p99_s=0.070)
+    assert (
+        check_trace_overhead({"trace_overhead": fat_p99})["verdict"]
+        == "regression"
+    )
+    torn = dict(
+        traced["trace_overhead"],
+        slow_trace={"phases": ["bench.request"], "worker_ppr_sweep_ms": 1.0,
+                    "request_ms": 2.0},
+    )
+    assert (
+        check_trace_overhead({"trace_overhead": torn})["verdict"]
+        == "regression"
+    )
+    assert check_trace_overhead({"pr": 8})["verdict"] == "no-data"
     print("bench_compare self-check: ok")
     return 0
 
@@ -372,9 +496,32 @@ def main(argv: "list[str] | None" = None) -> int:
         default=2.0,
         help="minimum micro-batch throughput ratio for --saturated (2.0 = 2x)",
     )
+    parser.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help="single-report mode: gate BASELINE's trace_overhead phase "
+        "(1%% sampling vs tracing off) on --threshold + slow-trace "
+        "completeness",
+    )
     args = parser.parse_args(argv)
     if args.self_check:
         return self_check()
+    if args.trace_overhead:
+        if not args.baseline:
+            parser.error("--trace-overhead needs one report path")
+        if args.candidate:
+            parser.error("--trace-overhead takes a single report, not two")
+        try:
+            report = load_report(args.baseline)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        result = check_trace_overhead(report, threshold=args.threshold)
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+        else:
+            print_trace_overhead(result)
+        return 0 if result["verdict"] == "ok" else 1
     if args.saturated:
         if not args.baseline:
             parser.error("--saturated needs one report path")

@@ -13,7 +13,12 @@ answer a well-formed Prometheus exposition. It fails on:
   the swap;
 * the mid-run ``POST /v1/admin/reload`` not actually swapping;
 * a malformed metrics exposition, or the serving/batching metric
-  families missing from it.
+  families missing from it;
+* no complete request trace after the soak: the server samples every
+  request (``trace_sample_rate=1.0`` + exemplars), and at least one
+  retained ``http.search`` trace must contain the full cross-process
+  span tree — ``http.*`` → ``engine.*`` → ``worker.*`` phases — or the
+  pickle-boundary stitching regressed.
 
 This is the remaining headroom ROADMAP item 4 called out: observability
 validated under sustained load with a topology change, not just by a
@@ -149,6 +154,8 @@ def main(argv: "list[str] | None" = None) -> int:
             max_batch=args.max_batch,
             batch_window_ms=args.batch_window_ms,
             seed=11,
+            trace_sample_rate=1.0,
+            metrics_exemplars=True,
         )
         engine.pin()
         server = create_server(engine, port=0, registry=registry, retain=2)
@@ -218,6 +225,49 @@ def main(argv: "list[str] | None" = None) -> int:
                     f"metric family {family} missing or not a {kind} "
                     f"(got {families.get(family)!r})"
                 )
+        if families and " # {" not in body:
+            failures.append(
+                "no exemplars in the metrics exposition despite "
+                "metrics_exemplars=True and full trace sampling"
+            )
+
+        # Every request was sampled; at least one retained search trace
+        # must carry the complete cross-process span tree (cache hits
+        # legitimately have no worker spans, so scan until one does).
+        complete_trace: "str | None" = None
+        try:
+            with urllib.request.urlopen(
+                f"{url}/v1/debug/traces?limit=50", timeout=30
+            ) as response:
+                listing = json.loads(response.read())
+            searches = [
+                entry
+                for entry in listing.get("traces", [])
+                if entry["name"] == "http.search"
+            ]
+            if not searches:
+                failures.append("no retained http.search traces after the soak")
+            seen_names: "set[str]" = set()
+            for entry in searches:
+                with urllib.request.urlopen(
+                    f"{url}/v1/debug/traces/{entry['trace_id']}", timeout=30
+                ) as response:
+                    trace = json.loads(response.read())
+                names = {span["name"] for span in trace["spans"]}
+                seen_names |= names
+                if all(
+                    any(name.startswith(prefix) for name in names)
+                    for prefix in ("http.", "engine.", "worker.")
+                ):
+                    complete_trace = entry["trace_id"]
+                    break
+            if searches and complete_trace is None:
+                failures.append(
+                    "no search trace with complete http->engine->worker "
+                    f"span tree (saw phases: {sorted(seen_names)})"
+                )
+        except Exception as error:  # noqa: BLE001 - reported as a failure
+            failures.append(f"trace fetch failed: {error!r}")
 
         server.shutdown()
         server.server_close()
@@ -231,7 +281,8 @@ def main(argv: "list[str] | None" = None) -> int:
             f"{latency.get('p99', 0.0) * 1e3:.1f}ms, swap "
             f"v{swap_outcome.get('old_version')} -> "
             f"v{swap_outcome.get('new_version')}, "
-            f"{len(families)} well-formed metric families"
+            f"{len(families)} well-formed metric families, "
+            f"complete trace {complete_trace or 'MISSING'}"
         )
         if failures:
             for failure in failures:

@@ -1,0 +1,184 @@
+"""Render and aggregate traces captured by the query service.
+
+Two modes over the JSON shape served by ``GET /v1/debug/traces/<id>``
+(and stored by anything that saves those responses to disk):
+
+* **one trace** (a file path or an ``http(s)://`` trace URL): print the
+  span tree as an indented phase-timing listing, so "where did this
+  request's time go" is answered by eye — gather window vs worker PPR
+  vs sweep vs discrimination;
+* **a directory of traces** (``*.json``): aggregate every span across
+  every trace into a per-phase ``count / p50 / p99 / max`` table — the
+  slow-query triage view over a batch of retained slow traces.
+
+Usage (from the repo root)::
+
+    curl -s http://127.0.0.1:8099/v1/debug/traces/<id> > slow/one.json
+    python tools/trace_report.py slow/one.json
+    python tools/trace_report.py slow/
+    python tools/trace_report.py http://127.0.0.1:8099/v1/debug/traces/<id>
+
+Zero dependencies beyond the repo itself (the tree nesting comes from
+:func:`repro.service.tracing.trace_tree`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.tracing import trace_tree  # noqa: E402
+
+
+def load_trace(target: str) -> dict:
+    """One trace dict from a file path or an ``http(s)://`` URL."""
+    if target.startswith(("http://", "https://")):
+        with urllib.request.urlopen(target, timeout=30.0) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    else:
+        payload = json.loads(Path(target).read_text())
+    if not isinstance(payload, dict) or "spans" not in payload:
+        raise ValueError(f"{target}: not a trace (no 'spans' field)")
+    return payload
+
+
+def _format_attrs(attributes: dict) -> str:
+    if not attributes:
+        return ""
+    inner = " ".join(f"{key}={value}" for key, value in attributes.items())
+    return f"  [{inner}]"
+
+
+def render_tree(trace: dict, *, out=None) -> None:
+    """Print one trace as an indented phase-timing tree."""
+    out = out if out is not None else sys.stdout
+    retained = trace.get("retained", "?")
+    print(
+        f"trace {trace.get('trace_id', '?')}  "
+        f"({trace.get('duration_ms', '?')} ms, retained: {retained}"
+        f"{', ERROR' if trace.get('error') else ''})",
+        file=out,
+    )
+
+    def walk(node: dict, depth: int) -> None:
+        print(
+            f"{'  ' * depth}{node['name']:<24} "
+            f"{node['duration_ms']:>10.3f} ms"
+            f"{_format_attrs(node.get('attributes', {}))}",
+            file=out,
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in trace_tree(trace):
+        walk(root, 0)
+
+
+def percentile(ordered: "list[float]", q: float) -> float:
+    """Nearest-rank quantile of an already-sorted list."""
+    if not ordered:
+        return math.nan
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def aggregate(traces: "list[dict]") -> "list[dict]":
+    """Per-phase duration stats across ``traces``, slowest p99 first."""
+    by_name: "dict[str, list[float]]" = {}
+    for trace in traces:
+        for span in trace["spans"]:
+            by_name.setdefault(span["name"], []).append(span["duration_ms"])
+    rows = []
+    for name, durations in by_name.items():
+        durations.sort()
+        rows.append(
+            {
+                "phase": name,
+                "count": len(durations),
+                "p50_ms": percentile(durations, 0.50),
+                "p99_ms": percentile(durations, 0.99),
+                "max_ms": durations[-1],
+            }
+        )
+    rows.sort(key=lambda row: row["p99_ms"], reverse=True)
+    return rows
+
+
+def render_table(rows: "list[dict]", *, traces: int, out=None) -> None:
+    """Print the per-phase aggregate as an aligned text table."""
+    out = out if out is not None else sys.stdout
+    print(f"{len(rows)} phases across {traces} traces", file=out)
+    print(
+        f"{'phase':<24} {'count':>6} {'p50_ms':>10} {'p99_ms':>10} "
+        f"{'max_ms':>10}",
+        file=out,
+    )
+    for row in rows:
+        print(
+            f"{row['phase']:<24} {row['count']:>6} {row['p50_ms']:>10.3f} "
+            f"{row['p99_ms']:>10.3f} {row['max_ms']:>10.3f}",
+            file=out,
+        )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="pretty-print one captured trace, or aggregate a "
+        "directory of them into a per-phase latency table"
+    )
+    parser.add_argument(
+        "target",
+        help="a trace JSON file, a directory of *.json traces, or an "
+        "http(s) URL of GET /v1/debug/traces/<id>",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the aggregate/tree as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.target)
+    if not args.target.startswith(("http://", "https://")) and path.is_dir():
+        files = sorted(path.glob("*.json"))
+        if not files:
+            print(f"{path}: no *.json traces found")
+            return 1
+        traces = []
+        for file in files:
+            try:
+                traces.append(load_trace(str(file)))
+            except (ValueError, json.JSONDecodeError) as error:
+                print(f"skipping {file}: {error}", file=sys.stderr)
+        if not traces:
+            print(f"{path}: no readable traces")
+            return 1
+        rows = aggregate(traces)
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        else:
+            render_table(rows, traces=len(traces))
+        return 0
+
+    try:
+        trace = load_trace(args.target)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"{args.target}: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(trace_tree(trace), indent=2, sort_keys=True))
+    else:
+        render_tree(trace)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

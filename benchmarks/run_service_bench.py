@@ -2,8 +2,8 @@
 
 Thin wrapper over :func:`repro.service.bench.run_service_benchmark` (the
 same driver behind ``repro bench-serve``), defaulting the output to the
-repo-root ``BENCH_PR9.json`` so the service has a committed perf record
-alongside ``BENCH_PR1.json`` – ``BENCH_PR8.json``. Since PR 3 the suite
+repo-root ``BENCH_PR10.json`` so the service has a committed perf record
+alongside ``BENCH_PR1.json`` – ``BENCH_PR9.json``. Since PR 3 the suite
 includes the thread-vs-process backend comparison on distinct-query
 traffic; since PR 4 it also measures the snapshot-store cold start
 (parse+compile vs mmap open, asserted >= 10x) and snapshot-file serving
@@ -26,11 +26,16 @@ by ``tools/bench_compare.py --saturated``); since PR 9 it measures the
 same saturated-batch workload, gated within the no-regression threshold
 by ``tools/bench_compare.py --trace-overhead``, plus a forced slow-query
 capture whose worker-side PPR/sweep spans must sum to at most the
-request span).
+request span); since PR 10 it runs the **live ingest** phase (delta
+append → incremental CSR merge → hot swap cycles under sustained
+reads — zero failed reads, exact chain provenance and merge
+arithmetic, fresh-engine result parity all asserted, and the
+ingest-window read p99 gated against a like-for-like quiescent window
+by ``tools/bench_compare.py --live-ingest``).
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR9.json]
+    PYTHONPATH=src python benchmarks/run_service_bench.py [--out BENCH_PR10.json]
                                                           [--scale 2.0] [--workers 4]
                                                           [--quick] [--snapshot PATH]
 
@@ -101,7 +106,7 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.quick:
         for name, value in QUICK_PRESET.items():
             setattr(args, name, value)
-    out = args.out if args.out is not None else REPO_ROOT / "BENCH_PR9.json"
+    out = args.out if args.out is not None else REPO_ROOT / "BENCH_PR10.json"
 
     report = run_service_benchmark(
         dataset=args.dataset,

@@ -35,10 +35,30 @@ Subcommands
         repro publish yago serving/ --scale 2.0
         repro publish prebuilt.snap serving/
 
+``ingest``
+    Append a batch of statement-level edits to a registry's delta log
+    and fold it into a fresh snapshot version — the offline twin of
+    ``POST /v1/admin/ingest``. Each line is one statement (N-Triples or
+    TSV), optionally prefixed ``+`` (add, the default) or ``-``
+    (remove); ``-`` as the batch path reads stdin. A serving process
+    adopts the merged version via ``POST /v1/admin/reload`` or its
+    ``--poll-interval`` watcher::
+
+        repro ingest edits.nt serving/
+        echo '- <a> <r> <b> .' | repro ingest - serving/
+
+``compact``
+    Collapse a registry's active delta chain (base + runs, plus
+    anything still pending) into a fresh self-standing version, so GC
+    can drop the old base and its run files once they age out::
+
+        repro compact serving/
+
 ``inspect``
     Print the stored header of a snapshot file (format version,
     node/edge/label counts, name-table sizes, transition presence) or
-    the manifest of a registry directory::
+    the manifest of a registry directory — including each version's
+    delta-chain provenance and any pending runs::
 
         repro inspect graph.snap
         repro inspect serving/ --json
@@ -203,6 +223,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-transition",
         action="store_true",
         help="do not persist the frozen PPR transition matrix",
+    )
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="append a +/- statement batch to a registry's delta log "
+        "and merge it into a fresh version",
+    )
+    ingest.add_argument(
+        "batch",
+        help="a batch file of statements ('+'/'-' line prefixes mark "
+        "adds/removes; bare lines are adds), or '-' for stdin",
+    )
+    ingest.add_argument(
+        "registry", type=Path, help="snapshot registry directory (must exist)"
+    )
+    ingest.add_argument(
+        "--format",
+        dest="fmt",
+        default="auto",
+        choices=("auto", "nt", "tsv"),
+        help="batch format (default: by file extension; 'nt' for stdin)",
+    )
+    ingest.add_argument(
+        "--no-merge",
+        action="store_true",
+        help="append the delta run only; a later ingest, compact, or "
+        "serving-side merge folds it in",
+    )
+    ingest.add_argument(
+        "--no-transition",
+        action="store_true",
+        help="do not persist the frozen PPR transition matrix in the "
+        "merged snapshot",
+    )
+
+    compact = sub.add_parser(
+        "compact",
+        help="collapse a registry's delta chain into a fresh full version",
+    )
+    compact.add_argument(
+        "registry", type=Path, help="snapshot registry directory (must exist)"
+    )
+    compact.add_argument(
+        "--no-transition",
+        action="store_true",
+        help="do not persist the frozen PPR transition matrix in the "
+        "compacted snapshot",
     )
 
     inspect = sub.add_parser(
@@ -530,6 +597,57 @@ def _cmd_publish(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.disk import SnapshotRegistry, detect_format
+    from repro.disk.delta import parse_delta_lines
+
+    registry = SnapshotRegistry(args.registry, create=False)
+    if args.batch == "-":
+        fmt = "nt" if args.fmt == "auto" else args.fmt
+        lines = sys.stdin.read().splitlines()
+    else:
+        fmt = detect_format(args.batch) if args.fmt == "auto" else args.fmt
+        lines = Path(args.batch).read_text(encoding="utf-8").splitlines()
+    ops = parse_delta_lines(lines, fmt)
+    run = registry.append_delta(ops)
+    if run is None:
+        print(f"{args.batch}: batch nets out to no change; nothing appended")
+        return 0
+    print(
+        f"appended {run.file}: {run.adds} add(s), {run.removes} remove(s) "
+        f"against base v{run.base_version} ({run.bytes} bytes)"
+    )
+    if args.no_merge:
+        print(f"{len(registry.pending_runs())} run(s) pending merge")
+        return 0
+    entry = registry.merge_pending(include_transition=not args.no_transition)
+    if entry is not None:
+        print(
+            f"merged into v{entry.version}: |V|={entry.nodes}, "
+            f"|E|={entry.edges}, |L|={entry.labels} "
+            f"(chain base v{entry.base} + {len(entry.deltas)} delta(s))"
+        )
+    print(registry.summary())
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.disk import SnapshotRegistry
+
+    registry = SnapshotRegistry(args.registry, create=False)
+    entry = registry.compact(include_transition=not args.no_transition)
+    if entry is None:
+        print(f"{args.registry}: already compact (no delta chain, nothing pending)")
+        return 0
+    print(
+        f"compacted chain into v{entry.version}: |V|={entry.nodes}, "
+        f"|E|={entry.edges}, |L|={entry.labels} ({entry.bytes} bytes, "
+        f"{entry.file})"
+    )
+    print(registry.summary())
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.disk import SnapshotRegistry, inspect_snapshot
     from repro.disk.registry import MANIFEST_NAME
@@ -551,10 +669,20 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             return 0
         print(registry.summary())
         for entry in registry.versions():
+            chain = (
+                f"  [base v{entry.base} + {len(entry.deltas)} delta(s)]"
+                if entry.base is not None
+                else ""
+            )
             print(
                 f"  v{entry.version}: {entry.file}  |V|={entry.nodes} "
                 f"|E|={entry.edges} |L|={entry.labels}  {entry.bytes} bytes  "
-                f"({entry.graph_name})"
+                f"({entry.graph_name}){chain}"
+            )
+        for run in registry.pending_runs():
+            print(
+                f"  pending {run.file}: {run.adds} add(s), "
+                f"{run.removes} remove(s)  {run.bytes} bytes"
             )
         return 0
     info = inspect_snapshot(target)
@@ -711,7 +839,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     endpoints = (
         "/v1/search, /v1/healthz, /v1/stats, /v1/metrics"
         + (", /v1/debug/traces" if engine.tracer.enabled else "")
-        + (", /v1/admin/reload" if registry is not None else "")
+        + (", /v1/admin/reload, /v1/admin/ingest" if registry is not None else "")
     )
     print(f"listening on http://{host}:{port} ({endpoints})")
 
@@ -858,6 +986,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "datasets": _cmd_datasets,
         "compile": _cmd_compile,
         "publish": _cmd_publish,
+        "ingest": _cmd_ingest,
+        "compact": _cmd_compact,
         "inspect": _cmd_inspect,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,

@@ -26,12 +26,29 @@ parsing dumps:
   (``repro publish`` / ``repro serve --snapshot-dir`` /
   ``POST /admin/reload``);
 * :func:`inspect_snapshot` — the stored-header audit behind
-  ``repro inspect``.
+  ``repro inspect``;
+* :class:`DeltaLog` / :func:`merge_snapshot_file` (PR 10) — the live
+  write path: statement-level add/remove batches persist as immutable
+  delta runs against a chain base, fold incrementally into fresh
+  snapshots byte-identical to a full recompile, and compact back into
+  self-standing versions (``repro ingest`` / ``repro compact`` /
+  ``POST /v1/admin/ingest``).
 
 File-format details and the cold-start lifecycle live in
 ``docs/ARCHITECTURE.md``; the operator guide is ``docs/OPERATIONS.md``.
 """
 
+from repro.disk.delta import (
+    DeltaFormatError,
+    DeltaLog,
+    DeltaLogError,
+    DeltaRun,
+    canonicalize_ops,
+    inspect_delta_run,
+    parse_delta_lines,
+    read_delta_run,
+    write_delta_run,
+)
 from repro.disk.ingest import (
     IngestStats,
     StreamingCompiler,
@@ -39,6 +56,7 @@ from repro.disk.ingest import (
     detect_format,
     ingest_file,
     ingest_triples,
+    merge_snapshot_file,
 )
 from repro.disk.registry import (
     RegistryEntry,
@@ -59,6 +77,10 @@ from repro.disk.store import (
 )
 
 __all__ = [
+    "DeltaFormatError",
+    "DeltaLog",
+    "DeltaLogError",
+    "DeltaRun",
     "DiskSnapshot",
     "DiskSnapshotHeader",
     "DiskSnapshotPublication",
@@ -67,8 +89,13 @@ __all__ = [
     "RegistryError",
     "SnapshotFormatError",
     "SnapshotRegistry",
+    "canonicalize_ops",
+    "inspect_delta_run",
     "inspect_snapshot",
     "is_snapshot_file",
+    "merge_snapshot_file",
+    "parse_delta_lines",
+    "read_delta_run",
     "StreamingCompiler",
     "compile_triples",
     "detect_format",
@@ -78,4 +105,5 @@ __all__ = [
     "open_snapshot_view",
     "save_graph_snapshot",
     "save_snapshot",
+    "write_delta_run",
 ]

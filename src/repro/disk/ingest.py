@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.disk.store import save_snapshot
+from repro.disk.store import _take, save_snapshot
 from repro.graph.compiled import CompiledGraph
 from repro.graph.labels import LabelTable, inverse_label
 
@@ -61,6 +61,70 @@ class IngestStats:
     duplicates: int
     #: Snapshot file size, when the compile was written to disk.
     bytes_written: int = 0
+    #: Edges deleted by a delta merge (always 0 for a bulk ingest).
+    removed: int = 0
+
+
+def _compile_canonical(
+    sources: np.ndarray,
+    label_ids: np.ndarray,
+    targets: np.ndarray,
+    n: int,
+    label_count: int,
+    *,
+    version: int,
+) -> CompiledGraph:
+    """CSR index arrays + Equation-1 weights from canonical edge columns.
+
+    ``sources`` / ``label_ids`` / ``targets`` must already be in the
+    snapshot's canonical ``(source, label, target)`` order with
+    duplicates dropped. Both the bulk compile (:meth:`StreamingCompiler.
+    finalize`) and the incremental merge (:meth:`StreamingCompiler.
+    merge_delta`) funnel through here, which is what makes "same edge
+    set in, same bytes out" a structural guarantee rather than a test
+    hope.
+    """
+    edge_total = int(sources.shape[0])
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    if edge_total:
+        np.cumsum(np.bincount(sources, minlength=n), out=indptr[1:])
+
+    label_order = np.argsort(label_ids, kind="stable").astype(np.int64, copy=False)
+    label_counts = (
+        np.bincount(label_ids, minlength=label_count)
+        if edge_total
+        else np.zeros(label_count, dtype=np.int64)
+    )
+    label_indptr = np.zeros(label_count + 1, dtype=np.int64)
+    np.cumsum(label_counts, out=label_indptr[1:])
+
+    label_weights = np.zeros(label_count, dtype=np.float64)
+    if edge_total:
+        live = label_counts > 0
+        label_weights[live] = 1.0 - label_counts[live] / edge_total
+    out_weight = (
+        np.bincount(sources, weights=label_weights[label_ids], minlength=n)
+        if edge_total
+        else np.zeros(n, dtype=np.float64)
+    )
+
+    arrays = {
+        "indptr": indptr,
+        "sources": sources,
+        "label_ids": label_ids,
+        "targets": targets,
+        "label_indptr": label_indptr,
+        "label_order": label_order,
+        "label_weights": label_weights,
+        "out_weight": out_weight,
+    }
+    return CompiledGraph.from_arrays(
+        version=version,
+        node_count=n,
+        label_count=label_count,
+        arrays=arrays,
+    )
 
 
 class StreamingCompiler:
@@ -174,44 +238,8 @@ class StreamingCompiler:
         edge_total = int(sources.shape[0])
         duplicates = int(src.shape[0]) - edge_total
 
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        if edge_total:
-            np.cumsum(np.bincount(sources, minlength=n), out=indptr[1:])
-
-        label_order = np.argsort(label_ids, kind="stable").astype(np.int64, copy=False)
-        label_counts = (
-            np.bincount(label_ids, minlength=label_count)
-            if edge_total
-            else np.zeros(label_count, dtype=np.int64)
-        )
-        label_indptr = np.zeros(label_count + 1, dtype=np.int64)
-        np.cumsum(label_counts, out=label_indptr[1:])
-
-        label_weights = np.zeros(label_count, dtype=np.float64)
-        if edge_total:
-            live = label_counts > 0
-            label_weights[live] = 1.0 - label_counts[live] / edge_total
-        out_weight = (
-            np.bincount(sources, weights=label_weights[label_ids], minlength=n)
-            if edge_total
-            else np.zeros(n, dtype=np.float64)
-        )
-
-        arrays = {
-            "indptr": indptr,
-            "sources": sources,
-            "label_ids": label_ids,
-            "targets": targets,
-            "label_indptr": label_indptr,
-            "label_order": label_order,
-            "label_weights": label_weights,
-            "out_weight": out_weight,
-        }
-        compiled = CompiledGraph.from_arrays(
-            version=version,
-            node_count=n,
-            label_count=label_count,
-            arrays=arrays,
+        compiled = _compile_canonical(
+            sources, label_ids, targets, n, label_count, version=version
         )
         stats = IngestStats(
             nodes=n,
@@ -221,6 +249,261 @@ class StreamingCompiler:
             duplicates=duplicates,
         )
         return compiled, self._names, self._labels, stats
+
+    @classmethod
+    def merge_delta(
+        cls,
+        compiled: CompiledGraph,
+        node_names: "Sequence[str]",
+        label_names: "Iterable[str]",
+        adds: "Sequence[tuple[str, str, str]]",
+        removes: "Sequence[tuple[str, str, str]]",
+        *,
+        add_inverse: bool = True,
+        version: int = 0,
+    ) -> "tuple[CompiledGraph, list[str], LabelTable, IngestStats]":
+        """Fold one delta batch into an existing snapshot's arrays.
+
+        The incremental write path: instead of re-running the whole
+        triple stream, the existing canonical edge columns are merged
+        with the batch's add/remove edges in one lexsort over
+        ``E + adds + removes`` rows. The existing vocabulary is copied
+        verbatim (ids never move, nothing is re-interned); ``adds``
+        intern any *new* names in statement order with the exact
+        first-mention sequence :meth:`add` uses, so the result is
+        byte-identical to a full recompile of the final statement set
+        with the chain's accumulated vocabulary pre-interned
+        (``tests/test_delta_parity.py`` pins this differentially).
+
+        ``adds`` / ``removes`` must be a canonical batch
+        (:func:`repro.disk.delta.canonicalize_ops`): disjoint under
+        inversion closure, deduplicated, sorted. Removes are
+        lookup-only — a remove naming an unknown node or label is a
+        no-op, and removal always targets both orientations of the
+        statement (matching how ``add_inverse`` compiled them in).
+
+        Returns ``(compiled, node_names, label_table, stats)`` exactly
+        like :meth:`finalize`; ``stats.removed`` counts the edge rows
+        deleted, ``stats.duplicates`` the added rows that already
+        existed.
+        """
+        names = _take(node_names, compiled.node_count)
+        name_to_id = {name: index for index, name in enumerate(names)}
+        labels = LabelTable()
+        for label in label_names:
+            if len(labels) == compiled.label_count:
+                break
+            labels.intern(label)
+        if len(labels) != compiled.label_count:
+            raise ValueError(
+                f"need {compiled.label_count} label names, got {len(labels)}"
+            )
+
+        def intern_node(name: str) -> int:
+            existing = name_to_id.get(name)
+            if existing is not None:
+                return existing
+            if not isinstance(name, str) or not name:
+                raise ValueError(
+                    f"node name must be a non-empty string, got {name!r}"
+                )
+            node_id = len(names)
+            names.append(name)
+            name_to_id[name] = node_id
+            return node_id
+
+        # Added edges: intern in the exact add() order (subject, object,
+        # forward label, inverse label), both directions when the base
+        # was compiled with inverse closure.
+        add_src = array("q")
+        add_lab = array("q")
+        add_dst = array("q")
+        for subject, label, obj in adds:
+            src = intern_node(subject)
+            dst = intern_node(obj)
+            label_id = labels.intern(label)
+            add_src.append(src)
+            add_lab.append(label_id)
+            add_dst.append(dst)
+            if add_inverse:
+                inverse_id = labels.intern(inverse_label(label))
+                add_src.append(dst)
+                add_lab.append(inverse_id)
+                add_dst.append(src)
+
+        # Removed edges: lookups only — removes never grow the
+        # vocabulary, and each orientation is resolved independently.
+        rem_src = array("q")
+        rem_lab = array("q")
+        rem_dst = array("q")
+        for subject, label, obj in removes:
+            oriented = [(subject, label, obj)]
+            if add_inverse:
+                oriented.append((obj, inverse_label(label), subject))
+            for edge_subject, edge_label, edge_object in oriented:
+                src = name_to_id.get(edge_subject)
+                dst = name_to_id.get(edge_object)
+                label_id = labels.lookup(edge_label)
+                if src is None or dst is None or label_id is None:
+                    continue
+                rem_src.append(src)
+                rem_lab.append(label_id)
+                rem_dst.append(dst)
+
+        base = compiled.arrays()
+        base_edges = int(base["sources"].shape[0])
+        added_rows = len(add_src)
+        removed_rows = len(rem_src)
+
+        def column(base_column: np.ndarray, add_buf, rem_buf) -> np.ndarray:
+            parts = [np.asarray(base_column, dtype=np.int64)]
+            parts.append(
+                np.frombuffer(add_buf, dtype=np.int64)
+                if add_buf
+                else np.empty(0, dtype=np.int64)
+            )
+            parts.append(
+                np.frombuffer(rem_buf, dtype=np.int64)
+                if rem_buf
+                else np.empty(0, dtype=np.int64)
+            )
+            return np.concatenate(parts)
+
+        all_src = column(base["sources"], add_src, rem_src)
+        all_lab = column(base["label_ids"], add_lab, rem_lab)
+        all_dst = column(base["targets"], add_dst, rem_dst)
+        flag = np.zeros(all_src.shape[0], dtype=np.int64)
+        flag[base_edges + added_rows :] = 1
+
+        n = len(names)
+        label_count = len(labels)
+        deleted = 0
+        if all_src.shape[0]:
+            # One lexsort groups equal (source, label, target) rows with
+            # remove markers (flag 1) sorted after keep candidates
+            # (flag 0). A group containing a marker is deleted wholesale;
+            # surviving groups collapse to their first row — the same
+            # neighbour-compare dedup finalize() applies.
+            order = np.lexsort((flag, all_dst, all_lab, all_src))
+            row_src = all_src[order]
+            row_lab = all_lab[order]
+            row_dst = all_dst[order]
+            row_flag = flag[order]
+            total = row_src.shape[0]
+            new_group = np.empty(total, dtype=bool)
+            new_group[0] = True
+            new_group[1:] = (
+                (row_src[1:] != row_src[:-1])
+                | (row_lab[1:] != row_lab[:-1])
+                | (row_dst[1:] != row_dst[:-1])
+            )
+            group_id = np.cumsum(new_group) - 1
+            last_of_group = np.empty(total, dtype=bool)
+            last_of_group[:-1] = new_group[1:]
+            last_of_group[-1] = True
+            # Within a group flags are sorted, so the last row carries
+            # the group's "has a remove marker" bit.
+            group_removed = row_flag[last_of_group] == 1
+            keep = new_group & (row_flag == 0) & ~group_removed[group_id]
+            deleted = int(
+                np.count_nonzero((row_flag == 0) & group_removed[group_id])
+            )
+            sources = np.ascontiguousarray(row_src[keep])
+            label_ids = np.ascontiguousarray(row_lab[keep])
+            targets = np.ascontiguousarray(row_dst[keep])
+        else:
+            sources = np.empty(0, dtype=np.int64)
+            label_ids = np.empty(0, dtype=np.int64)
+            targets = np.empty(0, dtype=np.int64)
+
+        edge_total = int(sources.shape[0])
+        duplicates = base_edges + added_rows - edge_total - deleted
+        merged = _compile_canonical(
+            sources, label_ids, targets, n, label_count, version=version
+        )
+        stats = IngestStats(
+            nodes=n,
+            edges=edge_total,
+            labels=label_count,
+            triples=len(adds) + len(removes),
+            duplicates=duplicates,
+            removed=deleted,
+        )
+        return merged, names, labels, stats
+
+
+def merge_snapshot_file(
+    base_path: "str | os.PathLike[str]",
+    batches: "Iterable[tuple[Sequence[tuple[str, str, str]], Sequence[tuple[str, str, str]]]]",
+    out_path: "str | os.PathLike[str]",
+    *,
+    version: int,
+    graph_name: "str | None" = None,
+    add_inverse: bool = True,
+    include_transition: bool = True,
+) -> IngestStats:
+    """Apply delta batches to a snapshot file, writing a fresh snapshot.
+
+    Opens ``base_path``, folds each ``(adds, removes)`` batch in
+    sequence via :meth:`StreamingCompiler.merge_delta`, and persists the
+    result (with a rebuilt frozen transition by default, like the bulk
+    path). The registry's merge and compaction jobs both funnel through
+    here — an incrementally merged snapshot *is* a full snapshot, the
+    chain bookkeeping lives purely in the manifest.
+    """
+    from repro.disk.store import open_snapshot
+
+    snapshot = open_snapshot(base_path)
+    try:
+        compiled = snapshot.compiled
+        names: "Sequence[str]" = snapshot.node_names
+        labels: "Iterable[str]" = snapshot.label_table
+        stats = None
+        triples = duplicates = removed = 0
+        for adds, removes in batches:
+            compiled, names, labels, stats = StreamingCompiler.merge_delta(
+                compiled,
+                names,
+                labels,
+                adds,
+                removes,
+                add_inverse=add_inverse,
+                version=version,
+            )
+            triples += stats.triples
+            duplicates += stats.duplicates
+            removed += stats.removed
+        if stats is None:
+            # No batches: re-stamp the base as-is under the new version.
+            compiled, names, labels, stats = StreamingCompiler.merge_delta(
+                compiled, names, labels, (), (), add_inverse=add_inverse,
+                version=version,
+            )
+        transition = None
+        if include_transition:
+            from repro.graph.matrix import transition_from_snapshot
+
+            transition = transition_from_snapshot(compiled)
+        written = save_snapshot(
+            compiled,
+            list(names),
+            [labels.name(label_id) for label_id in range(len(labels))],
+            out_path,
+            graph_name=graph_name or snapshot.header.graph_name,
+            transition=transition,
+        )
+    finally:
+        snapshot.close()
+    # Counters aggregate across batches; sizes come from the final merge.
+    return IngestStats(
+        nodes=stats.nodes,
+        edges=stats.edges,
+        labels=stats.labels,
+        triples=triples,
+        duplicates=duplicates,
+        bytes_written=written,
+        removed=removed,
+    )
 
 
 def compile_triples(

@@ -10,7 +10,19 @@ The layout::
       MANIFEST.json      - registry index: latest version + per-version rows
       v000001.snap       - snapshot files, one per published version
       v000002.snap
+      v000001-d0000.delta - delta runs appended against base v1 (live ingest)
       ...
+
+**Delta chains.** Live ingest (:mod:`repro.disk.delta`) appends
+immutable run files against a chain *base* — the newest full publish.
+Merged snapshots record their provenance in the manifest row (``base`` +
+``deltas``: which runs produced them); :meth:`SnapshotRegistry.
+append_delta` writes a run, :meth:`SnapshotRegistry.merge_pending`
+folds unmerged runs into a fresh serving snapshot, and
+:meth:`SnapshotRegistry.compact` collapses the chain into a fresh full
+version with no provenance, after which GC can drop the old base and
+its runs. Every merged snapshot is physically self-contained — the
+chain is bookkeeping, not a read-path indirection.
 
 **Monotonic version ids.** Every publish allocates ``latest + 1`` and
 bakes it into the snapshot file's own header (the ``version`` field the
@@ -28,7 +40,8 @@ skips past (version allocation also scans the directory).
 
 **Retention / GC.** :meth:`SnapshotRegistry.gc` keeps the newest
 ``retain`` versions (plus anything in ``keep`` — the version a server is
-still draining, say) and unlinks the rest. POSIX semantics make this
+still draining, say — plus every chain base a surviving row still
+references, and the runs of every retained base) and unlinks the rest. POSIX semantics make this
 safe under load: a process with the old file mapped keeps reading it
 after the unlink; only *new* opens fail, which the worker pool already
 surfaces as a retriable :class:`~repro.parallel.shm.StaleSnapshotError`.
@@ -65,6 +78,7 @@ from repro.graph.compiled import CompiledGraph
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from collections.abc import Iterable
 
+    from repro.disk.delta import DeltaLog, DeltaRun
     from repro.graph.model import KnowledgeGraph
     from repro.parallel.shm import SnapshotGraphView
 
@@ -101,10 +115,15 @@ class RegistryEntry:
     labels: int
     bytes: int
     published_unix: int
+    #: The chain base this version was incrementally merged from, or
+    #: ``None`` for a self-standing publish/compact product.
+    base: "int | None" = None
+    #: Run file names (chain order) folded into this version so far.
+    deltas: "tuple[str, ...]" = ()
 
     def as_dict(self) -> dict:
         """The JSON shape stored in the manifest (``path`` is derived)."""
-        return {
+        row = {
             "version": self.version,
             "file": self.file,
             "graph_name": self.graph_name,
@@ -114,6 +133,10 @@ class RegistryEntry:
             "bytes": self.bytes,
             "published_unix": self.published_unix,
         }
+        if self.base is not None:
+            row["base"] = self.base
+            row["deltas"] = list(self.deltas)
+        return row
 
 
 def _version_filename(version: int) -> str:
@@ -203,9 +226,22 @@ class SnapshotRegistry:
             )
         entries = []
         for row in manifest.get("versions", []):
+            # Explicit field-by-field construction: a manifest written by
+            # a newer build may carry keys this build does not know, and
+            # an older build's rows lack the chain fields entirely.
             entries.append(
                 RegistryEntry(
-                    path=os.path.join(self.directory, row["file"]), **row
+                    version=row["version"],
+                    file=row["file"],
+                    path=os.path.join(self.directory, row["file"]),
+                    graph_name=row["graph_name"],
+                    nodes=row["nodes"],
+                    edges=row["edges"],
+                    labels=row["labels"],
+                    bytes=row["bytes"],
+                    published_unix=row["published_unix"],
+                    base=row.get("base"),
+                    deltas=tuple(row.get("deltas", ())),
                 )
             )
         entries.sort(key=lambda entry: entry.version)
@@ -424,7 +460,14 @@ class SnapshotRegistry:
             )
             return self._record(version, path)
 
-    def _record(self, version: int, path: str) -> RegistryEntry:
+    def _record(
+        self,
+        version: int,
+        path: str,
+        *,
+        base: "int | None" = None,
+        deltas: "tuple[str, ...]" = (),
+    ) -> RegistryEntry:
         """Append the manifest row for a freshly written snapshot file."""
         snap: DiskSnapshot = open_snapshot(path)
         try:
@@ -438,6 +481,8 @@ class SnapshotRegistry:
                 labels=snap.header.label_count,
                 bytes=os.path.getsize(path),
                 published_unix=int(time.time()),
+                base=base,
+                deltas=deltas,
             )
         finally:
             snap.close()
@@ -445,6 +490,156 @@ class SnapshotRegistry:
         self._entries.sort(key=lambda item: item.version)
         self._write_manifest()
         return entry
+
+    # -- delta chains ------------------------------------------------------
+
+    def chain_base(self) -> int:
+        """The version live-ingest runs append against.
+
+        The newest version's own base when it was merged from a chain,
+        else the newest version itself. Raises for an empty registry —
+        deltas need a base to be deltas *of*.
+        """
+        tip = self.latest()
+        if tip is None:
+            raise RegistryError(
+                f"registry at {self.directory} is empty; publish a base "
+                f"snapshot before ingesting deltas"
+            )
+        return tip.base if tip.base is not None else tip.version
+
+    def delta_log(self) -> "DeltaLog":
+        """The active chain's :class:`~repro.disk.delta.DeltaLog`."""
+        from repro.disk.delta import DeltaLog
+
+        return DeltaLog(self.directory, self.chain_base())
+
+    def pending_runs(self) -> "list[DeltaRun]":
+        """Published runs the newest version has not folded in yet.
+
+        Run files whose names are absent from the tip's ``deltas`` list
+        — exactly the set :meth:`merge_pending` would merge. Crash
+        recovery falls out of this definition: a run published right
+        before a crash is still on disk, still unlisted, and therefore
+        still pending on restart.
+        """
+        tip = self.latest()
+        if tip is None:
+            return []
+        merged = set(tip.deltas)
+        return [run for run in self.delta_log().runs() if run.file not in merged]
+
+    def append_delta(
+        self, ops: "Iterable[tuple[str, tuple[str, str, str]]]"
+    ) -> "DeltaRun | None":
+        """Durably record a batch of statement ops as the next delta run.
+
+        ``ops`` is a sequence of ``("+" | "-", (subject, label, object))``
+        pairs; the batch is canonicalized (net effect per inversion
+        class) and published as one immutable run file. Returns the
+        :class:`~repro.disk.delta.DeltaRun`, or ``None`` when the batch
+        nets out to nothing. The manifest is untouched — a run only
+        enters it when a merge folds it in, so a crash here never leaves
+        the manifest pointing at a torn file.
+        """
+        with self._writer_lock():
+            self.refresh()
+            return self.delta_log().append(ops)
+
+    def merge_pending(
+        self,
+        *,
+        graph_name: "str | None" = None,
+        include_transition: bool = True,
+    ) -> "RegistryEntry | None":
+        """Fold every pending run into a fresh snapshot version.
+
+        Incremental: merges into the *newest* snapshot's arrays (which
+        already contain the chain's earlier runs) rather than replaying
+        from the base. The new manifest row keeps the chain provenance
+        (``base`` + the cumulative run list). Returns the new entry, or
+        ``None`` when nothing is pending.
+        """
+        from repro.disk.ingest import merge_snapshot_file
+
+        with self._writer_lock():
+            self.refresh()
+            tip = self.latest()
+            if tip is None:
+                raise RegistryError(
+                    f"registry at {self.directory} is empty; publish a base "
+                    f"snapshot before merging deltas"
+                )
+            pending = self.pending_runs()
+            if not pending:
+                return None
+            base_version = tip.base if tip.base is not None else tip.version
+            version = self.next_version()
+            path = os.path.join(self.directory, _version_filename(version))
+            merge_snapshot_file(
+                tip.path,
+                [run.read() for run in pending],
+                path,
+                version=version,
+                graph_name=graph_name,
+                include_transition=include_transition,
+            )
+            return self._record(
+                version,
+                path,
+                base=base_version,
+                deltas=tuple(tip.deltas) + tuple(run.file for run in pending),
+            )
+
+    def compact(
+        self,
+        *,
+        graph_name: "str | None" = None,
+        include_transition: bool = True,
+    ) -> "RegistryEntry | None":
+        """Collapse the active chain into a fresh full version.
+
+        Folds any still-pending runs and publishes the result *without*
+        chain provenance — the new version is a self-standing root, so
+        once older chained rows age out of retention, :meth:`gc` can
+        finally drop the old base and every run file. Returns the new
+        entry, or ``None`` when the registry is already compact (no
+        chain, nothing pending).
+
+        The ``registry.compact`` fault point fires between writing the
+        snapshot and recording it: a crash there leaves an orphaned
+        ``v*.snap`` the next version allocation skips past, never a
+        manifest row for a missing file.
+        """
+        from repro.disk.ingest import merge_snapshot_file
+        from repro.service import faults  # lazy: avoids a service<->disk cycle
+
+        with self._writer_lock():
+            self.refresh()
+            tip = self.latest()
+            if tip is None:
+                raise RegistryError(
+                    f"registry at {self.directory} is empty; nothing to compact"
+                )
+            pending = self.pending_runs()
+            if tip.base is None and not pending:
+                return None
+            version = self.next_version()
+            path = os.path.join(self.directory, _version_filename(version))
+            merge_snapshot_file(
+                tip.path,
+                [run.read() for run in pending],
+                path,
+                version=version,
+                graph_name=graph_name,
+                include_transition=include_transition,
+            )
+            if faults.fire("registry.compact"):
+                raise RegistryError(
+                    f"fault injection: crashed before recording compacted "
+                    f"version {version}"
+                )
+            return self._record(version, path)
 
     # -- retention ---------------------------------------------------------
 
@@ -456,11 +651,20 @@ class SnapshotRegistry:
 
         ``keep`` names versions that must survive regardless of age —
         typically the version a serving process is still draining.
+        A surviving row's chain ``base`` is a retained *root*: it
+        survives too, however old, because it anchors the run files'
+        provenance and the chain's crash-recovery replay. Run files
+        (``v*-d*.delta``) of bases no surviving row references — and
+        that the active chain no longer appends to — are unlinked along
+        with the snapshots.
+
         Returns the removed entries. Removing a file that a process still
         has mapped is safe (POSIX keeps the pages readable); a *new*
         attach of a removed version fails and is surfaced to the engine
         as a retriable stale-snapshot condition.
         """
+        from repro.disk.delta import _RUN_PATTERN
+
         if retain < 1:
             raise ValueError(f"retain must be >= 1, got {retain}")
         pinned = set(keep)
@@ -468,11 +672,20 @@ class SnapshotRegistry:
             # Re-read under the lock: a publish that landed since this
             # object's last refresh must survive the manifest rewrite.
             self.refresh()
-            survivors = [entry.version for entry in self._entries[-retain:]]
+            survivors = {entry.version for entry in self._entries[-retain:]}
+            survivors |= pinned
+            # Chain bases referenced by surviving rows are retained
+            # roots (bases are always self-standing rows, so one pass
+            # suffices — chains never nest).
+            survivors |= {
+                entry.base
+                for entry in self._entries
+                if entry.version in survivors and entry.base is not None
+            }
             removed: "list[RegistryEntry]" = []
             kept: "list[RegistryEntry]" = []
             for entry in self._entries:
-                if entry.version in pinned or entry.version in survivors:
+                if entry.version in survivors:
                     kept.append(entry)
                     continue
                 try:
@@ -483,6 +696,25 @@ class SnapshotRegistry:
             if removed:
                 self._entries = kept
                 self._write_manifest()
+            # Delta runs live as long as their base is a live chain
+            # anchor: the base of any remaining chained row, or the
+            # version new runs are currently appended against.
+            retained_bases = {
+                entry.base for entry in self._entries if entry.base is not None
+            }
+            tip = self._entries[-1] if self._entries else None
+            if tip is not None:
+                retained_bases.add(
+                    tip.base if tip.base is not None else tip.version
+                )
+            for name in os.listdir(self.directory):
+                match = _RUN_PATTERN.match(name)
+                if match is None or int(match.group(1)) in retained_bases:
+                    continue
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except FileNotFoundError:
+                    pass
         return removed
 
     def summary(self) -> str:
@@ -490,8 +722,14 @@ class SnapshotRegistry:
         latest = self.latest()
         if latest is None:
             return f"snapshot registry {self.directory}: empty"
+        chain = ""
+        if latest.base is not None:
+            chain = f", chain base v{latest.base} + {len(latest.deltas)} delta(s)"
+        pending = len(self.pending_runs())
+        if pending:
+            chain += f", {pending} pending run(s)"
         return (
             f"snapshot registry {self.directory}: {len(self._entries)} "
             f"version(s), latest v{latest.version} "
-            f"(|V|={latest.nodes}, |E|={latest.edges})"
+            f"(|V|={latest.nodes}, |E|={latest.edges}){chain}"
         )

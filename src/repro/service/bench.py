@@ -77,6 +77,17 @@ the way API clients spell entities):
   power iteration and one fused distribution sweep per batch. Results
   are asserted byte-identical between the arms; the throughput ratio is
   gated by ``tools/bench_compare.py --saturated`` (acceptance: >= 2x).
+* **live ingest** (PR 10) — the delta-chain phase: a registry-backed
+  engine serves sustained multi-client reads while statement batches
+  land live — append to the delta log, incremental CSR merge
+  (:meth:`~repro.disk.ingest.StreamingCompiler.merge_delta`) into a new
+  snapshot, adopt via ``swap_snapshot`` — the pipeline behind
+  ``POST /v1/admin/ingest``. Asserted: zero failed reads across every
+  cycle, exact chain provenance and merge arithmetic on the final
+  manifest entry, and post-ingest results byte-identical to a fresh
+  engine on the merged file. Read p99 during ingest vs a
+  like-for-like quiescent control is gated by
+  ``tools/bench_compare.py --live-ingest``.
 * **trace overhead** (PR 9) — the same saturated burst served with
   request tracing disabled vs 1% head sampling; throughput and p99 are
   gated by ``tools/bench_compare.py --trace-overhead`` (acceptance:
@@ -88,7 +99,7 @@ the way API clients spell entities):
 
 The CLI (``repro bench-serve``) and ``benchmarks/run_service_bench.py``
 both call :func:`run_service_benchmark` and write the report as
-``BENCH_PR8.json`` (see ``benchmarks/README.md`` for the field
+``BENCH_PR10.json`` (see ``benchmarks/README.md`` for the field
 reference; diff two reports with ``tools/bench_compare.py``).
 """
 
@@ -385,6 +396,243 @@ def _bench_hot_swap(
                 "in-flight request are all asserted"
             ),
         }
+
+
+def _bench_live_ingest(
+    graph,
+    *,
+    context_size: int,
+    alpha: float,
+    seed: int,
+    workers: int,
+    queries: "list[tuple[str, ...]]",
+    clients: int = 4,
+    cycles: int = 2,
+    batch_edges: int = 6,
+    window_gap_s: float = 0.25,
+) -> dict:
+    """The PR-10 phase: delta append → merge → swap under sustained reads.
+
+    Publishes the graph into a throwaway registry (v1), serves it with
+    ``clients`` sustained threads, then lands ``cycles`` live-ingest
+    rounds mid-stream: each round appends a statement batch to the
+    registry's delta log (fresh subject nodes, one remove of the
+    previous round's edge from round two on), folds the pending run
+    into a new snapshot with the incremental CSR merge, and adopts it
+    via :meth:`~repro.service.engine.NCEngine.swap_snapshot` — the
+    exact pipeline behind ``POST /v1/admin/ingest``.
+
+    The read-latency comparison is like-for-like: the *quiescent*
+    window runs the same traffic with one ``cache.clear()`` per
+    would-be cycle (a version swap invalidates the version-keyed cache
+    anyway), so both windows pay the same cold-miss storms and the p99
+    ratio isolates what the append+merge+swap work itself costs
+    readers. Acceptance (asserted here; the ratio is gated by
+    ``tools/bench_compare.py --live-ingest``):
+
+    * **zero** failed or dropped reads across every cycle;
+    * the final manifest entry records the full chain (``base`` = v1,
+      one delta run per cycle) and the merged snapshot's node/edge
+      counts match the statement arithmetic exactly;
+    * post-ingest results are byte-identical to a fresh engine opened
+      directly on the final snapshot file.
+    """
+    import tempfile
+
+    from repro.disk import SnapshotRegistry, open_snapshot_view
+    from repro.service.engine import NCEngine as Engine
+
+    def batch_ops(cycle: int) -> "list[tuple[str, tuple[str, str, str]]]":
+        """Cycle ``cycle``'s statement batch: fresh-subject adds + a remove."""
+        ops: "list[tuple[str, tuple[str, str, str]]]" = [
+            (
+                "+",
+                (
+                    f"bench_ingest_c{cycle}_n{i}",
+                    "bench_ingest_rel",
+                    graph.node_name(i % graph.node_count),
+                ),
+            )
+            for i in range(batch_edges)
+        ]
+        if cycle > 0:
+            ops.append(
+                (
+                    "-",
+                    (
+                        f"bench_ingest_c{cycle - 1}_n0",
+                        "bench_ingest_rel",
+                        graph.node_name(0),
+                    ),
+                )
+            )
+        return ops
+
+    total_adds = cycles * batch_edges
+    total_removes = max(cycles - 1, 0)
+
+    with tempfile.TemporaryDirectory(prefix="repro-liveingest-") as registry_dir:
+        registry = SnapshotRegistry(registry_dir)
+        entry_v1 = registry.publish_graph(graph)
+
+        with Engine(
+            registry.open_view(entry_v1.version),
+            context_size=context_size,
+            alpha=alpha,
+            max_workers=workers,
+            seed=seed,
+        ) as engine:
+            engine.pin()
+            engine.request(queries[0])  # warm the resolution index
+
+            stop = threading.Event()
+            barrier = threading.Barrier(clients + 1)
+            window = ["warmup"]  # [0] read by clients at request start
+            samples: "list[tuple[str, float]]" = []
+            failures: "list[BaseException]" = []
+            lock = threading.Lock()
+
+            def client(slot: int) -> None:
+                """Sustained reads; every latency tagged with its window."""
+                rng = random.Random(seed + slot)
+                try:
+                    barrier.wait()
+                    while not stop.is_set():
+                        tag = window[0]
+                        started = time.perf_counter()
+                        engine.request(rng.choice(queries))
+                        elapsed = time.perf_counter() - started
+                        with lock:
+                            samples.append((tag, elapsed))
+                except BaseException as error:  # pragma: no cover - failure
+                    failures.append(error)
+
+            threads = [
+                threading.Thread(target=client, args=(slot,))
+                for slot in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+
+            # -- quiescent control: same miss storms, no ingest work -------
+            window[0] = "quiescent"
+            for _ in range(cycles):
+                time.sleep(window_gap_s)
+                engine.cache.clear()
+            time.sleep(window_gap_s)
+
+            # -- live ingest: append -> merge -> swap, readers running -----
+            window[0] = "ingest"
+            cycle_reports = []
+            entry = entry_v1
+            for cycle in range(cycles):
+                time.sleep(window_gap_s)
+                started = time.perf_counter()
+                run = registry.append_delta(batch_ops(cycle))
+                appended_s = time.perf_counter() - started
+                entry = registry.merge_pending()
+                engine.swap_snapshot(registry.open_view(entry.version))
+                adoption_s = time.perf_counter() - started
+                cycle_reports.append(
+                    {
+                        "run": run.file,
+                        "adds": run.adds,
+                        "removes": run.removes,
+                        "merged_version": entry.version,
+                        "append_s": appended_s,
+                        "adoption_s": adoption_s,
+                    }
+                )
+            time.sleep(window_gap_s)
+            window[0] = "drain"
+            stop.set()
+            for thread in threads:
+                thread.join()
+            if failures:  # pragma: no cover - would be the acceptance bug
+                raise AssertionError(
+                    f"live ingest dropped/failed {len(failures)} read(s); "
+                    f"first: {failures[0]!r}"
+                )
+
+            # -- chain provenance + merge arithmetic ------------------------
+            if entry.base != entry_v1.version or len(entry.deltas) != cycles:
+                raise AssertionError(  # pragma: no cover - would be a bug
+                    f"final manifest entry lost its chain: base={entry.base}, "
+                    f"deltas={entry.deltas}"
+                )
+            expected_nodes = graph.node_count + total_adds
+            expected_edges = graph.edge_count + 2 * (total_adds - total_removes)
+            if (entry.nodes, entry.edges) != (expected_nodes, expected_edges):
+                raise AssertionError(  # pragma: no cover - would be a bug
+                    f"merged snapshot has |V|={entry.nodes}, |E|={entry.edges}; "
+                    f"expected |V|={expected_nodes}, |E|={expected_edges}"
+                )
+
+            # -- parity vs a fresh engine on the final snapshot file --------
+            engine.cache.clear()
+            post = [engine.request(query) for query in queries]
+            assert all(
+                outcome.graph_version == entry.version for outcome in post
+            ), "post-ingest requests still served from an old version"
+
+        fresh_view = open_snapshot_view(entry.path)
+        try:
+            with Engine(
+                fresh_view,
+                context_size=context_size,
+                alpha=alpha,
+                max_workers=workers,
+                seed=seed,
+            ) as fresh_engine:
+                fresh_engine.pin()
+                fresh = [fresh_engine.request(query) for query in queries]
+        finally:
+            fresh_view.close()
+        identical = all(
+            _result_fingerprint(a.result) == _result_fingerprint(b.result)
+            for a, b in zip(post, fresh)
+        )
+        if not identical:  # pragma: no cover - would be the acceptance bug
+            raise AssertionError(
+                "post-ingest results differ from a fresh engine on the "
+                "merged snapshot"
+            )
+
+    def p99(latencies: "list[float]") -> float:
+        ordered = sorted(latencies)
+        return ordered[min(len(ordered) - 1, round(0.99 * (len(ordered) - 1)))]
+
+    quiescent = [lat for tag, lat in samples if tag == "quiescent"]
+    ingest = [lat for tag, lat in samples if tag == "ingest"]
+    return {
+        "clients": clients,
+        "cycles": cycle_reports,
+        "batch_edges": batch_edges,
+        "requests": len(samples),
+        "failures": 0,
+        "base_version": entry_v1.version,
+        "final_version": entry.version,
+        "chain_deltas": len(entry.deltas),
+        "nodes_after": entry.nodes,
+        "edges_after": entry.edges,
+        "quiescent_n": len(quiescent),
+        "quiescent_p99_s": p99(quiescent),
+        "quiescent_mean_s": statistics.fmean(quiescent),
+        "ingest_n": len(ingest),
+        "ingest_p99_s": p99(ingest),
+        "ingest_mean_s": statistics.fmean(ingest),
+        "p99_ratio": p99(ingest) / p99(quiescent),
+        "identical_results": identical,
+        "note": (
+            "sustained reads across append->merge->swap cycles; the "
+            "quiescent control clears the cache once per would-be cycle "
+            "so both windows pay the same cold-miss storms; zero failed "
+            "reads, exact chain provenance + merge arithmetic, and "
+            "fresh-engine parity are asserted; tools/bench_compare.py "
+            "--live-ingest gates on p99_ratio"
+        ),
+    }
 
 
 def _bench_fault_storm(
@@ -1091,7 +1339,7 @@ def _run_service_benchmark(
     )
     report: dict = {
         "suite": "service_bench",
-        "pr": 9,
+        "pr": 10,
         "created_unix": int(time.time()),
         "machine": {
             "python": platform.python_version(),
@@ -1352,6 +1600,16 @@ def _run_service_benchmark(
             queries=queries,
         )
 
+        # -- live ingest: delta append -> merge -> swap under reads (PR 10)
+        report["live_ingest"] = _bench_live_ingest(
+            graph,
+            context_size=context_size,
+            alpha=alpha,
+            seed=seed,
+            workers=workers,
+            queries=queries,
+        )
+
         # -- fault storm: crash-injected workers + SIGKILLs (PR 6) ---------
         report["fault_storm"] = _bench_fault_storm(
             graph,
@@ -1493,6 +1751,20 @@ def print_report(report: dict) -> None:
             f"under {hot_swap['clients']} clients "
             f"({hot_swap['requests']} requests, {hot_swap['failures']} "
             f"failures, drained: {hot_swap['drained_versions']})"
+        )
+    live_ingest = report.get("live_ingest")
+    if live_ingest:
+        last = live_ingest["cycles"][-1]
+        print(
+            f"live ingest: {len(live_ingest['cycles'])} append->merge->swap "
+            f"cycle(s) under {live_ingest['clients']} clients "
+            f"(v{live_ingest['base_version']} -> "
+            f"v{live_ingest['final_version']}, last adoption "
+            f"{last['adoption_s'] * 1e3:.1f}ms, {live_ingest['failures']} "
+            f"failed reads, p99 {live_ingest['ingest_p99_s'] * 1e3:.1f}ms vs "
+            f"quiescent {live_ingest['quiescent_p99_s'] * 1e3:.1f}ms "
+            f"[{live_ingest['p99_ratio']:.2f}x], identical results: "
+            f"{live_ingest['identical_results']})"
         )
     fault_storm = report.get("fault_storm")
     if fault_storm:

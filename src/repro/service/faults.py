@@ -18,6 +18,9 @@ Fault points
 ``snapshot.vanish``  opening a snapshot file raises ``FileNotFoundError``
 ``registry.manifest``  a registry refresh raises ``RegistryError``
 ``engine.slow``      the engine's local compute path sleeps (thread backend)
+``delta.append``     a delta-log append crashes before its publishing rename
+``registry.compact``  compaction crashes after writing the fresh snapshot,
+                     before recording it in the manifest
 ===================  ====================================================
 
 Arming faults
@@ -73,6 +76,8 @@ KNOWN_POINTS = frozenset(
         "snapshot.vanish",
         "registry.manifest",
         "engine.slow",
+        "delta.append",
+        "registry.compact",
     }
 )
 

@@ -722,6 +722,28 @@ class ServiceMetrics:
             "the pool runs with max_batch > 1).",
             buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
         )
+        self.ingest_batches = reg.counter(
+            "nc_ingest_batches_total",
+            "Live-ingest batches accepted via POST /v1/admin/ingest, by "
+            "outcome (accepted, noop, rejected, failed).",
+            ("status",),
+        )
+        self.ingest_triples = reg.counter(
+            "nc_ingest_triples_total",
+            "Canonical statements recorded by live ingest, by op (add, "
+            "remove).",
+            ("op",),
+        )
+        self.ingest_lag = reg.histogram(
+            "nc_ingest_lag_seconds",
+            "Wall-clock from a delta run's durable append to the merged "
+            "version being adopted by the serving engine.",
+        )
+        self.delta_depth = reg.gauge(
+            "nc_delta_depth",
+            "Delta runs appended against the active chain base that the "
+            "serving snapshot has not folded in yet (0 when fully merged).",
+        )
         self.kernel_active = reg.gauge(
             "nc_kernel_active",
             "The compute kernel in use (REPRO_KERNEL seam): 1 for the active "

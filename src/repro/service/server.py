@@ -59,6 +59,20 @@ Endpoints (full request/response reference: ``docs/OPERATIONS.md``)
     The same code path runs on a timer when ``--poll-interval`` is set
     (:class:`RegistryPoller` watches the manifest mtime).
 
+``POST /v1/admin/ingest[?format=nt|tsv][&wait=1]``
+    Live delta ingest (registry-backed servers only): the body is a
+    batch of statements — N-Triples by default, TSV with
+    ``?format=tsv`` — each line optionally prefixed ``+`` (add, the
+    default) or ``-`` (remove). The batch is canonicalized and appended
+    to the chain's delta log **synchronously** (durable when the
+    response leaves), then merged into a fresh snapshot version and
+    adopted through the same hot-swap path as ``/v1/admin/reload`` in a
+    background thread — reads never block and never drop. ``?wait=1``
+    runs merge + swap before responding (deterministic for tests and
+    soak gates). Unparseable bodies answer ``400`` with
+    ``code: "bad_batch"``; batches that net out to nothing answer
+    ``{"accepted": false}`` without writing anything.
+
 Every request is recorded in the engine's metrics registry
 (``nc_http_requests_total{route,method,status}`` and the per-route
 latency histogram), labeled by *canonical* route name whichever spelling
@@ -140,6 +154,13 @@ ROUTES: "tuple[RouteSpec, ...]" = (
         "/admin/reload",
         "admin_reload",
         "_handle_admin_reload",
+    ),
+    RouteSpec(
+        "POST",
+        "/v1/admin/ingest",
+        None,
+        "admin_ingest",
+        "_handle_admin_ingest",
     ),
     RouteSpec(
         "GET",
@@ -246,6 +267,63 @@ def reload_from_registry(
             "new_version": outcome.new_version,
             "file": latest.file,
         }
+
+
+def run_ingest_merge(server, appended_at: "float | None" = None) -> dict:
+    """Fold pending delta runs into a fresh version and adopt it.
+
+    The merge half of live ingest, shared by the request handler's
+    background thread and the synchronous ``?wait=1`` path: serialize on
+    the server's ``ingest_lock``, fold every pending run
+    (:meth:`~repro.disk.registry.SnapshotRegistry.merge_pending`), then
+    hot-swap through the same :func:`reload_from_registry` path as
+    ``POST /v1/admin/reload``. Updates the ingest-lag histogram (durable
+    append → engine adoption) and the delta-depth gauge. Returns a
+    JSON-ready outcome; no-op (``{"merged": None}``) when another merge
+    already drained the log.
+    """
+    engine = server.engine
+    registry = server.registry
+    with server.ingest_lock:
+        entry = registry.merge_pending()
+        outcome = None
+        if entry is not None:
+            outcome = reload_from_registry(
+                engine,
+                registry,
+                retain=server.retain,
+                lock=server.reload_lock,
+            )
+        bundle = getattr(engine, "metrics", None)
+        if bundle is not None:
+            bundle.delta_depth.set(float(len(registry.pending_runs())))
+            if entry is not None and appended_at is not None:
+                bundle.ingest_lag.observe(
+                    max(0.0, time.perf_counter() - appended_at)
+                )
+        if entry is not None:
+            log_event(
+                "ingest_merged",
+                version=entry.version,
+                base=entry.base,
+                deltas=len(entry.deltas),
+                swapped=bool(outcome and outcome.get("swapped")),
+            )
+        return {
+            "merged_version": entry.version if entry is not None else None,
+            "swap": outcome,
+        }
+
+
+def _ingest_merge_worker(server, appended_at: float) -> None:
+    """Background-thread wrapper: a failed merge must not kill serving."""
+    try:
+        run_ingest_merge(server, appended_at)
+    except Exception as error:  # noqa: BLE001 - keep serving on old version
+        bundle = getattr(server.engine, "metrics", None)
+        if bundle is not None:
+            bundle.ingest_batches.inc(status="failed")
+        log_event("ingest_merge_failed", error=repr(error))
 
 
 class RegistryPoller(threading.Thread):
@@ -370,6 +448,11 @@ class NCServiceServer(ThreadingHTTPServer):
         self.registry = registry
         self.retain = retain
         self.reload_lock = threading.Lock()
+        #: Serializes merge+publish jobs so overlapping ingest batches
+        #: fold into versions one at a time (appends stay concurrent).
+        self.ingest_lock = threading.Lock()
+        #: Live background merge threads (joined by tests / shutdown).
+        self.ingest_threads: "list[threading.Thread]" = []
 
 
 class NCRequestHandler(BaseHTTPRequestHandler):
@@ -534,7 +617,7 @@ class NCRequestHandler(BaseHTTPRequestHandler):
         self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        """Dispatch POST routes (search, admin/reload)."""
+        """Dispatch POST routes (search, admin/reload, admin/ingest)."""
         self._dispatch("POST")
 
     # -- route handlers ----------------------------------------------------
@@ -632,6 +715,110 @@ class NCRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(503, str(error))
             return
         self._send_json(outcome)
+
+    def _handle_admin_ingest(self, url) -> None:
+        """``POST /v1/admin/ingest``: append a delta batch, merge, adopt.
+
+        The append is synchronous — when the response leaves, the run
+        file is durable and crash recovery will merge it. The merge +
+        hot-swap run in a background thread (or inline with
+        ``?wait=1``), so the write path never blocks the read path.
+        """
+        registry = getattr(self.server, "registry", None)
+        if registry is None:
+            self._send_error_json(
+                400,
+                "no snapshot registry configured (serve with --snapshot-dir)",
+            )
+            return
+        from repro.disk.delta import parse_delta_lines
+
+        engine = self._engine()
+        bundle = getattr(engine, "metrics", None)
+        raw = parse_qs(url.query)
+        fmt = raw.get("format", ["nt"])[0]
+        wait = raw.get("wait", ["0"])[0] not in ("", "0", "false")
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length).decode("utf-8")
+        except (ValueError, UnicodeDecodeError):
+            if bundle is not None:
+                bundle.ingest_batches.inc(status="rejected")
+            self._send_error_json(
+                400, "request body is not valid UTF-8 text", code="bad_batch"
+            )
+            return
+        try:
+            ops = parse_delta_lines(body.splitlines(), fmt)
+        except (ReproError, ValueError) as error:
+            if bundle is not None:
+                bundle.ingest_batches.inc(status="rejected")
+            self._send_error_json(400, str(error), code="bad_batch")
+            return
+        appended_at = time.perf_counter()
+        try:
+            run = registry.append_delta(ops)
+        except (ReproError, ValueError) as error:
+            # empty registry, torn append (delta.append fault), bad names
+            if bundle is not None:
+                bundle.ingest_batches.inc(status="failed")
+            self._send_error_json(500, str(error), code="ingest_failed")
+            return
+        if run is None:
+            if bundle is not None:
+                bundle.ingest_batches.inc(status="noop")
+            self._send_json(
+                {"accepted": False, "reason": "batch nets out to no change"}
+            )
+            return
+        depth = len(registry.pending_runs())
+        if bundle is not None:
+            bundle.ingest_batches.inc(status="accepted")
+            if run.adds:
+                bundle.ingest_triples.inc(run.adds, op="add")
+            if run.removes:
+                bundle.ingest_triples.inc(run.removes, op="remove")
+            bundle.delta_depth.set(float(depth))
+        log_event(
+            "ingest_append",
+            run=run.file,
+            base=run.base_version,
+            adds=run.adds,
+            removes=run.removes,
+            pending=depth,
+        )
+        payload = {
+            "accepted": True,
+            "run": run.file,
+            "base_version": run.base_version,
+            "adds": run.adds,
+            "removes": run.removes,
+            "pending_runs": depth,
+        }
+        if wait:
+            try:
+                payload.update(run_ingest_merge(self.server, appended_at))
+            except (ReproError, ValueError, RuntimeError) as error:
+                # the run IS durable: recovery merges it on the next
+                # ingest/reload, so report the merge failure honestly
+                # without pretending the append failed too.
+                if bundle is not None:
+                    bundle.ingest_batches.inc(status="failed")
+                self._send_error_json(500, str(error), code="merge_failed")
+                return
+            self._send_json(payload)
+            return
+        worker = threading.Thread(
+            target=_ingest_merge_worker,
+            args=(self.server, appended_at),
+            name="nc-ingest-merge",
+            daemon=True,
+        )
+        threads = self.server.ingest_threads  # type: ignore[attr-defined]
+        threads[:] = [t for t in threads if t.is_alive()]
+        threads.append(worker)
+        worker.start()
+        self._send_json(payload, status=202)
 
     def _handle_debug_traces(self, url) -> None:
         """``GET /v1/debug/traces``: recent retained-trace summaries."""

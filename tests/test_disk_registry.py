@@ -171,6 +171,82 @@ class TestGC:
             registry.gc(retain=0)
 
 
+class TestDeltaChainGC:
+    """Regression: GC must treat delta-chain bases as retained roots."""
+
+    @staticmethod
+    def _chain(registry, graph, merges):
+        registry.publish_graph(graph)
+        entries = []
+        for index in range(merges):
+            registry.append_delta(
+                [("+", (f"delta_n{index}", "delta_rel", f"delta_m{index}"))]
+            )
+            entries.append(registry.merge_pending())
+        return entries
+
+    @staticmethod
+    def _delta_files(registry):
+        return sorted(
+            name
+            for name in os.listdir(registry.directory)
+            if name.endswith(".delta")
+        )
+
+    def test_gc_keeps_the_chain_base_alive(self, registry, graph):
+        """retain=1 keeps the v3 tip, its v1 base, and every run file."""
+        self._chain(registry, graph, merges=2)
+        removed = registry.gc(retain=1)
+        assert [e.version for e in removed] == [2]
+        assert [e.version for e in registry.versions()] == [1, 3]
+        assert os.path.exists(
+            os.path.join(registry.directory, "v000001.snap")
+        )
+        assert self._delta_files(registry) == [
+            "v000001-d0000.delta",
+            "v000001-d0001.delta",
+        ]
+        # The surviving chain still opens end to end.
+        view = registry.open_view()
+        view.close()
+
+    def test_gc_keeps_run_files_of_the_active_chain(self, registry, graph):
+        """Pending (not yet merged) runs survive GC with their base."""
+        registry.publish_graph(graph)
+        registry.publish_graph(graph)
+        registry.append_delta([("+", ("x", "r", "y"))])
+        registry.gc(retain=1)
+        assert [e.version for e in registry.versions()] == [2]
+        assert self._delta_files(registry) == ["v000002-d0000.delta"]
+        assert len(registry.pending_runs()) == 1
+
+    def test_compaction_releases_base_and_runs(self, registry, graph):
+        """After compact, nothing anchors the old chain: GC drops it all."""
+        self._chain(registry, graph, merges=2)
+        compacted = registry.compact()
+        assert compacted.base is None and compacted.deltas == ()
+        removed = registry.gc(retain=1)
+        assert [e.version for e in removed] == [1, 2, 3]
+        assert [e.version for e in registry.versions()] == [compacted.version]
+        assert self._delta_files(registry) == []
+
+    def test_chain_survives_a_registry_reload(self, registry, graph):
+        """Chain provenance and pending runs round-trip the manifest."""
+        [_, tip] = self._chain(registry, graph, merges=2)
+        registry.append_delta([("+", ("late_n", "delta_rel", "late_m"))])
+        reloaded = SnapshotRegistry(registry.directory, create=False)
+        latest = reloaded.latest()
+        assert latest.version == tip.version
+        assert latest.base == 1
+        assert latest.deltas == tip.deltas
+        assert [run.file for run in reloaded.pending_runs()] == [
+            "v000001-d0002.delta"
+        ]
+        merged = reloaded.merge_pending()
+        assert merged.base == 1
+        assert len(merged.deltas) == 3
+
+
 class TestInspect:
     def test_inspect_reports_the_stored_header(self, registry, graph):
         entry = registry.publish_graph(graph)

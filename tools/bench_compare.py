@@ -33,12 +33,21 @@ nor p99 more than ``--threshold`` vs the tracing-disabled arm of the
 same run, and the forced-slow trace must carry the worker-side
 ``worker.ppr``/``worker.sweep`` spans bounded by the request span.
 
+``--live-ingest`` is the single-report gate for the PR-10
+``live_ingest`` phase: sustained reads across >= 2 live
+append → merge → swap cycles must complete with **zero** failures and
+byte-identical post-ingest results, and the during-ingest read p99 must
+stay within ``--max-p99-ratio`` (default 2.0x) of the like-for-like
+quiescent control window from the same run (the control pays the same
+cache-invalidation storms, so the ratio isolates the merge/swap cost).
+
 Usage (from the repo root)::
 
     python tools/bench_compare.py BENCH_PR7.json BENCH_PR8.json
     python tools/bench_compare.py old.json new.json --threshold 0.15 --json
     python tools/bench_compare.py --saturated BENCH_PR8.json
     python tools/bench_compare.py --trace-overhead BENCH_PR9.json
+    python tools/bench_compare.py --live-ingest BENCH_PR10.json
     python tools/bench_compare.py --self-check
 """
 
@@ -282,6 +291,79 @@ def check_trace_overhead(report: dict, *, threshold: float = 0.10) -> dict:
     }
 
 
+def check_live_ingest(report: dict, *, max_ratio: float = 2.0) -> dict:
+    """The PR-10 gate over one report's ``live_ingest`` phase.
+
+    ``ok`` when the phase sustained reads across at least two live
+    append → merge → swap cycles with **zero** failed reads, the
+    post-ingest results were byte-identical to a fresh engine on the
+    merged snapshot, and the during-ingest read p99 stayed within
+    ``max_ratio`` of the quiescent control window. ``regression`` when
+    any bar is missed; ``no-data`` for reports that predate the phase.
+    Both windows come from the same run under the same cache-miss
+    cadence — a paired comparison, like --saturated.
+    """
+    phase = report.get("live_ingest")
+    if not isinstance(phase, dict):
+        return {
+            "pr": report.get("pr"),
+            "max_ratio": max_ratio,
+            "verdict": "no-data",
+        }
+    quiescent_p99 = phase.get("quiescent_p99_s")
+    ingest_p99 = phase.get("ingest_p99_s")
+    ratio = phase.get("p99_ratio")
+    numbers = (quiescent_p99, ingest_p99, ratio)
+    if not all(isinstance(v, (int, float)) for v in numbers):
+        return {
+            "pr": report.get("pr"),
+            "max_ratio": max_ratio,
+            "verdict": "no-data",
+        }
+    cycles = phase.get("cycles") or []
+    failures = phase.get("failures")
+    identical = phase.get("identical_results")
+    cycles_ok = len(cycles) >= 2
+    failures_ok = failures == 0
+    p99_ok = ratio <= max_ratio
+    ok = cycles_ok and failures_ok and identical is True and p99_ok
+    return {
+        "pr": report.get("pr"),
+        "max_ratio": max_ratio,
+        "cycles": len(cycles),
+        "failures": failures,
+        "quiescent_p99_s": quiescent_p99,
+        "ingest_p99_s": ingest_p99,
+        "p99_ratio": ratio,
+        "cycles_ok": cycles_ok,
+        "failures_ok": failures_ok,
+        "p99_ok": p99_ok,
+        "identical_results": identical,
+        "verdict": "ok" if ok else "regression",
+    }
+
+
+def print_live_ingest(result: dict) -> None:
+    """Human-readable rendering of :func:`check_live_ingest`."""
+    if result["verdict"] == "no-data":
+        print(
+            f"live ingest (PR {result['pr']}): no live_ingest phase "
+            f"in this report"
+        )
+        print("verdict: no-data")
+        return
+    print(
+        f"live ingest (PR {result['pr']}, max p99 ratio "
+        f"{result['max_ratio']:.2f}x): {result['cycles']} "
+        f"append->merge->swap cycle(s), {result['failures']} failed reads, "
+        f"p99 quiescent {result['quiescent_p99_s'] * 1e3:.1f}ms -> "
+        f"during ingest {result['ingest_p99_s'] * 1e3:.1f}ms "
+        f"({result['p99_ratio']:.2f}x, ok: {result['p99_ok']}, identical "
+        f"results: {result['identical_results']})"
+    )
+    print("verdict: " + result["verdict"])
+
+
 def print_trace_overhead(result: dict) -> None:
     """Human-readable rendering of :func:`check_trace_overhead`."""
     if result["verdict"] == "no-data":
@@ -457,6 +539,28 @@ def self_check() -> int:
         == "regression"
     )
     assert check_trace_overhead({"pr": 8})["verdict"] == "no-data"
+
+    # live-ingest gate: cycles, zero failures, parity, p99 ratio all required
+    live = {
+        "pr": 10,
+        "live_ingest": {
+            "cycles": [{"merged_version": 2}, {"merged_version": 3}],
+            "failures": 0,
+            "quiescent_p99_s": 0.020,
+            "ingest_p99_s": 0.030,
+            "p99_ratio": 1.5,
+            "identical_results": True,
+        },
+    }
+    assert check_live_ingest(live)["verdict"] == "ok"
+    assert check_live_ingest(live, max_ratio=1.2)["verdict"] == "regression"
+    dropped = dict(live["live_ingest"], failures=3)
+    assert check_live_ingest({"live_ingest": dropped})["verdict"] == "regression"
+    lone = dict(live["live_ingest"], cycles=[{"merged_version": 2}])
+    assert check_live_ingest({"live_ingest": lone})["verdict"] == "regression"
+    skewed = dict(live["live_ingest"], identical_results=False)
+    assert check_live_ingest({"live_ingest": skewed})["verdict"] == "regression"
+    assert check_live_ingest({"pr": 9})["verdict"] == "no-data"
     print("bench_compare self-check: ok")
     return 0
 
@@ -503,9 +607,39 @@ def main(argv: "list[str] | None" = None) -> int:
         "(1%% sampling vs tracing off) on --threshold + slow-trace "
         "completeness",
     )
+    parser.add_argument(
+        "--live-ingest",
+        action="store_true",
+        help="single-report mode: gate BASELINE's live_ingest phase "
+        "(reads across live append->merge->swap cycles) on zero "
+        "failures, parity, and --max-p99-ratio",
+    )
+    parser.add_argument(
+        "--max-p99-ratio",
+        type=float,
+        default=2.0,
+        help="maximum during-ingest/quiescent read p99 ratio for "
+        "--live-ingest (2.0 = 2x)",
+    )
     args = parser.parse_args(argv)
     if args.self_check:
         return self_check()
+    if args.live_ingest:
+        if not args.baseline:
+            parser.error("--live-ingest needs one report path")
+        if args.candidate:
+            parser.error("--live-ingest takes a single report, not two")
+        try:
+            report = load_report(args.baseline)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        result = check_live_ingest(report, max_ratio=args.max_p99_ratio)
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+        else:
+            print_live_ingest(result)
+        return 0 if result["verdict"] == "ok" else 1
     if args.trace_overhead:
         if not args.baseline:
             parser.error("--trace-overhead needs one report path")

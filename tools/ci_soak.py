@@ -12,6 +12,11 @@ answer a well-formed Prometheus exposition. It fails on:
   completed requests — requests may never hang or silently drop across
   the swap;
 * the mid-run ``POST /v1/admin/reload`` not actually swapping;
+* the mid-run ``POST /v1/admin/ingest`` (a small live statement batch,
+  ``?wait=1`` so the append → merge → swap pipeline completes inline)
+  not being accepted, or ``/v1/healthz``'s ``version_id`` not advancing
+  to the merged version — live ingest must land under load with zero
+  request failures (the error-rate gate covers the reads);
 * a malformed metrics exposition, or the serving/batching metric
   families missing from it;
 * no complete request trace after the soak: the server samples every
@@ -61,7 +66,18 @@ REQUIRED_FAMILIES = {
     "nc_engine_swaps_total": "counter",
     "nc_worker_batch_size": "histogram",
     "nc_kernel_active": "gauge",
+    "nc_ingest_batches_total": "counter",
+    "nc_delta_depth": "gauge",
 }
+
+#: The live statement batch POSTed mid-soak: three fresh-subject adds
+#: (new vocabulary, so the merged snapshot visibly grows) in the
+#: ``+``-prefixed N-Triples delta dialect of ``POST /v1/admin/ingest``.
+INGEST_BATCH = (
+    b"+ <soak_ingest_a> <soak_rel> <soak_ingest_b> .\n"
+    b"+ <soak_ingest_b> <soak_rel> <soak_ingest_c> .\n"
+    b"+ <soak_ingest_c> <soak_rel> <soak_ingest_a> .\n"
+)
 
 
 def ensure_snapshot(path: Path, scale: float) -> Path:
@@ -179,13 +195,48 @@ def main(argv: "list[str] | None" = None) -> int:
             except Exception as error:  # noqa: BLE001 - reported below
                 swap_errors.append(repr(error))
 
+        # Mid-run live ingest: POST a small statement batch three quarters
+        # of the way through (after the swap has landed) with ?wait=1 so
+        # the append -> merge -> swap pipeline completes inline; the
+        # healthz version_id must advance to the merged version.
+        ingest_outcome: dict = {}
+        ingest_errors: "list[str]" = []
+
+        def ingest_mid_run() -> None:
+            try:
+                with urllib.request.urlopen(
+                    f"{url}/v1/healthz", timeout=30
+                ) as response:
+                    ingest_outcome["version_before"] = json.loads(
+                        response.read()
+                    )["version_id"]
+                request = urllib.request.Request(
+                    f"{url}/v1/admin/ingest?format=nt&wait=1",
+                    data=INGEST_BATCH,
+                    method="POST",
+                )
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    ingest_outcome.update(json.loads(response.read()))
+                with urllib.request.urlopen(
+                    f"{url}/v1/healthz", timeout=30
+                ) as response:
+                    ingest_outcome["version_after"] = json.loads(
+                        response.read()
+                    )["version_id"]
+            except Exception as error:  # noqa: BLE001 - reported below
+                ingest_errors.append(repr(error))
+
         swap_timer = threading.Timer(args.duration / 2, swap_mid_run)
         swap_timer.start()
+        ingest_timer = threading.Timer(args.duration * 0.75, ingest_mid_run)
+        ingest_timer.start()
         try:
             report = run_loadgen(url, args)
         finally:
             swap_timer.cancel()  # no-op once fired; stops it on loadgen failure
+            ingest_timer.cancel()
         swap_timer.join(timeout=60)  # a fired swap may still be publishing
+        ingest_timer.join(timeout=120)  # a fired ingest may still be merging
 
         # -- checks -------------------------------------------------------
         failures: "list[str]" = []
@@ -203,11 +254,33 @@ def main(argv: "list[str] | None" = None) -> int:
             failures.append(f"mid-run swap failed: {swap_errors[0]}")
         elif not swap_outcome.get("swapped"):
             failures.append(f"mid-run reload did not swap: {swap_outcome}")
-        elif engine.graph.version != swap_outcome.get("new_version"):
+        elif engine.graph.version < swap_outcome.get("new_version"):
+            # The mid-run ingest may legitimately advance past the
+            # reload's version, so "at least" is the invariant here.
             failures.append(
                 f"engine still serving v{engine.graph.version} after "
                 f"swapping to v{swap_outcome.get('new_version')}"
             )
+
+        if ingest_errors:
+            failures.append(f"mid-run ingest failed: {ingest_errors[0]}")
+        elif not ingest_outcome.get("accepted"):
+            failures.append(f"mid-run ingest not accepted: {ingest_outcome}")
+        else:
+            merged = ingest_outcome.get("merged_version")
+            before = ingest_outcome.get("version_before")
+            after = ingest_outcome.get("version_after")
+            if (
+                not isinstance(merged, int)
+                or after != merged
+                or not isinstance(before, int)
+                or after <= before
+            ):
+                failures.append(
+                    f"healthz version_id did not advance to the merged "
+                    f"ingest version (before={before}, merged={merged}, "
+                    f"after={after})"
+                )
 
         with urllib.request.urlopen(f"{url}/v1/metrics", timeout=30) as response:
             content_type = response.headers["Content-Type"]
@@ -280,7 +353,11 @@ def main(argv: "list[str] | None" = None) -> int:
             f"(error rate {error_rate:.2%}), p99 "
             f"{latency.get('p99', 0.0) * 1e3:.1f}ms, swap "
             f"v{swap_outcome.get('old_version')} -> "
-            f"v{swap_outcome.get('new_version')}, "
+            f"v{swap_outcome.get('new_version')}, ingest "
+            f"{ingest_outcome.get('run')} -> "
+            f"v{ingest_outcome.get('merged_version')} (healthz "
+            f"v{ingest_outcome.get('version_before')} -> "
+            f"v{ingest_outcome.get('version_after')}), "
             f"{len(families)} well-formed metric families, "
             f"complete trace {complete_trace or 'MISSING'}"
         )
